@@ -1,0 +1,100 @@
+//! The load-imbalance indicator (paper eq. 6).
+//!
+//! `lii` compares the *compute* time of the slowest and fastest rank,
+//! after subtracting the two components that are "largely constant"
+//! across ranks — particle migration (`DSMC_Exchange` +
+//! `PIC_Exchange`) and the Poisson solve — so the indicator reflects
+//! genuine particle/cell load skew rather than communication noise.
+
+/// One rank's timing breakdown for an indicator window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankTimes {
+    /// Total wall time of the window (s).
+    pub total: f64,
+    /// Time in particle migration (both exchanges) (s).
+    pub migration: f64,
+    /// Time in the Poisson solve (s).
+    pub poisson: f64,
+}
+
+impl RankTimes {
+    /// The imbalance-relevant compute time.
+    #[inline]
+    pub fn adjusted(&self) -> f64 {
+        self.total - self.migration - self.poisson
+    }
+}
+
+/// Compute the load-imbalance indicator over per-rank timings.
+///
+/// `lii = adj(argmax total) / adj(argmin total)` per eq. 6. Returns
+/// 1.0 for fewer than 2 ranks, and `f64::INFINITY` when the fastest
+/// rank's adjusted time is ≤ 0 (fully idle rank — maximal imbalance).
+pub fn load_imbalance_indicator(times: &[RankTimes]) -> f64 {
+    if times.len() < 2 {
+        return 1.0;
+    }
+    let imax = (0..times.len())
+        .max_by(|&a, &b| times[a].total.partial_cmp(&times[b].total).unwrap())
+        .unwrap();
+    let imin = (0..times.len())
+        .min_by(|&a, &b| times[a].total.partial_cmp(&times[b].total).unwrap())
+        .unwrap();
+    let num = times[imax].adjusted();
+    let den = times[imin].adjusted();
+    if den <= 0.0 {
+        return if num <= 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    (num / den).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(total: f64, migration: f64, poisson: f64) -> RankTimes {
+        RankTimes {
+            total,
+            migration,
+            poisson,
+        }
+    }
+
+    #[test]
+    fn balanced_ranks_give_one() {
+        let times = vec![rt(10.0, 1.0, 2.0); 4];
+        assert!((load_imbalance_indicator(&times) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_is_measured_on_adjusted_time() {
+        // rank 0: total 10, 3 constant -> 7 compute
+        // rank 1: total 4, 3 constant -> 1 compute => lii = 7
+        let times = vec![rt(10.0, 1.0, 2.0), rt(4.0, 1.0, 2.0)];
+        assert!((load_imbalance_indicator(&times) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_components_subtracted() {
+        // identical compute, wildly different poisson time: indicator
+        // still uses adjusted values from max/min *total* ranks
+        let times = vec![rt(12.0, 1.0, 6.0), rt(6.0, 1.0, 0.0)];
+        // max total rank 0: adj 5; min total rank 1: adj 5 -> lii 1
+        assert!((load_imbalance_indicator(&times) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_rank_is_infinite_imbalance() {
+        let times = vec![rt(10.0, 1.0, 1.0), rt(2.0, 1.0, 1.0)];
+        assert_eq!(load_imbalance_indicator(&times), f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(load_imbalance_indicator(&[]), 1.0);
+        assert_eq!(load_imbalance_indicator(&[rt(5.0, 1.0, 1.0)]), 1.0);
+        // everything zero
+        let z = vec![RankTimes::default(); 3];
+        assert_eq!(load_imbalance_indicator(&z), 1.0);
+    }
+}

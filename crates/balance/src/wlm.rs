@@ -1,0 +1,66 @@
+//! The weighted load model (paper eq. 7):
+//! `wlm_i = N_i + R·C_i + W_cell`.
+//!
+//! `N_i` = neutral particles in cell `i` (DSMC work), `C_i` = charged
+//! particles (PIC work, weighted by `R` = PIC steps per DSMC step),
+//! `W_cell` = per-cell fixed work (Colli_React pair selection,
+//! Poisson assembly), all expressed in units of "one neutral
+//! particle's work".
+
+/// Parameters of the weighted load model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WlmParams {
+    /// Charged-to-neutral weight ratio `R` (= PIC timesteps per DSMC
+    /// timestep; 2 in all paper experiments).
+    pub r: i64,
+    /// Fixed weight of a grid cell (paper sweeps 1..10000 in
+    /// Table VI).
+    pub w_cell: i64,
+}
+
+impl Default for WlmParams {
+    fn default() -> Self {
+        WlmParams { r: 2, w_cell: 1 }
+    }
+}
+
+/// Compute `wlm` for every cell from per-cell particle counts.
+pub fn weighted_load_model(
+    neutral_counts: &[u64],
+    charged_counts: &[u64],
+    params: WlmParams,
+) -> Vec<i64> {
+    assert_eq!(neutral_counts.len(), charged_counts.len());
+    neutral_counts
+        .iter()
+        .zip(charged_counts)
+        .map(|(&n, &c)| n as i64 + params.r * c as i64 + params.w_cell)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_eq7() {
+        let n = [10u64, 0, 3];
+        let c = [5u64, 2, 0];
+        let w = weighted_load_model(&n, &c, WlmParams { r: 2, w_cell: 7 });
+        assert_eq!(w, vec![10 + 10 + 7, 4 + 7, 3 + 7]);
+    }
+
+    #[test]
+    fn empty_cells_still_carry_cell_weight() {
+        let w = weighted_load_model(&[0], &[0], WlmParams { r: 2, w_cell: 100 });
+        assert_eq!(w, vec![100]);
+    }
+
+    #[test]
+    fn r_scales_charged_only() {
+        let a = weighted_load_model(&[4], &[6], WlmParams { r: 1, w_cell: 0 });
+        let b = weighted_load_model(&[4], &[6], WlmParams { r: 3, w_cell: 0 });
+        assert_eq!(a, vec![10]);
+        assert_eq!(b, vec![22]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the two particle-exchange strategies on
+//! the real threaded backend (paper §IV-B): same payload, different
+//! protocols.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmpi::{exchange, run_world, Comm, Strategy};
+
+fn bench_exchange(c: &mut Criterion) {
+    for ranks in [4usize, 8] {
+        for (strategy, name) in [
+            (Strategy::Distributed, "distributed"),
+            (Strategy::Centralized, "centralized"),
+        ] {
+            c.bench_function(&format!("exchange/{name}_{ranks}ranks_64KiB"), |b| {
+                b.iter(|| {
+                    let out = run_world(ranks, |comm| {
+                        let outgoing: Vec<Vec<u8>> = (0..comm.size())
+                            .map(|d| {
+                                if d == comm.rank() {
+                                    Vec::new()
+                                } else {
+                                    vec![0xAB; 64 * 1024 / comm.size()]
+                                }
+                            })
+                            .collect();
+                        let incoming = exchange(&comm, strategy, outgoing);
+                        incoming.iter().map(|b| b.len()).sum::<usize>()
+                    });
+                    black_box(out)
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

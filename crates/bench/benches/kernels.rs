@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the per-particle hot kernels:
+//! point location / tet walking, the Boris pusher, NTC collisions,
+//! charge deposition and the wire format.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mesh::{locate, NestedMesh, NozzleSpec, Vec3};
+use particles::{Particle, ParticleBuffer, SpeciesTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nested() -> NestedMesh {
+    let spec = NozzleSpec {
+        nd: 8,
+        nz: 16,
+        ..NozzleSpec::default()
+    };
+    let coarse = spec.generate();
+    NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+}
+
+fn filled_buffer(nm: &NestedMesh, n: usize) -> ParticleBuffer {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut buf = ParticleBuffer::new();
+    for k in 0..n {
+        let c = (k * 37) % nm.num_coarse();
+        let p = nm.coarse.tet_pos(c);
+        buf.push(Particle {
+            pos: particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
+            vel: particles::sample::maxwellian(&mut rng, 300.0, particles::MASS_H, Vec3::new(0.0, 0.0, 1e4)),
+            cell: c as u32,
+            species: 0,
+            id: k as u64,
+        });
+    }
+    buf
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let nm = nested();
+    let loc = locate::CellLocator::new(&nm.coarse, 1024);
+    let targets: Vec<Vec3> = (0..64)
+        .map(|k| nm.coarse.centroids[(k * 53) % nm.num_coarse()])
+        .collect();
+    c.bench_function("locate/walk_from_far_seed", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &p in &targets {
+                if locate::locate_walk(&nm.coarse, 0, p, 100_000).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    c.bench_function("locate/bin_locator", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &p in &targets {
+                if loc.locate(&nm.coarse, p).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+fn bench_move(c: &mut Criterion) {
+    let nm = nested();
+    let (table, _, _) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+    c.bench_function("dsmc/move_10k_particles", |b| {
+        b.iter_batched(
+            || (filled_buffer(&nm, 10_000), StdRng::seed_from_u64(1)),
+            |(mut buf, mut rng)| {
+                dsmc::move_particles(&nm.coarse, &mut buf, &table, 1e-7, 300.0, &mut rng);
+                black_box(buf.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_boris(c: &mut Criterion) {
+    let e = Vec3::new(100.0, -50.0, 25.0);
+    let b_field = Vec3::new(0.0, 0.0, 0.05);
+    let qm = particles::QE / particles::MASS_H;
+    c.bench_function("pic/boris_push_electrostatic", |bch| {
+        bch.iter(|| {
+            let mut v = Vec3::new(1e4, 0.0, 0.0);
+            for _ in 0..1000 {
+                v = pic::boris_push(v, black_box(e), Vec3::ZERO, qm, 1e-8);
+            }
+            black_box(v)
+        })
+    });
+    c.bench_function("pic/boris_push_magnetized", |bch| {
+        bch.iter(|| {
+            let mut v = Vec3::new(1e4, 0.0, 0.0);
+            for _ in 0..1000 {
+                v = pic::boris_push(v, black_box(e), b_field, qm, 1e-8);
+            }
+            black_box(v)
+        })
+    });
+}
+
+fn bench_collide(c: &mut Criterion) {
+    let nm = nested();
+    let (table, _, _) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+    c.bench_function("dsmc/ntc_collide_10k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    filled_buffer(&nm, 10_000),
+                    dsmc::CollisionModel::new(nm.num_coarse(), &table, 300.0),
+                    StdRng::seed_from_u64(2),
+                    Vec::new(),
+                )
+            },
+            |(mut buf, mut model, mut rng, mut ev)| {
+                let stats =
+                    model.collide(&nm.coarse, &mut buf, &table, 0, 1e-6, &mut rng, &mut ev);
+                black_box(stats)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_deposit(c: &mut Criterion) {
+    let nm = nested();
+    let (table, _, hp) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+    let mut buf = filled_buffer(&nm, 10_000);
+    for s in buf.species.iter_mut() {
+        *s = hp;
+    }
+    c.bench_function("pic/deposit_10k_ions", |b| {
+        b.iter(|| black_box(pic::deposit_charge(&nm, &buf, &table)))
+    });
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let nm = nested();
+    let buf = filled_buffer(&nm, 10_000);
+    let idx: Vec<usize> = (0..buf.len()).collect();
+    c.bench_function("particles/pack_unpack_10k", |b| {
+        b.iter(|| {
+            let bytes = particles::pack_selected(&buf, &idx);
+            let mut out = ParticleBuffer::new();
+            particles::unpack_all(&bytes, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_locate,
+    bench_move,
+    bench_boris,
+    bench_collide,
+    bench_deposit,
+    bench_pack
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the Poisson path (assembly + CG, the
+//! paper's scalability bottleneck) and the graph partitioner + KM
+//! remapping used by the load balancer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mesh::{NestedMesh, NozzleSpec};
+use partition::{max_weight_assignment, part_graph_kway, Graph, KwayOptions};
+use pic::PoissonSolver;
+use sparse::KrylovOptions;
+
+fn nested() -> NestedMesh {
+    let spec = NozzleSpec {
+        nd: 8,
+        nz: 16,
+        ..NozzleSpec::default()
+    };
+    let coarse = spec.generate();
+    NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let nm = nested();
+    c.bench_function("poisson/assemble", |b| {
+        b.iter(|| black_box(PoissonSolver::new(&nm.fine, KrylovOptions::default())))
+    });
+
+    let mut solver = PoissonSolver::new(
+        &nm.fine,
+        KrylovOptions {
+            rtol: 1e-6,
+            max_iters: 1000,
+        },
+    );
+    let interior = (0..nm.fine.num_nodes())
+        .find(|&i| !solver.is_boundary[i])
+        .unwrap();
+    let mut q = vec![0.0; nm.fine.num_nodes()];
+    q[interior] = 1e-15;
+    c.bench_function("poisson/cg_solve_cold", |b| {
+        b.iter(|| {
+            // perturb so the warm start does not trivialize the solve
+            q[interior] *= -1.0;
+            let (_, stats) = solver.solve(&q);
+            black_box(stats.iterations)
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let nm = nested();
+    let (xadj, adjncy) = nm.coarse.cell_graph();
+    let g = Graph::new(xadj, adjncy, vec![1; nm.num_coarse()]);
+    c.bench_function("partition/kway_16", |b| {
+        b.iter(|| black_box(part_graph_kway(&g, 16, KwayOptions::default())))
+    });
+    c.bench_function("partition/kway_64", |b| {
+        b.iter(|| black_box(part_graph_kway(&g, 64, KwayOptions::default())))
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    for n in [16usize, 64, 128] {
+        let w: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 7 + j * 13) % 100) as i64).collect())
+            .collect();
+        c.bench_function(&format!("hungarian/km_{n}x{n}"), |b| {
+            b.iter(|| black_box(max_weight_assignment(&w)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_poisson, bench_partition, bench_hungarian);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Run every table/figure reproduction in sequence (the full
+//! EXPERIMENTS.md regeneration). Each experiment is also available as
+//! its own binary; this wrapper just shells out to them so their
+//! output stays identical either way.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 11] = [
+    "fig05_imbalance",
+    "fig08_contours",
+    "fig09_validation",
+    "tab02_strong_scaling",
+    "tab03_move_times",
+    "tab04_breakdown",
+    "fig11_cc_vs_dc",
+    "tab05_km_overhead",
+    "fig12_sweep_t",
+    "tab06_sweep_wcell",
+    "fig13_sweep_threshold",
+];
+
+const EXPERIMENTS_EXTRA: [&str; 3] = ["fig14_placement", "fig15_portability", "ablation_autotune"];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let all: Vec<&str> = EXPERIMENTS
+        .iter()
+        .chain(EXPERIMENTS_EXTRA.iter())
+        .copied()
+        .collect();
+    for name in all {
+        println!("\n================ {name} ================");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+    println!("\nall experiments completed; CSVs in {}", bench::out_dir().display());
+}

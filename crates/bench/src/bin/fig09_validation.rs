@@ -1,0 +1,77 @@
+//! Figure 9: H number density along the central axis at four time
+//! points, serial vs parallel, with relative errors.
+//!
+//! Paper result: the serial and parallel axis profiles coincide at
+//! every time point; mean relative errors < ~3%, growing where the
+//! density approaches zero (plume front).
+//!
+//! Statistics note: the paper samples 10⁷+ particles; our scaled runs
+//! carry ~10⁴, so the axis density is averaged over the innermost
+//! radial bin of an r–z histogram (all near-axis cells per z-slab)
+//! rather than single cells, and the expected statistical floor is
+//! ~1/√N per bin.
+
+use coupled::diag::{mean_relative_error, rz_slice};
+use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+
+fn main() {
+    let scale = bench::scale().min(0.3);
+    let base_steps = bench::steps();
+    // four "time points": quarter, half, three-quarter, full run
+    let checkpoints = [
+        base_steps / 4,
+        base_steps / 2,
+        3 * base_steps / 4,
+        base_steps,
+    ];
+
+    let mut csv_rows = Vec::new();
+    for &steps in &checkpoints {
+        let mut run = RunConfig::paper(Dataset::D1, scale, 4);
+        run.steps = steps.max(1);
+        run.rebalance = None;
+        let ser = run_serial(&run);
+        let par = run_threaded(&run);
+
+        let spec = run.sim.nozzle;
+        let mesh = spec.generate();
+        let nz_bins = 8usize;
+        // innermost radial bin = the near-axis density profile
+        let sp = &rz_slice(&mesh, &ser.density_h, spec.radius, spec.length, 2, nz_bins)[0];
+        let pp = &rz_slice(&mesh, &par.density_h, spec.radius, spec.length, 2, nz_bins)[0];
+        let s_prof: Vec<(f64, f64)> = sp
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i as f64 + 0.5) / nz_bins as f64 * spec.length, v))
+            .collect();
+        let p_prof: Vec<(f64, f64)> = pp
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i as f64 + 0.5) / nz_bins as f64 * spec.length, v))
+            .collect();
+        let err = mean_relative_error(&s_prof, &p_prof);
+        let t_us = run.sim.dt_dsmc * steps as f64 * 1e6;
+        println!(
+            "t = {t_us:.2} µs ({steps} steps): mean relative error on axis = {:.1}%",
+            err * 100.0
+        );
+        println!("   z (mm) | serial n_H (1/m3) | parallel n_H (1/m3)");
+        for ((z, s), (_, p)) in s_prof.iter().zip(&p_prof) {
+            println!("   {:6.2} | {s:>17.4e} | {p:>17.4e}", z * 1e3);
+            csv_rows.push(vec![
+                format!("{t_us:.3}"),
+                format!("{:.4}", z * 1e3),
+                format!("{s:.5e}"),
+                format!("{p:.5e}"),
+            ]);
+        }
+    }
+    bench::write_csv(
+        "fig09_validation.csv",
+        &["t_us", "z_mm", "serial", "parallel"],
+        &csv_rows,
+    );
+    println!("\npaper: curves coincide; mean relative errors < 2.97% at 10^7+ particles;");
+    println!("our populations are ~10^3x smaller, so the statistical floor is a few %.");
+    println!("Raise REPRO_SCALE to tighten the comparison.");
+}

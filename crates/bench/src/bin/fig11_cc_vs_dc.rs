@@ -1,0 +1,70 @@
+//! Figure 11: distributed vs centralized communication on the BSCC
+//! profile with Dataset 3 (10× fewer particles than Dataset 2).
+//!
+//! Paper shapes: with few particles the two strategies' total times
+//! are close at ≤384 ranks; at 768 ranks the distributed strategy's
+//! communication cost blows up (more than 2× the centralized cost)
+//! making the whole CC solver ~25% faster than DC.
+
+use bench::{strat_name, write_csv, Experiment};
+use coupled::report::table;
+use coupled::{Dataset, MachineProfile, Phase};
+use vmpi::Strategy;
+
+fn main() {
+    let ranks_ladder = [96usize, 192, 384, 768];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &ranks in &ranks_ladder {
+        let mut row = vec![ranks.to_string()];
+        let mut totals = [0.0f64; 2];
+        for (i, strategy) in [Strategy::Distributed, Strategy::Centralized]
+            .into_iter()
+            .enumerate()
+        {
+            let rep = Experiment {
+                dataset: Dataset::D3,
+                ranks,
+                strategy,
+                profile: MachineProfile::bscc,
+                ..Experiment::default()
+            }
+            .run();
+            let exchange =
+                rep.breakdown[Phase::DsmcExchange] + rep.breakdown[Phase::PicExchange];
+            totals[i] = rep.total_time;
+            row.push(format!("{:.1}", rep.total_time));
+            row.push(format!("{exchange:.2}"));
+            csv_rows.push(vec![
+                strat_name(strategy).to_string(),
+                ranks.to_string(),
+                format!("{:.3}", rep.total_time),
+                format!("{exchange:.4}"),
+            ]);
+            eprintln!(
+                "  {} @ {ranks}: total={:.1}s exchange={exchange:.2}s",
+                strat_name(strategy),
+                rep.total_time
+            );
+        }
+        row.push(format!("{:.2}", totals[0] / totals[1]));
+        rows.push(row);
+    }
+
+    println!("\nFigure 11 — DC vs CC on BSCC, Dataset 3 (fewer particles)");
+    let headers = [
+        "ranks",
+        "DC_total",
+        "DC_exch",
+        "CC_total",
+        "CC_exch",
+        "DC/CC",
+    ];
+    println!("{}", table(&headers, &rows));
+    write_csv(
+        "fig11_cc_vs_dc.csv",
+        &["strategy", "ranks", "total_s", "exchange_s"],
+        &csv_rows,
+    );
+    println!("paper: DC/CC ≈ 1 below 384 ranks, ≈ 1.25 at 768 ranks");
+}

@@ -1,0 +1,37 @@
+//! Figure 12: impact of the rebalance interval `T` (DC strategy,
+//! Dataset 2, Tianhe-2).
+//!
+//! Paper shape: T = 20 slightly beats 10 and 30 up to ~96 ranks;
+//! with more ranks T = 10 pulls slightly ahead; differences are
+//! small (minutes-level totals separated by a few percent).
+
+use bench::{write_csv, Experiment, RANK_LADDER};
+use coupled::report::{secs, table};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for t in [10usize, 20, 30] {
+        let mut row = vec![format!("T={t}")];
+        for &ranks in &RANK_LADDER {
+            let rep = Experiment {
+                ranks,
+                t_interval: t,
+                ..Experiment::default()
+            }
+            .run();
+            row.push(secs(rep.total_time));
+            csv_rows.push(vec![
+                t.to_string(),
+                ranks.to_string(),
+                format!("{:.3}", rep.total_time),
+            ]);
+            eprintln!("  T={t} @ {ranks}: {:.1}s", rep.total_time);
+        }
+        rows.push(row);
+    }
+    println!("\nFigure 12 — total time (s) vs rebalance interval T, DC+LB");
+    let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
+    println!("{}", table(&headers, &rows));
+    write_csv("fig12_sweep_t.csv", &["T", "ranks", "total_s"], &csv_rows);
+}

@@ -1,0 +1,41 @@
+//! Figure 13: impact of the imbalance `Threshold` (DC strategy,
+//! Dataset 2, Tianhe-2).
+//!
+//! Paper shape: a smaller threshold is slightly better at ≤96 ranks
+//! (imbalance is severe there, rebalancing early pays off); with more
+//! ranks the threshold has little effect.
+
+use bench::{write_csv, Experiment, RANK_LADDER};
+use coupled::report::{secs, table};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for threshold in [1.5f64, 2.0, 3.0] {
+        let mut row = vec![format!("Thr={threshold}")];
+        for &ranks in &RANK_LADDER {
+            let rep = Experiment {
+                ranks,
+                threshold,
+                ..Experiment::default()
+            }
+            .run();
+            row.push(secs(rep.total_time));
+            csv_rows.push(vec![
+                threshold.to_string(),
+                ranks.to_string(),
+                format!("{:.3}", rep.total_time),
+            ]);
+            eprintln!("  Thr={threshold} @ {ranks}: {:.1}s", rep.total_time);
+        }
+        rows.push(row);
+    }
+    println!("\nFigure 13 — total time (s) vs Threshold, DC+LB, Dataset 2");
+    let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
+    println!("{}", table(&headers, &rows));
+    write_csv(
+        "fig13_sweep_threshold.csv",
+        &["threshold", "ranks", "total_s"],
+        &csv_rows,
+    );
+}

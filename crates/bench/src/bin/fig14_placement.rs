@@ -1,0 +1,60 @@
+//! Figure 14: impact of MPI rank placement (inner-frame / inner-rack
+//! / inter-rack) for both strategies with LB on Tianhe-2, ≤96 ranks.
+//!
+//! Paper shape: inner-frame is best, but the spread is only ~1–2%,
+//! demonstrating robustness to placement.
+
+use bench::{strat_name, write_csv, Experiment};
+use coupled::report::table;
+use coupled::Placement;
+use vmpi::Strategy;
+
+fn main() {
+    let placements = [
+        (Placement::InnerFrame, "inner-frame"),
+        (Placement::InnerRack, "inner-rack"),
+        (Placement::InterRack, "inter-rack"),
+    ];
+    let ranks_ladder = [24usize, 48, 96];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for strategy in [Strategy::Centralized, Strategy::Distributed] {
+        for (placement, pname) in placements {
+            let mut row = vec![format!("{} {pname}", strat_name(strategy))];
+            for &ranks in &ranks_ladder {
+                let rep = Experiment {
+                    ranks,
+                    strategy,
+                    placement,
+                    ..Experiment::default()
+                }
+                .run();
+                row.push(format!("{:.1}", rep.total_time));
+                csv_rows.push(vec![
+                    strat_name(strategy).to_string(),
+                    pname.to_string(),
+                    ranks.to_string(),
+                    format!("{:.3}", rep.total_time),
+                ]);
+                eprintln!("  {} {pname} @ {ranks}: {:.1}s", strat_name(strategy), rep.total_time);
+            }
+            rows.push(row);
+        }
+    }
+    println!("\nFigure 14 — total time (s) per MPI rank placement, LB on");
+    let headers = ["variant", "24", "48", "96"];
+    println!("{}", table(&headers, &rows));
+    write_csv(
+        "fig14_placement.csv",
+        &["strategy", "placement", "ranks", "total_s"],
+        &csv_rows,
+    );
+
+    // spread check at 96 ranks, DC
+    let dc: Vec<f64> = rows[3..6].iter().map(|r| r[3].parse().unwrap()).collect();
+    let spread = (dc.iter().copied().fold(f64::MIN, f64::max)
+        - dc.iter().copied().fold(f64::MAX, f64::min))
+        / dc[0]
+        * 100.0;
+    println!("DC placement spread at 96 ranks: {spread:.1}% (paper: ~1-2%)");
+}

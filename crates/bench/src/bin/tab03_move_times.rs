@@ -1,0 +1,46 @@
+//! Table III: total execution times of DSMC_Move + PIC_Move with and
+//! without dynamic load balancing (DC strategy, Dataset 2, Tianhe-2).
+//!
+//! Paper shape: with LB the combined move time drops to less than a
+//! third of the unbalanced implementation at small rank counts.
+
+use bench::{write_csv, Experiment, RANK_LADDER};
+use coupled::report::{secs, table};
+use coupled::Phase;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for lb in [true, false] {
+        let name = if lb { "LB" } else { "No-LB" };
+        let mut row = vec![name.to_string()];
+        for &ranks in &RANK_LADDER {
+            let rep = Experiment {
+                ranks,
+                load_balance: lb,
+                ..Experiment::default()
+            }
+            .run();
+            let move_time = rep.breakdown[Phase::DsmcMove] + rep.breakdown[Phase::PicMove];
+            row.push(secs(move_time));
+            csv_rows.push(vec![
+                name.to_string(),
+                ranks.to_string(),
+                format!("{move_time:.3}"),
+            ]);
+            eprintln!("  {name} @ {ranks}: move={move_time:.1}s");
+        }
+        rows.push(row);
+    }
+    println!("\nTable III — DSMC_Move + PIC_Move time (s), DC, Dataset 2, Tianhe-2");
+    let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
+    println!("{}", table(&headers, &rows));
+    write_csv("tab03_move_times.csv", &["variant", "ranks", "move_s"], &csv_rows);
+
+    let with_lb: f64 = rows[0][1].parse().unwrap();
+    let without: f64 = rows[1][1].parse().unwrap();
+    println!(
+        "no-LB / LB move-time ratio at 24 ranks: {:.1}x (paper: >3x)",
+        without / with_lb
+    );
+}

@@ -1,0 +1,61 @@
+//! Table V: overhead of dynamic load balancing with and without the
+//! KM remapping, for both strategies (Dataset 2, Tianhe-2).
+//!
+//! Paper shapes: KM halves the rebalance overhead for CC at small
+//! rank counts; overheads shrink as rank counts grow (fewer
+//! rebalances fire); CC overheads are far larger than DC because the
+//! migration traffic funnels through the root.
+
+use bench::{write_csv, Experiment, RANK_LADDER};
+use coupled::report::table;
+use coupled::Phase;
+use vmpi::Strategy;
+
+fn main() {
+    let variants = [
+        (Strategy::Distributed, true, "DC with KM"),
+        (Strategy::Distributed, false, "DC without KM"),
+        (Strategy::Centralized, true, "CC with KM"),
+        (Strategy::Centralized, false, "CC without KM"),
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (strategy, use_km, name) in variants {
+        let mut row = vec![name.to_string()];
+        for &ranks in &RANK_LADDER {
+            let rep = Experiment {
+                ranks,
+                strategy,
+                use_km,
+                ..Experiment::default()
+            }
+            .run();
+            let overhead = rep.breakdown[Phase::Rebalance];
+            row.push(format!("{overhead:.2}"));
+            csv_rows.push(vec![
+                name.to_string(),
+                ranks.to_string(),
+                format!("{overhead:.4}"),
+                rep.rebalances.to_string(),
+            ]);
+            eprintln!("  {name} @ {ranks}: overhead={overhead:.2}s ({} rebalances)", rep.rebalances);
+        }
+        rows.push(row);
+    }
+    println!("\nTable V — rebalance overhead (s), Dataset 2, Tianhe-2");
+    let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
+    println!("{}", table(&headers, &rows));
+    write_csv(
+        "tab05_km_overhead.csv",
+        &["variant", "ranks", "overhead_s", "rebalances"],
+        &csv_rows,
+    );
+
+    // compare at 48 ranks (the balancer reliably fires there)
+    let cc_km: f64 = rows[2][2].parse().unwrap();
+    let cc_no: f64 = rows[3][2].parse().unwrap();
+    println!(
+        "CC overhead without/with KM at 48 ranks: {:.1}x (paper: ~2x)",
+        cc_no / cc_km.max(1e-9)
+    );
+}

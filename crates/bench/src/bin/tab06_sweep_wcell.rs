@@ -1,0 +1,45 @@
+//! Table VI: total execution times under different `W_cell` values of
+//! the weighted load model (DC strategy, Dataset 2, Tianhe-2).
+//!
+//! Paper shapes: moderate `W_cell` (100–1000) is mildly better than 1;
+//! an extreme value (10000) hurts at small rank counts because cell
+//! weight swamps particle weight and the partitioner stops balancing
+//! particles; effects fade at large rank counts (≤10%).
+
+use bench::{write_csv, Experiment, RANK_LADDER};
+use coupled::report::{secs, table};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for w_cell in [1i64, 10, 100, 1000, 10000] {
+        let mut row = vec![format!("W_cell={w_cell}")];
+        for &ranks in &RANK_LADDER {
+            let rep = Experiment {
+                ranks,
+                w_cell,
+                ..Experiment::default()
+            }
+            .run();
+            row.push(secs(rep.total_time));
+            csv_rows.push(vec![
+                w_cell.to_string(),
+                ranks.to_string(),
+                format!("{:.3}", rep.total_time),
+            ]);
+            eprintln!("  W_cell={w_cell} @ {ranks}: {:.1}s", rep.total_time);
+        }
+        rows.push(row);
+    }
+    println!("\nTable VI — total time (s) vs W_cell, DC+LB, Dataset 2, Tianhe-2");
+    let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
+    println!("{}", table(&headers, &rows));
+    write_csv("tab06_sweep_wcell.csv", &["w_cell", "ranks", "total_s"], &csv_rows);
+
+    let w1: f64 = rows[0][1].parse().unwrap();
+    let w10000: f64 = rows[4][1].parse().unwrap();
+    println!(
+        "W_cell=10000 vs W_cell=1 at 24 ranks: {:+.0}% (paper: ~+16%)",
+        (w10000 - w1) / w1 * 100.0
+    );
+}

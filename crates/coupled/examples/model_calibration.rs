@@ -1,0 +1,24 @@
+//! Model-calibration check: modelled per-phase breakdown with and without the
+//! dynamic load balancer at a small scale.
+use coupled::*;
+use vmpi::Strategy;
+
+fn main() {
+    for lb in [false, true] {
+        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
+        run.sim.seed = 11;
+        run.strategy = Strategy::Distributed;
+        if !lb {
+            run.rebalance = None;
+        } else {
+            run.rebalance = Some(balance::RebalanceConfig {
+                t_interval: 5,
+                ..Default::default()
+            });
+        }
+        let mut cs = ClusterSim::new(&run, MachineProfile::tianhe2());
+        let rep = cs.run(20);
+        println!("LB={lb} total={:.4} rebalances={}", rep.total_time, rep.rebalances);
+        println!("{}", rep.breakdown);
+    }
+}

@@ -1,0 +1,173 @@
+//! Diagnostics used by the validation experiments: axis density
+//! profiles (paper Fig. 9), r–z contour slices (Fig. 8) and per-rank
+//! particle shares (Fig. 5).
+
+use mesh::{locate, TetMesh, Vec3};
+
+/// Sample a per-cell field at `n` evenly spaced points on the
+//  cylinder's central axis. Returns `(z, value)` pairs; points whose
+/// cell cannot be located (outside the voxelised boundary) are
+/// skipped.
+pub fn axis_profile(mesh: &TetMesh, field: &[f64], length: f64, n: usize) -> Vec<(f64, f64)> {
+    assert_eq!(field.len(), mesh.num_cells());
+    let loc = locate::CellLocator::new(mesh, 512);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let z = (k as f64 + 0.5) / n as f64 * length;
+        let p = Vec3::new(0.0, 0.0, z);
+        if let Some(c) = loc.locate(mesh, p) {
+            out.push((z, field[c]));
+        }
+    }
+    out
+}
+
+/// Average a per-cell field onto an `nr × nz` grid in (radius, z) —
+/// a text-friendly rendering of the paper's contour plots.
+pub fn rz_slice(
+    mesh: &TetMesh,
+    field: &[f64],
+    radius: f64,
+    length: f64,
+    nr: usize,
+    nz: usize,
+) -> Vec<Vec<f64>> {
+    assert_eq!(field.len(), mesh.num_cells());
+    let mut acc = vec![vec![0.0f64; nz]; nr];
+    let mut cnt = vec![vec![0u32; nz]; nr];
+    for (c, &v) in field.iter().enumerate() {
+        let p = mesh.centroids[c];
+        let r = (p.x * p.x + p.y * p.y).sqrt();
+        let ir = ((r / radius * nr as f64) as usize).min(nr - 1);
+        let iz = ((p.z / length * nz as f64) as usize).min(nz - 1);
+        acc[ir][iz] += v;
+        cnt[ir][iz] += 1;
+    }
+    for ir in 0..nr {
+        for iz in 0..nz {
+            if cnt[ir][iz] > 0 {
+                acc[ir][iz] /= cnt[ir][iz] as f64;
+            }
+        }
+    }
+    acc
+}
+
+/// Mean relative error between two sampled profiles, ignoring points
+/// where the reference is (near) zero — the same convention the paper
+/// uses ("relative errors become larger when the number density is
+/// close to 0").
+pub fn mean_relative_error(reference: &[(f64, f64)], test: &[(f64, f64)]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for ((_, a), (_, b)) in reference.iter().zip(test) {
+        if a.abs() > 0.0 {
+            sum += (b - a).abs() / a.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Render an r–z slice as a coarse ASCII contour (density scaled to
+/// 0–9, '.' for empty). Rows = radius (axis at top), cols = z.
+pub fn ascii_contour(slice: &[Vec<f64>]) -> String {
+    let max = slice
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let mut s = String::new();
+    for row in slice {
+        for &v in row {
+            if v <= 0.0 {
+                s.push('.');
+            } else {
+                let level = ((v / max) * 9.0).round().min(9.0) as u32;
+                s.push(char::from_digit(level, 10).unwrap());
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::NozzleSpec;
+
+    fn mesh() -> (NozzleSpec, TetMesh) {
+        let spec = NozzleSpec {
+            nd: 6,
+            nz: 10,
+            ..NozzleSpec::default()
+        };
+        let m = spec.generate();
+        (spec, m)
+    }
+
+    #[test]
+    fn axis_profile_tracks_field() {
+        let (spec, m) = mesh();
+        // field = z of centroid: profile should increase along axis
+        let field: Vec<f64> = m.centroids.iter().map(|p| p.z).collect();
+        let prof = axis_profile(&m, &field, spec.length, 12);
+        assert!(prof.len() >= 8, "most axis points must be locatable");
+        // centroid-z of the containing cell tracks z up to one cell
+        // height of jitter (tets within a layer have different
+        // centroids)
+        let hz = spec.hz();
+        for w in prof.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - hz,
+                "profile must track z: {} then {}",
+                w[0].1,
+                w[1].1
+            );
+        }
+        // end-to-end it must rise
+        assert!(prof.last().unwrap().1 > prof.first().unwrap().1);
+    }
+
+    #[test]
+    fn rz_slice_partitions_all_cells() {
+        let (spec, m) = mesh();
+        let field = vec![1.0; m.num_cells()];
+        let slice = rz_slice(&m, &field, spec.radius, spec.length, 4, 8);
+        // every non-empty bin of a constant field holds exactly 1.0
+        for row in &slice {
+            for &v in row {
+                assert!(v == 0.0 || (v - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let a = vec![(0.0, 2.0), (1.0, 4.0)];
+        let b = vec![(0.0, 2.2), (1.0, 3.6)];
+        let e = mean_relative_error(&a, &b);
+        assert!((e - 0.1).abs() < 1e-12);
+        // zero reference points ignored
+        let a0 = vec![(0.0, 0.0), (1.0, 1.0)];
+        let b0 = vec![(0.0, 5.0), (1.0, 1.1)];
+        assert!((mean_relative_error(&a0, &b0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_contour_shape() {
+        let slice = vec![vec![0.0, 0.5, 1.0], vec![0.0, 0.0, 0.25]];
+        let art = ascii_contour(&slice);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        assert!(lines[0].ends_with('9'));
+        assert!(lines[1].starts_with('.'));
+    }
+}

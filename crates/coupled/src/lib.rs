@@ -1,0 +1,21 @@
+//! The coupled DSMC/PIC solver and experiment rig (paper §III, §VI).
+
+pub mod checkpoint;
+pub mod cluster;
+pub mod config;
+pub mod diag;
+pub mod machine;
+pub mod report;
+pub mod state;
+pub mod threadrun;
+pub mod timers;
+pub mod tune;
+
+pub use checkpoint::{checkpoint, restore, CheckpointError};
+pub use cluster::{ClusterReport, ClusterSim, StepTrace};
+pub use config::{Dataset, RunConfig, SimConfig};
+pub use machine::{CostModel, MachineProfile, Placement};
+pub use state::{CoupledState, StepRecord};
+pub use threadrun::{run_serial, run_threaded, ThreadedRunResult};
+pub use timers::{Breakdown, Phase, Stopwatch};
+pub use tune::{tune_balancer, TunePoint, TuneReport};

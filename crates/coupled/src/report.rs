@@ -1,0 +1,93 @@
+//! Minimal table/CSV rendering for the experiment binaries, so every
+//! bench prints rows in the same layout the paper's tables use.
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table. `headers.len()` must match every
+/// row's length.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut width: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (w, cell) in width.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let hline: String = width
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    for (h, w) in headers.iter().zip(&width) {
+        let _ = write!(out, " {h:>w$} |");
+    }
+    out.pop();
+    out.push('\n');
+    out.push_str(&hline);
+    out.push('\n');
+    for row in rows {
+        for (cell, w) in row.iter().zip(&width) {
+            let _ = write!(out, " {cell:>w$} |");
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows as CSV (no quoting — experiment output is numeric).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds with one decimal, like the paper's tables.
+pub fn secs(t: f64) -> String {
+    format!("{t:.1}")
+}
+
+/// Format a speedup/ratio with two decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["procs", "time"],
+            &[
+                vec!["24".into(), "2258.5".into()],
+                vec!["1536".into(), "245.8".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("procs"));
+        assert!(lines[2].contains("2258.5"));
+        // all rows same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Functional parallel runner: every MPI rank is an OS thread.
+//!
+//! This is the *real* parallel implementation (paper §IV): ranks own
+//! disjoint sets of coarse cells, keep only their own particles,
+//! migrate particles with the configured exchange strategy after
+//! every move phase, sum boundary charge with an all-reduce before
+//! the Poisson solve, and re-decompose with the measured-lii dynamic
+//! load balancer. Used for validation (serial vs parallel, paper
+//! Fig. 8/9) and for the threaded benches.
+//!
+//! Determinism note: each rank owns an independent RNG stream, so a
+//! k-rank run is statistically — not bitwise — equivalent to the
+//! serial run, exactly like the paper's MPI solver ("minor
+//! differences ... mainly due to random seeds").
+
+use crate::config::RunConfig;
+use crate::timers::{Breakdown, Phase, Stopwatch};
+use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
+use dsmc::{move_particles_tracked, ChemistryModel, CollisionModel, Injector};
+use mesh::NestedMesh;
+use particles::{pack_selected, unpack_all, ParticleBuffer, SpeciesTable};
+use pic::{accelerate_charged, deposit_charge_into, ElectricField, PoissonSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::KrylovOptions;
+use std::sync::Arc;
+use vmpi::collectives::{allgather_u64, allreduce_sum_f64, broadcast, gather};
+use vmpi::{exchange, run_world, Comm, ThreadComm};
+
+/// Result of a threaded run (as returned by rank 0).
+#[derive(Debug, Clone)]
+pub struct ThreadedRunResult {
+    /// Real H number density per coarse cell at the end of the run.
+    pub density_h: Vec<f64>,
+    /// Final global particle population.
+    pub population: usize,
+    /// Rank 0's measured wall-clock phase breakdown.
+    pub breakdown: Breakdown,
+    /// Total messages sent in the world.
+    pub transactions: u64,
+    /// Total bytes sent in the world.
+    pub bytes: u64,
+    /// Number of rebalances performed.
+    pub rebalances: usize,
+}
+
+/// Run the coupled solver on `run.ranks` OS threads for `run.steps`
+/// DSMC iterations.
+pub fn run_threaded(run: &RunConfig) -> ThreadedRunResult {
+    let spec = run.sim.nozzle;
+    let coarse = spec.generate();
+    let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
+        spec.classify(c, n)
+    }));
+    let (species, h_id, hp_id) =
+        SpeciesTable::hydrogen_plasma(run.sim.weight_h, run.sim.weight_hplus);
+    let species = Arc::new(species);
+
+    // initial unweighted decomposition, shared by all ranks
+    let (xadj, adjncy) = nm.coarse.cell_graph();
+    let g = partition::Graph::new(xadj.clone(), adjncy.clone(), vec![1; nm.num_coarse()]);
+    let owner0 = Arc::new(partition::part_graph_kway(
+        &g,
+        run.ranks,
+        partition::KwayOptions::default(),
+    ));
+    let xadj = Arc::new(xadj);
+    let adjncy = Arc::new(adjncy);
+
+    let results = run_world(run.ranks, |comm| {
+        rank_main(
+            comm,
+            run,
+            &nm,
+            &species,
+            h_id,
+            hp_id,
+            &owner0,
+            &xadj,
+            &adjncy,
+        )
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+/// Split off the particles of `buf` that no longer belong to `me` and
+/// return one packed buffer per destination rank.
+fn pack_emigrants(
+    buf: &mut ParticleBuffer,
+    owner: &[u32],
+    me: usize,
+    ranks: usize,
+) -> Vec<Vec<u8>> {
+    let mut by_dest: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+    for i in 0..buf.len() {
+        let dest = owner[buf.cell[i] as usize] as usize;
+        if dest != me {
+            by_dest[dest].push(i);
+        }
+    }
+    let outgoing: Vec<Vec<u8>> = by_dest
+        .iter()
+        .map(|idx| pack_selected(buf, idx))
+        .collect();
+    // compact: keep only local particles
+    let mut keep = vec![true; buf.len()];
+    for idx in &by_dest {
+        for &i in idx {
+            keep[i] = false;
+        }
+    }
+    buf.compact(&keep);
+    outgoing
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    comm: ThreadComm,
+    run: &RunConfig,
+    nm: &NestedMesh,
+    species: &SpeciesTable,
+    h_id: u8,
+    hp_id: u8,
+    owner0: &[u32],
+    xadj: &[u32],
+    adjncy: &[u32],
+) -> ThreadedRunResult {
+    let me = comm.rank();
+    let ranks = comm.size();
+    let cfg = &run.sim;
+    let mut owner: Vec<u32> = owner0.to_vec();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1 + me as u64));
+
+    let mut buf = ParticleBuffer::new();
+    let mut injector = Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
+    let mut collisions = CollisionModel::new(nm.num_coarse(), species, cfg.t_inject);
+    let chemistry = ChemistryModel::default();
+    let mut poisson = PoissonSolver::new(
+        &nm.fine,
+        KrylovOptions {
+            rtol: 1e-6,
+            max_iters: 1000,
+        },
+    );
+    let mut efield = ElectricField::zeros(&nm.fine);
+    let mut rebalancer = run.rebalance.map(Rebalancer::new);
+    let mut breakdown = Breakdown::new();
+    let mut events = Vec::new();
+    let h_sp = species.get(h_id).clone();
+    let ion_sp = species.get(hp_id).clone();
+
+    for _step in 0..run.steps {
+        let mut sw = Stopwatch::start();
+        let mut step_bd = Breakdown::new();
+
+        // --- Inject (only on ranks owning inlet cells) --------------
+        if let Some(inj) = injector.as_mut() {
+            let h_rate = inj.particles_per_step(
+                cfg.density_h,
+                cfg.v_drift,
+                cfg.dt_dsmc,
+                cfg.weight_h,
+            );
+            let ion_rate = inj.particles_per_step(
+                cfg.density_hplus,
+                cfg.v_drift,
+                cfg.dt_dsmc,
+                cfg.weight_hplus,
+            );
+            inj.inject(
+                &nm.coarse, &mut buf, h_id, &h_sp, h_rate, cfg.v_drift, cfg.t_inject,
+                &mut rng,
+            );
+            inj.inject(
+                &nm.coarse, &mut buf, hp_id, &ion_sp, ion_rate, cfg.v_drift, cfg.t_inject,
+                &mut rng,
+            );
+        }
+        sw.lap(&mut step_bd, Phase::Inject);
+
+        // --- DSMC_Move + DSMC_Exchange -------------------------------
+        move_particles_tracked(
+            &nm.coarse,
+            &mut buf,
+            species,
+            cfg.dt_dsmc,
+            cfg.t_wall,
+            &mut rng,
+            |s| s == h_id,
+            None,
+        );
+        sw.lap(&mut step_bd, Phase::DsmcMove);
+        let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+        for incoming in exchange(&comm, run.strategy, outgoing) {
+            unpack_all(&incoming, &mut buf);
+        }
+        sw.lap(&mut step_bd, Phase::DsmcExchange);
+
+        // --- Colli_React ----------------------------------------------
+        events.clear();
+        collisions.collide(
+            &nm.coarse,
+            &mut buf,
+            species,
+            h_id,
+            cfg.dt_dsmc,
+            &mut rng,
+            &mut events,
+        );
+        if cfg.cross_collisions {
+            dsmc::CrossCollisionModel::default().collide(
+                &nm.coarse,
+                &mut buf,
+                species,
+                h_id,
+                hp_id,
+                cfg.dt_dsmc,
+                &mut rng,
+                &mut events,
+            );
+        }
+        chemistry.react_collisions(&mut buf, species, h_id, hp_id, &events, &mut rng);
+        chemistry.recombine(
+            &nm.coarse,
+            &mut buf,
+            species,
+            h_id,
+            hp_id,
+            cfg.dt_dsmc,
+            &mut rng,
+        );
+        sw.lap(&mut step_bd, Phase::ColliReact);
+
+        // --- PIC substeps ----------------------------------------------
+        for _ in 0..cfg.pic_per_dsmc {
+            accelerate_charged(nm, &mut buf, species, &efield, cfg.b_field, cfg.dt_pic());
+            move_particles_tracked(
+                &nm.coarse,
+                &mut buf,
+                species,
+                cfg.dt_pic(),
+                cfg.t_wall,
+                &mut rng,
+                |s| s == hp_id,
+                None,
+            );
+            sw.lap(&mut step_bd, Phase::PicMove);
+            let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+            for incoming in exchange(&comm, run.strategy, outgoing) {
+                unpack_all(&incoming, &mut buf);
+            }
+            sw.lap(&mut step_bd, Phase::PicExchange);
+
+            // deposit local charge, sum boundary/node charge across
+            // ranks (paper §IV-C reduction), solve replicated
+            let mut node_charge = vec![0.0f64; nm.fine.num_nodes()];
+            deposit_charge_into(nm, &buf, species, &mut node_charge);
+            let node_charge = allreduce_sum_f64(&comm, &node_charge);
+            let (phi, _stats) = poisson.solve(&node_charge);
+            efield = ElectricField::from_potential(&nm.fine, phi);
+            sw.lap(&mut step_bd, Phase::PoissonSolve);
+        }
+
+        // --- Reindex: exclusive scan of per-rank counts ----------------
+        let counts = allgather_u64(&comm, buf.len() as u64);
+        let start: u64 = counts[..me].iter().sum();
+        buf.renumber(start);
+        sw.lap(&mut step_bd, Phase::Reindex);
+
+        // --- Rebalance (measured lii, Algorithm 1) ---------------------
+        if rebalancer.is_some() {
+            // share measured times: (total, migration, poisson) triples
+            let mine = [
+                step_bd.total(),
+                step_bd.migration(),
+                step_bd.poisson(),
+            ];
+            let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let gathered = gather(&comm, 0, bytes);
+            let packed = if me == 0 {
+                let mut out = Vec::new();
+                for b in gathered.unwrap() {
+                    out.extend_from_slice(&b);
+                }
+                Some(out)
+            } else {
+                None
+            };
+            let all = broadcast(&comm, 0, packed);
+            let times: Vec<RankTimes> = all
+                .chunks_exact(24)
+                .map(|c| RankTimes {
+                    total: f64::from_le_bytes(c[0..8].try_into().unwrap()),
+                    migration: f64::from_le_bytes(c[8..16].try_into().unwrap()),
+                    poisson: f64::from_le_bytes(c[16..24].try_into().unwrap()),
+                })
+                .collect();
+            let lii = load_imbalance_indicator(&times);
+
+            // global per-cell counts (needed by the load model)
+            let nc = nm.num_coarse();
+            let mut local = vec![0.0f64; 2 * nc];
+            for i in 0..buf.len() {
+                let c = buf.cell[i] as usize;
+                if buf.species[i] == h_id {
+                    local[c] += 1.0;
+                } else {
+                    local[nc + c] += 1.0;
+                }
+            }
+            let global = allreduce_sum_f64(&comm, &local);
+            let neutral: Vec<u64> = global[..nc].iter().map(|&v| v as u64).collect();
+            let charged: Vec<u64> = global[nc..].iter().map(|&v| v as u64).collect();
+
+            // every rank runs the (deterministic) algorithm on the
+            // same inputs => identical new ownership everywhere
+            let rb = rebalancer.as_mut().unwrap();
+            if let RebalanceOutcome::Remapped { new_owner, .. } =
+                rb.step(lii, xadj, adjncy, &neutral, &charged, &owner, ranks)
+            {
+                owner = new_owner;
+                injector =
+                    Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
+                let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+                for incoming in exchange(&comm, run.strategy, outgoing) {
+                    unpack_all(&incoming, &mut buf);
+                }
+            }
+            sw.lap(&mut step_bd, Phase::Rebalance);
+        }
+
+        breakdown += step_bd;
+    }
+
+    // --- final diagnostics: global H density per coarse cell ---------
+    let nc = nm.num_coarse();
+    let mut counts = vec![0.0f64; nc];
+    for i in 0..buf.len() {
+        if buf.species[i] == h_id {
+            counts[buf.cell[i] as usize] += 1.0;
+        }
+    }
+    let counts = allreduce_sum_f64(&comm, &counts);
+    let density_h: Vec<f64> = counts
+        .iter()
+        .zip(&nm.coarse.volumes)
+        .map(|(&c, &v)| c * species.get(h_id).weight / v)
+        .collect();
+    let pops = allgather_u64(&comm, buf.len() as u64);
+
+    ThreadedRunResult {
+        density_h,
+        population: pops.iter().sum::<u64>() as usize,
+        breakdown,
+        transactions: comm.stats().transactions(),
+        bytes: comm.stats().bytes(),
+        rebalances: rebalancer.map_or(0, |r| r.rebalance_count),
+    }
+}
+
+/// Reference serial run of the same configuration (the paper's
+/// validated serial baseline), returning the same diagnostics.
+pub fn run_serial(run: &RunConfig) -> ThreadedRunResult {
+    let mut st = crate::state::CoupledState::new(run.sim.clone());
+    for _ in 0..run.steps {
+        st.dsmc_step();
+    }
+    let (neutral, _) = st.counts_per_cell();
+    let w = st.species.get(st.h_id).weight;
+    let density_h: Vec<f64> = neutral
+        .iter()
+        .zip(&st.nm.coarse.volumes)
+        .map(|(&c, &v)| c as f64 * w / v)
+        .collect();
+    ThreadedRunResult {
+        density_h,
+        population: st.particles.len(),
+        breakdown: Breakdown::new(),
+        transactions: 0,
+        bytes: 0,
+        rebalances: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Dataset, RunConfig};
+    use vmpi::Strategy;
+
+    fn quick_run(ranks: usize, strategy: Strategy, lb: bool) -> ThreadedRunResult {
+        let mut run = RunConfig::paper(Dataset::D1, 0.02, ranks);
+        run.sim.seed = 5;
+        run.steps = 12;
+        run.strategy = strategy;
+        if !lb {
+            run.rebalance = None;
+        } else {
+            run.rebalance = Some(balance::RebalanceConfig {
+                t_interval: 4,
+                ..Default::default()
+            });
+        }
+        run_threaded(&run)
+    }
+
+    #[test]
+    fn threaded_run_produces_particles() {
+        let r = quick_run(3, Strategy::Distributed, false);
+        assert!(r.population > 0);
+        assert!(r.transactions > 0, "ranks must communicate");
+        assert!(r.density_h.iter().any(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn strategies_agree_statistically() {
+        let dc = quick_run(3, Strategy::Distributed, false);
+        let cc = quick_run(3, Strategy::Centralized, false);
+        // same seeds, same physics: populations must be close
+        let diff = (dc.population as f64 - cc.population as f64).abs()
+            / dc.population.max(1) as f64;
+        assert!(diff < 0.15, "dc {} vs cc {}", dc.population, cc.population);
+    }
+
+    #[test]
+    fn parallel_matches_serial_density() {
+        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
+        run.sim.seed = 5;
+        run.steps = 16;
+        run.rebalance = None;
+        let par = run_threaded(&run);
+        let ser = run_serial(&run);
+        // total inventory within statistical scatter
+        let tot_par: f64 = par.density_h.iter().sum();
+        let tot_ser: f64 = ser.density_h.iter().sum();
+        let rel = (tot_par - tot_ser).abs() / tot_ser.max(1e-300);
+        assert!(rel < 0.2, "parallel {tot_par} vs serial {tot_ser}");
+    }
+
+    #[test]
+    fn rebalancing_fires_in_threaded_mode() {
+        let r = quick_run(4, Strategy::Distributed, true);
+        assert!(r.rebalances >= 1, "threaded balancer never fired");
+        assert!(r.population > 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Bird NTC collision-pair selection with the VHS interaction model
+//! (the paper's *Colli_React* component, collision half; Bird 1994).
+//!
+//! Per coarse cell, the no-time-counter scheme draws
+//! `½ N (N−1) F_N (σg)_max Δt / V_c` candidate pairs and accepts each
+//! with probability `σ(g)·g / (σg)_max`; accepted pairs scatter
+//! isotropically (VHS), conserving momentum and energy exactly.
+
+use mesh::TetMesh;
+use particles::{ParticleBuffer, SpeciesTable};
+use rand::Rng;
+
+/// Persistent per-cell state of the NTC scheme (the running
+/// `(σg)_max` estimate) plus scratch buffers.
+#[derive(Debug, Clone)]
+pub struct CollisionModel {
+    /// Running maximum of σ(g)·g per cell (m³/s).
+    sigma_g_max: Vec<f64>,
+    /// Scratch: particle indices per cell.
+    cell_lists: Vec<Vec<u32>>,
+}
+
+/// Outcome of one collision pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollideStats {
+    /// Candidate pairs drawn.
+    pub candidates: usize,
+    /// Pairs that actually collided.
+    pub collisions: usize,
+}
+
+/// An accepted collision: buffer indices of the two partners and
+/// their post-collision relative speed (used by the chemistry model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionEvent {
+    pub i: u32,
+    pub j: u32,
+    /// Relative speed at impact (m/s).
+    pub rel_speed: f64,
+}
+
+impl CollisionModel {
+    /// Initialise for `num_cells` cells with an initial `(σg)_max`
+    /// guess derived from the species' thermal speed at `t_init`.
+    pub fn new(num_cells: usize, species: &SpeciesTable, t_init: f64) -> Self {
+        let guess = species
+            .iter()
+            .map(|(_, s)| s.vhs_cross_section(s.thermal_speed(t_init)) * s.thermal_speed(t_init))
+            .fold(0.0f64, f64::max)
+            .max(1e-20);
+        CollisionModel {
+            sigma_g_max: vec![guess; num_cells],
+            cell_lists: vec![Vec::new(); num_cells],
+        }
+    }
+
+    /// Perform one NTC collision pass over the *neutral* particles of
+    /// `buf` (species id `neutral_id`). Returns statistics and pushes
+    /// every accepted collision into `events` for the chemistry step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collide<R: Rng>(
+        &mut self,
+        mesh: &TetMesh,
+        buf: &mut ParticleBuffer,
+        species: &SpeciesTable,
+        neutral_id: u8,
+        dt: f64,
+        rng: &mut R,
+        events: &mut Vec<CollisionEvent>,
+    ) -> CollideStats {
+        let sp = species.get(neutral_id);
+        let f_n = sp.weight;
+        let mass = sp.mass;
+
+        // Bucket neutral particles by cell.
+        for l in self.cell_lists.iter_mut() {
+            l.clear();
+        }
+        for i in 0..buf.len() {
+            if buf.species[i] == neutral_id {
+                self.cell_lists[buf.cell[i] as usize].push(i as u32);
+            }
+        }
+
+        let mut stats = CollideStats::default();
+        for (c, list) in self.cell_lists.iter().enumerate() {
+            let n = list.len();
+            if n < 2 {
+                continue;
+            }
+            let vc = mesh.volumes[c];
+            let sgm = self.sigma_g_max[c];
+            let n_cand =
+                0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
+            // probabilistic rounding of the fractional candidate count
+            let n_cand = n_cand.floor() as usize
+                + usize::from(rng.gen::<f64>() < n_cand.fract());
+
+            for _ in 0..n_cand {
+                stats.candidates += 1;
+                let a = list[rng.gen_range(0..n)] as usize;
+                let b = loop {
+                    let b = list[rng.gen_range(0..n)] as usize;
+                    if b != a {
+                        break b;
+                    }
+                };
+                let g_vec = buf.vel[a] - buf.vel[b];
+                let g = g_vec.norm();
+                let sigma_g = sp.vhs_cross_section(g) * g;
+                if sigma_g > self.sigma_g_max[c] {
+                    self.sigma_g_max[c] = sigma_g; // adaptive max
+                }
+                if rng.gen::<f64>() * sgm < sigma_g {
+                    stats.collisions += 1;
+                    // VHS isotropic scattering, equal masses here but
+                    // written for the general two-mass case
+                    let m1 = mass;
+                    let m2 = mass;
+                    let cm = (buf.vel[a] * m1 + buf.vel[b] * m2) / (m1 + m2);
+                    let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
+                    let sin_t = (1.0 - cos_t * cos_t).sqrt();
+                    let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                    let dir = mesh::Vec3::new(
+                        sin_t * phi.cos(),
+                        sin_t * phi.sin(),
+                        cos_t,
+                    );
+                    buf.vel[a] = cm + dir * (g * m2 / (m1 + m2));
+                    buf.vel[b] = cm - dir * (g * m1 / (m1 + m2));
+                    events.push(CollisionEvent {
+                        i: a as u32,
+                        j: b as u32,
+                        rel_speed: g,
+                    });
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::{NozzleSpec, Vec3};
+    use particles::Particle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(weight: f64) -> (TetMesh, SpeciesTable, ParticleBuffer) {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (table, h, _) = SpeciesTable::hydrogen_plasma(weight, weight);
+        let mut buf = ParticleBuffer::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        // fill cell 0 with thermal particles
+        for k in 0..200u64 {
+            let pos = particles::sample::point_in_tet(
+                &mut rng,
+                m.tet_pos(0)[0],
+                m.tet_pos(0)[1],
+                m.tet_pos(0)[2],
+                m.tet_pos(0)[3],
+            );
+            buf.push(Particle {
+                pos,
+                vel: particles::sample::maxwellian(&mut rng, 300.0, particles::MASS_H, Vec3::ZERO),
+                cell: 0,
+                species: h,
+                id: k,
+            });
+        }
+        (m, table, buf)
+    }
+
+    #[test]
+    fn momentum_and_energy_conserved() {
+        let (m, table, mut buf) = setup(1e12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+        let mom_before: Vec3 = buf.iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
+        let en_before: f64 = buf.iter().map(|p| p.vel.norm2()).sum();
+        let mut events = Vec::new();
+        let stats = model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut events);
+        assert!(stats.collisions > 0, "no collisions happened: {stats:?}");
+        let mom_after: Vec3 = buf.iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
+        let en_after: f64 = buf.iter().map(|p| p.vel.norm2()).sum();
+        assert!((mom_before - mom_after).norm() < 1e-6 * mom_before.norm().max(1.0));
+        assert!((en_before - en_after).abs() < 1e-9 * en_before);
+    }
+
+    #[test]
+    fn collision_count_scales_with_dt() {
+        let (m, table, buf) = setup(1e12);
+        let mut total_short = 0usize;
+        let mut total_long = 0usize;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = buf.clone();
+            let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+            let mut ev = Vec::new();
+            total_short += model
+                .collide(&m, &mut b, &table, 0, 1e-6, &mut rng, &mut ev)
+                .candidates;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = buf.clone();
+            let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+            total_long += model
+                .collide(&m, &mut b, &table, 0, 4e-6, &mut rng, &mut ev)
+                .candidates;
+        }
+        // 4x dt => ~4x candidates
+        let ratio = total_long as f64 / total_short.max(1) as f64;
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_collisions_with_single_particle_cells() {
+        let (m, table, _) = setup(1e12);
+        let mut buf = ParticleBuffer::new();
+        buf.push(Particle {
+            pos: m.centroids[0],
+            vel: Vec3::new(100.0, 0.0, 0.0),
+            cell: 0,
+            species: 0,
+            id: 0,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+        let mut ev = Vec::new();
+        let stats = model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev);
+        assert_eq!(stats, CollideStats::default());
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn charged_particles_ignored_by_neutral_collisions() {
+        let (m, table, mut buf) = setup(1e12);
+        // turn every particle into an ion
+        for s in buf.species.iter_mut() {
+            *s = 1;
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+        let mut ev = Vec::new();
+        let stats = model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev);
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn events_reference_valid_particles() {
+        let (m, table, mut buf) = setup(1e12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+        let mut ev = Vec::new();
+        model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev);
+        for e in &ev {
+            assert!((e.i as usize) < buf.len());
+            assert!((e.j as usize) < buf.len());
+            assert_ne!(e.i, e.j);
+            assert!(e.rel_speed >= 0.0);
+        }
+    }
+}

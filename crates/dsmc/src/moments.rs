@@ -1,0 +1,157 @@
+//! Cell-centred flow-field moments: number density, bulk velocity and
+//! temperature.
+//!
+//! Used for validation output (the paper's Fig. 8 density contours and
+//! Fig. 9 axis profiles) and for diagnostics.
+
+use mesh::{TetMesh, Vec3};
+use particles::{ParticleBuffer, SpeciesTable, KB};
+
+/// Per-cell moments of one species.
+#[derive(Debug, Clone)]
+pub struct CellMoments {
+    /// Simulation-particle counts per cell.
+    pub count: Vec<u64>,
+    /// Real number density per cell (1/m³).
+    pub density: Vec<f64>,
+    /// Bulk (mean) velocity per cell (m/s).
+    pub velocity: Vec<Vec3>,
+    /// Translational temperature per cell (K); 0 for cells with < 2
+    /// particles.
+    pub temperature: Vec<f64>,
+}
+
+/// Compute moments of species `species_id` on the coarse grid.
+pub fn moments(
+    mesh: &TetMesh,
+    buf: &ParticleBuffer,
+    species: &SpeciesTable,
+    species_id: u8,
+) -> CellMoments {
+    let nc = mesh.num_cells();
+    let sp = species.get(species_id);
+    let mut count = vec![0u64; nc];
+    let mut vsum = vec![Vec3::ZERO; nc];
+    let mut v2sum = vec![0.0f64; nc];
+
+    for i in 0..buf.len() {
+        if buf.species[i] != species_id {
+            continue;
+        }
+        let c = buf.cell[i] as usize;
+        count[c] += 1;
+        vsum[c] += buf.vel[i];
+        v2sum[c] += buf.vel[i].norm2();
+    }
+
+    let mut density = vec![0.0; nc];
+    let mut velocity = vec![Vec3::ZERO; nc];
+    let mut temperature = vec![0.0; nc];
+    for c in 0..nc {
+        let n = count[c];
+        if n == 0 {
+            continue;
+        }
+        density[c] = n as f64 * sp.weight / mesh.volumes[c];
+        let vbar = vsum[c] / n as f64;
+        velocity[c] = vbar;
+        if n >= 2 {
+            // <c²> = <v²> − |<v>|², T = m <c²> / (3 k_B)
+            let c2 = (v2sum[c] / n as f64 - vbar.norm2()).max(0.0);
+            temperature[c] = sp.mass * c2 / (3.0 * KB);
+        }
+    }
+
+    CellMoments {
+        count,
+        density,
+        velocity,
+        temperature,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::NozzleSpec;
+    use particles::sample::maxwellian;
+    use particles::Particle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn density_counts_weights_and_volume() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (table, h, _) = SpeciesTable::hydrogen_plasma(1e10, 1.0);
+        let mut buf = ParticleBuffer::new();
+        for k in 0..7u64 {
+            buf.push(Particle {
+                pos: m.centroids[3],
+                vel: Vec3::ZERO,
+                cell: 3,
+                species: h,
+                id: k,
+            });
+        }
+        let mom = moments(&m, &buf, &table, h);
+        assert_eq!(mom.count[3], 7);
+        let expect = 7.0 * 1e10 / m.volumes[3];
+        assert!((mom.density[3] - expect).abs() < 1e-6 * expect);
+        assert_eq!(mom.count[0], 0);
+        assert_eq!(mom.density[0], 0.0);
+    }
+
+    #[test]
+    fn temperature_recovers_maxwellian() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (table, h, _) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = ParticleBuffer::new();
+        let drift = Vec3::new(0.0, 0.0, 1e4);
+        for k in 0..5000u64 {
+            buf.push(Particle {
+                pos: m.centroids[0],
+                vel: maxwellian(&mut rng, 450.0, particles::MASS_H, drift),
+                cell: 0,
+                species: h,
+                id: k,
+            });
+        }
+        let mom = moments(&m, &buf, &table, h);
+        assert!((mom.temperature[0] - 450.0).abs() < 20.0, "{}", mom.temperature[0]);
+        assert!((mom.velocity[0].z - 1e4).abs() < 100.0);
+    }
+
+    #[test]
+    fn species_filtered() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (table, h, hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let mut buf = ParticleBuffer::new();
+        buf.push(Particle {
+            pos: m.centroids[0],
+            vel: Vec3::ZERO,
+            cell: 0,
+            species: hp,
+            id: 0,
+        });
+        let mom = moments(&m, &buf, &table, h);
+        assert_eq!(mom.count[0], 0);
+        let mom_ion = moments(&m, &buf, &table, hp);
+        assert_eq!(mom_ion.count[0], 1);
+    }
+}

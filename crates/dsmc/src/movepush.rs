@@ -1,0 +1,288 @@
+//! Ballistic particle movement with exact cell tracking (the paper's
+//! *DSMC_Move* component; also reused by *PIC_Move* for the advection
+//! half of the charged-particle push).
+//!
+//! Particles move in straight lines within a timestep, crossing cell
+//! faces (possibly many), reflecting diffusely off walls at the wall
+//! temperature, and leaving the domain through the outlet (or back
+//! through the inlet).
+
+use mesh::{first_exit, BoundaryKind, FaceTag, TetMesh, Vec3};
+use particles::sample::{flux_normal_speed, maxwellian};
+use particles::{ParticleBuffer, SpeciesTable};
+use rand::Rng;
+
+/// Statistics of one move pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    /// Particles that left through the outlet or inlet and were
+    /// removed.
+    pub exited: usize,
+    /// Diffuse wall reflections performed.
+    pub wall_hits: usize,
+    /// Total cell-boundary crossings.
+    pub crossings: usize,
+}
+
+/// Fraction of the cell size used to nudge particles off faces after
+/// a crossing (avoids re-intersecting the same plane).
+const NUDGE: f64 = 1e-9;
+
+/// Move every particle in `buf` for `dt`, updating positions and cell
+/// ids in place and removing exited particles (order NOT preserved —
+/// removal is swap-based).
+///
+/// `wall_temp` drives diffuse reflection. Deterministic given `rng`.
+pub fn move_particles<R: Rng>(
+    mesh: &TetMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    dt: f64,
+    wall_temp: f64,
+    rng: &mut R,
+) -> MoveStats {
+    move_particles_filtered(mesh, buf, species, dt, wall_temp, rng, |_| true)
+}
+
+/// As [`move_particles`], but only particles whose species id
+/// satisfies `pred` are moved (PIC timesteps move charged particles
+/// only; DSMC timesteps move neutrals — paper §III-B).
+pub fn move_particles_filtered<R: Rng, P: Fn(u8) -> bool>(
+    mesh: &TetMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    dt: f64,
+    wall_temp: f64,
+    rng: &mut R,
+    pred: P,
+) -> MoveStats {
+    move_particles_tracked(mesh, buf, species, dt, wall_temp, rng, pred, None)
+}
+
+/// Sentinel `new_cell` value in a transition record meaning "left the
+/// domain".
+pub const EXITED: u32 = u32::MAX;
+
+/// Full-featured mover: as [`move_particles_filtered`], additionally
+/// appending one `(old_cell, new_cell)` record per moved particle to
+/// `transitions` (with `new_cell == EXITED` for particles that left).
+/// The cluster driver uses these records to attribute per-rank work
+/// and to build the migration byte matrix for the exchange cost
+/// model.
+#[allow(clippy::too_many_arguments)]
+pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
+    mesh: &TetMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    dt: f64,
+    wall_temp: f64,
+    rng: &mut R,
+    pred: P,
+    mut transitions: Option<&mut Vec<(u32, u32)>>,
+) -> MoveStats {
+    let mut stats = MoveStats::default();
+    let nudge_len = mesh.mean_cell_size() * NUDGE;
+
+    let mut i = 0usize;
+    'particles: while i < buf.len() {
+        if !pred(buf.species[i]) {
+            i += 1;
+            continue;
+        }
+        let old_cell = buf.cell[i];
+        let mut r = buf.pos[i];
+        let mut v = buf.vel[i];
+        let mut cell = buf.cell[i] as usize;
+        let mut remaining = dt;
+
+        // A particle can cross many faces per step; cap the loop to
+        // guard against degenerate geometry.
+        for _ in 0..10_000 {
+            if remaining <= 0.0 {
+                break;
+            }
+            match first_exit(mesh, cell, r, v, remaining) {
+                None => {
+                    r += v * remaining;
+                    remaining = 0.0;
+                }
+                Some((tc, face)) => {
+                    r += v * tc;
+                    remaining -= tc;
+                    stats.crossings += 1;
+                    match mesh.neighbors[cell][face] {
+                        FaceTag::Interior(o) => {
+                            cell = o as usize;
+                            // nudge across the face so the new cell's
+                            // containment holds numerically
+                            r += v.normalized() * nudge_len;
+                        }
+                        FaceTag::Boundary(BoundaryKind::Wall) => {
+                            stats.wall_hits += 1;
+                            let (_fc, n) = mesh.face_centroid_normal(cell, face);
+                            let inward = -n.normalized();
+                            let sp = species.get(buf.species[i]);
+                            // diffuse reflection: fresh Maxwellian at
+                            // wall temperature, with a flux-weighted
+                            // inward normal component
+                            let mut vnew = maxwellian(rng, wall_temp, sp.mass, Vec3::ZERO);
+                            let vn = vnew.dot(inward);
+                            vnew -= inward * vn; // tangential part
+                            vnew += inward * flux_normal_speed(rng, wall_temp, sp.mass);
+                            v = vnew;
+                            r += inward * nudge_len;
+                        }
+                        FaceTag::Boundary(_) => {
+                            // outlet (or inlet, flying backwards):
+                            // particle leaves the domain
+                            stats.exited += 1;
+                            buf.swap_remove(i);
+                            if let Some(tr) = transitions.as_deref_mut() {
+                                tr.push((old_cell, EXITED));
+                            }
+                            continue 'particles;
+                        }
+                    }
+                }
+            }
+        }
+
+        buf.pos[i] = r;
+        buf.vel[i] = v;
+        buf.cell[i] = cell as u32;
+        if let Some(tr) = transitions.as_deref_mut() {
+            tr.push((old_cell, cell as u32));
+        }
+        i += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::NozzleSpec;
+    use particles::Particle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TetMesh, SpeciesTable) {
+        let m = NozzleSpec {
+            nd: 6,
+            nz: 10,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (table, _h, _hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        (m, table)
+    }
+
+    fn particle_at(m: &TetMesh, cell: usize, vel: Vec3) -> Particle {
+        Particle {
+            pos: m.centroids[cell],
+            vel,
+            cell: cell as u32,
+            species: 0,
+            id: 1,
+        }
+    }
+
+    #[test]
+    fn stationary_particles_stay_put() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = ParticleBuffer::new();
+        buf.push(particle_at(&m, 0, Vec3::ZERO));
+        let before = buf.get(0);
+        let stats = move_particles(&m, &mut buf, &sp, 1e-6, 300.0, &mut rng);
+        assert_eq!(stats, MoveStats::default());
+        assert_eq!(buf.get(0), before);
+    }
+
+    #[test]
+    fn slow_particle_moves_within_cell() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = ParticleBuffer::new();
+        let cell = m.num_cells() / 2;
+        let v = Vec3::new(0.0, 0.0, 1.0); // 1 m/s: moves 1e-9 m in 1 ns
+        buf.push(particle_at(&m, cell, v));
+        move_particles(&m, &mut buf, &sp, 1e-9, 300.0, &mut rng);
+        let p = buf.get(0);
+        assert_eq!(p.cell as usize, cell);
+        assert!((p.pos.z - (m.centroids[cell].z + 1e-9)).abs() < 1e-15);
+        assert!(m.contains(cell, p.pos, 1e-9));
+    }
+
+    #[test]
+    fn fast_particle_exits_through_outlet() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = ParticleBuffer::new();
+        // near-axis cell, huge +z velocity: must fly out the outlet
+        let cell = mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0012, 0.001)).unwrap();
+        buf.push(particle_at(&m, cell, Vec3::new(0.0, 0.0, 1e6)));
+        let stats = move_particles(&m, &mut buf, &sp, 1e-3, 300.0, &mut rng);
+        assert_eq!(stats.exited, 1);
+        assert!(buf.is_empty());
+        assert!(stats.crossings > 1);
+    }
+
+    #[test]
+    fn wall_hit_reflects_and_keeps_particle_inside() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = ParticleBuffer::new();
+        // radial velocity towards the cylinder wall from mid-domain
+        let cell = mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0, 0.01)).unwrap();
+        buf.push(particle_at(&m, cell, Vec3::new(5e4, 0.0, 0.0)));
+        let stats = move_particles(&m, &mut buf, &sp, 2e-7, 300.0, &mut rng);
+        assert!(stats.wall_hits >= 1, "{stats:?}");
+        assert_eq!(buf.len(), 1);
+        let p = buf.get(0);
+        assert!(
+            m.contains(p.cell as usize, p.pos, 1e-6),
+            "reflected particle must stay in the domain"
+        );
+        // diffuse reflection thermalizes: speed should be of thermal
+        // order, far below the 50 km/s impact speed
+        assert!(p.vel.norm() < 2e4, "{}", p.vel.norm());
+    }
+
+    #[test]
+    fn cell_ids_track_positions() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = ParticleBuffer::new();
+        for k in 0..50 {
+            let cell = (k * 37) % m.num_cells();
+            let v = Vec3::new(
+                (k as f64 - 25.0) * 300.0,
+                (k as f64 % 7.0 - 3.0) * 500.0,
+                8e3,
+            );
+            buf.push(particle_at(&m, cell, v));
+        }
+        move_particles(&m, &mut buf, &sp, 2e-7, 300.0, &mut rng);
+        for p in buf.iter() {
+            assert!(
+                m.contains(p.cell as usize, p.pos, 1e-5),
+                "cell id out of sync with position"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_preserved_in_pure_interior_flight() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = ParticleBuffer::new();
+        let cell = mesh::locate::locate_brute(&m, Vec3::new(0.0, 0.0012, 0.005)).unwrap();
+        let v = Vec3::new(0.0, 0.0, 9e3);
+        buf.push(particle_at(&m, cell, v));
+        let stats = move_particles(&m, &mut buf, &sp, 1e-7, 300.0, &mut rng);
+        assert_eq!(stats.wall_hits, 0);
+        // velocity unchanged by pure advection
+        assert_eq!(buf.get(0).vel, v);
+    }
+}

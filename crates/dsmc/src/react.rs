@@ -1,0 +1,284 @@
+//! Chemical reactions (the paper's *Colli_React* component, reaction
+//! half): dissociation/ionisation of H and recombination of H⁺
+//! (paper §VI-C: "we are mainly concerned about the dissociation of H
+//! and the recombination of H⁺").
+//!
+//! Model (documented substitution — see DESIGN.md): electrons are not
+//! tracked as particles (quasi-neutral background), so
+//! * **dissociation/ionisation**: an accepted H–H collision whose
+//!   relative kinetic energy `½ μ g²` exceeds the activation energy
+//!   converts one partner to H⁺ with a steric probability;
+//! * **recombination**: each H⁺ reverts to H with probability
+//!   `1 − exp(−k_r · n_i · Δt)` where `n_i` is the local real ion
+//!   density (three-body recombination with the implicit electron
+//!   fluid, quasi-neutrality `n_e ≈ n_i`).
+
+use mesh::TetMesh;
+use particles::{ParticleBuffer, SpeciesTable};
+use rand::Rng;
+
+use crate::collide::CollisionEvent;
+
+/// Reaction-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChemistryModel {
+    /// Activation energy for the dissociation channel (J).
+    pub e_activation: f64,
+    /// Steric factor: probability of reaction once the energy
+    /// threshold is met.
+    pub p_steric: f64,
+    /// Recombination rate coefficient `k_r` (m³/s).
+    pub k_recomb: f64,
+}
+
+impl Default for ChemistryModel {
+    fn default() -> Self {
+        ChemistryModel {
+            // Threshold chosen so the plume's hot core (10 km/s drift,
+            // collisional thermalisation) actually exercises the
+            // channel at simulation scale: ~0.05 eV.
+            e_activation: 8.0e-21,
+            p_steric: 0.3,
+            k_recomb: 1.0e-16,
+        }
+    }
+}
+
+/// Counts of reactions performed in one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactStats {
+    pub dissociations: usize,
+    pub recombinations: usize,
+}
+
+impl ChemistryModel {
+    /// Process the collision events of this step: H–H pairs above the
+    /// activation energy dissociate (one partner becomes H⁺).
+    pub fn react_collisions<R: Rng>(
+        &self,
+        buf: &mut ParticleBuffer,
+        species: &SpeciesTable,
+        h_id: u8,
+        hplus_id: u8,
+        events: &[CollisionEvent],
+        rng: &mut R,
+    ) -> ReactStats {
+        let m_h = species.get(h_id).mass;
+        let mu = m_h / 2.0; // reduced mass of identical partners
+        let mut stats = ReactStats::default();
+        for e in events {
+            let (i, j) = (e.i as usize, e.j as usize);
+            if buf.species[i] != h_id || buf.species[j] != h_id {
+                continue;
+            }
+            let energy = 0.5 * mu * e.rel_speed * e.rel_speed;
+            if energy >= self.e_activation && rng.gen::<f64>() < self.p_steric {
+                // the faster partner ionises
+                let k = if buf.vel[i].norm2() >= buf.vel[j].norm2() {
+                    i
+                } else {
+                    j
+                };
+                buf.species[k] = hplus_id;
+                stats.dissociations += 1;
+            }
+        }
+        stats
+    }
+
+    /// Recombination pass: every H⁺ reverts to H with a probability
+    /// set by the local ion density.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recombine<R: Rng>(
+        &self,
+        mesh: &TetMesh,
+        buf: &mut ParticleBuffer,
+        species: &SpeciesTable,
+        h_id: u8,
+        hplus_id: u8,
+        dt: f64,
+        rng: &mut R,
+    ) -> ReactStats {
+        // local real ion density per cell
+        let w_ion = species.get(hplus_id).weight;
+        let mut ions_per_cell = vec![0u64; mesh.num_cells()];
+        for i in 0..buf.len() {
+            if buf.species[i] == hplus_id {
+                ions_per_cell[buf.cell[i] as usize] += 1;
+            }
+        }
+        let mut stats = ReactStats::default();
+        for i in 0..buf.len() {
+            if buf.species[i] != hplus_id {
+                continue;
+            }
+            let c = buf.cell[i] as usize;
+            let n_i = ions_per_cell[c] as f64 * w_ion / mesh.volumes[c];
+            let p = 1.0 - (-self.k_recomb * n_i * dt).exp();
+            if rng.gen::<f64>() < p {
+                buf.species[i] = h_id;
+                stats.recombinations += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::{NozzleSpec, Vec3};
+    use particles::Particle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TetMesh, SpeciesTable) {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let (t, _, _) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+        (m, t)
+    }
+
+    fn two_particles(speed: f64) -> ParticleBuffer {
+        let mut buf = ParticleBuffer::new();
+        for (k, v) in [speed, -speed].iter().enumerate() {
+            buf.push(Particle {
+                pos: Vec3::ZERO,
+                vel: Vec3::new(*v, 0.0, 0.0),
+                cell: 0,
+                species: 0,
+                id: k as u64,
+            });
+        }
+        buf
+    }
+
+    #[test]
+    fn fast_collisions_dissociate() {
+        let (_m, table) = setup();
+        let chem = ChemistryModel {
+            p_steric: 1.0,
+            ..ChemistryModel::default()
+        };
+        // relative speed 20 km/s: energy = 0.5 * (m/2) * g² ≈ 1.7e-19 J >> threshold
+        let mut buf = two_particles(1e4);
+        let events = [CollisionEvent {
+            i: 0,
+            j: 1,
+            rel_speed: 2e4,
+        }];
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = chem.react_collisions(&mut buf, &table, 0, 1, &events, &mut rng);
+        assert_eq!(stats.dissociations, 1);
+        let n_ions = buf.species.iter().filter(|&&s| s == 1).count();
+        assert_eq!(n_ions, 1);
+    }
+
+    #[test]
+    fn slow_collisions_do_not_react() {
+        let (_m, table) = setup();
+        let chem = ChemistryModel {
+            p_steric: 1.0,
+            ..ChemistryModel::default()
+        };
+        let mut buf = two_particles(10.0);
+        let events = [CollisionEvent {
+            i: 0,
+            j: 1,
+            rel_speed: 20.0,
+        }];
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = chem.react_collisions(&mut buf, &table, 0, 1, &events, &mut rng);
+        assert_eq!(stats.dissociations, 0);
+        assert!(buf.species.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn non_hh_pairs_skipped() {
+        let (_m, table) = setup();
+        let chem = ChemistryModel {
+            p_steric: 1.0,
+            ..ChemistryModel::default()
+        };
+        let mut buf = two_particles(1e4);
+        buf.species[1] = 1; // H-H+ pair
+        let events = [CollisionEvent {
+            i: 0,
+            j: 1,
+            rel_speed: 2e4,
+        }];
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = chem.react_collisions(&mut buf, &table, 0, 1, &events, &mut rng);
+        assert_eq!(stats.dissociations, 0);
+    }
+
+    #[test]
+    fn recombination_rate_increases_with_density() {
+        let (m, table) = setup();
+        // rate sized so the dense cloud recombines at ~50% per step
+        // at this mesh's cell volume and the H+ weight of 6000
+        let chem = ChemistryModel {
+            k_recomb: 1.5e-9,
+            ..ChemistryModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        // dense ion cloud in cell 0
+        let mut dense = ParticleBuffer::new();
+        for k in 0..400u64 {
+            dense.push(Particle {
+                pos: m.centroids[0],
+                vel: Vec3::ZERO,
+                cell: 0,
+                species: 1,
+                id: k,
+            });
+        }
+        let stats_dense =
+            chem.recombine(&m, &mut dense, &table, 0, 1, 1e-6, &mut rng);
+        // sparse cloud: 4 ions
+        let mut sparse = ParticleBuffer::new();
+        for k in 0..4u64 {
+            sparse.push(Particle {
+                pos: m.centroids[0],
+                vel: Vec3::ZERO,
+                cell: 0,
+                species: 1,
+                id: k,
+            });
+        }
+        let stats_sparse =
+            chem.recombine(&m, &mut sparse, &table, 0, 1, 1e-6, &mut rng);
+        let frac_dense = stats_dense.recombinations as f64 / 400.0;
+        let frac_sparse = stats_sparse.recombinations as f64 / 4.0;
+        assert!(
+            frac_dense > frac_sparse,
+            "dense {frac_dense} vs sparse {frac_sparse}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_means_no_recombination() {
+        let (m, table) = setup();
+        let chem = ChemistryModel {
+            k_recomb: 0.0,
+            ..ChemistryModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = ParticleBuffer::new();
+        for k in 0..50u64 {
+            buf.push(Particle {
+                pos: m.centroids[0],
+                vel: Vec3::ZERO,
+                cell: 0,
+                species: 1,
+                id: k,
+            });
+        }
+        let stats = chem.recombine(&m, &mut buf, &table, 0, 1, 1e-6, &mut rng);
+        assert_eq!(stats.recombinations, 0);
+    }
+}

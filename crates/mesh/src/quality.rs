@@ -1,0 +1,98 @@
+//! Mesh quality statistics.
+//!
+//! Used by examples/benches to report grid characteristics (and to
+//! sanity-check that the generated nozzle grids are usable for DSMC:
+//! the coarse cell size must track the intended mean-free-path
+//! resolution).
+
+use crate::tet::TetMesh;
+
+/// Summary statistics over the cells of a mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    pub num_cells: usize,
+    pub num_nodes: usize,
+    pub min_volume: f64,
+    pub max_volume: f64,
+    pub mean_volume: f64,
+    /// Shortest edge over the whole mesh.
+    pub min_edge: f64,
+    /// Longest edge over the whole mesh.
+    pub max_edge: f64,
+    /// Worst (largest) cell aspect ratio: longest edge / (6√2 ·
+    /// inradius-equivalent), normalised so a regular tet scores 1.
+    pub max_aspect: f64,
+}
+
+/// Compute quality statistics for a mesh.
+pub fn analyze(mesh: &TetMesh) -> QualityReport {
+    let mut min_v = f64::INFINITY;
+    let mut max_v: f64 = 0.0;
+    let mut min_e = f64::INFINITY;
+    let mut max_e: f64 = 0.0;
+    let mut max_aspect: f64 = 0.0;
+
+    const EDGES: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+    for t in 0..mesh.num_cells() {
+        let p = mesh.tet_pos(t);
+        let v = mesh.volumes[t];
+        min_v = min_v.min(v);
+        max_v = max_v.max(v);
+        let mut longest: f64 = 0.0;
+        for (a, b) in EDGES {
+            let e = p[a].dist(p[b]);
+            min_e = min_e.min(e);
+            max_e = max_e.max(e);
+            longest = longest.max(e);
+        }
+        // Regular tet with edge L has volume L^3/(6*sqrt(2)); the
+        // ratio of that ideal volume to the actual volume measures
+        // flatness.
+        let ideal = longest.powi(3) / (6.0 * std::f64::consts::SQRT_2);
+        if v > 0.0 {
+            max_aspect = max_aspect.max(ideal / v);
+        }
+    }
+
+    QualityReport {
+        num_cells: mesh.num_cells(),
+        num_nodes: mesh.num_nodes(),
+        min_volume: min_v,
+        max_volume: max_v,
+        mean_volume: mesh.total_volume() / mesh.num_cells().max(1) as f64,
+        min_edge: min_e,
+        max_edge: max_e,
+        max_aspect,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nozzle::NozzleSpec;
+
+    #[test]
+    fn nozzle_quality_bounded() {
+        let m = NozzleSpec { nd: 6, nz: 8, ..NozzleSpec::default() }.generate();
+        let q = analyze(&m);
+        assert_eq!(q.num_cells, m.num_cells());
+        assert!(q.min_volume > 0.0);
+        assert!(q.min_edge > 0.0);
+        assert!(q.max_edge >= q.min_edge);
+        // Kuhn tets of a regular-ish lattice are well shaped; aspect
+        // stays within a small constant.
+        assert!(q.max_aspect < 20.0, "aspect {}", q.max_aspect);
+    }
+
+    #[test]
+    fn refinement_halves_edges() {
+        let spec = NozzleSpec { nd: 4, nz: 6, ..NozzleSpec::default() };
+        let coarse = spec.generate();
+        let nm = crate::refine::NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n));
+        let qc = analyze(&nm.coarse);
+        let qf = analyze(&nm.fine);
+        assert!((qf.max_edge - qc.max_edge / 2.0).abs() < 1e-12 * qc.max_edge);
+        assert!((qf.mean_volume - qc.mean_volume / 8.0).abs() < 1e-9 * qc.mean_volume);
+    }
+}

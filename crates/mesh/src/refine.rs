@@ -1,0 +1,231 @@
+//! Nested 1:8 tetrahedral refinement (paper §IV-A, Fig. 2).
+//!
+//! Each coarse (DSMC) tet is split into 8 fine (PIC) tets by halving
+//! every edge: four corner tets plus four tets obtained by cutting the
+//! interior octahedron along its shortest diagonal. The fine grid is
+//! therefore *entirely nested* in the coarse grid, which is the
+//! property the paper exploits: only the coarse grid is decomposed
+//! across ranks, and fine cells inherit their parent's owner.
+
+use crate::geom::Vec3;
+use crate::tet::{BoundaryKind, TetMesh};
+use std::collections::HashMap;
+
+/// A coarse DSMC mesh with its nested fine PIC mesh.
+#[derive(Debug, Clone)]
+pub struct NestedMesh {
+    /// Coarse grid (cell size ~ mean free path); DSMC runs here and
+    /// this is the unit of domain decomposition.
+    pub coarse: TetMesh,
+    /// Fine grid (cell size ~ Debye length); PIC runs here.
+    pub fine: TetMesh,
+    /// `fine_parent[f]` = coarse cell containing fine cell `f`.
+    pub fine_parent: Vec<u32>,
+    /// `children[c]` = the 8 fine cells nested in coarse cell `c`.
+    pub children: Vec<[u32; 8]>,
+}
+
+impl NestedMesh {
+    /// Refine `coarse` 1:8. `classify` tags fine boundary faces (use
+    /// the same geometric classifier as for the coarse mesh so both
+    /// grids agree on inlet/outlet/wall).
+    pub fn from_coarse<F>(coarse: TetMesh, classify: F) -> Self
+    where
+        F: Fn(Vec3, Vec3) -> BoundaryKind,
+    {
+        let (fine, fine_parent) = refine_1_to_8(&coarse, classify);
+        let nc = coarse.num_cells();
+        let mut children = vec![[0u32; 8]; nc];
+        let mut fill = vec![0usize; nc];
+        for (f, &p) in fine_parent.iter().enumerate() {
+            let slot = fill[p as usize];
+            children[p as usize][slot] = f as u32;
+            fill[p as usize] = slot + 1;
+        }
+        debug_assert!(fill.iter().all(|&c| c == 8));
+        NestedMesh {
+            coarse,
+            fine,
+            fine_parent,
+            children,
+        }
+    }
+
+    /// Number of coarse cells.
+    pub fn num_coarse(&self) -> usize {
+        self.coarse.num_cells()
+    }
+
+    /// Number of fine cells (= 8 × coarse).
+    pub fn num_fine(&self) -> usize {
+        self.fine.num_cells()
+    }
+}
+
+/// Split every tet of `coarse` into 8, deduplicating edge-midpoint
+/// nodes between neighbouring tets. Returns the fine mesh and the
+/// fine→coarse parent map.
+pub fn refine_1_to_8<F>(coarse: &TetMesh, classify: F) -> (TetMesh, Vec<u32>)
+where
+    F: Fn(Vec3, Vec3) -> BoundaryKind,
+{
+    let mut nodes = coarse.nodes.clone();
+    let mut midpoint: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut mid = |a: u32, b: u32, nodes: &mut Vec<Vec3>| -> u32 {
+        let key = (a.min(b), a.max(b));
+        *midpoint.entry(key).or_insert_with(|| {
+            let id = nodes.len() as u32;
+            let p = (nodes[a as usize] + nodes[b as usize]) / 2.0;
+            nodes.push(p);
+            id
+        })
+    };
+
+    let mut tets: Vec<[u32; 4]> = Vec::with_capacity(coarse.num_cells() * 8);
+    let mut parent: Vec<u32> = Vec::with_capacity(coarse.num_cells() * 8);
+
+    for (c, tet) in coarse.tets.iter().enumerate() {
+        let [v0, v1, v2, v3] = *tet;
+        let m01 = mid(v0, v1, &mut nodes);
+        let m02 = mid(v0, v2, &mut nodes);
+        let m03 = mid(v0, v3, &mut nodes);
+        let m12 = mid(v1, v2, &mut nodes);
+        let m13 = mid(v1, v3, &mut nodes);
+        let m23 = mid(v2, v3, &mut nodes);
+
+        // Four corner tets.
+        let mut eight: Vec<[u32; 4]> = vec![
+            [v0, m01, m02, m03],
+            [v1, m01, m12, m13],
+            [v2, m02, m12, m23],
+            [v3, m03, m13, m23],
+        ];
+
+        // Interior octahedron: opposite vertex pairs are
+        // (m01,m23), (m02,m13), (m03,m12). Cut along the shortest
+        // diagonal for best element quality (standard Bey refinement
+        // choice).
+        let d = |a: u32, b: u32| nodes[a as usize].dist(nodes[b as usize]);
+        let diags = [(m01, m23), (m02, m13), (m03, m12)];
+        let lens = [d(m01, m23), d(m02, m13), d(m03, m12)];
+        let best = (0..3)
+            .min_by(|&i, &j| lens[i].partial_cmp(&lens[j]).unwrap())
+            .unwrap();
+        let (p, q) = diags[best];
+        // Equatorial cycle: the four non-diagonal vertices ordered so
+        // that consecutive ones are octahedron-adjacent (never an
+        // opposite pair).
+        let cycle: [u32; 4] = match best {
+            0 => [m02, m03, m13, m12],
+            1 => [m01, m03, m23, m12],
+            _ => [m01, m02, m23, m13],
+        };
+        for e in 0..4 {
+            eight.push([p, q, cycle[e], cycle[(e + 1) % 4]]);
+        }
+
+        debug_assert_eq!(eight.len(), 8);
+        for t in eight {
+            tets.push(t);
+            parent.push(c as u32);
+        }
+    }
+
+    (TetMesh::build(nodes, tets, classify), parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nozzle::NozzleSpec;
+    use crate::tet::FaceTag;
+
+    fn nested() -> NestedMesh {
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 6,
+            ..NozzleSpec::default()
+        };
+        let coarse = spec.generate();
+        NestedMesh::from_coarse(coarse, move |fc, n| spec.classify(fc, n))
+    }
+
+    #[test]
+    fn eight_children_per_parent() {
+        let nm = nested();
+        assert_eq!(nm.num_fine(), 8 * nm.num_coarse());
+        assert_eq!(nm.children.len(), nm.num_coarse());
+        for (c, ch) in nm.children.iter().enumerate() {
+            for &f in ch {
+                assert_eq!(nm.fine_parent[f as usize], c as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_is_conserved_exactly() {
+        let nm = nested();
+        for (c, ch) in nm.children.iter().enumerate() {
+            let fine_sum: f64 = ch.iter().map(|&f| nm.fine.volumes[f as usize]).sum();
+            let coarse_v = nm.coarse.volumes[c];
+            assert!(
+                (fine_sum - coarse_v).abs() < 1e-12 * coarse_v.max(1e-300),
+                "cell {c}: children sum {fine_sum} != parent {coarse_v}"
+            );
+        }
+    }
+
+    #[test]
+    fn children_are_geometrically_nested() {
+        let nm = nested();
+        for (c, ch) in nm.children.iter().enumerate().take(50) {
+            for &f in ch {
+                let centroid = nm.fine.centroids[f as usize];
+                assert!(
+                    nm.coarse.contains(c, centroid, 1e-9),
+                    "fine centroid escaped its parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_mesh_is_conforming() {
+        let nm = nested();
+        for (t, nb) in nm.fine.neighbors.iter().enumerate() {
+            for tag in nb {
+                if let FaceTag::Interior(o) = tag {
+                    assert!(nm.fine.neighbors[*o as usize]
+                        .contains(&FaceTag::Interior(t as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_boundary_kinds_match_geometry() {
+        let nm = nested();
+        // the fine grid must expose all three boundary kinds too
+        assert!(!nm.fine.boundary_faces(BoundaryKind::Inlet).is_empty());
+        assert!(!nm.fine.boundary_faces(BoundaryKind::Outlet).is_empty());
+        assert!(!nm.fine.boundary_faces(BoundaryKind::Wall).is_empty());
+        // fine inlet area equals coarse inlet area (same geometry)
+        let area = |m: &TetMesh, k| {
+            m.boundary_faces(k)
+                .iter()
+                .map(|&(t, f)| m.face_area(t as usize, f as usize))
+                .sum::<f64>()
+        };
+        let ca = area(&nm.coarse, BoundaryKind::Inlet);
+        let fa = area(&nm.fine, BoundaryKind::Inlet);
+        assert!((ca - fa).abs() < 1e-12 * ca.max(1e-300));
+    }
+
+    #[test]
+    fn midpoint_nodes_deduplicated() {
+        let nm = nested();
+        // node count must be far less than 10 per fine tet (which
+        // would indicate no sharing at all)
+        assert!(nm.fine.num_nodes() < nm.num_fine() * 2);
+    }
+}

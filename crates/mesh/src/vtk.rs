@@ -1,0 +1,157 @@
+//! Legacy-VTK export of tetrahedral meshes with cell fields.
+//!
+//! Writes ASCII legacy `.vtk` (UNSTRUCTURED_GRID) files that ParaView
+//! and VisIt open directly — the practical way to look at plume
+//! densities, potentials and rank ownership from the examples and
+//! experiment binaries.
+
+use crate::tet::TetMesh;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A named per-cell scalar field to attach to the export.
+pub struct CellField<'a> {
+    pub name: &'a str,
+    pub values: &'a [f64],
+}
+
+/// Render `mesh` (and optional per-cell scalar fields) as an ASCII
+/// legacy VTK string.
+pub fn to_vtk_string(mesh: &TetMesh, fields: &[CellField<'_>]) -> String {
+    for f in fields {
+        assert_eq!(
+            f.values.len(),
+            mesh.num_cells(),
+            "field '{}' length mismatch",
+            f.name
+        );
+    }
+    let mut s = String::new();
+    s.push_str("# vtk DataFile Version 3.0\n");
+    s.push_str("dsmc-pic tetrahedral mesh\n");
+    s.push_str("ASCII\nDATASET UNSTRUCTURED_GRID\n");
+
+    let _ = writeln!(s, "POINTS {} double", mesh.num_nodes());
+    for p in &mesh.nodes {
+        let _ = writeln!(s, "{:.9e} {:.9e} {:.9e}", p.x, p.y, p.z);
+    }
+
+    let nc = mesh.num_cells();
+    let _ = writeln!(s, "CELLS {} {}", nc, nc * 5);
+    for t in &mesh.tets {
+        let _ = writeln!(s, "4 {} {} {} {}", t[0], t[1], t[2], t[3]);
+    }
+    let _ = writeln!(s, "CELL_TYPES {nc}");
+    for _ in 0..nc {
+        s.push_str("10\n"); // VTK_TETRA
+    }
+
+    if !fields.is_empty() {
+        let _ = writeln!(s, "CELL_DATA {nc}");
+        for f in fields {
+            let _ = writeln!(s, "SCALARS {} double 1", f.name);
+            s.push_str("LOOKUP_TABLE default\n");
+            for v in f.values {
+                let _ = writeln!(s, "{v:.9e}");
+            }
+        }
+    }
+    s
+}
+
+/// Write the mesh (and fields) to a `.vtk` file.
+pub fn write_vtk<P: AsRef<Path>>(
+    path: P,
+    mesh: &TetMesh,
+    fields: &[CellField<'_>],
+) -> io::Result<()> {
+    std::fs::write(path, to_vtk_string(mesh, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nozzle::NozzleSpec;
+
+    #[test]
+    fn vtk_structure_is_complete() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let density: Vec<f64> = (0..m.num_cells()).map(|c| c as f64).collect();
+        let owner: Vec<f64> = (0..m.num_cells()).map(|c| (c % 4) as f64).collect();
+        let s = to_vtk_string(
+            &m,
+            &[
+                CellField {
+                    name: "density",
+                    values: &density,
+                },
+                CellField {
+                    name: "owner",
+                    values: &owner,
+                },
+            ],
+        );
+        assert!(s.starts_with("# vtk DataFile"));
+        assert!(s.contains(&format!("POINTS {} double", m.num_nodes())));
+        assert!(s.contains(&format!("CELLS {} {}", m.num_cells(), m.num_cells() * 5)));
+        assert!(s.contains("SCALARS density double 1"));
+        assert!(s.contains("SCALARS owner double 1"));
+        // VTK_TETRA code appears once per cell
+        let tetra_lines = s.lines().filter(|l| *l == "10").count();
+        assert_eq!(tetra_lines, m.num_cells());
+        // node indices in CELLS stay in range
+        for line in s
+            .lines()
+            .skip_while(|l| !l.starts_with("CELLS"))
+            .skip(1)
+            .take(m.num_cells())
+        {
+            let ids: Vec<usize> = line
+                .split_whitespace()
+                .skip(1)
+                .map(|x| x.parse().unwrap())
+                .collect();
+            assert_eq!(ids.len(), 4);
+            assert!(ids.iter().all(|&i| i < m.num_nodes()));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let dir = std::env::temp_dir().join("dsmcpic_vtk_test.vtk");
+        write_vtk(&dir, &m, &[]).unwrap();
+        let back = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(back, to_vtk_string(&m, &[]));
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_field_length() {
+        let m = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        to_vtk_string(
+            &m,
+            &[CellField {
+                name: "bad",
+                values: &[1.0],
+            }],
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Structure-of-arrays particle storage.
+//!
+//! Hot loops (move, collide, deposit) stream over one field at a
+//! time, so SoA layout is the right call for cache behaviour (and it
+//! keeps the per-particle wire format explicit — see [`crate::pack`]).
+
+use mesh::Vec3;
+
+/// One particle, as a value type (used at API boundaries; storage is
+/// SoA).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    pub pos: Vec3,
+    pub vel: Vec3,
+    /// Global coarse-grid cell id containing the particle.
+    pub cell: u32,
+    /// Species id into the [`crate::species::SpeciesTable`].
+    pub species: u8,
+    /// Globally unique particle number (maintained by Reindex).
+    pub id: u64,
+}
+
+/// SoA particle container.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleBuffer {
+    pub pos: Vec<Vec3>,
+    pub vel: Vec<Vec3>,
+    pub cell: Vec<u32>,
+    pub species: Vec<u8>,
+    pub id: Vec<u64>,
+}
+
+impl ParticleBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        ParticleBuffer {
+            pos: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            cell: Vec::with_capacity(n),
+            species: Vec::with_capacity(n),
+            id: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of particles stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Append one particle.
+    pub fn push(&mut self, p: Particle) {
+        self.pos.push(p.pos);
+        self.vel.push(p.vel);
+        self.cell.push(p.cell);
+        self.species.push(p.species);
+        self.id.push(p.id);
+    }
+
+    /// Read particle `i` as a value.
+    #[inline]
+    pub fn get(&self, i: usize) -> Particle {
+        Particle {
+            pos: self.pos[i],
+            vel: self.vel[i],
+            cell: self.cell[i],
+            species: self.species[i],
+            id: self.id[i],
+        }
+    }
+
+    /// Overwrite particle `i`.
+    pub fn set(&mut self, i: usize, p: Particle) {
+        self.pos[i] = p.pos;
+        self.vel[i] = p.vel;
+        self.cell[i] = p.cell;
+        self.species[i] = p.species;
+        self.id[i] = p.id;
+    }
+
+    /// O(1) removal by swapping with the last particle.
+    pub fn swap_remove(&mut self, i: usize) -> Particle {
+        Particle {
+            pos: self.pos.swap_remove(i),
+            vel: self.vel.swap_remove(i),
+            cell: self.cell.swap_remove(i),
+            species: self.species.swap_remove(i),
+            id: self.id.swap_remove(i),
+        }
+    }
+
+    /// Keep only particles where `keep[i]`, preserving relative
+    /// order. `keep.len()` must equal `self.len()`.
+    pub fn compact(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.len());
+        let mut w = 0usize;
+        for r in 0..self.len() {
+            if keep[r] {
+                if w != r {
+                    self.pos[w] = self.pos[r];
+                    self.vel[w] = self.vel[r];
+                    self.cell[w] = self.cell[r];
+                    self.species[w] = self.species[r];
+                    self.id[w] = self.id[r];
+                }
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+
+    /// Drop all particles after index `n`.
+    pub fn truncate(&mut self, n: usize) {
+        self.pos.truncate(n);
+        self.vel.truncate(n);
+        self.cell.truncate(n);
+        self.species.truncate(n);
+        self.id.truncate(n);
+    }
+
+    /// Remove all particles.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Move every particle of `other` into `self` (draining `other`).
+    pub fn append(&mut self, other: &mut ParticleBuffer) {
+        self.pos.append(&mut other.pos);
+        self.vel.append(&mut other.vel);
+        self.cell.append(&mut other.cell);
+        self.species.append(&mut other.species);
+        self.id.append(&mut other.id);
+    }
+
+    /// Iterate particles as values.
+    pub fn iter(&self) -> impl Iterator<Item = Particle> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Count particles per coarse cell into `counts` (indexed by
+    /// global cell id); `counts` is not cleared first.
+    pub fn count_per_cell(&self, counts: &mut [u64]) {
+        for &c in &self.cell {
+            counts[c as usize] += 1;
+        }
+    }
+
+    /// Renumber particle ids sequentially starting at `start`;
+    /// returns the next free id. This is the per-rank half of the
+    /// paper's *Reindex* component (ranks obtain disjoint `start`
+    /// offsets from an exclusive scan of particle counts).
+    pub fn renumber(&mut self, start: u64) -> u64 {
+        for (k, id) in self.id.iter_mut().enumerate() {
+            *id = start + k as u64;
+        }
+        start + self.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> Particle {
+        Particle {
+            pos: Vec3::new(i as f64, 0.0, 0.0),
+            vel: Vec3::new(0.0, i as f64, 0.0),
+            cell: i as u32,
+            species: (i % 2) as u8,
+            id: i,
+        }
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut b = ParticleBuffer::new();
+        for i in 0..5 {
+            b.push(p(i));
+        }
+        assert_eq!(b.len(), 5);
+        for i in 0..5 {
+            assert_eq!(b.get(i as usize), p(i));
+        }
+    }
+
+    #[test]
+    fn swap_remove_keeps_others() {
+        let mut b = ParticleBuffer::new();
+        for i in 0..4 {
+            b.push(p(i));
+        }
+        let removed = b.swap_remove(1);
+        assert_eq!(removed, p(1));
+        assert_eq!(b.len(), 3);
+        let ids: Vec<u64> = b.iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn compact_preserves_order() {
+        let mut b = ParticleBuffer::new();
+        for i in 0..6 {
+            b.push(p(i));
+        }
+        b.compact(&[true, false, true, false, false, true]);
+        let ids: Vec<u64> = b.iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn append_drains_source() {
+        let mut a = ParticleBuffer::new();
+        let mut b = ParticleBuffer::new();
+        a.push(p(1));
+        b.push(p(2));
+        b.push(p(3));
+        a.append(&mut b);
+        assert_eq!(a.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn per_cell_counts() {
+        let mut b = ParticleBuffer::new();
+        for i in [0u64, 0, 1, 2, 2, 2] {
+            b.push(p(i));
+        }
+        let mut counts = vec![0u64; 4];
+        b.count_per_cell(&mut counts);
+        assert_eq!(counts, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn renumber_is_sequential() {
+        let mut b = ParticleBuffer::new();
+        for i in [9u64, 7, 5] {
+            b.push(p(i));
+        }
+        let next = b.renumber(100);
+        assert_eq!(next, 103);
+        let ids: Vec<u64> = b.iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![100, 101, 102]);
+    }
+}

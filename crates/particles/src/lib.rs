@@ -1,0 +1,12 @@
+//! Particle substrate: SoA storage, species registry, Maxwellian
+//! sampling, and the migration wire format shared by both exchange
+//! strategies.
+
+pub mod buffer;
+pub mod pack;
+pub mod sample;
+pub mod species;
+
+pub use buffer::{Particle, ParticleBuffer};
+pub use pack::{pack_particle, pack_selected, unpack_all, unpack_particle, PACKED_SIZE};
+pub use species::{Species, SpeciesTable, KB, MASS_H, QE};

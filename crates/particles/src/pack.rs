@@ -1,0 +1,110 @@
+//! Fixed-size wire format for migrating particles between ranks.
+//!
+//! Both exchange strategies (vmpi §IV-B) move opaque byte buffers;
+//! this module defines what a particle looks like on the wire:
+//! position (24) + velocity (24) + cell (4) + species (1) + id (8)
+//! = 61 bytes, little-endian.
+
+use crate::buffer::{Particle, ParticleBuffer};
+use mesh::Vec3;
+
+/// Bytes per particle on the wire.
+pub const PACKED_SIZE: usize = 24 + 24 + 4 + 1 + 8;
+
+/// Append the wire representation of `p` to `buf`.
+pub fn pack_particle(p: &Particle, buf: &mut Vec<u8>) {
+    buf.reserve(PACKED_SIZE);
+    for v in [p.pos.x, p.pos.y, p.pos.z, p.vel.x, p.vel.y, p.vel.z] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&p.cell.to_le_bytes());
+    buf.push(p.species);
+    buf.extend_from_slice(&p.id.to_le_bytes());
+}
+
+/// Decode one particle from `buf` starting at `off`. Panics on short
+/// input (wire buffers are always whole multiples of [`PACKED_SIZE`]).
+pub fn unpack_particle(buf: &[u8], off: usize) -> Particle {
+    let f = |i: usize| f64::from_le_bytes(buf[off + i..off + i + 8].try_into().unwrap());
+    let pos = Vec3::new(f(0), f(8), f(16));
+    let vel = Vec3::new(f(24), f(32), f(40));
+    let cell = u32::from_le_bytes(buf[off + 48..off + 52].try_into().unwrap());
+    let species = buf[off + 52];
+    let id = u64::from_le_bytes(buf[off + 53..off + 61].try_into().unwrap());
+    Particle {
+        pos,
+        vel,
+        cell,
+        species,
+        id,
+    }
+}
+
+/// Append every particle in `buf` (a concatenation of wire records)
+/// into `out`.
+pub fn unpack_all(buf: &[u8], out: &mut ParticleBuffer) {
+    assert_eq!(buf.len() % PACKED_SIZE, 0, "corrupt particle buffer");
+    let n = buf.len() / PACKED_SIZE;
+    for k in 0..n {
+        out.push(unpack_particle(buf, k * PACKED_SIZE));
+    }
+}
+
+/// Pack the particles at `indices` of `src` into one buffer.
+pub fn pack_selected(src: &ParticleBuffer, indices: &[usize]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(indices.len() * PACKED_SIZE);
+    for &i in indices {
+        pack_particle(&src.get(i), &mut buf);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particle() -> Particle {
+        Particle {
+            pos: Vec3::new(1.5, -2.5, 3.25),
+            vel: Vec3::new(-1e4, 2e3, 0.125),
+            cell: 4242,
+            species: 1,
+            id: 0xDEADBEEFCAFE,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let p = particle();
+        let mut buf = Vec::new();
+        pack_particle(&p, &mut buf);
+        assert_eq!(buf.len(), PACKED_SIZE);
+        assert_eq!(unpack_particle(&buf, 0), p);
+    }
+
+    #[test]
+    fn roundtrip_buffer() {
+        let mut src = ParticleBuffer::new();
+        for i in 0..10u64 {
+            let mut p = particle();
+            p.id = i;
+            p.cell = i as u32 * 3;
+            src.push(p);
+        }
+        let packed = pack_selected(&src, &[0, 3, 7]);
+        let mut dst = ParticleBuffer::new();
+        unpack_all(&packed, &mut dst);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.get(0).id, 0);
+        assert_eq!(dst.get(1).id, 3);
+        assert_eq!(dst.get(2).id, 7);
+        assert_eq!(dst.get(2).cell, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn rejects_misaligned_buffers() {
+        let mut dst = ParticleBuffer::new();
+        unpack_all(&[0u8; PACKED_SIZE + 1], &mut dst);
+    }
+}

@@ -1,0 +1,188 @@
+//! Random sampling utilities: Maxwellian velocities and uniform
+//! points in triangles/tets.
+//!
+//! Injection (paper §III-B) requires velocities "perpendicular to the
+//! inlet and complying with the Maxwell distribution"; we provide
+//! drifting-Maxwellian sampling plus the flux-biased normal component
+//! used for surface injection.
+
+use mesh::Vec3;
+use rand::Rng;
+
+use crate::species::KB;
+
+/// Standard normal variate via Box–Muller (keeps us off external
+/// distribution crates).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Sample a velocity from a drifting Maxwellian with temperature `t`
+/// (K), particle mass `m` (kg) and drift velocity `drift`.
+pub fn maxwellian<R: Rng>(rng: &mut R, t: f64, m: f64, drift: Vec3) -> Vec3 {
+    let sigma = (KB * t / m).sqrt();
+    Vec3::new(
+        drift.x + sigma * standard_normal(rng),
+        drift.y + sigma * standard_normal(rng),
+        drift.z + sigma * standard_normal(rng),
+    )
+}
+
+/// Sample the *inward* normal speed of a particle crossing a surface
+/// from a Maxwellian flux (Rayleigh-distributed in the half-space):
+/// `v_n = σ √(−2 ln U)`. Always positive.
+pub fn flux_normal_speed<R: Rng>(rng: &mut R, t: f64, m: f64) -> f64 {
+    let sigma = (KB * t / m).sqrt();
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    sigma * (-2.0 * u.ln()).sqrt()
+}
+
+/// Uniform point in the triangle `(a, b, c)`.
+pub fn point_in_triangle<R: Rng>(rng: &mut R, a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    let mut u: f64 = rng.gen();
+    let mut v: f64 = rng.gen();
+    if u + v > 1.0 {
+        u = 1.0 - u;
+        v = 1.0 - v;
+    }
+    a + (b - a) * u + (c - a) * v
+}
+
+/// Uniform point in the tetrahedron `(a, b, c, d)` (fold-back method).
+pub fn point_in_tet<R: Rng>(rng: &mut R, a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Vec3 {
+    let mut s: f64 = rng.gen();
+    let mut t: f64 = rng.gen();
+    let mut u: f64 = rng.gen();
+    if s + t > 1.0 {
+        s = 1.0 - s;
+        t = 1.0 - t;
+    }
+    if t + u > 1.0 {
+        let tmp = u;
+        u = 1.0 - s - t;
+        t = 1.0 - tmp;
+    } else if s + t + u > 1.0 {
+        let tmp = u;
+        u = s + t + u - 1.0;
+        s = 1.0 - t - tmp;
+    }
+    let w = 1.0 - s - t - u;
+    a * w + b * s + c * t + d * u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::geom::tet_contains;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_variates_have_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn maxwellian_matches_temperature() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = 300.0;
+        let m = crate::species::MASS_H;
+        let drift = Vec3::new(0.0, 0.0, 10000.0);
+        let n = 20000;
+        let mut mean = Vec3::ZERO;
+        let mut var_x = 0.0;
+        for _ in 0..n {
+            let v = maxwellian(&mut rng, t, m, drift);
+            mean += v / n as f64;
+            var_x += v.x * v.x / n as f64;
+        }
+        // drift recovered
+        assert!((mean.z - 10000.0).abs() < 50.0, "{}", mean.z);
+        assert!(mean.x.abs() < 50.0);
+        // variance per component = kT/m
+        let expect = KB * t / m;
+        assert!((var_x - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn flux_speed_positive_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = 300.0;
+        let m = crate::species::MASS_H;
+        let sigma = (KB * t / m).sqrt();
+        let n = 20000;
+        let mut mean = 0.0;
+        for _ in 0..n {
+            let v = flux_normal_speed(&mut rng, t, m);
+            assert!(v > 0.0);
+            mean += v / n as f64;
+        }
+        // Rayleigh mean = σ √(π/2)
+        let expect = sigma * (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean - expect).abs() / expect < 0.03, "{mean} vs {expect}");
+    }
+
+    #[test]
+    fn triangle_points_inside() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b, c) = (
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
+        for _ in 0..500 {
+            let p = point_in_triangle(&mut rng, a, b, c);
+            // inside iff barycentric non-negative
+            assert!(p.x >= -1e-12 && p.y >= -1e-12);
+            assert!(p.x / 2.0 + p.y / 3.0 <= 1.0 + 1e-12);
+            assert!(p.z.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn tet_points_inside_and_fill_volume() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, b, c, d) = (
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        let mut near_origin = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            let p = point_in_tet(&mut rng, a, b, c, d);
+            assert!(tet_contains(p, a, b, c, d, 1e-9), "{p:?}");
+            if p.x + p.y + p.z < 0.5 {
+                near_origin += 1;
+            }
+        }
+        // sub-tet x+y+z<0.5 has volume fraction 1/8
+        let frac = near_origin as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.03, "{frac}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Kuhn–Munkres (Hungarian) algorithm for the assignment problem
+//! (paper §V-C).
+//!
+//! The load balancer converts grid remapping into maximum-weight
+//! perfect matching on the bipartite graph (new partition parts ×
+//! ranks), where the weight of (part `p`, rank `r`) is the amount of
+//! load already resident on `r` that the new part `p` would keep in
+//! place. A maximum matching therefore minimises migrated particles.
+//!
+//! This is the classic O(n³) potentials formulation.
+
+/// Solve the *minimum-cost* assignment problem for the square matrix
+/// `cost` (`n×n`, `cost[i][j]` = cost of assigning row `i` to column
+/// `j`). Returns `(assignment, total_cost)` with `assignment[i] =
+/// column of row i`.
+pub fn min_cost_assignment(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    const INF: i64 = i64::MAX / 4;
+
+    // 1-based arrays per the classic formulation.
+    let mut u = vec![0i64; n + 1]; // row potentials
+    let mut v = vec![0i64; n + 1]; // column potentials
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = (0..n).map(|i| cost[i][assignment[i]]).sum();
+    (assignment, total)
+}
+
+/// Solve the *maximum-weight* assignment problem. Returns
+/// `(assignment, total_weight)` with `assignment[i] = column of row i`.
+pub fn max_weight_assignment(weight: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = weight.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let max_w = weight
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let cost: Vec<Vec<i64>> = weight
+        .iter()
+        .map(|row| row.iter().map(|&w| max_w - w).collect())
+        .collect();
+    let (assignment, _) = min_cost_assignment(&cost);
+    let total = (0..n).map(|i| weight[i][assignment[i]]).sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_diagonal_is_best() {
+        let w = vec![
+            vec![10, 1, 1],
+            vec![1, 10, 1],
+            vec![1, 1, 10],
+        ];
+        let (a, total) = max_weight_assignment(&w);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn forced_permutation() {
+        // best assignment is the anti-diagonal
+        let w = vec![
+            vec![0, 0, 9],
+            vec![0, 9, 0],
+            vec![9, 0, 0],
+        ];
+        let (a, total) = max_weight_assignment(&w);
+        assert_eq!(a, vec![2, 1, 0]);
+        assert_eq!(total, 27);
+    }
+
+    #[test]
+    fn min_cost_classic_example() {
+        // well-known 3x3 example with optimum 5 (1+3+1? verify by brute force)
+        let c = vec![
+            vec![4, 1, 3],
+            vec![2, 0, 5],
+            vec![3, 2, 2],
+        ];
+        let (a, total) = min_cost_assignment(&c);
+        // brute force check
+        let mut best = i64::MAX;
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for p in perms {
+            best = best.min(c[0][p[0]] + c[1][p[1]] + c[2][p[2]]);
+        }
+        assert_eq!(total, best);
+        // assignment is a permutation
+        let mut seen = [false; 3];
+        for &j in &a {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_matrices() {
+        let mut s = 0x12345u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 100) as i64
+        };
+        for _ in 0..20 {
+            let n = 4;
+            let w: Vec<Vec<i64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let (_, total) = max_weight_assignment(&w);
+            // brute force over all 4! permutations
+            let mut best = i64::MIN;
+            let idx = [0usize, 1, 2, 3];
+            let mut perm = idx;
+            // Heap's algorithm (iterative, small n)
+            fn heaps(k: usize, arr: &mut [usize; 4], w: &[Vec<i64>], best: &mut i64) {
+                if k == 1 {
+                    let tot: i64 = (0..4).map(|i| w[i][arr[i]]).sum();
+                    *best = (*best).max(tot);
+                    return;
+                }
+                for i in 0..k {
+                    heaps(k - 1, arr, w, best);
+                    if k.is_multiple_of(2) {
+                        arr.swap(i, k - 1);
+                    } else {
+                        arr.swap(0, k - 1);
+                    }
+                }
+            }
+            heaps(4, &mut perm, &w, &mut best);
+            assert_eq!(total, best);
+        }
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        assert_eq!(max_weight_assignment(&[]), (vec![], 0));
+        let (a, t) = max_weight_assignment(&[vec![7]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(t, 7);
+    }
+
+    #[test]
+    fn handles_negative_weights() {
+        let w = vec![vec![-5, -1], vec![-1, -5]];
+        let (a, total) = max_weight_assignment(&w);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(total, -2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Greedy graph-growing initial partition (multilevel phase 2).
+//!
+//! On the coarsest graph we grow `k` regions one at a time: each
+//! region starts from a vertex far from already-assigned vertices and
+//! greedily absorbs the frontier vertex with the strongest connection
+//! to the region until the region reaches its weight target.
+
+use crate::graph::Graph;
+
+/// Compute an initial `k`-way partition of `g`. Returns the part id
+/// per vertex. Assumes `g` is connected-ish; stray unassigned
+/// vertices are swept into the lightest part at the end.
+pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!(k >= 1);
+    let total = g.total_vwgt().max(1);
+    let target = (total + k as i64 - 1) / k as i64;
+
+    let mut part = vec![u32::MAX; n];
+    let mut part_wgt = vec![0i64; k];
+
+    for p in 0..k {
+        // Seed: unassigned vertex with the fewest assigned neighbours
+        // (prefers fresh territory), ties broken by smallest id.
+        let mut seed = None;
+        let mut best_key = (u32::MAX, u32::MAX);
+        for v in 0..n {
+            if part[v] != u32::MAX {
+                continue;
+            }
+            let assigned_nb = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| part[u as usize] != u32::MAX)
+                .count() as u32;
+            let key = (assigned_nb, v as u32);
+            if key < best_key {
+                best_key = key;
+                seed = Some(v);
+            }
+        }
+        let Some(seed) = seed else { break };
+
+        // Grow a region from the seed.
+        // gain[v] = total edge weight from v into the region.
+        let mut gain = vec![0i64; n];
+        let mut in_frontier = vec![false; n];
+        let mut frontier: Vec<u32> = Vec::new();
+
+        let absorb = |v: usize,
+                          part: &mut Vec<u32>,
+                          part_wgt: &mut Vec<i64>,
+                          gain: &mut Vec<i64>,
+                          in_frontier: &mut Vec<bool>,
+                          frontier: &mut Vec<u32>| {
+            part[v] = p as u32;
+            part_wgt[p] += g.vwgt[v];
+            for (u, w) in g.edges(v) {
+                let u = u as usize;
+                if part[u] == u32::MAX {
+                    gain[u] += w;
+                    if !in_frontier[u] {
+                        in_frontier[u] = true;
+                        frontier.push(u as u32);
+                    }
+                }
+            }
+        };
+
+        absorb(seed, &mut part, &mut part_wgt, &mut gain, &mut in_frontier, &mut frontier);
+
+        // Leave room for the remaining parts: stop at target even if
+        // the frontier is rich.
+        while part_wgt[p] < target && p + 1 < k {
+            // Pop the frontier vertex with max gain.
+            let mut best: Option<(usize, i64)> = None;
+            let mut best_idx = 0;
+            for (idx, &v) in frontier.iter().enumerate() {
+                let v = v as usize;
+                if part[v] != u32::MAX {
+                    continue;
+                }
+                if best.is_none_or(|(_, bg)| gain[v] > bg) {
+                    best = Some((v, gain[v]));
+                    best_idx = idx;
+                }
+            }
+            let Some((v, _)) = best else { break };
+            frontier.swap_remove(best_idx);
+            in_frontier[v] = false;
+            absorb(v, &mut part, &mut part_wgt, &mut gain, &mut in_frontier, &mut frontier);
+        }
+
+        // Final part absorbs everything left.
+        if p + 1 == k {
+            for v in 0..n {
+                if part[v] == u32::MAX {
+                    part[v] = p as u32;
+                    part_wgt[p] += g.vwgt[v];
+                }
+            }
+        }
+    }
+
+    // Sweep stragglers (disconnected leftovers) into the lightest part.
+    for v in 0..n {
+        if part[v] == u32::MAX {
+            let p = (0..k).min_by_key(|&p| part_wgt[p]).unwrap();
+            part[v] = p as u32;
+            part_wgt[p] += g.vwgt[v];
+        }
+    }
+
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, imbalance};
+
+    fn grid(nx: u32, ny: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..ny {
+            for j in 0..nx {
+                let v = i * nx + j;
+                if j + 1 < nx {
+                    edges.push((v, v + 1));
+                }
+                if i + 1 < ny {
+                    edges.push((v, v + nx));
+                }
+            }
+        }
+        Graph::from_edges((nx * ny) as usize, &edges, vec![1; (nx * ny) as usize])
+    }
+
+    #[test]
+    fn covers_all_vertices_with_valid_parts() {
+        let g = grid(8, 8);
+        for k in [1usize, 2, 3, 4, 7] {
+            let part = greedy_growing(&g, k);
+            assert_eq!(part.len(), 64);
+            assert!(part.iter().all(|&p| (p as usize) < k));
+            // every part non-empty for k <= n
+            for p in 0..k as u32 {
+                assert!(part.contains(&p), "part {p} empty for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_balanced_on_uniform_grid() {
+        let g = grid(10, 10);
+        let part = greedy_growing(&g, 4);
+        let imb = imbalance(&g, &part, 4);
+        assert!(imb < 1.35, "imbalance {imb}");
+    }
+
+    #[test]
+    fn respects_vertex_weights() {
+        // two cliques of equal total weight but different cardinality
+        let mut g = grid(6, 1); // path of 6
+        g.vwgt = vec![10, 10, 10, 1, 1, 28];
+        let part = greedy_growing(&g, 2);
+        let imb = imbalance(&g, &part, 2);
+        assert!(imb < 1.4, "imbalance {imb}, parts {part:?}");
+    }
+
+    #[test]
+    fn cut_is_reasonable_on_path() {
+        // partitioning a path in 2 should cut ~1 edge
+        let g = grid(16, 1);
+        let part = greedy_growing(&g, 2);
+        assert!(edge_cut(&g, &part) <= 2);
+    }
+}

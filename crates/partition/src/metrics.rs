@@ -1,0 +1,64 @@
+//! Partition quality metrics: edge cut and load imbalance.
+
+use crate::graph::Graph;
+
+/// Total weight of edges whose endpoints lie in different parts (each
+/// undirected edge counted once).
+pub fn edge_cut(g: &Graph, part: &[u32]) -> i64 {
+    let mut cut = 0i64;
+    for v in 0..g.num_vertices() {
+        for (u, w) in g.edges(v) {
+            if part[v] != part[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Load imbalance factor: `max_part_weight * k / total_weight`.
+/// 1.0 is perfect balance.
+pub fn imbalance(g: &Graph, part: &[u32], k: usize) -> f64 {
+    let mut wgt = vec![0i64; k];
+    for v in 0..g.num_vertices() {
+        wgt[part[v] as usize] += g.vwgt[v];
+    }
+    let max = *wgt.iter().max().unwrap_or(&0);
+    let total = g.total_vwgt().max(1);
+    max as f64 * k as f64 / total as f64
+}
+
+/// Per-part total vertex weights.
+pub fn part_weights(g: &Graph, part: &[u32], k: usize) -> Vec<i64> {
+    let mut wgt = vec![0i64; k];
+    for v in 0..g.num_vertices() {
+        wgt[part[v] as usize] += g.vwgt[v];
+    }
+    wgt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_and_imbalance_on_square() {
+        // square 0-1-2-3-0
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], vec![1; 4]);
+        let part = vec![0, 0, 1, 1];
+        assert_eq!(edge_cut(&g, &part), 2);
+        assert!((imbalance(&g, &part, 2) - 1.0).abs() < 1e-12);
+        let skew = vec![0, 0, 0, 1];
+        assert_eq!(edge_cut(&g, &skew), 2);
+        assert!((imbalance(&g, &skew, 2) - 1.5).abs() < 1e-12);
+        assert_eq!(part_weights(&g, &skew, 2), vec![3, 1]);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let mut g = Graph::from_edges(2, &[(0, 1)], vec![1, 1]);
+        g.ewgt = vec![5, 5];
+        assert_eq!(edge_cut(&g, &[0, 1]), 5);
+        assert_eq!(edge_cut(&g, &[0, 0]), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Charge deposition onto the fine (PIC) grid nodes (paper §III-C:
+//! "interpolating the particle charge to the grid nodes").
+//!
+//! Each charged simulation particle carries `charge × weight` real
+//! charge; it is distributed to the 4 nodes of its fine cell with the
+//! linear (barycentric) shape functions — the same functions used to
+//! gather the field back, making the scheme momentum-consistent.
+
+use mesh::NestedMesh;
+use particles::{ParticleBuffer, SpeciesTable};
+
+/// Find the fine child cell of `coarse_cell` containing `pos`.
+/// Falls back to the child with the largest minimum barycentric
+/// weight (robust to roundoff on child faces).
+pub fn fine_cell_of(nm: &NestedMesh, coarse_cell: usize, pos: mesh::Vec3) -> usize {
+    let mut best = nm.children[coarse_cell][0] as usize;
+    let mut best_min = f64::NEG_INFINITY;
+    for &f in &nm.children[coarse_cell] {
+        let w = nm.fine.bary(f as usize, pos);
+        let wmin = w.iter().copied().fold(f64::INFINITY, f64::min);
+        if wmin > best_min {
+            best_min = wmin;
+            best = f as usize;
+        }
+    }
+    best
+}
+
+/// Deposit all charged particles of `buf` onto the fine-grid nodes.
+/// Returns the accumulated node charge (Coulombs of *real* charge per
+/// node), suitable as the FEM right-hand side after division by ε₀.
+pub fn deposit_charge(
+    nm: &NestedMesh,
+    buf: &ParticleBuffer,
+    species: &SpeciesTable,
+) -> Vec<f64> {
+    let mut node_charge = vec![0.0f64; nm.fine.num_nodes()];
+    deposit_charge_into(nm, buf, species, &mut node_charge);
+    node_charge
+}
+
+/// As [`deposit_charge`] but accumulating into an existing array
+/// (callers zero it when appropriate; ranks accumulate their local
+/// particles and then sum boundary nodes across ranks).
+pub fn deposit_charge_into(
+    nm: &NestedMesh,
+    buf: &ParticleBuffer,
+    species: &SpeciesTable,
+    node_charge: &mut [f64],
+) {
+    assert_eq!(node_charge.len(), nm.fine.num_nodes());
+    for i in 0..buf.len() {
+        let sp = species.get(buf.species[i]);
+        if !sp.is_charged() {
+            continue;
+        }
+        let q = sp.charge * sp.weight;
+        let fc = fine_cell_of(nm, buf.cell[i] as usize, buf.pos[i]);
+        let w = nm.fine.bary(fc, buf.pos[i]);
+        let tet = nm.fine.tets[fc];
+        for k in 0..4 {
+            node_charge[tet[k] as usize] += q * w[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::{NozzleSpec, Vec3};
+    use particles::{Particle, QE};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nested() -> NestedMesh {
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        };
+        let coarse = spec.generate();
+        NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+    }
+
+    #[test]
+    fn fine_cell_contains_point() {
+        let nm = nested();
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in (0..nm.num_coarse()).step_by(5) {
+            let p = nm.coarse.tet_pos(c);
+            for _ in 0..5 {
+                let x = particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]);
+                let f = fine_cell_of(&nm, c, x);
+                assert_eq!(nm.fine_parent[f] as usize, c);
+                assert!(nm.fine.contains(f, x, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn total_charge_conserved() {
+        let nm = nested();
+        let (table, _h, hp) = SpeciesTable::hydrogen_plasma(1.0, 100.0);
+        let mut buf = ParticleBuffer::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 0..50u64 {
+            let c = (k as usize * 7) % nm.num_coarse();
+            let p = nm.coarse.tet_pos(c);
+            buf.push(Particle {
+                pos: particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
+                vel: Vec3::ZERO,
+                cell: c as u32,
+                species: hp,
+                id: k,
+            });
+        }
+        let node_charge = deposit_charge(&nm, &buf, &table);
+        let total: f64 = node_charge.iter().sum();
+        let expect = 50.0 * QE * 100.0;
+        assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn neutrals_deposit_nothing() {
+        let nm = nested();
+        let (table, h, _hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let mut buf = ParticleBuffer::new();
+        buf.push(Particle {
+            pos: nm.coarse.centroids[0],
+            vel: Vec3::ZERO,
+            cell: 0,
+            species: h,
+            id: 0,
+        });
+        let node_charge = deposit_charge(&nm, &buf, &table);
+        assert!(node_charge.iter().all(|&q| q == 0.0));
+    }
+
+    #[test]
+    fn charge_lands_on_owning_cell_nodes() {
+        let nm = nested();
+        let (table, _h, hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let c = nm.num_coarse() / 2;
+        let mut buf = ParticleBuffer::new();
+        buf.push(Particle {
+            pos: nm.coarse.centroids[c],
+            vel: Vec3::ZERO,
+            cell: c as u32,
+            species: hp,
+            id: 0,
+        });
+        let node_charge = deposit_charge(&nm, &buf, &table);
+        let f = fine_cell_of(&nm, c, nm.coarse.centroids[c]);
+        let tet = nm.fine.tets[f];
+        let on_cell: f64 = tet.iter().map(|&n| node_charge[n as usize]).sum();
+        let total: f64 = node_charge.iter().sum();
+        assert!((on_cell - total).abs() < 1e-12 * total.abs().max(1e-300));
+    }
+}

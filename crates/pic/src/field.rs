@@ -1,0 +1,97 @@
+//! Electric field from the potential: `E = −∇φ` (paper eq. 3),
+//! piecewise constant per fine cell with linear elements, gathered to
+//! particles with the same shape functions used for deposition.
+
+use crate::poisson::shape_gradients;
+use mesh::{NestedMesh, TetMesh, Vec3};
+
+/// Per-fine-cell constant electric field.
+#[derive(Debug, Clone)]
+pub struct ElectricField {
+    /// `e[f]` = field in fine cell `f` (V/m).
+    pub e: Vec<Vec3>,
+}
+
+impl ElectricField {
+    /// Zero field (used before the first Poisson solve: the paper
+    /// drives particles "by the electric field of the previous
+    /// timestep").
+    pub fn zeros(fine: &TetMesh) -> Self {
+        ElectricField {
+            e: vec![Vec3::ZERO; fine.num_cells()],
+        }
+    }
+
+    /// Compute `E = −∇φ` on every fine cell.
+    pub fn from_potential(fine: &TetMesh, phi: &[f64]) -> Self {
+        assert_eq!(phi.len(), fine.num_nodes());
+        let mut e = vec![Vec3::ZERO; fine.num_cells()];
+        for t in 0..fine.num_cells() {
+            let g = shape_gradients(fine.tet_pos(t));
+            let tet = fine.tets[t];
+            let mut grad = Vec3::ZERO;
+            for k in 0..4 {
+                grad += g[k] * phi[tet[k] as usize];
+            }
+            e[t] = -grad;
+        }
+        ElectricField { e }
+    }
+
+    /// Field at a particle position inside coarse cell `coarse_cell`.
+    pub fn at(&self, nm: &NestedMesh, coarse_cell: usize, pos: Vec3) -> Vec3 {
+        let f = crate::deposit::fine_cell_of(nm, coarse_cell, pos);
+        self.e[f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::NozzleSpec;
+
+    fn nested() -> NestedMesh {
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        };
+        let coarse = spec.generate();
+        NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+    }
+
+    #[test]
+    fn zero_potential_zero_field() {
+        let nm = nested();
+        let phi = vec![0.0; nm.fine.num_nodes()];
+        let e = ElectricField::from_potential(&nm.fine, &phi);
+        assert!(e.e.iter().all(|v| v.norm() == 0.0));
+    }
+
+    #[test]
+    fn linear_potential_gives_constant_field() {
+        let nm = nested();
+        // φ = 100 · z  =>  E = (0, 0, −100)
+        let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| 100.0 * p.z).collect();
+        let e = ElectricField::from_potential(&nm.fine, &phi);
+        for v in &e.e {
+            assert!((v.z + 100.0).abs() < 1e-6, "{v:?}");
+            assert!(v.x.abs() < 1e-6 && v.y.abs() < 1e-6);
+        }
+        // gather at arbitrary points agrees
+        let c = nm.num_coarse() / 2;
+        let at = e.at(&nm, c, nm.coarse.centroids[c]);
+        assert!((at.z + 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn field_is_minus_gradient_direction() {
+        let nm = nested();
+        // φ increasing along +x => E points along −x
+        let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| 50.0 * p.x).collect();
+        let e = ElectricField::from_potential(&nm.fine, &phi);
+        for v in &e.e {
+            assert!(v.x < 0.0);
+        }
+    }
+}

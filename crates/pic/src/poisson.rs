@@ -1,0 +1,232 @@
+//! Finite-element Poisson solver on the fine tetrahedral grid
+//! (paper §III-C, eq. 4–5): assemble `K φ = b` with linear tet
+//! elements, grounded Dirichlet boundaries, CSR storage and a Krylov
+//! solve (the paper uses PETSc KSP; we use Jacobi-preconditioned CG).
+//!
+//! `−∇²φ = ρ/ε₀` with `b_i = (1/ε₀) Σ_k q_k λ_i(x_k)` for point
+//! charges — exactly the deposition output of [`crate::deposit`].
+
+use mesh::{FaceTag, TetMesh, Vec3};
+use sparse::{cg, CooBuilder, CsrMatrix, KrylovOptions, SolveStats};
+
+/// Vacuum permittivity (F/m).
+pub const EPS0: f64 = 8.854_187_812_8e-12;
+
+/// Constant shape-function gradients of a linear tet: returns
+/// `[∇λ0, ∇λ1, ∇λ2, ∇λ3]`.
+pub fn shape_gradients(p: [Vec3; 4]) -> [Vec3; 4] {
+    // λ_i = 1 on vertex i, 0 on the opposite face; the gradient is
+    // the inward face normal scaled by 1/distance:
+    // ∇λ_i = n_face_i_area_vector / (3 V), pointing towards vertex i.
+    let v6 = (p[1] - p[0]).cross(p[2] - p[0]).dot(p[3] - p[0]); // 6V signed
+    let mut g = [Vec3::ZERO; 4];
+    // face opposite vertex i is formed by the other three vertices
+    const FACES: [[usize; 3]; 4] = [[1, 2, 3], [0, 3, 2], [0, 1, 3], [0, 2, 1]];
+    for i in 0..4 {
+        let [a, b, c] = FACES[i];
+        // area vector with orientation chosen so ∇λ_i points to vertex i
+        let n = (p[b] - p[a]).cross(p[c] - p[a]);
+        let n = if n.dot(p[i] - p[a]) > 0.0 { n } else { -n };
+        g[i] = n / v6.abs();
+    }
+    g
+}
+
+/// Pre-assembled Poisson system on a fine grid with Dirichlet nodes
+/// grounded (φ = 0 on all inlet/outlet/wall nodes — conducting
+/// nozzle).
+pub struct PoissonSolver {
+    /// Stiffness matrix with Dirichlet rows replaced by identity.
+    pub matrix: CsrMatrix,
+    /// Dirichlet flags per node.
+    pub is_boundary: Vec<bool>,
+    /// Last solution, reused as the warm start (successive PIC steps
+    /// change ρ slowly, so warm starting saves most iterations).
+    phi: Vec<f64>,
+    opts: KrylovOptions,
+}
+
+impl PoissonSolver {
+    /// Assemble the stiffness matrix of `fine`. O(cells); call once
+    /// per mesh (topology never changes during a run).
+    pub fn new(fine: &TetMesh, opts: KrylovOptions) -> Self {
+        let n = fine.num_nodes();
+        let mut is_boundary = vec![false; n];
+        for (t, nb) in fine.neighbors.iter().enumerate() {
+            for (f, tag) in nb.iter().enumerate() {
+                if matches!(tag, FaceTag::Boundary(_)) {
+                    for nd in fine.face_nodes(t, f) {
+                        is_boundary[nd as usize] = true;
+                    }
+                }
+            }
+        }
+
+        let mut coo = CooBuilder::new(n, n);
+        for t in 0..fine.num_cells() {
+            let p = fine.tet_pos(t);
+            let g = shape_gradients(p);
+            let vol = fine.volumes[t];
+            let tet = fine.tets[t];
+            for i in 0..4 {
+                let gi = tet[i] as usize;
+                if is_boundary[gi] {
+                    continue; // row replaced by identity below
+                }
+                for j in 0..4 {
+                    let gj = tet[j] as usize;
+                    if is_boundary[gj] {
+                        // grounded boundary (φ=0): column drops out
+                        continue;
+                    }
+                    coo.add(gi, gj, vol * g[i].dot(g[j]));
+                }
+            }
+        }
+        for (i, &b) in is_boundary.iter().enumerate() {
+            if b {
+                coo.add(i, i, 1.0);
+            }
+        }
+        let matrix = coo.build();
+        PoissonSolver {
+            matrix,
+            is_boundary,
+            phi: vec![0.0; n],
+            opts,
+        }
+    }
+
+    /// Solve for the potential given the deposited *real* node charge
+    /// (C). Returns `(φ, stats)`; φ is also cached internally as the
+    /// next warm start.
+    pub fn solve(&mut self, node_charge: &[f64]) -> (&[f64], SolveStats) {
+        let n = self.phi.len();
+        assert_eq!(node_charge.len(), n);
+        let mut b = vec![0.0f64; n];
+        for i in 0..n {
+            b[i] = if self.is_boundary[i] {
+                0.0
+            } else {
+                node_charge[i] / EPS0
+            };
+        }
+        // warm start: boundary entries of phi must honour the BC
+        for i in 0..n {
+            if self.is_boundary[i] {
+                self.phi[i] = 0.0;
+            }
+        }
+        let stats = cg(&self.matrix, &b, &mut self.phi, self.opts);
+        (&self.phi, stats)
+    }
+
+    /// Current cached potential.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Number of unknowns.
+    pub fn num_nodes(&self) -> usize {
+        self.phi.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::{NestedMesh, NozzleSpec};
+
+    fn fine_mesh() -> TetMesh {
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        };
+        let coarse = spec.generate();
+        NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n)).fine
+    }
+
+    #[test]
+    fn matrix_is_symmetric_spd_like() {
+        let fine = fine_mesh();
+        let s = PoissonSolver::new(&fine, KrylovOptions::default());
+        assert!(s.matrix.is_symmetric(1e-10));
+        // diagonal strictly positive
+        for d in s.matrix.diagonal() {
+            assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_charge_gives_zero_potential() {
+        let fine = fine_mesh();
+        let mut s = PoissonSolver::new(&fine, KrylovOptions::default());
+        let zeros = vec![0.0; fine.num_nodes()];
+        let (phi, stats) = s.solve(&zeros);
+        assert!(stats.converged);
+        assert!(phi.iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    fn point_charge_creates_positive_interior_potential() {
+        let fine = fine_mesh();
+        let mut s = PoissonSolver::new(&fine, KrylovOptions::default());
+        // put charge on some interior node
+        let interior = (0..fine.num_nodes())
+            .find(|&i| !s.is_boundary[i])
+            .expect("interior node exists");
+        let mut q = vec![0.0; fine.num_nodes()];
+        q[interior] = 1e-15; // ~6k elementary charges
+        let (phi, stats) = s.solve(&q);
+        let phi = phi.to_vec();
+        assert!(stats.converged, "{stats:?}");
+        assert!(phi[interior] > 0.0);
+        // boundary stays grounded
+        for (i, &b) in s.is_boundary.iter().enumerate() {
+            if b {
+                assert_eq!(phi[i], 0.0);
+            }
+        }
+        // the charged node has the max potential
+        let max = phi.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((phi[interior] - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let fine = fine_mesh();
+        let mut s = PoissonSolver::new(&fine, KrylovOptions::default());
+        let interior = (0..fine.num_nodes()).find(|&i| !s.is_boundary[i]).unwrap();
+        let mut q = vec![0.0; fine.num_nodes()];
+        q[interior] = 1e-15;
+        let (_, cold) = s.solve(&q);
+        // tiny perturbation: warm start should converge much faster
+        q[interior] *= 1.0001;
+        let (_, warm) = s.solve(&q);
+        assert!(warm.iterations < cold.iterations, "{warm:?} vs {cold:?}");
+    }
+
+    #[test]
+    fn shape_gradients_partition_of_unity() {
+        let p = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(1.3, 0.1, 0.2),
+            Vec3::new(0.2, 1.1, 0.4),
+            Vec3::new(0.3, 0.4, 1.5),
+        ];
+        let g = shape_gradients(p);
+        // gradients sum to zero (λ's sum to 1)
+        let sum = g[0] + g[1] + g[2] + g[3];
+        assert!(sum.norm() < 1e-12);
+        // ∇λ_i · (p_i − p_j) = 1 for any j ≠ i
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    let d = g[i].dot(p[i] - p[j]);
+                    assert!((d - 1.0).abs() < 1e-10, "i={i} j={j}: {d}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The velocity half of *PIC_Move*: gather the electric field at each
+//! charged particle and apply the Boris kick. Position advance (with
+//! cell tracking, walls and outflow) is shared with DSMC via
+//! `dsmc::move_particles_filtered`.
+
+use crate::boris::boris_push;
+use crate::field::ElectricField;
+use mesh::{NestedMesh, Vec3};
+use particles::{ParticleBuffer, SpeciesTable};
+
+/// Apply one Boris velocity update to every charged particle using
+/// the per-fine-cell field `efield` and uniform magnetic field `b`.
+/// Returns the number of particles kicked.
+pub fn accelerate_charged(
+    nm: &NestedMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    efield: &ElectricField,
+    b: Vec3,
+    dt: f64,
+) -> usize {
+    let mut kicked = 0usize;
+    for i in 0..buf.len() {
+        let sp = species.get(buf.species[i]);
+        if !sp.is_charged() {
+            continue;
+        }
+        let e = efield.at(nm, buf.cell[i] as usize, buf.pos[i]);
+        let qm = sp.charge / sp.mass;
+        buf.vel[i] = boris_push(buf.vel[i], e, b, qm, dt);
+        kicked += 1;
+    }
+    kicked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::NozzleSpec;
+    use particles::Particle;
+
+    fn nested() -> NestedMesh {
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        };
+        let coarse = spec.generate();
+        NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+    }
+
+    #[test]
+    fn neutrals_untouched_ions_kicked() {
+        let nm = nested();
+        let (table, h, hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let mut buf = ParticleBuffer::new();
+        for (k, s) in [h, hp, hp].iter().enumerate() {
+            buf.push(Particle {
+                pos: nm.coarse.centroids[0],
+                vel: Vec3::ZERO,
+                cell: 0,
+                species: *s,
+                id: k as u64,
+            });
+        }
+        // uniform field along +z
+        let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| -1000.0 * p.z).collect();
+        let ef = ElectricField::from_potential(&nm.fine, &phi);
+        let kicked = accelerate_charged(&nm, &mut buf, &table, &ef, Vec3::ZERO, 1e-7);
+        assert_eq!(kicked, 2);
+        assert_eq!(buf.vel[0], Vec3::ZERO, "neutral must not feel E");
+        assert!(buf.vel[1].z > 0.0, "ion accelerated along E");
+        assert_eq!(buf.vel[1], buf.vel[2]);
+    }
+
+    #[test]
+    fn zero_field_changes_nothing() {
+        let nm = nested();
+        let (table, _h, hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let mut buf = ParticleBuffer::new();
+        let v0 = Vec3::new(1e3, 2e3, 3e3);
+        buf.push(Particle {
+            pos: nm.coarse.centroids[0],
+            vel: v0,
+            cell: 0,
+            species: hp,
+            id: 0,
+        });
+        let ef = ElectricField::zeros(&nm.fine);
+        accelerate_charged(&nm, &mut buf, &table, &ef, Vec3::ZERO, 1e-7);
+        assert_eq!(buf.vel[0], v0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dense Gaussian-elimination solver, used as the test oracle for the
+//! Krylov methods and for tiny systems in unit tests.
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n×n`. Returns `None` for (numerically) singular
+/// systems.
+pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n);
+    let mut m: Vec<Vec<f64>> = a.iter().map(|r| {
+        assert_eq!(r.len(), n);
+        r.clone()
+    }).collect();
+    let mut x = b.to_vec();
+
+    for col in 0..n {
+        // partial pivot
+        let piv = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
+        if m[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        m.swap(col, piv);
+        x.swap(col, piv);
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row][k] -= f * m[col][k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    // back substitution
+    for col in (0..n).rev() {
+        x[col] /= m[col][col];
+        for row in 0..col {
+            let f = m[row][col];
+            x[row] -= f * x[col];
+            m[row][col] = 0.0;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+}

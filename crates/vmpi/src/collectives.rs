@@ -1,0 +1,191 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! The coupled solver needs: barrier (inherited from [`Comm`]),
+//! gather/scatter through a root (the backbone of the centralized
+//! exchange), broadcast, and an all-reduce for charge-density boundary
+//! sums and residual norms in the distributed Poisson solve.
+
+use crate::comm::Comm;
+
+/// Gather each rank's buffer at `root`. Returns `Some(buffers)` (in
+/// rank order, including the root's own) on the root, `None`
+/// elsewhere.
+pub fn gather<C: Comm>(comm: &C, root: usize, mine: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    if comm.rank() == root {
+        let mut all = vec![Vec::new(); comm.size()];
+        all[root] = mine;
+        for r in 0..comm.size() {
+            if r != root {
+                all[r] = comm.recv(r);
+            }
+        }
+        Some(all)
+    } else {
+        comm.send(root, mine);
+        None
+    }
+}
+
+/// Scatter one buffer per rank from `root`. Non-root ranks pass
+/// `None` and receive their slice; root passes `Some(buffers)`.
+pub fn scatter<C: Comm>(comm: &C, root: usize, bufs: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+    if comm.rank() == root {
+        let mut bufs = bufs.expect("root must provide buffers");
+        assert_eq!(bufs.len(), comm.size());
+        let mine = std::mem::take(&mut bufs[root]);
+        for (r, b) in bufs.into_iter().enumerate() {
+            if r != root {
+                comm.send(r, b);
+            }
+        }
+        mine
+    } else {
+        comm.recv(root)
+    }
+}
+
+/// Broadcast `msg` from `root` to all ranks (returns the message on
+/// every rank).
+pub fn broadcast<C: Comm>(comm: &C, root: usize, msg: Option<Vec<u8>>) -> Vec<u8> {
+    if comm.rank() == root {
+        let msg = msg.expect("root must provide the message");
+        for r in 0..comm.size() {
+            if r != root {
+                comm.send(r, msg.clone());
+            }
+        }
+        msg
+    } else {
+        comm.recv(root)
+    }
+}
+
+/// All-reduce a vector of f64 by element-wise summation. Every rank
+/// receives the full sum. (Gather-reduce-broadcast through rank 0 —
+/// the topology-oblivious scheme, adequate for the rank counts the
+/// threaded backend runs at.)
+pub fn allreduce_sum_f64<C: Comm>(comm: &C, mine: &[f64]) -> Vec<f64> {
+    let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let gathered = gather(comm, 0, bytes);
+    let reduced = if comm.rank() == 0 {
+        let mut acc = vec![0.0f64; mine.len()];
+        for buf in gathered.unwrap() {
+            assert_eq!(buf.len(), mine.len() * 8);
+            for (i, chunk) in buf.chunks_exact(8).enumerate() {
+                acc[i] += f64::from_le_bytes(chunk.try_into().unwrap());
+            }
+        }
+        Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect())
+    } else {
+        None
+    };
+    let out = broadcast(comm, 0, reduced);
+    out.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// All-reduce a single scalar by max.
+pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> f64 {
+    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec());
+    let reduced = if comm.rank() == 0 {
+        let m = gathered
+            .unwrap()
+            .iter()
+            .map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()))
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(m.to_le_bytes().to_vec())
+    } else {
+        None
+    };
+    let out = broadcast(comm, 0, reduced);
+    f64::from_le_bytes(out[..8].try_into().unwrap())
+}
+
+/// All-gather a u64 from every rank (returned in rank order on all
+/// ranks). Used for global particle counts and the load-imbalance
+/// indicator.
+pub fn allgather_u64<C: Comm>(comm: &C, mine: u64) -> Vec<u64> {
+    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec());
+    let packed = if comm.rank() == 0 {
+        let mut out = Vec::with_capacity(comm.size() * 8);
+        for b in gathered.unwrap() {
+            out.extend_from_slice(&b[..8]);
+        }
+        Some(out)
+    } else {
+        None
+    };
+    let out = broadcast(comm, 0, packed);
+    out.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::run_world;
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let out = run_world(4, |c| {
+            let mine = vec![c.rank() as u8; c.rank() + 1];
+            let gathered = gather(&c, 0, mine);
+            if c.rank() == 0 {
+                let g = gathered.unwrap();
+                assert_eq!(g.len(), 4);
+                for (r, b) in g.iter().enumerate() {
+                    assert_eq!(b.len(), r + 1);
+                    assert!(b.iter().all(|&x| x == r as u8));
+                }
+                // scatter back doubled buffers
+                let bufs: Vec<Vec<u8>> = g.iter().map(|b| b.repeat(2)).collect();
+                scatter(&c, 0, Some(bufs))
+            } else {
+                scatter(&c, 0, None)
+            }
+        });
+        for (r, b) in out.iter().enumerate() {
+            assert_eq!(b.len(), 2 * (r + 1));
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let out = run_world(5, |c| {
+            let msg = if c.rank() == 2 {
+                Some(b"hello".to_vec())
+            } else {
+                None
+            };
+            broadcast(&c, 2, msg)
+        });
+        assert!(out.iter().all(|m| m == b"hello"));
+    }
+
+    #[test]
+    fn allreduce_sums_vectors() {
+        let out = run_world(3, |c| {
+            let mine = vec![c.rank() as f64, 1.0];
+            allreduce_sum_f64(&c, &mine)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = run_world(4, |c| allreduce_max_f64(&c, c.rank() as f64 * 1.5));
+        assert!(out.iter().all(|&v| v == 4.5));
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let out = run_world(4, |c| allgather_u64(&c, (c.rank() * 10) as u64));
+        for v in out {
+            assert_eq!(v, vec![0, 10, 20, 30]);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The paper's two particle-migration strategies (§IV-B).
+//!
+//! Particles can cross from any rank's subdomain to any other's, so
+//! the solver needs all-to-any exchange rather than neighbour halo
+//! exchange. Both strategies take, on every rank, one packed byte
+//! buffer per destination rank, and return the buffers this rank
+//! received.
+//!
+//! * [`Strategy::Centralized`]: gather → classify → scatter through a
+//!   root rank. ~2N transactions, but every byte crosses the network
+//!   twice (≈2M data volume).
+//! * [`Strategy::Distributed`]: all-pairs two-round ordered
+//!   send/recv. ~N(N−1) transactions but each byte moves once (≈M).
+//!
+//! The deadlock-avoidance ordering follows the paper: round 1 receives
+//! from lower ranks then sends to higher ranks; round 2 receives from
+//! higher ranks then sends to lower ranks.
+
+use crate::comm::Comm;
+use serde::{Deserialize, Serialize};
+
+/// Which particle-migration strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Gather/classify/scatter through rank 0.
+    Centralized,
+    /// All-pairs two-round ordered exchange.
+    Distributed,
+}
+
+/// Exchange `outgoing[dest]` buffers between all ranks; returns
+/// `incoming[src]` buffers. `outgoing[comm.rank()]` is moved straight
+/// to `incoming[comm.rank()]` without touching the network.
+pub fn exchange<C: Comm>(comm: &C, strategy: Strategy, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    assert_eq!(outgoing.len(), comm.size());
+    match strategy {
+        Strategy::Centralized => exchange_centralized(comm, outgoing),
+        Strategy::Distributed => exchange_distributed(comm, outgoing),
+    }
+}
+
+/// Distributed strategy: all-pairs, two rounds, paper ordering.
+pub fn exchange_distributed<C: Comm>(comm: &C, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let me = comm.rank();
+    let n = comm.size();
+    let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); n];
+    incoming[me] = std::mem::take(&mut outgoing[me]);
+
+    // Round 1: receive from every lower rank (ascending), then send to
+    // every higher rank (ascending).
+    for src in 0..me {
+        incoming[src] = comm.recv(src);
+    }
+    for dst in me + 1..n {
+        comm.send(dst, std::mem::take(&mut outgoing[dst]));
+    }
+    // Round 2: receive from every higher rank (descending), then send
+    // to every lower rank (descending).
+    for src in (me + 1..n).rev() {
+        incoming[src] = comm.recv(src);
+    }
+    for dst in (0..me).rev() {
+        comm.send(dst, std::mem::take(&mut outgoing[dst]));
+    }
+    incoming
+}
+
+/// Centralized strategy: gather at root, classify by destination,
+/// scatter.
+pub fn exchange_centralized<C: Comm>(comm: &C, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    const ROOT: usize = 0;
+    let me = comm.rank();
+    let n = comm.size();
+    let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); n];
+    incoming[me] = std::mem::take(&mut outgoing[me]);
+
+    // --- gather stage: pack (dest, payload) groups into one message.
+    let pack = |outgoing: &[Vec<u8>]| -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (dst, payload) in outgoing.iter().enumerate() {
+            if payload.is_empty() {
+                continue;
+            }
+            buf.extend_from_slice(&(dst as u32).to_le_bytes());
+            buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            buf.extend_from_slice(payload);
+        }
+        buf
+    };
+    // unpack groups of (dst, payload) out of a gathered message,
+    // appending into per-(dst) classified buffers tagged with source.
+    fn unpack(buf: &[u8], src: usize, sink: &mut [Vec<(usize, Vec<u8>)>]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let dst = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            sink[dst].push((src, buf[off..off + len].to_vec()));
+            off += len;
+        }
+    }
+
+    if me == ROOT {
+        // classified[dst] = list of (src, payload)
+        let mut classified: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n];
+        unpack(&pack(&outgoing), ROOT, &mut classified);
+        for src in 0..n {
+            if src == ROOT {
+                continue;
+            }
+            let msg = comm.recv(src);
+            unpack(&msg, src, &mut classified);
+        }
+        // --- scatter stage: repack per destination with source tags.
+        for (dst, groups) in classified.into_iter().enumerate() {
+            let mut buf = Vec::new();
+            for (src, payload) in groups {
+                buf.extend_from_slice(&(src as u32).to_le_bytes());
+                buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&payload);
+            }
+            if dst == ROOT {
+                // deliver locally
+                let mut off = 0usize;
+                while off < buf.len() {
+                    let src =
+                        u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+                    off += 4;
+                    let len =
+                        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+                    off += 8;
+                    incoming[src].extend_from_slice(&buf[off..off + len]);
+                    off += len;
+                }
+            } else {
+                comm.send(dst, buf);
+            }
+        }
+    } else {
+        comm.send(ROOT, pack(&outgoing));
+        let buf = comm.recv(ROOT);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let src = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            incoming[src].extend_from_slice(&buf[off..off + len]);
+            off += len;
+        }
+    }
+    incoming
+}
+
+/// Traffic summary for one exchange given the migration byte matrix
+/// `matrix[src][dst]` (diagonal ignored). Used by the analytic cluster
+/// performance model so the modelled experiments charge exactly the
+/// traffic the real protocols generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficSummary {
+    /// Total point-to-point messages on the network.
+    pub transactions: u64,
+    /// Total bytes moved over the network.
+    pub total_bytes: u64,
+    /// Worst per-rank sum of (sent + received) bytes — the serial
+    /// bottleneck rank (the root, under the centralized scheme).
+    pub max_rank_bytes: u64,
+}
+
+/// Predict the traffic of one exchange under `strategy`.
+pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
+    let n = matrix.len();
+    let mut off_diag = 0u64; // M: bytes that actually change ranks
+    let mut sent = vec![0u64; n];
+    let mut recvd = vec![0u64; n];
+    for (s, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), n);
+        for (d, &b) in row.iter().enumerate() {
+            if s != d {
+                off_diag += b;
+                sent[s] += b;
+                recvd[d] += b;
+            }
+        }
+    }
+    match strategy {
+        Strategy::Distributed => {
+            // every ordered pair exchanges exactly one message
+            let transactions = (n as u64) * (n as u64 - 1);
+            let max_rank = (0..n).map(|r| sent[r] + recvd[r]).max().unwrap_or(0);
+            TrafficSummary {
+                transactions,
+                total_bytes: off_diag,
+                max_rank_bytes: max_rank,
+            }
+        }
+        Strategy::Centralized => {
+            // N-1 gathers + N-1 scatters; every migrated byte crosses
+            // the wire twice unless its source or destination is the
+            // root itself.
+            let root = 0usize;
+            let mut total = 0u64;
+            let mut root_bytes = 0u64;
+            for (s, row) in matrix.iter().enumerate() {
+                for (d, &b) in row.iter().enumerate() {
+                    if s == d {
+                        continue;
+                    }
+                    let hops = u64::from(s != root) + u64::from(d != root);
+                    total += b * hops;
+                    root_bytes += b * hops;
+                }
+            }
+            TrafficSummary {
+                transactions: 2 * (n as u64 - 1),
+                total_bytes: total,
+                max_rank_bytes: root_bytes,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::run_world;
+
+    /// Build a deterministic payload for (src → dst).
+    fn payload(src: usize, dst: usize) -> Vec<u8> {
+        vec![(src * 16 + dst) as u8; (src + 1) * (dst + 2)]
+    }
+
+    fn check_all_to_all(strategy: Strategy, n: usize) {
+        let results = run_world(n, |c| {
+            let outgoing: Vec<Vec<u8>> =
+                (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
+            exchange(&c, strategy, outgoing)
+        });
+        for (dst, incoming) in results.iter().enumerate() {
+            assert_eq!(incoming.len(), n);
+            for (src, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf, &payload(src, dst), "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_delivers_everything() {
+        for n in [1usize, 2, 3, 5, 8] {
+            check_all_to_all(Strategy::Distributed, n);
+        }
+    }
+
+    #[test]
+    fn centralized_delivers_everything() {
+        for n in [1usize, 2, 3, 5, 8] {
+            check_all_to_all(Strategy::Centralized, n);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_allowed() {
+        for strategy in [Strategy::Centralized, Strategy::Distributed] {
+            let results = run_world(4, move |c| {
+                // only rank 1 sends, and only to rank 3
+                let mut outgoing = vec![Vec::new(); 4];
+                if c.rank() == 1 {
+                    outgoing[3] = vec![42u8; 7];
+                }
+                exchange(&c, strategy, outgoing)
+            });
+            assert_eq!(results[3][1], vec![42u8; 7]);
+            for (dst, inc) in results.iter().enumerate() {
+                for (src, buf) in inc.iter().enumerate() {
+                    if !(src == 1 && dst == 3) {
+                        assert!(buf.is_empty(), "unexpected bytes {src}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transaction_counts_match_theory() {
+        let n = 6;
+        for (strategy, expect) in [
+            (Strategy::Distributed, (n * (n - 1)) as u64),
+            (Strategy::Centralized, 2 * (n as u64 - 1)),
+        ] {
+            let tx = run_world(n, move |c| {
+                c.stats().reset();
+                c.barrier();
+                let outgoing = vec![vec![1u8; 4]; c.size()];
+                let _ = exchange(&c, strategy, outgoing);
+                c.barrier();
+                c.stats().transactions()
+            })[0];
+            assert_eq!(tx, expect, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn traffic_model_distributed() {
+        // 3 ranks, only 0->2 sends 100 bytes
+        let mut m = vec![vec![0u64; 3]; 3];
+        m[0][2] = 100;
+        let t = traffic(Strategy::Distributed, &m);
+        assert_eq!(t.transactions, 6);
+        assert_eq!(t.total_bytes, 100);
+        assert_eq!(t.max_rank_bytes, 100);
+    }
+
+    #[test]
+    fn traffic_model_centralized_double_hops() {
+        let mut m = vec![vec![0u64; 3]; 3];
+        m[1][2] = 100; // neither endpoint is root: 2 hops
+        m[0][1] = 50; // source is root: 1 hop
+        let t = traffic(Strategy::Centralized, &m);
+        assert_eq!(t.transactions, 4);
+        assert_eq!(t.total_bytes, 250);
+        assert_eq!(t.max_rank_bytes, 250);
+    }
+
+    #[test]
+    fn centralized_moves_more_bytes_distributed_more_messages() {
+        // uniform all-to-all migration matrix
+        let n = 8usize;
+        let m: Vec<Vec<u64>> = (0..n)
+            .map(|s| (0..n).map(|d| if s == d { 0 } else { 10 }).collect())
+            .collect();
+        let cc = traffic(Strategy::Centralized, &m);
+        let dc = traffic(Strategy::Distributed, &m);
+        assert!(cc.transactions < dc.transactions);
+        assert!(cc.total_bytes > dc.total_bytes);
+    }
+}

@@ -1,0 +1,17 @@
+//! Virtual MPI: in-process message passing with the paper's two
+//! particle-exchange strategies (§IV-B).
+//!
+//! Real MPI on a real cluster is replaced by (a) a threaded backend
+//! where every rank is an OS thread ([`threaded`]) used for functional
+//! parallel runs, and (b) traffic prediction ([`exchange::traffic`])
+//! that feeds the analytic cluster model in the `coupled` crate for
+//! experiments at paper scale (hundreds to thousands of ranks).
+
+pub mod collectives;
+pub mod comm;
+pub mod exchange;
+pub mod threaded;
+
+pub use comm::{Comm, CommStats};
+pub use exchange::{exchange, traffic, Strategy, TrafficSummary};
+pub use threaded::{run_world, ThreadComm};

@@ -1,0 +1,174 @@
+//! Threaded world: each rank is an OS thread, transport is a full
+//! mesh of crossbeam channels.
+//!
+//! This is the *functional* backend used for real parallel runs
+//! (examples, validation, threaded benches). Large-scale experiments
+//! (hundreds–thousands of ranks) use the sequential cluster driver in
+//! the `coupled` crate instead, with identical exchange semantics.
+
+use crate::comm::{Comm, CommStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Per-rank endpoint of a threaded world.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    /// `to[j]` sends to rank `j` (our dedicated (i→j) channel).
+    to: Vec<Sender<Vec<u8>>>,
+    /// `from[j]` receives messages rank `j` sent us.
+    from: Vec<Receiver<Vec<u8>>>,
+    barrier: Arc<Barrier>,
+    stats: Arc<CommStats>,
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, msg: Vec<u8>) {
+        self.stats.record(msg.len());
+        self.to[to].send(msg).expect("receiver hung up");
+    }
+
+    fn recv(&self, from: usize) -> Vec<u8> {
+        self.from[from].recv().expect("sender hung up")
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Run `f(comm)` on `n` rank threads and collect the per-rank return
+/// values in rank order. Panics in any rank propagate.
+pub fn run_world<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(ThreadComm) -> R + Sync,
+{
+    assert!(n >= 1);
+    let stats = CommStats::new();
+    let barrier = Arc::new(Barrier::new(n));
+
+    // channels[i][j] = channel from rank i to rank j
+    let mut senders: Vec<Vec<Sender<Vec<u8>>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Vec<Option<Receiver<Vec<u8>>>>> = vec![Vec::new(); n];
+    for recv_row in receivers.iter_mut() {
+        recv_row.resize_with(n, || None);
+    }
+    for i in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let (s, r) = unbounded();
+            row.push(s);
+            receivers[j][i] = Some(r); // rank j receives from i
+        }
+        senders.push(row);
+    }
+
+    let mut comms: Vec<ThreadComm> = Vec::with_capacity(n);
+    for (rank, (to, from_opts)) in senders.into_iter().zip(receivers).enumerate() {
+        let from = from_opts.into_iter().map(|r| r.unwrap()).collect();
+        comms.push(ThreadComm {
+            rank,
+            size: n,
+            to,
+            from,
+            barrier: barrier.clone(),
+            stats: stats.clone(),
+        });
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for comm in comms {
+            let f = &f;
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = run_world(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        // each rank sends its id to the next rank and reports what it got
+        let got = run_world(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, vec![c.rank() as u8]);
+            let m = c.recv(prev);
+            m[0] as usize
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn source_matched_receive_ordering() {
+        // rank 0 receives from 2 then 1; messages must be matched by
+        // source regardless of arrival order
+        let got = run_world(3, |c| {
+            match c.rank() {
+                0 => {
+                    let a = c.recv(2);
+                    let b = c.recv(1);
+                    (a[0], b[0])
+                }
+                r => {
+                    c.send(0, vec![r as u8]);
+                    (0, 0)
+                }
+            }
+        });
+        assert_eq!(got[0], (2, 1));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![0u8; 10]);
+            } else {
+                let _ = c.recv(0);
+            }
+            c.barrier();
+            (c.stats().transactions(), c.stats().bytes())
+        });
+        assert_eq!(out[0], (1, 10));
+        assert_eq!(out[1], (1, 10));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_world(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // after the barrier, every rank must see all increments
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+}

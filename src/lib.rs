@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the coupled DSMC/PIC workspace.
+pub use balance;
+pub use coupled;
+pub use dsmc;
+pub use mesh;
+pub use particles;
+pub use partition;
+pub use pic;
+pub use sparse;
+pub use vmpi;

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the real threaded parallel solver against
+//! the serial reference, and the two exchange strategies against each
+//! other (the paper's §VII-A validation, at test scale).
+
+use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+use vmpi::Strategy;
+
+fn base_run(ranks: usize) -> RunConfig {
+    let mut run = RunConfig::paper(Dataset::D1, 0.03, ranks);
+    run.sim.seed = 1234;
+    run.steps = 20;
+    run.rebalance = None;
+    run
+}
+
+#[test]
+fn parallel_population_tracks_serial() {
+    let run4 = base_run(4);
+    let ser = run_serial(&run4);
+    let par = run_threaded(&run4);
+    let rel = (par.population as f64 - ser.population as f64).abs()
+        / ser.population.max(1) as f64;
+    assert!(
+        rel < 0.1,
+        "serial {} vs parallel {}",
+        ser.population,
+        par.population
+    );
+}
+
+#[test]
+fn density_profiles_agree_between_rank_counts() {
+    // 2 ranks vs 6 ranks: same physics, different decomposition
+    let a = run_threaded(&base_run(2));
+    let b = run_threaded(&base_run(6));
+    let ta: f64 = a.density_h.iter().sum();
+    let tb: f64 = b.density_h.iter().sum();
+    assert!(
+        (ta - tb).abs() / ta.max(1e-300) < 0.15,
+        "2-rank {ta:e} vs 6-rank {tb:e}"
+    );
+}
+
+#[test]
+fn centralized_and_distributed_same_physics() {
+    let mut dc = base_run(4);
+    dc.strategy = Strategy::Distributed;
+    let mut cc = base_run(4);
+    cc.strategy = Strategy::Centralized;
+    let rdc = run_threaded(&dc);
+    let rcc = run_threaded(&cc);
+    // identical seeds and identical exchange *semantics*: bit-equal
+    // populations (only the message routing differs)
+    assert_eq!(rdc.population, rcc.population);
+    for (a, b) in rdc.density_h.iter().zip(&rcc.density_h) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn transaction_counts_reflect_strategy() {
+    let mut dc = base_run(5);
+    dc.strategy = Strategy::Distributed;
+    let mut cc = base_run(5);
+    cc.strategy = Strategy::Centralized;
+    let rdc = run_threaded(&dc);
+    let rcc = run_threaded(&cc);
+    // distributed: ~N(N-1) per exchange; centralized: ~2(N-1) plus
+    // collectives. DC must send far more messages overall.
+    assert!(
+        rdc.transactions > rcc.transactions,
+        "DC {} !> CC {}",
+        rdc.transactions,
+        rcc.transactions
+    );
+    // ... while CC moves at least as many bytes (everything twice,
+    // minus root-local traffic)
+    assert!(rcc.bytes as f64 >= rdc.bytes as f64 * 0.8);
+}
+
+#[test]
+fn load_balanced_run_matches_unbalanced_physics() {
+    let mut plain = base_run(4);
+    plain.steps = 24;
+    let mut lb = plain.clone();
+    lb.rebalance = Some(balance::RebalanceConfig {
+        t_interval: 8,
+        threshold: 1.2,
+        ..Default::default()
+    });
+    let a = run_threaded(&plain);
+    let b = run_threaded(&lb);
+    let rel =
+        (a.population as f64 - b.population as f64).abs() / a.population.max(1) as f64;
+    assert!(rel < 0.1, "LB changed the physics: {} vs {}", a.population, b.population);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on the core invariants: geometry,
+//! wire format, sparse algebra, assignment and the exchange traffic
+//! model.
+
+use mesh::geom::{barycentric, tet_contains, tet_volume, tet_volume_signed, Vec3};
+use particles::{pack_particle, unpack_particle, Particle, PACKED_SIZE};
+use proptest::prelude::*;
+use sparse::{cg, solve_dense, CooBuilder, KrylovOptions};
+use vmpi::{traffic, Strategy as CommStrategy};
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// A tet with volume bounded away from zero (degenerate tets are
+/// rejected; the mesh generator never produces them).
+fn good_tet() -> impl Strategy<Value = [Vec3; 4]> {
+    [vec3(), vec3(), vec3(), vec3()]
+        .prop_filter("non-degenerate", |p| tet_volume(p[0], p[1], p[2], p[3]) > 10.0)
+}
+
+proptest! {
+    #[test]
+    fn barycentric_weights_sum_to_one(p in good_tet(), q in vec3()) {
+        let w = barycentric(q, p[0], p[1], p[2], p[3]);
+        let s: f64 = w.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-6, "sum {s}");
+    }
+
+    #[test]
+    fn barycentric_reconstructs_point(p in good_tet(), a in 0.01f64..1.0, b in 0.01f64..1.0, c in 0.01f64..1.0, d in 0.01f64..1.0) {
+        // random convex combination of vertices lies inside, and its
+        // barycentric coordinates reproduce the combination
+        let sum = a + b + c + d;
+        let (w0, w1, w2, w3) = (a / sum, b / sum, c / sum, d / sum);
+        let q = p[0] * w0 + p[1] * w1 + p[2] * w2 + p[3] * w3;
+        prop_assert!(tet_contains(q, p[0], p[1], p[2], p[3], 1e-4));
+        let w = barycentric(q, p[0], p[1], p[2], p[3]);
+        // tolerance scales with conditioning: thin tets amplify roundoff
+        prop_assert!((w[0] - w0).abs() < 1e-4);
+        prop_assert!((w[3] - w3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn swapping_vertices_flips_orientation(p in good_tet()) {
+        let v1 = tet_volume_signed(p[0], p[1], p[2], p[3]);
+        let v2 = tet_volume_signed(p[1], p[0], p[2], p[3]);
+        prop_assert!((v1 + v2).abs() < 1e-9 * v1.abs().max(1.0));
+    }
+
+    #[test]
+    fn particle_wire_roundtrip(
+        px in -1e3f64..1e3, py in -1e3f64..1e3, pz in -1e3f64..1e3,
+        vx in -1e6f64..1e6, vy in -1e6f64..1e6, vz in -1e6f64..1e6,
+        cell in 0u32..u32::MAX, species in 0u8..255, id in 0u64..u64::MAX,
+    ) {
+        let p = Particle {
+            pos: Vec3::new(px, py, pz),
+            vel: Vec3::new(vx, vy, vz),
+            cell, species, id,
+        };
+        let mut buf = Vec::new();
+        pack_particle(&p, &mut buf);
+        prop_assert_eq!(buf.len(), PACKED_SIZE);
+        prop_assert_eq!(unpack_particle(&buf, 0), p);
+    }
+
+    #[test]
+    fn cg_matches_dense_on_random_spd(seed in 0u64..5000) {
+        // random SPD: A = B^T B + n I on small n
+        let n = 6usize;
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s % 2000) as f64 - 1000.0) / 500.0
+        };
+        let b_mat: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i][j] += b_mat[k][i] * b_mat[k][j];
+                }
+            }
+            a[i][i] += n as f64;
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| rnd()).collect();
+
+        let mut coo = CooBuilder::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                coo.add(i, j, a[i][j]);
+            }
+        }
+        let csr = coo.build();
+        let mut x = vec![0.0; n];
+        let stats = cg(&csr, &rhs, &mut x, KrylovOptions { rtol: 1e-12, max_iters: 500 });
+        prop_assert!(stats.converged);
+        let exact = solve_dense(&a, &rhs).unwrap();
+        for (xi, ei) in x.iter().zip(&exact) {
+            prop_assert!((xi - ei).abs() < 1e-6 * ei.abs().max(1.0), "{xi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn hungarian_beats_or_matches_greedy(seed in 0u64..2000) {
+        let n = 5usize;
+        let mut s = seed.wrapping_mul(0xBF58476D1CE4E5B9).wrapping_add(7);
+        let mut rnd = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 1000) as i64 };
+        let w: Vec<Vec<i64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+        let (assign, total) = partition::max_weight_assignment(&w);
+        // valid permutation
+        let mut seen = vec![false; n];
+        for &j in &assign {
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+        // greedy row-by-row baseline
+        let mut taken = vec![false; n];
+        let mut greedy = 0i64;
+        for i in 0..n {
+            let j = (0..n)
+                .filter(|&j| !taken[j])
+                .max_by_key(|&j| w[i][j])
+                .unwrap();
+            taken[j] = true;
+            greedy += w[i][j];
+        }
+        prop_assert!(total >= greedy, "KM {total} < greedy {greedy}");
+    }
+
+    #[test]
+    fn traffic_model_invariants(nbytes in proptest::collection::vec(0u64..10_000, 9)) {
+        // 3x3 migration matrix from the flat vector
+        let m: Vec<Vec<u64>> = nbytes.chunks(3).map(|c| c.to_vec()).collect();
+        let dc = traffic(CommStrategy::Distributed, &m);
+        let cc = traffic(CommStrategy::Centralized, &m);
+        // centralized never has more transactions
+        prop_assert!(cc.transactions <= dc.transactions);
+        // distributed never moves more bytes
+        prop_assert!(dc.total_bytes <= cc.total_bytes);
+        // busiest rank bounded by total traffic
+        prop_assert!(dc.max_rank_bytes <= 2 * dc.total_bytes);
+        prop_assert!(cc.max_rank_bytes <= cc.total_bytes);
+    }
+
+    #[test]
+    fn kway_partition_is_total_and_bounded(k in 2usize..6, seed in 0u64..100) {
+        // ring graph of 40 vertices with pseudo-random weights
+        let n = 40usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        let mut s = seed.wrapping_add(3);
+        let mut rnd = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 20 + 1) as i64 };
+        let vwgt: Vec<i64> = (0..n).map(|_| rnd()).collect();
+        let g = partition::Graph::from_edges(n, &edges, vwgt);
+        let part = partition::part_graph_kway(&g, k, partition::KwayOptions::default());
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&p| (p as usize) < k));
+        // weighted imbalance within a generous bound for a ring
+        prop_assert!(partition::imbalance(&g, &part, k) < 1.8);
+    }
+}
