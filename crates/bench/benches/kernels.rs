@@ -153,6 +153,93 @@ fn bench_pack(c: &mut Criterion) {
     });
 }
 
+/// 1-vs-N worker variants of the four pooled hot kernels. Wall-clock
+/// speedup needs as many host CPUs as workers; `bench_snapshot`
+/// (src/bin) runs the same kernels and records ns/op to
+/// `BENCH_kernels.json` together with the visible CPU count.
+fn bench_pooled_scaling(c: &mut Criterion) {
+    let nm = nested();
+    let (table, _, hp) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+    for workers in [1usize, 4] {
+        let pool = kernels::Pool::new(workers);
+
+        c.bench_function(&format!("dsmc/move_pooled_10k/w{workers}"), |b| {
+            b.iter_batched(
+                || (filled_buffer(&nm, 10_000), StdRng::seed_from_u64(1)),
+                |(mut buf, mut rng)| {
+                    let st = dsmc::move_particles_pooled(
+                        &nm.coarse,
+                        &mut buf,
+                        &table,
+                        1e-7,
+                        300.0,
+                        &mut rng,
+                        &pool,
+                        |_| true,
+                        None,
+                    );
+                    black_box(st)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        c.bench_function(&format!("dsmc/collide_pooled_10k/w{workers}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        filled_buffer(&nm, 10_000),
+                        dsmc::CollisionModel::new(nm.num_coarse(), &table, 300.0),
+                        StdRng::seed_from_u64(2),
+                        Vec::new(),
+                    )
+                },
+                |(mut buf, mut model, mut rng, mut ev)| {
+                    let st = model.collide_pooled(
+                        &nm.coarse,
+                        &mut buf,
+                        &table,
+                        0,
+                        1e-6,
+                        &mut rng,
+                        &mut ev,
+                        &pool,
+                    );
+                    black_box(st)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut ion_buf = filled_buffer(&nm, 10_000);
+        for s in ion_buf.species.iter_mut() {
+            *s = hp;
+        }
+        let mut q = vec![0.0f64; nm.fine.num_nodes()];
+        c.bench_function(&format!("pic/deposit_pooled_10k/w{workers}"), |b| {
+            b.iter(|| {
+                q.iter_mut().for_each(|v| *v = 0.0);
+                pic::deposit_charge_pooled(&nm, &ion_buf, &table, &mut q, &pool);
+                black_box(q[0])
+            })
+        });
+    }
+}
+
+fn bench_sort_by_cell(c: &mut Criterion) {
+    let nm = nested();
+    c.bench_function("particles/sort_by_cell_10k", |b| {
+        b.iter_batched(
+            || (filled_buffer(&nm, 10_000), particles::SortScratch::default()),
+            |(mut buf, mut scratch)| {
+                buf.sort_by_cell(nm.num_coarse(), &mut scratch);
+                black_box(buf.cell[0])
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_locate,
@@ -160,6 +247,8 @@ criterion_group!(
     bench_boris,
     bench_collide,
     bench_deposit,
-    bench_pack
+    bench_pack,
+    bench_pooled_scaling,
+    bench_sort_by_cell
 );
 criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Machine-readable kernel-scaling snapshot.
+//!
+//! Benchmarks the four pooled hot kernels (ballistic move, NTC
+//! collide, charge deposition, SpMV) at several intra-rank worker
+//! counts and writes `BENCH_kernels.json` — one record per
+//! `(kernel, workers)` pair with the measured ns/op — plus a speedup
+//! table on stdout.
+//!
+//! The host's visible CPU count is recorded in the JSON: speedups are
+//! only meaningful when the host exposes at least as many CPUs as the
+//! worker count (a 1-CPU container time-slices the lanes and reports
+//! ~1× regardless of how well the kernels scale).
+//!
+//! Env knobs:
+//! * `CRITERION_MEASURE_MS` — per-bench measurement budget (default
+//!   300 ms; raise for steadier numbers).
+//! * `BENCH_OUT` — output path (default `BENCH_kernels.json`).
+//! * `BENCH_WORKERS` — comma-separated worker counts (default `1,2,4`).
+
+use criterion::{black_box, Criterion};
+use kernels::Pool;
+use mesh::{NestedMesh, NozzleSpec, Vec3};
+use particles::{Particle, ParticleBuffer, SpeciesTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::CooBuilder;
+
+fn nested() -> NestedMesh {
+    let spec = NozzleSpec {
+        nd: 8,
+        nz: 16,
+        ..NozzleSpec::default()
+    };
+    let coarse = spec.generate();
+    NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n))
+}
+
+fn filled_buffer(nm: &NestedMesh, n: usize, species: u8) -> ParticleBuffer {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut buf = ParticleBuffer::new();
+    for k in 0..n {
+        let c = (k * 37) % nm.num_coarse();
+        let p = nm.coarse.tet_pos(c);
+        buf.push(Particle {
+            pos: particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
+            vel: particles::sample::maxwellian(
+                &mut rng,
+                300.0,
+                particles::MASS_H,
+                Vec3::new(0.0, 0.0, 1e4),
+            ),
+            cell: c as u32,
+            species,
+            id: k as u64,
+        });
+    }
+    buf
+}
+
+/// 7-point Laplacian on an `nx × ny × nz` grid (the same sparsity
+/// class as the FEM Poisson operator, at a size where SpMV dominates).
+fn laplacian(nx: usize, ny: usize, nz: usize) -> sparse::CsrMatrix {
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    let mut coo = CooBuilder::new(n, n);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let r = idx(i, j, k);
+                coo.add(r, r, 6.0);
+                if i > 0 {
+                    coo.add(r, idx(i - 1, j, k), -1.0);
+                }
+                if i + 1 < nx {
+                    coo.add(r, idx(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.add(r, idx(i, j - 1, k), -1.0);
+                }
+                if j + 1 < ny {
+                    coo.add(r, idx(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.add(r, idx(i, j, k - 1), -1.0);
+                }
+                if k + 1 < nz {
+                    coo.add(r, idx(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.build()
+}
+
+fn main() {
+    let mut workers: Vec<usize> = std::env::var("BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&w| w >= 1)
+        .collect();
+    if workers.is_empty() {
+        eprintln!("BENCH_WORKERS parsed to nothing; using 1,2,4");
+        workers = vec![1, 2, 4];
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let nm = nested();
+    let (table, h, hp) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
+    let ion_buf = {
+        let mut b = filled_buffer(&nm, 20_000, h);
+        for s in b.species.iter_mut() {
+            *s = hp;
+        }
+        b
+    };
+    let mat = laplacian(48, 48, 24);
+    let x: Vec<f64> = (0..mat.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
+
+    let mut c = Criterion::default();
+    for &w in &workers {
+        let pool = Pool::new(w);
+
+        c.bench_function(&format!("move/w{w}"), |b| {
+            b.iter_batched(
+                || (filled_buffer(&nm, 20_000, h), StdRng::seed_from_u64(1)),
+                |(mut buf, mut rng)| {
+                    let st = dsmc::move_particles_pooled(
+                        &nm.coarse,
+                        &mut buf,
+                        &table,
+                        1e-7,
+                        300.0,
+                        &mut rng,
+                        &pool,
+                        |_| true,
+                        None,
+                    );
+                    black_box(st)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        c.bench_function(&format!("collide/w{w}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        filled_buffer(&nm, 20_000, h),
+                        dsmc::CollisionModel::new(nm.num_coarse(), &table, 300.0),
+                        StdRng::seed_from_u64(2),
+                        Vec::new(),
+                    )
+                },
+                |(mut buf, mut model, mut rng, mut ev)| {
+                    let st = model.collide_pooled(
+                        &nm.coarse,
+                        &mut buf,
+                        &table,
+                        h,
+                        1e-6,
+                        &mut rng,
+                        &mut ev,
+                        &pool,
+                    );
+                    black_box(st)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut q = vec![0.0f64; nm.fine.num_nodes()];
+        c.bench_function(&format!("deposit/w{w}"), |b| {
+            b.iter(|| {
+                q.iter_mut().for_each(|v| *v = 0.0);
+                pic::deposit_charge_pooled(&nm, &ion_buf, &table, &mut q, &pool);
+                black_box(q[0])
+            })
+        });
+
+        let mut y = vec![0.0f64; mat.nrows()];
+        c.bench_function(&format!("spmv/w{w}"), |b| {
+            b.iter(|| {
+                mat.spmv_pooled(&x, &mut y, &pool);
+                black_box(y[0])
+            })
+        });
+    }
+
+    // ---- report ----------------------------------------------------
+    let ns = |kernel: &str, w: usize| {
+        c.results
+            .iter()
+            .find(|m| m.name == format!("{kernel}/w{w}"))
+            .map(|m| m.ns_per_iter)
+    };
+    println!("\nhost CPUs visible: {host_cpus}");
+    println!("{:<10} {:>8} {:>14} {:>9}", "kernel", "workers", "ns/op", "speedup");
+    for kernel in ["move", "collide", "deposit", "spmv"] {
+        let base = ns(kernel, workers[0]).unwrap_or(f64::NAN);
+        for &w in &workers {
+            if let Some(t) = ns(kernel, w) {
+                println!("{kernel:<10} {w:>8} {t:>14.1} {:>8.2}x", base / t);
+            }
+        }
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!(
+        "  \"measure_ms\": {},\n",
+        std::env::var("CRITERION_MEASURE_MS").unwrap_or_else(|_| "300".into())
+    ));
+    json.push_str("  \"results\": [\n");
+    let rows: Vec<String> = c
+        .results
+        .iter()
+        .map(|m| {
+            let (kernel, w) = m.name.split_once("/w").expect("name format");
+            format!(
+                "    {{\"kernel\": \"{kernel}\", \"workers\": {w}, \"ns_per_op\": {:.1}, \"iters\": {}}}",
+                m.ns_per_iter, m.iters
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out, json).expect("write snapshot");
+    println!("[json] {out}");
+}

@@ -355,6 +355,8 @@ mod tests {
             steps: 20,
             work_boost: Dataset::D1.work_boost(0.02),
             paper_cells: Some(Dataset::D1.paper_pic_cells()),
+            threads_per_rank: 1,
+            sort_every: 0,
         }
     }
 

@@ -214,6 +214,16 @@ pub struct RunConfig {
     /// Paper-scale fine (PIC) cell count for the cost model's grid
     /// work (Poisson, partitioner); `None` disables grid boosting.
     pub paper_cells: Option<usize>,
+    /// Intra-rank worker threads for the hot kernels (move, collide,
+    /// deposit, push, SpMV). The default of 1 routes every kernel
+    /// through the untouched serial code path with the rank's own RNG,
+    /// reproducing pre-existing results bit for bit.
+    pub threads_per_rank: usize,
+    /// Re-sort particles into cell order every this many DSMC steps
+    /// (counting sort, amortised scratch); 0 disables. Sorting changes
+    /// particle iteration order — and hence RNG consumption — so the
+    /// default is off to keep default outputs unchanged.
+    pub sort_every: usize,
 }
 
 impl RunConfig {
@@ -226,6 +236,8 @@ impl RunConfig {
             steps: 100,
             work_boost: 1.0,
             paper_cells: None,
+            threads_per_rank: 1,
+            sort_every: 0,
         }
     }
 

@@ -16,10 +16,11 @@
 use crate::config::RunConfig;
 use crate::timers::{Breakdown, Phase, Stopwatch};
 use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
-use dsmc::{move_particles_tracked, ChemistryModel, CollisionModel, Injector};
+use dsmc::{move_particles_pooled, ChemistryModel, CollisionModel, Injector};
+use kernels::Pool;
 use mesh::NestedMesh;
-use particles::{pack_selected, unpack_all, ParticleBuffer, SpeciesTable};
-use pic::{accelerate_charged, deposit_charge_into, ElectricField, PoissonSolver};
+use particles::{pack_selected_into, unpack_all, ParticleBuffer, SortScratch, SpeciesTable};
+use pic::{accelerate_charged_pooled, deposit_charge_pooled, ElectricField, PoissonSolver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparse::KrylovOptions;
@@ -83,33 +84,71 @@ pub fn run_threaded(run: &RunConfig) -> ThreadedRunResult {
     results.into_iter().next().expect("rank 0 result")
 }
 
+/// Per-rank scratch state for the exchange phases, reused across
+/// steps so the steady state is allocation-free: destination index
+/// lists and the keep mask persist at capacity, and byte buffers
+/// received from peers are recycled as the next step's send buffers.
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    by_dest: Vec<Vec<usize>>,
+    keep: Vec<bool>,
+    /// Recycled wire buffers (cleared, capacity retained).
+    spare: Vec<Vec<u8>>,
+}
+
+impl ExchangeScratch {
+    /// Return a cleared byte buffer, reusing a recycled one if
+    /// available.
+    fn take_buffer(&mut self) -> Vec<u8> {
+        let mut b = self.spare.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Hand a no-longer-needed wire buffer back for reuse.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.spare.push(buf);
+    }
+}
+
 /// Split off the particles of `buf` that no longer belong to `me` and
 /// return one packed buffer per destination rank.
+///
+/// Single pass over the particles: destination lists and the keep
+/// mask are built together (the seed version walked the `by_dest`
+/// lists a second time to derive the mask — O(particles × ranks) of
+/// extra traffic per exchange on migration-heavy steps).
 fn pack_emigrants(
     buf: &mut ParticleBuffer,
     owner: &[u32],
     me: usize,
     ranks: usize,
+    scratch: &mut ExchangeScratch,
 ) -> Vec<Vec<u8>> {
-    let mut by_dest: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+    scratch.by_dest.resize_with(ranks, Vec::new);
+    for d in scratch.by_dest.iter_mut() {
+        d.clear();
+    }
+    scratch.keep.clear();
+    scratch.keep.resize(buf.len(), true);
+    let mut emigrants = 0usize;
     for i in 0..buf.len() {
         let dest = owner[buf.cell[i] as usize] as usize;
         if dest != me {
-            by_dest[dest].push(i);
+            scratch.by_dest[dest].push(i);
+            scratch.keep[i] = false;
+            emigrants += 1;
         }
     }
-    let outgoing: Vec<Vec<u8>> = by_dest
-        .iter()
-        .map(|idx| pack_selected(buf, idx))
-        .collect();
-    // compact: keep only local particles
-    let mut keep = vec![true; buf.len()];
-    for idx in &by_dest {
-        for &i in idx {
-            keep[i] = false;
-        }
+    let mut outgoing: Vec<Vec<u8>> = Vec::with_capacity(ranks);
+    for d in 0..ranks {
+        let mut b = scratch.take_buffer();
+        pack_selected_into(buf, &scratch.by_dest[d], &mut b);
+        outgoing.push(b);
     }
-    buf.compact(&keep);
+    if emigrants > 0 {
+        buf.compact(&scratch.keep);
+    }
     outgoing
 }
 
@@ -130,6 +169,9 @@ fn rank_main(
     let cfg = &run.sim;
     let mut owner: Vec<u32> = owner0.to_vec();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1 + me as u64));
+    let pool = Pool::new(run.threads_per_rank);
+    let mut exch = ExchangeScratch::default();
+    let mut sort_scratch = SortScratch::default();
 
     let mut buf = ParticleBuffer::new();
     let mut injector = Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
@@ -149,9 +191,16 @@ fn rank_main(
     let h_sp = species.get(h_id).clone();
     let ion_sp = species.get(hp_id).clone();
 
-    for _step in 0..run.steps {
+    for step in 0..run.steps {
         let mut sw = Stopwatch::start();
         let mut step_bd = Breakdown::new();
+
+        // Periodic cell-order sort: restores memory locality for the
+        // per-cell collide/deposit loops. Off by default (reordering
+        // shifts RNG consumption order and thus default outputs).
+        if run.sort_every > 0 && step > 0 && step % run.sort_every == 0 {
+            buf.sort_by_cell(nm.num_coarse(), &mut sort_scratch);
+        }
 
         // --- Inject (only on ranks owning inlet cells) --------------
         if let Some(inj) = injector.as_mut() {
@@ -179,26 +228,28 @@ fn rank_main(
         sw.lap(&mut step_bd, Phase::Inject);
 
         // --- DSMC_Move + DSMC_Exchange -------------------------------
-        move_particles_tracked(
+        move_particles_pooled(
             &nm.coarse,
             &mut buf,
             species,
             cfg.dt_dsmc,
             cfg.t_wall,
             &mut rng,
+            &pool,
             |s| s == h_id,
             None,
         );
         sw.lap(&mut step_bd, Phase::DsmcMove);
-        let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+        let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
         for incoming in exchange(&comm, run.strategy, outgoing) {
             unpack_all(&incoming, &mut buf);
+            exch.recycle(incoming);
         }
         sw.lap(&mut step_bd, Phase::DsmcExchange);
 
         // --- Colli_React ----------------------------------------------
         events.clear();
-        collisions.collide(
+        collisions.collide_pooled(
             &nm.coarse,
             &mut buf,
             species,
@@ -206,6 +257,7 @@ fn rank_main(
             cfg.dt_dsmc,
             &mut rng,
             &mut events,
+            &pool,
         );
         if cfg.cross_collisions {
             dsmc::CrossCollisionModel::default().collide(
@@ -233,30 +285,40 @@ fn rank_main(
 
         // --- PIC substeps ----------------------------------------------
         for _ in 0..cfg.pic_per_dsmc {
-            accelerate_charged(nm, &mut buf, species, &efield, cfg.b_field, cfg.dt_pic());
-            move_particles_tracked(
+            accelerate_charged_pooled(
+                nm,
+                &mut buf,
+                species,
+                &efield,
+                cfg.b_field,
+                cfg.dt_pic(),
+                &pool,
+            );
+            move_particles_pooled(
                 &nm.coarse,
                 &mut buf,
                 species,
                 cfg.dt_pic(),
                 cfg.t_wall,
                 &mut rng,
+                &pool,
                 |s| s == hp_id,
                 None,
             );
             sw.lap(&mut step_bd, Phase::PicMove);
-            let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+            let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
             for incoming in exchange(&comm, run.strategy, outgoing) {
                 unpack_all(&incoming, &mut buf);
+                exch.recycle(incoming);
             }
             sw.lap(&mut step_bd, Phase::PicExchange);
 
             // deposit local charge, sum boundary/node charge across
             // ranks (paper §IV-C reduction), solve replicated
             let mut node_charge = vec![0.0f64; nm.fine.num_nodes()];
-            deposit_charge_into(nm, &buf, species, &mut node_charge);
+            deposit_charge_pooled(nm, &buf, species, &mut node_charge, &pool);
             let node_charge = allreduce_sum_f64(&comm, &node_charge);
-            let (phi, _stats) = poisson.solve(&node_charge);
+            let (phi, _stats) = poisson.solve_with(&node_charge, &pool, None);
             efield = ElectricField::from_potential(&nm.fine, phi);
             sw.lap(&mut step_bd, Phase::PoissonSolve);
         }
@@ -321,9 +383,10 @@ fn rank_main(
                 owner = new_owner;
                 injector =
                     Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
-                let outgoing = pack_emigrants(&mut buf, &owner, me, ranks);
+                let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
                 for incoming in exchange(&comm, run.strategy, outgoing) {
                     unpack_all(&incoming, &mut buf);
+                    exch.recycle(incoming);
                 }
             }
             sw.lap(&mut step_bd, Phase::Rebalance);

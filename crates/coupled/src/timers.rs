@@ -139,27 +139,39 @@ impl fmt::Display for Breakdown {
 }
 
 /// Wall-clock stopwatch for real (threaded / serial) runs.
+///
+/// `lap` reads the clock exactly **once** and reuses that instant as
+/// the start of the next lap, so consecutive laps tile the timeline
+/// with no gaps: the phase times of a breakdown filled solely by laps
+/// sum to exactly the origin-to-last-lap wall time.
 #[derive(Debug)]
 pub struct Stopwatch {
+    origin: std::time::Instant,
     start: std::time::Instant,
 }
 
 impl Stopwatch {
     pub fn start() -> Self {
-        Stopwatch {
-            start: std::time::Instant::now(),
-        }
+        let now = std::time::Instant::now();
+        Stopwatch { origin: now, start: now }
     }
 
-    /// Elapsed seconds since start.
+    /// Elapsed seconds since the last lap (or construction).
     pub fn elapsed(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
 
-    /// Add the elapsed time to `bd[phase]` and restart.
+    /// Elapsed seconds since construction.
+    pub fn since_origin(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Add the elapsed time to `bd[phase]` and restart, using a
+    /// single clock read for both.
     pub fn lap(&mut self, bd: &mut Breakdown, phase: Phase) {
-        bd[phase] += self.elapsed();
-        self.start = std::time::Instant::now();
+        let now = std::time::Instant::now();
+        bd[phase] += (now - self.start).as_secs_f64();
+        self.start = now;
     }
 }
 
@@ -220,5 +232,30 @@ mod tests {
         let mut b = Breakdown::new();
         sw.lap(&mut b, Phase::Reindex);
         assert!(b[Phase::Reindex] >= 0.004);
+    }
+
+    #[test]
+    fn laps_tile_the_timeline_without_gaps() {
+        // phase times must sum to (essentially) the total wall time:
+        // each lap reuses one clock read as start of the next lap
+        let mut sw = Stopwatch::start();
+        let mut b = Breakdown::new();
+        for (k, p) in Phase::ALL.iter().enumerate() {
+            if k % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            sw.lap(&mut b, *p);
+        }
+        let total = sw.since_origin();
+        // all origin-to-last-lap time is attributed to some phase;
+        // only the time after the final lap is unaccounted
+        assert!(b.total() <= total);
+        assert!(
+            total - b.total() < 1e-3,
+            "gap {} s between phase sum {} and wall {}",
+            total - b.total(),
+            b.total(),
+            total
+        );
     }
 }

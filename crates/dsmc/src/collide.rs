@@ -6,6 +6,7 @@
 //! with probability `σ(g)·g / (σg)_max`; accepted pairs scatter
 //! isotropically (VHS), conserving momentum and energy exactly.
 
+use kernels::{fork_rng, Pool};
 use mesh::TetMesh;
 use particles::{ParticleBuffer, SpeciesTable};
 use rand::Rng;
@@ -138,6 +139,157 @@ impl CollisionModel {
         }
         stats
     }
+
+    /// Pooled NTC pass: cells are striped across workers (cell `c`
+    /// goes to lane `c mod workers`, which spreads the spatially
+    /// clustered plume cells evenly) and each lane collides its cells
+    /// with an RNG stream forked off one draw from `rng`. Lanes write
+    /// velocity updates for disjoint particle sets (cell lists
+    /// partition the neutrals), applied on the caller thread along
+    /// with the adaptive `(σg)_max` updates, so no synchronisation on
+    /// the buffer is needed.
+    ///
+    /// With a serial pool this delegates to [`CollisionModel::collide`]
+    /// with the caller's `rng` — bit-identical to the serial kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collide_pooled<R: Rng>(
+        &mut self,
+        mesh: &TetMesh,
+        buf: &mut ParticleBuffer,
+        species: &SpeciesTable,
+        neutral_id: u8,
+        dt: f64,
+        rng: &mut R,
+        events: &mut Vec<CollisionEvent>,
+        pool: &Pool,
+    ) -> CollideStats {
+        if pool.is_serial() {
+            return self.collide(mesh, buf, species, neutral_id, dt, rng, events);
+        }
+        let base: u64 = rng.gen();
+        let sp = species.get(neutral_id);
+        let f_n = sp.weight;
+        let mass = sp.mass;
+
+        // Bucket neutral particles by cell (serial: O(n) with no
+        // contention worth parallelising).
+        for l in self.cell_lists.iter_mut() {
+            l.clear();
+        }
+        for i in 0..buf.len() {
+            if buf.species[i] == neutral_id {
+                self.cell_lists[buf.cell[i] as usize].push(i as u32);
+            }
+        }
+
+        let workers = pool.workers();
+        let parts: Vec<Vec<usize>> = (0..workers)
+            .map(|lane| {
+                (lane..self.cell_lists.len())
+                    .step_by(workers)
+                    .filter(|&c| self.cell_lists[c].len() >= 2)
+                    .collect()
+            })
+            .collect();
+        let cell_lists = &self.cell_lists;
+        let sigma_g_max = &self.sigma_g_max;
+        let vel = &buf.vel;
+
+        type LaneOut = (
+            CollideStats,
+            Vec<CollisionEvent>,
+            Vec<(u32, mesh::Vec3)>,
+            Vec<(usize, f64)>,
+        );
+        let results: Vec<LaneOut> = pool.run_parts(parts, |lane, cells| {
+            let mut rng = fork_rng(base, lane as u64);
+            let mut stats = CollideStats::default();
+            let mut ev: Vec<CollisionEvent> = Vec::new();
+            let mut vel_updates: Vec<(u32, mesh::Vec3)> = Vec::new();
+            let mut sigma_updates: Vec<(usize, f64)> = Vec::new();
+            let mut local_vel: Vec<mesh::Vec3> = Vec::new();
+            let mut dirty: Vec<bool> = Vec::new();
+            for c in cells {
+                let list = &cell_lists[c];
+                let n = list.len();
+                let vc = mesh.volumes[c];
+                let sgm = sigma_g_max[c];
+                let mut sgm_adapt = sgm;
+                let n_cand = 0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
+                let n_cand = n_cand.floor() as usize
+                    + usize::from(rng.gen::<f64>() < n_cand.fract());
+                if n_cand == 0 {
+                    continue;
+                }
+                local_vel.clear();
+                local_vel.extend(list.iter().map(|&i| vel[i as usize]));
+                dirty.clear();
+                dirty.resize(n, false);
+                for _ in 0..n_cand {
+                    stats.candidates += 1;
+                    let a = rng.gen_range(0..n);
+                    let b = loop {
+                        let b = rng.gen_range(0..n);
+                        if b != a {
+                            break b;
+                        }
+                    };
+                    let g_vec = local_vel[a] - local_vel[b];
+                    let g = g_vec.norm();
+                    let sigma_g = sp.vhs_cross_section(g) * g;
+                    if sigma_g > sgm_adapt {
+                        sgm_adapt = sigma_g; // adaptive max
+                    }
+                    if rng.gen::<f64>() * sgm < sigma_g {
+                        stats.collisions += 1;
+                        let m1 = mass;
+                        let m2 = mass;
+                        let cm = (local_vel[a] * m1 + local_vel[b] * m2) / (m1 + m2);
+                        let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
+                        let sin_t = (1.0 - cos_t * cos_t).sqrt();
+                        let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                        let dir = mesh::Vec3::new(
+                            sin_t * phi.cos(),
+                            sin_t * phi.sin(),
+                            cos_t,
+                        );
+                        local_vel[a] = cm + dir * (g * m2 / (m1 + m2));
+                        local_vel[b] = cm - dir * (g * m1 / (m1 + m2));
+                        dirty[a] = true;
+                        dirty[b] = true;
+                        ev.push(CollisionEvent {
+                            i: list[a],
+                            j: list[b],
+                            rel_speed: g,
+                        });
+                    }
+                }
+                for (k, &d) in dirty.iter().enumerate() {
+                    if d {
+                        vel_updates.push((list[k], local_vel[k]));
+                    }
+                }
+                if sgm_adapt > sgm {
+                    sigma_updates.push((c, sgm_adapt));
+                }
+            }
+            (stats, ev, vel_updates, sigma_updates)
+        });
+
+        let mut stats = CollideStats::default();
+        for (s, ev, vel_updates, sigma_updates) in results {
+            stats.candidates += s.candidates;
+            stats.collisions += s.collisions;
+            events.extend(ev);
+            for (i, v) in vel_updates {
+                buf.vel[i as usize] = v;
+            }
+            for (c, sg) in sigma_updates {
+                self.sigma_g_max[c] = sg;
+            }
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +344,83 @@ mod tests {
         let en_after: f64 = buf.iter().map(|p| p.vel.norm2()).sum();
         assert!((mom_before - mom_after).norm() < 1e-6 * mom_before.norm().max(1.0));
         assert!((en_before - en_after).abs() < 1e-9 * en_before);
+    }
+
+    #[test]
+    fn pooled_conserves_momentum_energy_and_matches_serial_rates() {
+        let (m, table, base_buf) = setup(1e12);
+        // serial reference collision count
+        let serial_collisions = {
+            let mut buf = base_buf.clone();
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+            let mut ev = Vec::new();
+            model
+                .collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev)
+                .collisions
+        };
+        for workers in [2usize, 4] {
+            let mut buf = base_buf.clone();
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+            let mut ev = Vec::new();
+            let mom_before: Vec3 = buf.iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
+            let en_before: f64 = buf.iter().map(|p| p.vel.norm2()).sum();
+            let stats = model.collide_pooled(
+                &m,
+                &mut buf,
+                &table,
+                0,
+                1e-5,
+                &mut rng,
+                &mut ev,
+                &kernels::Pool::new(workers),
+            );
+            assert!(stats.collisions > 0, "workers={workers}: {stats:?}");
+            assert_eq!(stats.collisions, ev.len());
+            let mom_after: Vec3 = buf.iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
+            let en_after: f64 = buf.iter().map(|p| p.vel.norm2()).sum();
+            assert!((mom_before - mom_after).norm() < 1e-6 * mom_before.norm().max(1.0));
+            assert!((en_before - en_after).abs() < 1e-9 * en_before);
+            // statistically equivalent rate (different stream, same physics)
+            let ratio = stats.collisions as f64 / serial_collisions.max(1) as f64;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "workers={workers}: pooled {} vs serial {serial_collisions}",
+                stats.collisions
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_with_serial_pool_is_bit_identical() {
+        let (m, table, base_buf) = setup(1e12);
+        let run = |pooled: bool| {
+            let mut buf = base_buf.clone();
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut model = CollisionModel::new(m.num_cells(), &table, 300.0);
+            let mut ev = Vec::new();
+            let stats = if pooled {
+                model.collide_pooled(
+                    &m,
+                    &mut buf,
+                    &table,
+                    0,
+                    1e-5,
+                    &mut rng,
+                    &mut ev,
+                    &kernels::Pool::serial(),
+                )
+            } else {
+                model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev)
+            };
+            (stats, buf.vel.clone(), ev)
+        };
+        let (sa, va, ea) = run(false);
+        let (sb, vb, eb) = run(true);
+        assert_eq!(sa, sb);
+        assert_eq!(va, vb);
+        assert_eq!(ea, eb);
     }
 
     #[test]

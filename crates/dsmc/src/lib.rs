@@ -16,6 +16,7 @@ pub use cross::{CrossCollisionModel, CrossStats};
 pub use inject::Injector;
 pub use moments::{moments, CellMoments};
 pub use movepush::{
-    move_particles, move_particles_filtered, move_particles_tracked, MoveStats, EXITED,
+    move_particles, move_particles_filtered, move_particles_pooled, move_particles_tracked,
+    MoveStats, EXITED,
 };
 pub use react::{ChemistryModel, ReactStats};

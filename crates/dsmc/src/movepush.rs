@@ -7,6 +7,7 @@
 //! temperature, and leaving the domain through the outlet (or back
 //! through the inlet).
 
+use kernels::{fork_rng, Pool};
 use mesh::{first_exit, BoundaryKind, FaceTag, TetMesh, Vec3};
 use particles::sample::{flux_normal_speed, maxwellian};
 use particles::{ParticleBuffer, SpeciesTable};
@@ -84,76 +85,230 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
     let nudge_len = mesh.mean_cell_size() * NUDGE;
 
     let mut i = 0usize;
-    'particles: while i < buf.len() {
+    while i < buf.len() {
         if !pred(buf.species[i]) {
             i += 1;
             continue;
         }
         let old_cell = buf.cell[i];
-        let mut r = buf.pos[i];
-        let mut v = buf.vel[i];
-        let mut cell = buf.cell[i] as usize;
-        let mut remaining = dt;
-
-        // A particle can cross many faces per step; cap the loop to
-        // guard against degenerate geometry.
-        for _ in 0..10_000 {
-            if remaining <= 0.0 {
-                break;
-            }
-            match first_exit(mesh, cell, r, v, remaining) {
-                None => {
-                    r += v * remaining;
-                    remaining = 0.0;
+        match advance_one(
+            mesh,
+            species,
+            buf.species[i],
+            dt,
+            wall_temp,
+            nudge_len,
+            rng,
+            buf.pos[i],
+            buf.vel[i],
+            old_cell as usize,
+            &mut stats,
+        ) {
+            None => {
+                // outlet (or inlet, flying backwards): particle left
+                buf.swap_remove(i);
+                if let Some(tr) = transitions.as_deref_mut() {
+                    tr.push((old_cell, EXITED));
                 }
-                Some((tc, face)) => {
-                    r += v * tc;
-                    remaining -= tc;
-                    stats.crossings += 1;
-                    match mesh.neighbors[cell][face] {
-                        FaceTag::Interior(o) => {
-                            cell = o as usize;
-                            // nudge across the face so the new cell's
-                            // containment holds numerically
-                            r += v.normalized() * nudge_len;
-                        }
-                        FaceTag::Boundary(BoundaryKind::Wall) => {
-                            stats.wall_hits += 1;
-                            let (_fc, n) = mesh.face_centroid_normal(cell, face);
-                            let inward = -n.normalized();
-                            let sp = species.get(buf.species[i]);
-                            // diffuse reflection: fresh Maxwellian at
-                            // wall temperature, with a flux-weighted
-                            // inward normal component
-                            let mut vnew = maxwellian(rng, wall_temp, sp.mass, Vec3::ZERO);
-                            let vn = vnew.dot(inward);
-                            vnew -= inward * vn; // tangential part
-                            vnew += inward * flux_normal_speed(rng, wall_temp, sp.mass);
-                            v = vnew;
-                            r += inward * nudge_len;
-                        }
-                        FaceTag::Boundary(_) => {
-                            // outlet (or inlet, flying backwards):
-                            // particle leaves the domain
-                            stats.exited += 1;
-                            buf.swap_remove(i);
-                            if let Some(tr) = transitions.as_deref_mut() {
-                                tr.push((old_cell, EXITED));
-                            }
-                            continue 'particles;
-                        }
+            }
+            Some((r, v, cell)) => {
+                buf.pos[i] = r;
+                buf.vel[i] = v;
+                buf.cell[i] = cell;
+                if let Some(tr) = transitions.as_deref_mut() {
+                    tr.push((old_cell, cell));
+                }
+                i += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Advance a single particle for `dt`: straight flight with face
+/// crossings, diffuse wall reflection, loop capped to guard against
+/// degenerate geometry. Returns the final `(pos, vel, cell)` or
+/// `None` if the particle left the domain.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn advance_one<R: Rng>(
+    mesh: &TetMesh,
+    species: &SpeciesTable,
+    sp_id: u8,
+    dt: f64,
+    wall_temp: f64,
+    nudge_len: f64,
+    rng: &mut R,
+    mut r: Vec3,
+    mut v: Vec3,
+    mut cell: usize,
+    stats: &mut MoveStats,
+) -> Option<(Vec3, Vec3, u32)> {
+    let mut remaining = dt;
+    // A particle can cross many faces per step; cap the loop.
+    for _ in 0..10_000 {
+        if remaining <= 0.0 {
+            break;
+        }
+        match first_exit(mesh, cell, r, v, remaining) {
+            None => {
+                r += v * remaining;
+                remaining = 0.0;
+            }
+            Some((tc, face)) => {
+                r += v * tc;
+                remaining -= tc;
+                stats.crossings += 1;
+                match mesh.neighbors[cell][face] {
+                    FaceTag::Interior(o) => {
+                        cell = o as usize;
+                        // nudge across the face so the new cell's
+                        // containment holds numerically
+                        r += v.normalized() * nudge_len;
+                    }
+                    FaceTag::Boundary(BoundaryKind::Wall) => {
+                        stats.wall_hits += 1;
+                        let (_fc, n) = mesh.face_centroid_normal(cell, face);
+                        let inward = -n.normalized();
+                        let sp = species.get(sp_id);
+                        // diffuse reflection: fresh Maxwellian at
+                        // wall temperature, with a flux-weighted
+                        // inward normal component
+                        let mut vnew = maxwellian(rng, wall_temp, sp.mass, Vec3::ZERO);
+                        let vn = vnew.dot(inward);
+                        vnew -= inward * vn; // tangential part
+                        vnew += inward * flux_normal_speed(rng, wall_temp, sp.mass);
+                        v = vnew;
+                        r += inward * nudge_len;
+                    }
+                    FaceTag::Boundary(_) => {
+                        stats.exited += 1;
+                        return None;
                     }
                 }
             }
         }
+    }
+    Some((r, v, cell as u32))
+}
 
-        buf.pos[i] = r;
-        buf.vel[i] = v;
-        buf.cell[i] = cell as u32;
-        if let Some(tr) = transitions.as_deref_mut() {
-            tr.push((old_cell, cell as u32));
+/// Chunked parallel mover. Particles are partitioned into one
+/// contiguous chunk per pool worker; each chunk walks its particles
+/// with an independent RNG stream forked off one draw from `rng`
+/// (wall reflections therefore differ from the serial path, exactly
+/// like particles on different MPI ranks use different streams).
+/// Exited particles are marked per-chunk and removed in a single
+/// order-preserving compaction afterwards.
+///
+/// With a serial pool this delegates to [`move_particles_tracked`]
+/// with the caller's `rng` — bit-identical to the serial kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
+    mesh: &TetMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    dt: f64,
+    wall_temp: f64,
+    rng: &mut R,
+    pool: &Pool,
+    pred: P,
+    mut transitions: Option<&mut Vec<(u32, u32)>>,
+) -> MoveStats {
+    if pool.is_serial() || buf.len() < 2 {
+        return move_particles_tracked(
+            mesh,
+            buf,
+            species,
+            dt,
+            wall_temp,
+            rng,
+            pred,
+            transitions,
+        );
+    }
+    let base: u64 = rng.gen();
+    let nudge_len = mesh.mean_cell_size() * NUDGE;
+    let n = buf.len();
+    let ranges = kernels::chunk_ranges(n, pool.workers());
+
+    // Carve the SoA fields into disjoint per-chunk mutable slices.
+    let species_arr: &[u8] = &buf.species;
+    let mut parts: Vec<(usize, &mut [Vec3], &mut [Vec3], &mut [u32])> =
+        Vec::with_capacity(ranges.len());
+    {
+        let mut pos_rest: &mut [Vec3] = &mut buf.pos;
+        let mut vel_rest: &mut [Vec3] = &mut buf.vel;
+        let mut cell_rest: &mut [u32] = &mut buf.cell;
+        let mut off = 0usize;
+        for rg in &ranges {
+            let (p, pr) = pos_rest.split_at_mut(rg.len());
+            let (v, vr) = vel_rest.split_at_mut(rg.len());
+            let (c, cr) = cell_rest.split_at_mut(rg.len());
+            pos_rest = pr;
+            vel_rest = vr;
+            cell_rest = cr;
+            parts.push((off, p, v, c));
+            off += rg.len();
         }
-        i += 1;
+    }
+
+    let pred = &pred;
+    let results = pool.run_parts(parts, |ci, (off, pos, vel, cell)| {
+        let mut rng = fork_rng(base, ci as u64);
+        let mut stats = MoveStats::default();
+        let mut exited: Vec<u32> = Vec::new();
+        let mut trans: Vec<(u32, u32)> = Vec::new();
+        for k in 0..pos.len() {
+            let gi = off + k;
+            if !pred(species_arr[gi]) {
+                continue;
+            }
+            let old_cell = cell[k];
+            match advance_one(
+                mesh,
+                species,
+                species_arr[gi],
+                dt,
+                wall_temp,
+                nudge_len,
+                &mut rng,
+                pos[k],
+                vel[k],
+                old_cell as usize,
+                &mut stats,
+            ) {
+                None => {
+                    exited.push(gi as u32);
+                    trans.push((old_cell, EXITED));
+                }
+                Some((r, v, c)) => {
+                    pos[k] = r;
+                    vel[k] = v;
+                    cell[k] = c;
+                    trans.push((old_cell, c));
+                }
+            }
+        }
+        (stats, exited, trans)
+    });
+
+    let mut stats = MoveStats::default();
+    let mut keep = vec![true; n];
+    let mut any_exit = false;
+    for (s, exited, trans) in results {
+        stats.exited += s.exited;
+        stats.wall_hits += s.wall_hits;
+        stats.crossings += s.crossings;
+        for gi in exited {
+            keep[gi as usize] = false;
+            any_exit = true;
+        }
+        if let Some(tr) = transitions.as_deref_mut() {
+            tr.extend(trans);
+        }
+    }
+    if any_exit {
+        buf.compact(&keep);
     }
     stats
 }
@@ -269,6 +424,131 @@ mod tests {
                 m.contains(p.cell as usize, p.pos, 1e-5),
                 "cell id out of sync with position"
             );
+        }
+    }
+
+    #[test]
+    fn pooled_matches_serial_without_wall_hits() {
+        // interior-only flight draws no random numbers, so the pooled
+        // mover must reproduce the serial result bitwise for every
+        // worker count
+        let (m, sp) = setup();
+        let make = || {
+            let mut buf = ParticleBuffer::new();
+            for k in 0..200 {
+                let cell = (k * 13) % m.num_cells();
+                let v = Vec3::new(
+                    ((k % 11) as f64 - 5.0) * 40.0,
+                    ((k % 5) as f64 - 2.0) * 40.0,
+                    (k % 7) as f64 * 50.0,
+                );
+                buf.push(particle_at(&m, cell, v));
+            }
+            buf
+        };
+        let mut serial = make();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s_serial = move_particles(&m, &mut serial, &sp, 2e-8, 300.0, &mut rng);
+        assert_eq!(s_serial.wall_hits, 0, "test premise: no RNG used");
+        assert_eq!(s_serial.exited, 0);
+        for workers in [2usize, 4, 7] {
+            let mut par = make();
+            let mut rng = StdRng::seed_from_u64(7);
+            let s_par = move_particles_pooled(
+                &m,
+                &mut par,
+                &sp,
+                2e-8,
+                300.0,
+                &mut rng,
+                &kernels::Pool::new(workers),
+                |_| true,
+                None,
+            );
+            assert_eq!(s_serial, s_par);
+            assert_eq!(par.len(), serial.len());
+            for i in 0..par.len() {
+                assert_eq!(par.get(i), serial.get(i), "workers={workers} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_serial_pool_is_bit_identical_path() {
+        let (m, sp) = setup();
+        let mut a = ParticleBuffer::new();
+        let mut b = ParticleBuffer::new();
+        for k in 0..60 {
+            let cell = (k * 31) % m.num_cells();
+            let p = particle_at(&m, cell, Vec3::new(4e4, 1e3, 2e3));
+            a.push(p);
+            b.push(p);
+        }
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let sa = move_particles(&m, &mut a, &sp, 2e-7, 300.0, &mut rng_a);
+        let sb = move_particles_pooled(
+            &m,
+            &mut b,
+            &sp,
+            2e-7,
+            300.0,
+            &mut rng_b,
+            &kernels::Pool::serial(),
+            |_| true,
+            None,
+        );
+        assert_eq!(sa, sb);
+        assert_eq!(rng_a, rng_b, "serial pool must consume the caller RNG identically");
+        for i in 0..a.len() {
+            assert_eq!(a.get(i), b.get(i));
+        }
+    }
+
+    #[test]
+    fn pooled_removes_exited_and_keeps_rest_valid() {
+        let (m, sp) = setup();
+        let mut buf = ParticleBuffer::new();
+        let near_outlet =
+            mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0012, 0.001)).unwrap();
+        for k in 0..120u64 {
+            // half fast exiting, half slow staying; ids distinguish
+            let (cell, vel) = if k % 2 == 0 {
+                (near_outlet, Vec3::new(0.0, 0.0, 1e6))
+            } else {
+                // stationary: guaranteed survivors
+                ((k as usize * 17) % m.num_cells(), Vec3::ZERO)
+            };
+            let mut p = particle_at(&m, cell, vel);
+            p.id = k;
+            buf.push(p);
+        }
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut transitions = Vec::new();
+        let stats = move_particles_pooled(
+            &m,
+            &mut buf,
+            &sp,
+            1e-3,
+            300.0,
+            &mut rng,
+            &kernels::Pool::new(4),
+            |_| true,
+            Some(&mut transitions),
+        );
+        assert_eq!(stats.exited, 60, "{stats:?}");
+        assert_eq!(buf.len(), 60);
+        assert_eq!(transitions.len(), 120);
+        assert_eq!(
+            transitions.iter().filter(|&&(_, c)| c == EXITED).count(),
+            60
+        );
+        // survivors are exactly the odd ids, still inside the domain
+        let mut ids: Vec<u64> = buf.id.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..120).filter(|k| k % 2 == 1).collect::<Vec<_>>());
+        for p in buf.iter() {
+            assert!(m.contains(p.cell as usize, p.pos, 1e-5));
         }
     }
 

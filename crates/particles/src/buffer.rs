@@ -30,6 +30,20 @@ pub struct ParticleBuffer {
     pub id: Vec<u64>,
 }
 
+/// Reusable scratch for [`ParticleBuffer::sort_by_cell`]. Keeping one
+/// per rank amortises the allocations: after the first sort every
+/// subsequent call is allocation-free (the sorted arrays are swapped
+/// with the scratch arrays, which stay at capacity).
+#[derive(Debug, Clone, Default)]
+pub struct SortScratch {
+    offsets: Vec<usize>,
+    pos: Vec<Vec3>,
+    vel: Vec<Vec3>,
+    cell: Vec<u32>,
+    species: Vec<u8>,
+    id: Vec<u64>,
+}
+
 impl ParticleBuffer {
     pub fn new() -> Self {
         Self::default()
@@ -154,6 +168,44 @@ impl ParticleBuffer {
         }
     }
 
+    /// Stable counting sort by cell id, O(n + num_cells). Restores
+    /// cell-coherent memory order after many move/exchange steps have
+    /// scrambled it, so the per-cell loops of collide and deposit
+    /// stream contiguous memory again. `num_cells` must exceed every
+    /// stored cell id.
+    pub fn sort_by_cell(&mut self, num_cells: usize, scratch: &mut SortScratch) {
+        let n = self.len();
+        scratch.offsets.clear();
+        scratch.offsets.resize(num_cells + 1, 0);
+        for &c in &self.cell {
+            debug_assert!((c as usize) < num_cells);
+            scratch.offsets[c as usize + 1] += 1;
+        }
+        for i in 0..num_cells {
+            scratch.offsets[i + 1] += scratch.offsets[i];
+        }
+        scratch.pos.resize(n, Vec3::ZERO);
+        scratch.vel.resize(n, Vec3::ZERO);
+        scratch.cell.resize(n, 0);
+        scratch.species.resize(n, 0);
+        scratch.id.resize(n, 0);
+        for i in 0..n {
+            let c = self.cell[i] as usize;
+            let dst = scratch.offsets[c];
+            scratch.offsets[c] += 1;
+            scratch.pos[dst] = self.pos[i];
+            scratch.vel[dst] = self.vel[i];
+            scratch.cell[dst] = self.cell[i];
+            scratch.species[dst] = self.species[i];
+            scratch.id[dst] = self.id[i];
+        }
+        std::mem::swap(&mut self.pos, &mut scratch.pos);
+        std::mem::swap(&mut self.vel, &mut scratch.vel);
+        std::mem::swap(&mut self.cell, &mut scratch.cell);
+        std::mem::swap(&mut self.species, &mut scratch.species);
+        std::mem::swap(&mut self.id, &mut scratch.id);
+    }
+
     /// Renumber particle ids sequentially starting at `start`;
     /// returns the next free id. This is the per-rank half of the
     /// paper's *Reindex* component (ranks obtain disjoint `start`
@@ -237,6 +289,31 @@ mod tests {
         let mut counts = vec![0u64; 4];
         b.count_per_cell(&mut counts);
         assert_eq!(counts, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn sort_by_cell_is_stable_and_reuses_scratch() {
+        let mut b = ParticleBuffer::new();
+        for (k, c) in [3u64, 1, 3, 0, 2, 1, 3, 0].into_iter().enumerate() {
+            let mut q = p(k as u64);
+            q.cell = c as u32;
+            b.push(q);
+        }
+        let mut scratch = SortScratch::default();
+        b.sort_by_cell(4, &mut scratch);
+        let cells: Vec<u32> = b.cell.clone();
+        assert_eq!(cells, vec![0, 0, 1, 1, 2, 3, 3, 3]);
+        // stable: within a cell, original order (by id) preserved
+        let ids: Vec<u64> = b.id.clone();
+        assert_eq!(ids, vec![3, 7, 1, 5, 4, 0, 2, 6]);
+        // second sort on already-sorted data is a no-op
+        let before: Vec<u64> = b.id.clone();
+        b.sort_by_cell(4, &mut scratch);
+        assert_eq!(b.id, before);
+        // shrinking works with the same scratch
+        b.truncate(3);
+        b.sort_by_cell(4, &mut scratch);
+        assert_eq!(b.len(), 3);
     }
 
     #[test]

@@ -7,6 +7,6 @@ pub mod pack;
 pub mod sample;
 pub mod species;
 
-pub use buffer::{Particle, ParticleBuffer};
-pub use pack::{pack_particle, pack_selected, unpack_all, unpack_particle, PACKED_SIZE};
+pub use buffer::{Particle, ParticleBuffer, SortScratch};
+pub use pack::{pack_particle, pack_selected, pack_selected_into, unpack_all, unpack_particle, PACKED_SIZE};
 pub use species::{Species, SpeciesTable, KB, MASS_H, QE};

@@ -53,10 +53,18 @@ pub fn unpack_all(buf: &[u8], out: &mut ParticleBuffer) {
 /// Pack the particles at `indices` of `src` into one buffer.
 pub fn pack_selected(src: &ParticleBuffer, indices: &[usize]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(indices.len() * PACKED_SIZE);
-    for &i in indices {
-        pack_particle(&src.get(i), &mut buf);
-    }
+    pack_selected_into(src, indices, &mut buf);
     buf
+}
+
+/// As [`pack_selected`], but appending into a caller-supplied buffer
+/// (typically a recycled one — the exchange scratch reuses received
+/// buffers to avoid per-step allocations).
+pub fn pack_selected_into(src: &ParticleBuffer, indices: &[usize], buf: &mut Vec<u8>) {
+    buf.reserve(indices.len() * PACKED_SIZE);
+    for &i in indices {
+        pack_particle(&src.get(i), buf);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! linear (barycentric) shape functions — the same functions used to
 //! gather the field back, making the scheme momentum-consistent.
 
+use kernels::Pool;
 use mesh::NestedMesh;
 use particles::{ParticleBuffer, SpeciesTable};
 
@@ -64,6 +65,50 @@ pub fn deposit_charge_into(
     }
 }
 
+/// Pooled deposition with *contribution-log replay*: worker chunks
+/// compute `(node, Δq)` logs in parallel (the expensive part — fine
+/// cell search and barycentric weights), then the caller thread
+/// replays the logs in particle order. The accumulation order is
+/// therefore exactly the serial loop's order, making the result
+/// **bitwise identical to [`deposit_charge_into`] for every worker
+/// count** — no f64 atomics, no per-worker grid copies to reduce.
+pub fn deposit_charge_pooled(
+    nm: &NestedMesh,
+    buf: &ParticleBuffer,
+    species: &SpeciesTable,
+    node_charge: &mut [f64],
+    pool: &Pool,
+) {
+    assert_eq!(node_charge.len(), nm.fine.num_nodes());
+    if pool.is_serial() || buf.len() < 2 {
+        return deposit_charge_into(nm, buf, species, node_charge);
+    }
+    let ranges = kernels::chunk_ranges(buf.len(), pool.workers());
+    let logs: Vec<Vec<(u32, f64)>> = pool.run_parts(ranges, |_, rg| {
+        let mut log: Vec<(u32, f64)> = Vec::with_capacity(rg.len() * 4);
+        for i in rg {
+            let sp = species.get(buf.species[i]);
+            if !sp.is_charged() {
+                continue;
+            }
+            let q = sp.charge * sp.weight;
+            let fc = fine_cell_of(nm, buf.cell[i] as usize, buf.pos[i]);
+            let w = nm.fine.bary(fc, buf.pos[i]);
+            let tet = nm.fine.tets[fc];
+            for k in 0..4 {
+                log.push((tet[k], q * w[k]));
+            }
+        }
+        log
+    });
+    // replay in particle order (chunks are contiguous and in order)
+    for log in logs {
+        for (node, dq) in log {
+            node_charge[node as usize] += dq;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +163,33 @@ mod tests {
         let total: f64 = node_charge.iter().sum();
         let expect = 50.0 * QE * 100.0;
         assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn pooled_deposit_is_bitwise_identical_to_serial() {
+        let nm = nested();
+        let (table, h, hp) = SpeciesTable::hydrogen_plasma(1.0, 100.0);
+        let mut buf = ParticleBuffer::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..500u64 {
+            let c = (k as usize * 11) % nm.num_coarse();
+            let p = nm.coarse.tet_pos(c);
+            buf.push(Particle {
+                pos: particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
+                vel: Vec3::ZERO,
+                cell: c as u32,
+                species: if k % 3 == 0 { h } else { hp },
+                id: k,
+            });
+        }
+        let serial = deposit_charge(&nm, &buf, &table);
+        for workers in [1usize, 2, 4, 8] {
+            let mut pooled = vec![0.0; nm.fine.num_nodes()];
+            deposit_charge_pooled(&nm, &buf, &table, &mut pooled, &kernels::Pool::new(workers));
+            for (s, p) in serial.iter().zip(&pooled) {
+                assert_eq!(s.to_bits(), p.to_bits(), "workers={workers}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! `−∇²φ = ρ/ε₀` with `b_i = (1/ε₀) Σ_k q_k λ_i(x_k)` for point
 //! charges — exactly the deposition output of [`crate::deposit`].
 
+use kernels::Pool;
 use mesh::{FaceTag, TetMesh, Vec3};
-use sparse::{cg, CooBuilder, CsrMatrix, KrylovOptions, SolveStats};
+use sparse::{cg_with, CooBuilder, CsrMatrix, KrylovOptions, SolveStats};
 
 /// Vacuum permittivity (F/m).
 pub const EPS0: f64 = 8.854_187_812_8e-12;
@@ -101,6 +102,20 @@ impl PoissonSolver {
     /// (C). Returns `(φ, stats)`; φ is also cached internally as the
     /// next warm start.
     pub fn solve(&mut self, node_charge: &[f64]) -> (&[f64], SolveStats) {
+        self.solve_with(node_charge, &Pool::serial(), None)
+    }
+
+    /// As [`PoissonSolver::solve`], with the CG inner products and
+    /// SpMV run on `pool` and an optional per-iteration residual
+    /// history capture. The CG reduction order is fixed (see
+    /// [`sparse::det_dot`]), so the solution is bitwise identical for
+    /// every worker count.
+    pub fn solve_with(
+        &mut self,
+        node_charge: &[f64],
+        pool: &Pool,
+        history: Option<&mut Vec<f64>>,
+    ) -> (&[f64], SolveStats) {
         let n = self.phi.len();
         assert_eq!(node_charge.len(), n);
         let mut b = vec![0.0f64; n];
@@ -117,7 +132,7 @@ impl PoissonSolver {
                 self.phi[i] = 0.0;
             }
         }
-        let stats = cg(&self.matrix, &b, &mut self.phi, self.opts);
+        let stats = cg_with(&self.matrix, &b, &mut self.phi, self.opts, pool, history);
         (&self.phi, stats)
     }
 

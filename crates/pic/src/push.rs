@@ -5,6 +5,7 @@
 
 use crate::boris::boris_push;
 use crate::field::ElectricField;
+use kernels::Pool;
 use mesh::{NestedMesh, Vec3};
 use particles::{ParticleBuffer, SpeciesTable};
 
@@ -31,6 +32,42 @@ pub fn accelerate_charged(
         kicked += 1;
     }
     kicked
+}
+
+/// Pooled Boris kick: the velocity array is split into one contiguous
+/// chunk per worker (field gather + push is pure per-particle work),
+/// so the result is bitwise identical to [`accelerate_charged`] for
+/// every worker count.
+pub fn accelerate_charged_pooled(
+    nm: &NestedMesh,
+    buf: &mut ParticleBuffer,
+    species: &SpeciesTable,
+    efield: &ElectricField,
+    b: Vec3,
+    dt: f64,
+    pool: &Pool,
+) -> usize {
+    if pool.is_serial() || buf.len() < 2 {
+        return accelerate_charged(nm, buf, species, efield, b, dt);
+    }
+    let (pos, cell, spec) = (&buf.pos, &buf.cell, &buf.species);
+    pool.par_chunks_mut(&mut buf.vel, |_, off, vels| {
+        let mut kicked = 0usize;
+        for (k, v) in vels.iter_mut().enumerate() {
+            let i = off + k;
+            let sp = species.get(spec[i]);
+            if !sp.is_charged() {
+                continue;
+            }
+            let e = efield.at(nm, cell[i] as usize, pos[i]);
+            let qm = sp.charge / sp.mass;
+            *v = boris_push(*v, e, b, qm, dt);
+            kicked += 1;
+        }
+        kicked
+    })
+    .into_iter()
+    .sum()
 }
 
 #[cfg(test)]
@@ -71,6 +108,47 @@ mod tests {
         assert_eq!(buf.vel[0], Vec3::ZERO, "neutral must not feel E");
         assert!(buf.vel[1].z > 0.0, "ion accelerated along E");
         assert_eq!(buf.vel[1], buf.vel[2]);
+    }
+
+    #[test]
+    fn pooled_push_is_bitwise_identical_to_serial() {
+        let nm = nested();
+        let (table, h, hp) = SpeciesTable::hydrogen_plasma(1.0, 1.0);
+        let make = || {
+            let mut buf = ParticleBuffer::new();
+            for k in 0..300u64 {
+                let c = (k as usize * 7) % nm.num_coarse();
+                buf.push(Particle {
+                    pos: nm.coarse.centroids[c],
+                    vel: Vec3::new(k as f64, -(k as f64) * 0.5, 100.0),
+                    cell: c as u32,
+                    species: if k % 4 == 0 { h } else { hp },
+                    id: k,
+                });
+            }
+            buf
+        };
+        let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| -500.0 * p.z + 200.0 * p.x).collect();
+        let ef = ElectricField::from_potential(&nm.fine, &phi);
+        let b = Vec3::new(0.0, 0.01, 0.0);
+        let mut serial = make();
+        let kicked_serial = accelerate_charged(&nm, &mut serial, &table, &ef, b, 1e-7);
+        for workers in [2usize, 4, 8] {
+            let mut par = make();
+            let kicked = accelerate_charged_pooled(
+                &nm,
+                &mut par,
+                &table,
+                &ef,
+                b,
+                1e-7,
+                &kernels::Pool::new(workers),
+            );
+            assert_eq!(kicked, kicked_serial);
+            for (a, b2) in serial.vel.iter().zip(&par.vel) {
+                assert_eq!(a, b2, "workers={workers}");
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,29 @@ impl CsrMatrix {
         }
     }
 
+    /// Row-chunked parallel `y = A x` on `pool`. Each output row is
+    /// the same left-to-right accumulation as [`CsrMatrix::spmv`], so
+    /// the result is bitwise identical to the serial product for every
+    /// worker count.
+    pub fn spmv_pooled(&self, x: &[f64], y: &mut [f64], pool: &kernels::Pool) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        if pool.is_serial() {
+            return self.spmv(x, y);
+        }
+        let (row_ptr, col_idx, values) = (&self.row_ptr, &self.col_idx, &self.values);
+        pool.par_chunks_mut(y, |_, off, rows| {
+            for (k, yi) in rows.iter_mut().enumerate() {
+                let i = off + k;
+                let mut acc = 0.0;
+                for e in row_ptr[i]..row_ptr[i + 1] {
+                    acc += values[e] * x[col_idx[e] as usize];
+                }
+                *yi = acc;
+            }
+        });
+    }
+
     /// Allocating variant of [`CsrMatrix::spmv`].
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.nrows];

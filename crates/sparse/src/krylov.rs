@@ -8,6 +8,7 @@
 //! non-symmetric systems.
 
 use crate::csr::CsrMatrix;
+use kernels::Pool;
 
 /// Convergence report of a Krylov solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +44,26 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Fixed block size of [`det_dot`]; boundaries depend only on this
+/// constant, never on the worker count.
+pub const DET_DOT_BLOCK: usize = 1024;
+
+/// Deterministic (worker-count-invariant) dot product: partial sums
+/// over fixed [`DET_DOT_BLOCK`]-sized blocks are computed in parallel
+/// and folded in block-index order, so the result is bitwise identical
+/// whether `pool` has 1 worker or 64. For `n ≤ DET_DOT_BLOCK` this is
+/// exactly the flat left-to-right sum.
+pub fn det_dot(a: &[f64], b: &[f64], pool: &Pool) -> f64 {
+    assert_eq!(a.len(), b.len());
+    pool.par_map_reduce(
+        a.len(),
+        DET_DOT_BLOCK,
+        |r| a[r.clone()].iter().zip(&b[r]).map(|(x, y)| x * y).sum::<f64>(),
+        0.0f64,
+        |acc, s| acc + s,
+    )
+}
+
 #[inline]
 fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     for (yi, xi) in y.iter_mut().zip(x) {
@@ -76,14 +97,35 @@ impl Jacobi {
 }
 
 /// Preconditioned Conjugate Gradient. `x` holds the initial guess on
-/// entry and the solution on exit.
+/// entry and the solution on exit. Serial convenience wrapper over
+/// [`cg_with`].
 pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: KrylovOptions) -> SolveStats {
+    cg_with(a, b, x, opts, &Pool::serial(), None)
+}
+
+/// Preconditioned Conjugate Gradient with an explicit worker [`Pool`]
+/// and optional residual-history capture.
+///
+/// SpMV is row-chunked across the pool (bitwise identical to serial)
+/// and every inner product goes through [`det_dot`] (fixed-block
+/// reduction order), so the iterates, residual history and solution
+/// are **bitwise identical for any worker count**. When `history` is
+/// given, the relative residual of every iteration (including the
+/// final one) is appended.
+pub fn cg_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    opts: KrylovOptions,
+    pool: &Pool,
+    mut history: Option<&mut Vec<f64>>,
+) -> SolveStats {
     let n = b.len();
     assert_eq!(a.nrows(), n);
     assert_eq!(x.len(), n);
     let pre = Jacobi::new(a);
 
-    let norm_b = dot(b, b).sqrt();
+    let norm_b = det_dot(b, b, pool).sqrt();
     if norm_b == 0.0 {
         x.fill(0.0);
         return SolveStats {
@@ -94,18 +136,21 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: KrylovOptions) -> Solve
     }
 
     let mut r = vec![0.0; n];
-    a.spmv(x, &mut r);
+    a.spmv_pooled(x, &mut r, pool);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
     let mut z = vec![0.0; n];
     pre.apply(&r, &mut z);
     let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let mut rz = det_dot(&r, &z, pool);
     let mut ap = vec![0.0; n];
 
     for it in 0..opts.max_iters {
-        let res = dot(&r, &r).sqrt() / norm_b;
+        let res = det_dot(&r, &r, pool).sqrt() / norm_b;
+        if let Some(h) = history.as_deref_mut() {
+            h.push(res);
+        }
         if res <= opts.rtol {
             return SolveStats {
                 iterations: it,
@@ -113,8 +158,8 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: KrylovOptions) -> Solve
                 converged: true,
             };
         }
-        a.spmv(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.spmv_pooled(&p, &mut ap, pool);
+        let pap = det_dot(&p, &ap, pool);
         if pap <= 0.0 {
             // matrix not SPD (or breakdown): report failure
             return SolveStats {
@@ -127,7 +172,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: KrylovOptions) -> Solve
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         pre.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        let rz_new = det_dot(&r, &z, pool);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -135,7 +180,10 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: KrylovOptions) -> Solve
         }
     }
 
-    let res = dot(&r, &r).sqrt() / norm_b;
+    let res = det_dot(&r, &r, pool).sqrt() / norm_b;
+    if let Some(h) = history.as_deref_mut() {
+        h.push(res);
+    }
     SolveStats {
         iterations: opts.max_iters,
         rel_residual: res,
@@ -244,6 +292,68 @@ mod tests {
             }
         }
         b.build()
+    }
+
+    #[test]
+    fn cg_with_pool_is_bitwise_worker_invariant() {
+        let n = 3000; // > DET_DOT_BLOCK so blocked reduction is exercised
+        let a = laplacian_1d(n);
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let b = a.mul_vec(&xs);
+        let solve = |workers: usize| {
+            let mut x = vec![0.0; n];
+            let mut hist = Vec::new();
+            let opts = KrylovOptions {
+                rtol: 1e-10,
+                max_iters: 400,
+            };
+            let stats = cg_with(&a, &b, &mut x, opts, &Pool::new(workers), Some(&mut hist));
+            (x, hist, stats)
+        };
+        let (x1, h1, s1) = solve(1);
+        assert_eq!(h1.len(), s1.iterations + 1);
+        for w in [2usize, 4, 8] {
+            let (xw, hw, sw) = solve(w);
+            assert_eq!(s1.iterations, sw.iterations, "workers={w}");
+            assert_eq!(h1.len(), hw.len(), "workers={w}");
+            for (a, b) in h1.iter().zip(&hw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={w}");
+            }
+            for (a, b) in x1.iter().zip(&xw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_pooled_matches_serial_bitwise() {
+        let n = 2500;
+        let a = laplacian_1d(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 29) % 97) as f64 * 0.013 - 0.5).collect();
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+        for w in [2usize, 3, 4, 8] {
+            let mut y = vec![0.0; n];
+            a.spmv_pooled(&x, &mut y, &Pool::new(w));
+            for (s, p) in y_serial.iter().zip(&y) {
+                assert_eq!(s.to_bits(), p.to_bits(), "workers={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn det_dot_matches_flat_sum_small_and_is_invariant_large() {
+        let small: Vec<f64> = (0..600).map(|i| (i as f64).sqrt() * 0.1).collect();
+        let flat: f64 = small.iter().map(|v| v * v).sum();
+        assert_eq!(
+            det_dot(&small, &small, &Pool::serial()).to_bits(),
+            flat.to_bits()
+        );
+        let large: Vec<f64> = (0..10_000).map(|i| ((i * 13) % 701) as f64 * 1e-3).collect();
+        let d1 = det_dot(&large, &large, &Pool::new(1));
+        for w in [2usize, 4, 16] {
+            assert_eq!(d1.to_bits(), det_dot(&large, &large, &Pool::new(w)).to_bits());
+        }
     }
 
     #[test]

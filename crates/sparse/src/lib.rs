@@ -8,4 +8,4 @@ pub mod krylov;
 
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::solve_dense;
-pub use krylov::{bicgstab, cg, Jacobi, KrylovOptions, SolveStats};
+pub use krylov::{bicgstab, cg, cg_with, det_dot, Jacobi, KrylovOptions, SolveStats, DET_DOT_BLOCK};

@@ -94,13 +94,18 @@ fn km_remap_on_real_partitions_migrates_less() {
 
 #[test]
 fn modelled_lb_improves_worst_rank_share() {
+    // 45 steps (3 rebalance intervals) rather than 30: right after the
+    // plume front crosses the domain the instantaneous worst-rank
+    // share is noisy and the 30-step comparison flips sign depending
+    // on the RNG stream; by 45 steps the balanced run wins for every
+    // seed we probed.
     let no = {
         let mut cs = cluster(4, false);
-        cs.run(30)
+        cs.run(45)
     };
     let with = {
         let mut cs = cluster(4, true);
-        cs.run(30)
+        cs.run(45)
     };
     let worst = |rep: &coupled::ClusterReport| {
         rep.trace

@@ -3,6 +3,13 @@
 //! other (the paper's §VII-A validation, at test scale).
 
 use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+use kernels::Pool;
+use mesh::{NestedMesh, NozzleSpec};
+use particles::{sample, Particle, ParticleBuffer, SpeciesTable};
+use pic::{deposit_charge_pooled, PoissonSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::KrylovOptions;
 use vmpi::Strategy;
 
 fn base_run(ranks: usize) -> RunConfig {
@@ -76,6 +83,63 @@ fn transaction_counts_reflect_strategy() {
     // ... while CC moves at least as many bytes (everything twice,
     // minus root-local traffic)
     assert!(rcc.bytes as f64 >= rdc.bytes as f64 * 0.8);
+}
+
+/// The ISSUE acceptance criterion for intra-rank threading: running
+/// the field pipeline (deposit → Poisson/CG) with 1 worker and with 4
+/// workers must produce *bitwise identical* node charge and an
+/// *identical* CG residual history. Deposition replays contribution
+/// logs in particle order and CG reduces inner products in fixed-size
+/// blocks, so worker count must not leak into a single bit.
+#[test]
+fn worker_count_invariant_deposit_and_cg_history() {
+    let spec = NozzleSpec {
+        nd: 5,
+        nz: 6,
+        ..NozzleSpec::default()
+    };
+    let coarse = spec.generate();
+    let nm = NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n));
+    let (table, h, hp) = SpeciesTable::hydrogen_plasma(1.0, 100.0);
+
+    // mixed population: charged ions among neutral background
+    let mut buf = ParticleBuffer::new();
+    let mut rng = StdRng::seed_from_u64(99);
+    for k in 0..400u64 {
+        let c = (k as usize * 13) % nm.num_coarse();
+        let p = nm.coarse.tet_pos(c);
+        buf.push(Particle {
+            pos: sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
+            vel: mesh::Vec3::ZERO,
+            cell: c as u32,
+            species: if k % 3 == 0 { hp } else { h },
+            id: k,
+        });
+    }
+
+    let opts = KrylovOptions {
+        rtol: 1e-10,
+        max_iters: 400,
+    };
+    let solve = |workers: usize| {
+        let pool = Pool::new(workers);
+        let mut q = vec![0.0f64; nm.fine.num_nodes()];
+        deposit_charge_pooled(&nm, &buf, &table, &mut q, &pool);
+        let mut solver = PoissonSolver::new(&nm.fine, opts);
+        let mut hist = Vec::new();
+        let (phi, stats) = solver.solve_with(&q, &pool, Some(&mut hist));
+        (q, phi.to_vec(), hist, stats.iterations)
+    };
+
+    let (q1, phi1, hist1, it1) = solve(1);
+    let (q4, phi4, hist4, it4) = solve(4);
+
+    assert_eq!(q1, q4, "deposited charge differs between 1 and 4 workers");
+    assert_eq!(it1, it4, "CG iteration count differs");
+    assert_eq!(hist1.len(), it1 + 1, "history records every iteration");
+    assert_eq!(hist1, hist4, "CG residual history differs");
+    assert_eq!(phi1, phi4, "potential differs");
+    assert!(hist1.last().unwrap() <= &opts.rtol, "CG did not converge");
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! model.
 
 use mesh::geom::{barycentric, tet_contains, tet_volume, tet_volume_signed, Vec3};
-use particles::{pack_particle, unpack_particle, Particle, PACKED_SIZE};
+use particles::{
+    pack_particle, unpack_particle, Particle, ParticleBuffer, SortScratch, PACKED_SIZE,
+};
 use proptest::prelude::*;
 use sparse::{cg, solve_dense, CooBuilder, KrylovOptions};
 use vmpi::{traffic, Strategy as CommStrategy};
@@ -63,6 +65,39 @@ proptest! {
         pack_particle(&p, &mut buf);
         prop_assert_eq!(buf.len(), PACKED_SIZE);
         prop_assert_eq!(unpack_particle(&buf, 0), p);
+    }
+
+    #[test]
+    fn sort_by_cell_preserves_multiset_and_orders_cells(
+        cells in proptest::collection::vec(0u32..17, 0..200),
+    ) {
+        let num_cells = 17usize;
+        let mut buf = ParticleBuffer::new();
+        for (k, &c) in cells.iter().enumerate() {
+            let k = k as u64;
+            buf.push(Particle {
+                pos: Vec3::new(k as f64, -(k as f64), 0.5 * k as f64),
+                vel: Vec3::new(1.0 + k as f64, 2.0, -3.0),
+                cell: c,
+                species: (k % 3) as u8,
+                id: k,
+            });
+        }
+        let before: Vec<Particle> = (0..buf.len()).map(|i| buf.get(i)).collect();
+
+        let mut scratch = SortScratch::default();
+        buf.sort_by_cell(num_cells, &mut scratch);
+
+        // cell[] is non-decreasing
+        prop_assert!(buf.cell.windows(2).all(|w| w[0] <= w[1]));
+
+        // same multiset of particles: ids are unique, so sorting both
+        // snapshots by id must give identical full records
+        let mut after: Vec<Particle> = (0..buf.len()).map(|i| buf.get(i)).collect();
+        let mut want = before;
+        want.sort_by_key(|p| p.id);
+        after.sort_by_key(|p| p.id);
+        prop_assert_eq!(after, want);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock
+//! micro-benchmark harness with the same macro/trait surface the
+//! workspace's benches use (`bench_function`, `iter`, `iter_batched`,
+//! `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! Each benchmark warms up briefly, then runs timed batches until the
+//! measurement budget is spent and reports the median batch's ns/iter
+//! on stdout. Env knobs:
+//! * `CRITERION_MEASURE_MS` — measurement budget per bench (default
+//!   300; set small for smoke-running benches in CI).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark result (exposed so wrapper binaries can collect
+/// measurements programmatically).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub ns_per_iter: f64,
+    pub iters: u64,
+}
+
+/// Harness entry point; collects results of every `bench_function`.
+pub struct Criterion {
+    measure: Duration,
+    pub results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(ms),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measure,
+            samples: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        let ns = b.median_ns();
+        println!("{id:<44} {:>12.1} ns/iter  ({} iters)", ns, b.total_iters);
+        self.results.push(Measurement {
+            name: id.to_string(),
+            ns_per_iter: ns,
+            iters: b.total_iters,
+        });
+        self
+    }
+}
+
+/// Passed to the closure of `bench_function`; runs the measured
+/// routine.
+pub struct Bencher {
+    budget: Duration,
+    /// ns/iter of each timed batch.
+    samples: Vec<f64>,
+    total_iters: u64,
+}
+
+/// Batch-size hint (accepted for API compatibility; the harness picks
+/// batch counts from the time budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup + batch-size calibration: aim for batches of ~1/20th
+        // of the budget
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.budget / 10 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.budget.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / batch as f64);
+            self.total_iters += batch;
+        }
+        if self.samples.is_empty() {
+            // budget too small for even one batch: take one sample
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9);
+            self.total_iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // one warmup run to estimate cost
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let per_iter = t0.elapsed().as_secs_f64().max(1e-9);
+        self.total_iters += 1;
+
+        let deadline = Instant::now() + self.budget;
+        let target_batch = ((self.budget.as_secs_f64() / 20.0 / per_iter) as u64).clamp(1, 10_000);
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..target_batch).map(|_| setup()).collect();
+            let n = inputs.len() as u64;
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / n as f64);
+            self.total_iters += n;
+        }
+        if self.samples.is_empty() {
+            self.samples.push(per_iter * 1e9);
+        }
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter >= 0.0);
+        assert!(c.results[0].iters > 0);
+    }
+
+    #[test]
+    fn batched_measures() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("vec_sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(c.results[0].iters > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`: only the `channel` module subset
+//! the vmpi threaded backend uses (unbounded SPSC/MPSC channels with
+//! cloneable senders). Backed by `std::sync::mpsc`; receivers are
+//! additionally `Sync`-wrapped via a mutex so the type surface matches
+//! crossbeam's.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Cloneable sending half.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.inner.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half. Arc/Mutex-wrapped so it is `Clone + Sync` like
+    /// crossbeam's receiver (the workspace only ever receives from one
+    /// thread at a time, so the lock is uncontended).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("receiver poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.lock().expect("receiver poisoned").try_recv().ok()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (
+            Sender { inner: s },
+            Receiver {
+                inner: Arc::new(Mutex::new(r)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (s, r) = unbounded::<u32>();
+            let s2 = s.clone();
+            std::thread::scope(|scope| {
+                scope.spawn(move || s.send(1).unwrap());
+                scope.spawn(move || s2.send(2).unwrap());
+                let a = r.recv().unwrap();
+                let b = r.recv().unwrap();
+                assert_eq!(a + b, 3);
+            });
+        }
+    }
+}

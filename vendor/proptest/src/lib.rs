@@ -1,0 +1,354 @@
+//! Offline stand-in for `proptest`: a deterministic mini
+//! property-testing harness exposing the subset this workspace uses —
+//! the `proptest!` macro, `Strategy` with `prop_map`/`prop_filter`,
+//! range/tuple/array strategies, `collection::vec`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking; failures report the
+//! case number, and cases are reproducible (the RNG is seeded from the
+//! test's module path + name).
+
+pub mod test_runner {
+    /// SplitMix64-based deterministic test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5DEECE66D,
+            }
+        }
+
+        /// Seed deterministically from a test identifier string.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf29ce484222325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self::from_seed(h)
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Value generator. `generate` returns `None` when a filter
+    /// rejects the draw (the runner retries).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                _reason: reason,
+            }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        _reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                #[inline]
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    Some(self.start.wrapping_add((rng.next_u64() % span) as $t))
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        #[inline]
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            Some(self.start + rng.next_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        #[inline]
+        fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+            Some(self.start + rng.next_f64() as f32 * (self.end - self.start))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let mut out: Vec<S::Value> = Vec::with_capacity(N);
+            for s in self {
+                out.push(s.generate(rng)?);
+            }
+            out.try_into().ok().or_else(|| unreachable!())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: exact or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end);
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = self.size.hi - self.size.lo + 1;
+            let n = self.size.lo + (rng.next_u64() % span as u64) as usize;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests. Each test draws every named argument from
+/// its strategy and runs the body for a fixed number of deterministic
+/// cases (env `PROPTEST_CASES` overrides the default 64).
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64);
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..cases {
+                    $(
+                        let $arg = {
+                            let mut __drawn = ::std::option::Option::None;
+                            for _ in 0..50_000u32 {
+                                if let ::std::option::Option::Some(v) =
+                                    $crate::strategy::Strategy::generate(&$strat, &mut __rng)
+                                {
+                                    __drawn = ::std::option::Option::Some(v);
+                                    break;
+                                }
+                            }
+                            __drawn.unwrap_or_else(|| panic!(
+                                "strategy for `{}` rejected too many draws",
+                                stringify!($arg),
+                            ))
+                        };
+                    )*
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("property `{}` failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body (returns an `Err` to the runner on
+/// failure instead of panicking mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} != {:?}", __a, __b),
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a != *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} == {:?}", __a, __b),
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in (0u32..100).prop_map(|x| x * 2).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 200);
+        }
+
+        #[test]
+        fn arrays_and_vecs(a in [0u8..10, 0u8..10, 0u8..10], v in crate::collection::vec(0u64..5, 7)) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

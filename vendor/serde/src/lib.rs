@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`. Provides the `Serialize` /
+//! `Deserialize` names in both the trait and macro namespaces so
+//! `use serde::{Serialize, Deserialize}` + `#[derive(...)]` compile
+//! unchanged; the derives are no-ops (see `serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait (no methods; nothing in this workspace serializes
+/// through serde yet).
+pub trait Serialize {}
+
+/// Marker trait, lifetime-parameterized like the real one.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! No-op derive macros for the vendored serde stand-in. The workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — nothing serializes through serde yet — so the derives
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
