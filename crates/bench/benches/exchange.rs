@@ -1,16 +1,20 @@
-//! Criterion benchmarks of the two particle-exchange strategies on
-//! the real threaded backend (paper §IV-B): same payload, different
-//! protocols.
+//! Criterion benchmarks of the concrete particle-exchange strategies
+//! on the real threaded backend (paper §IV-B): same payload, different
+//! protocols. The `quiet` variants keep a single nonzero pair — the
+//! regime the sparse counts-first protocol is built for.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vmpi::{exchange, run_world, Comm, Strategy};
 
+const NAMES: [(Strategy, &str); 3] = [
+    (Strategy::Distributed, "distributed"),
+    (Strategy::Centralized, "centralized"),
+    (Strategy::Sparse, "sparse"),
+];
+
 fn bench_exchange(c: &mut Criterion) {
     for ranks in [4usize, 8] {
-        for (strategy, name) in [
-            (Strategy::Distributed, "distributed"),
-            (Strategy::Centralized, "centralized"),
-        ] {
+        for (strategy, name) in NAMES {
             c.bench_function(&format!("exchange/{name}_{ranks}ranks_64KiB"), |b| {
                 b.iter(|| {
                     let out = run_world(ranks, |comm| {
@@ -23,6 +27,19 @@ fn bench_exchange(c: &mut Criterion) {
                                 }
                             })
                             .collect();
+                        let incoming = exchange(&comm, strategy, outgoing);
+                        incoming.iter().map(|b| b.len()).sum::<usize>()
+                    });
+                    black_box(out)
+                })
+            });
+            c.bench_function(&format!("exchange/{name}_{ranks}ranks_quiet"), |b| {
+                b.iter(|| {
+                    let out = run_world(ranks, |comm| {
+                        let mut outgoing = vec![Vec::new(); comm.size()];
+                        if comm.rank() == 1 {
+                            outgoing[0] = vec![0xAB; 61 * 32];
+                        }
                         let incoming = exchange(&comm, strategy, outgoing);
                         incoming.iter().map(|b| b.len()).sum::<usize>()
                     });

@@ -6,6 +6,12 @@
 //! `(kernel, workers)` pair with the measured ns/op — plus a speedup
 //! table on stdout.
 //!
+//! Also benchmarks the three wire-exchange protocols (CC, DC, Sparse)
+//! on the threaded backend at 4 and 8 ranks with a quiet (2 nonzero
+//! pairs) and a dense (all pairs) migration matrix, recording the
+//! measured transaction count and the nonzero-pair fraction per case
+//! in a dedicated `exchange` JSON section.
+//!
 //! The host's visible CPU count is recorded in the JSON: speedups are
 //! only meaningful when the host exposes at least as many CPUs as the
 //! worker count (a 1-CPU container time-slices the lanes and reports
@@ -24,6 +30,47 @@ use particles::{Particle, ParticleBuffer, SpeciesTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparse::CooBuilder;
+use vmpi::{exchange, run_world, traffic, Comm, Strategy};
+
+/// Migration byte matrix for the exchange benches: `dense` fills every
+/// ordered pair; quiet keeps exactly two nonzero pairs (the shape of a
+/// settled flow where particles cross only a couple of subdomain
+/// boundaries per step).
+fn exchange_matrix(n: usize, dense: bool) -> Vec<Vec<u64>> {
+    let payload = 61 * 32; // 32 wire particles
+    let mut m = vec![vec![0u64; n]; n];
+    if dense {
+        for (s, row) in m.iter_mut().enumerate() {
+            for (d, entry) in row.iter_mut().enumerate() {
+                if s != d {
+                    *entry = payload;
+                }
+            }
+        }
+    } else {
+        m[1][3 % n] = payload;
+        m[n - 2][0] = payload / 2;
+    }
+    m
+}
+
+/// One measured exchange of `m` under `strategy`: world-total message
+/// count (bytes move identically under every strategy's delivery
+/// contract, so transactions are the discriminating metric).
+fn measure_transactions(strategy: Strategy, m: &[Vec<u64>]) -> u64 {
+    let n = m.len();
+    run_world(n, |c| {
+        c.stats().reset();
+        c.barrier();
+        let outgoing: Vec<Vec<u8>> = (0..n)
+            .map(|d| vec![0xA5u8; m[c.rank()][d] as usize])
+            .collect();
+        let inc = exchange(&c, strategy, outgoing);
+        c.barrier();
+        black_box(inc.len());
+        c.stats().transactions()
+    })[0]
+}
 
 fn nested() -> NestedMesh {
     let spec = NozzleSpec {
@@ -189,6 +236,49 @@ fn main() {
         });
     }
 
+    // ---- exchange protocols (threaded backend, whole-world op) -----
+    struct ExchCase {
+        name: String,
+        strategy: &'static str,
+        ranks: usize,
+        kind: &'static str,
+        transactions: u64,
+        nonzero_pairs: u64,
+        nonzero_fraction: f64,
+    }
+    let mut exch_cases: Vec<ExchCase> = Vec::new();
+    for &n in &[4usize, 8] {
+        for strategy in Strategy::CONCRETE {
+            let label = bench::strat_name(strategy).to_lowercase();
+            for (kind, dense) in [("quiet", false), ("dense", true)] {
+                let m = exchange_matrix(n, dense);
+                let name = format!("exchange_{label}_{kind}/w{n}");
+                c.bench_function(&name, |b| {
+                    b.iter(|| {
+                        let out = run_world(n, |comm| {
+                            let outgoing: Vec<Vec<u8>> = (0..n)
+                                .map(|d| vec![0xA5u8; m[comm.rank()][d] as usize])
+                                .collect();
+                            exchange(&comm, strategy, outgoing)
+                        });
+                        black_box(out.len())
+                    })
+                });
+                let model = traffic(strategy, &m);
+                let slots = (n * (n - 1)) as f64;
+                exch_cases.push(ExchCase {
+                    name,
+                    strategy: bench::strat_name(strategy),
+                    ranks: n,
+                    kind,
+                    transactions: measure_transactions(strategy, &m),
+                    nonzero_pairs: model.nonzero_pairs,
+                    nonzero_fraction: model.nonzero_pairs as f64 / slots,
+                });
+            }
+        }
+    }
+
     // ---- report ----------------------------------------------------
     let ns = |kernel: &str, w: usize| {
         c.results
@@ -207,6 +297,23 @@ fn main() {
         }
     }
 
+    println!(
+        "\n{:<8} {:>6} {:>6} {:>6} {:>9} {:>14}",
+        "exchange", "ranks", "matrix", "tx", "nnz_frac", "ns/op"
+    );
+    for case in &exch_cases {
+        let t = c
+            .results
+            .iter()
+            .find(|m| m.name == case.name)
+            .map(|m| m.ns_per_iter)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>9.3} {t:>14.1}",
+            case.strategy, case.ranks, case.kind, case.transactions, case.nonzero_fraction
+        );
+    }
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
@@ -214,6 +321,26 @@ fn main() {
         "  \"measure_ms\": {},\n",
         std::env::var("CRITERION_MEASURE_MS").unwrap_or_else(|_| "300".into())
     ));
+    json.push_str("  \"exchange\": [\n");
+    let exch_rows: Vec<String> = exch_cases
+        .iter()
+        .map(|e| {
+            let t = c
+                .results
+                .iter()
+                .find(|m| m.name == e.name)
+                .map(|m| m.ns_per_iter)
+                .unwrap_or(f64::NAN);
+            format!(
+                "    {{\"strategy\": \"{}\", \"ranks\": {}, \"matrix\": \"{}\", \
+                 \"transactions\": {}, \"nonzero_pairs\": {}, \"nonzero_fraction\": {:.4}, \
+                 \"ns_per_op\": {t:.1}}}",
+                e.strategy, e.ranks, e.kind, e.transactions, e.nonzero_pairs, e.nonzero_fraction
+            )
+        })
+        .collect();
+    json.push_str(&exch_rows.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"results\": [\n");
     let rows: Vec<String> = c
         .results

@@ -11,9 +11,11 @@ use coupled::report::table;
 use coupled::{Dataset, MachineProfile};
 use vmpi::Strategy;
 
+type ProfileCtor = fn() -> MachineProfile;
+
 fn main() {
     let ranks_ladder = [24usize, 96, 384, 1536];
-    let machines: [(fn() -> MachineProfile, &str); 2] = [
+    let machines: [(ProfileCtor, &str); 2] = [
         (MachineProfile::tianhe2, "Tianhe-2"),
         (MachineProfile::tianhe3, "Tianhe-3"),
     ];

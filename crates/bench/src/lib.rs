@@ -105,6 +105,8 @@ pub fn strat_name(s: Strategy) -> &'static str {
     match s {
         Strategy::Distributed => "DC",
         Strategy::Centralized => "CC",
+        Strategy::Sparse => "Sparse",
+        Strategy::Auto => "Auto",
     }
 }
 

@@ -47,6 +47,11 @@ pub struct ClusterReport {
     pub trace: Vec<StepTrace>,
     /// Final particle population.
     pub population: usize,
+    /// How often each concrete strategy carried an exchange, indexed
+    /// by [`Strategy::CONCRETE`] order (CC, DC, Sparse). A fixed
+    /// strategy puts every exchange in one bucket; `Strategy::Auto`
+    /// spreads them according to the per-step decision rule.
+    pub strategy_uses: [u64; 3],
 }
 
 /// Domain-decomposed coupled simulation with modelled timing.
@@ -68,6 +73,8 @@ pub struct ClusterSim {
     /// solve and the partitioner (their inputs are mesh-sized, which
     /// the dataset `scale` shrinks).
     grid_boost: f64,
+    /// Exchanges carried per concrete strategy (CONCRETE order).
+    strategy_uses: [u64; 3],
 }
 
 impl ClusterSim {
@@ -99,7 +106,25 @@ impl ClusterSim {
                 .paper_cells
                 .map(|pc| (pc as f64 / (8.0 * ncoarse as f64)).max(1.0))
                 .unwrap_or(1.0),
+            strategy_uses: [0; 3],
         }
+    }
+
+    /// The strategy that carries this exchange: the configured one,
+    /// or — under [`Strategy::Auto`] — the cost model's pick for this
+    /// migration matrix. Tallies the choice for the report.
+    fn resolve(&mut self, m: &[Vec<u64>]) -> Strategy {
+        let s = if self.strategy == Strategy::Auto {
+            self.cost.pick_strategy(m)
+        } else {
+            self.strategy
+        };
+        let idx = Strategy::CONCRETE
+            .iter()
+            .position(|&c| c == s)
+            .expect("resolved strategy is concrete");
+        self.strategy_uses[idx] += 1;
+        s
     }
 
     /// Set the MPI rank placement (Fig. 14 experiment).
@@ -167,9 +192,8 @@ impl ClusterSim {
 
         // --- DSMC_Exchange: synchronized phase, same cost on all ranks.
         let m = self.migration_matrix(&rec.neutral_transitions);
-        let t_exc = self
-            .cost
-            .exchange_time(self.strategy, &traffic(self.strategy, &m));
+        let s = self.resolve(&m);
+        let t_exc = self.cost.exchange_time(s, &traffic(s, &m));
         for bd in per_rank.iter_mut() {
             bd[Phase::DsmcExchange] += t_exc;
         }
@@ -210,9 +234,8 @@ impl ClusterSim {
                     self.cost.compute(moves[r] as f64 * self.boost, prof.move_rate);
             }
             let m = self.migration_matrix(tr);
-            let t_exc = self
-                .cost
-                .exchange_time(self.strategy, &traffic(self.strategy, &m));
+            let s = self.resolve(&m);
+            let t_exc = self.cost.exchange_time(s, &traffic(s, &m));
             let iters = (rec.poisson_iters[sub] as f64 * gb.cbrt()).ceil() as usize;
             let t_poi = self.cost.poisson_time(iters, nnz, nodes);
             for bd in per_rank.iter_mut() {
@@ -277,12 +300,9 @@ impl ClusterSim {
                         }
                     }
                     let cells_eff = (self.owner.len() as f64 * self.grid_boost) as usize;
-                    let t_reb = self.cost.rebalance_time(
-                        cells_eff,
-                        &traffic(self.strategy, &m),
-                        self.strategy,
-                        use_km,
-                    );
+                    let s = self.resolve(&m);
+                    let t_reb =
+                        self.cost.rebalance_time(cells_eff, &traffic(s, &m), s, use_km);
                     for bd in per_rank.iter_mut() {
                         bd[Phase::Rebalance] += t_reb;
                     }
@@ -331,6 +351,7 @@ impl ClusterSim {
             report.rebalances = rb.rebalance_count;
         }
         report.population = self.state.particles.len();
+        report.strategy_uses = self.strategy_uses;
         report
     }
 }
@@ -419,6 +440,37 @@ mod tests {
         assert!(report.breakdown[Phase::Reindex] > 0.0);
         assert!(report.total_time > 0.0);
         assert_eq!(report.trace.len(), 12);
+    }
+
+    #[test]
+    fn fixed_strategy_tallies_every_exchange() {
+        let mut cs = ClusterSim::new(&run_cfg(4, false, Strategy::Distributed), MachineProfile::tianhe2());
+        let report = cs.run(10);
+        let [cc, dc, sparse] = report.strategy_uses;
+        assert_eq!(cc, 0);
+        assert_eq!(sparse, 0);
+        // one DSMC exchange plus one per PIC substep, every step
+        assert!(dc >= 20, "expected >= 2 exchanges/step, got {dc}");
+    }
+
+    #[test]
+    fn auto_is_never_slower_than_a_fixed_strategy() {
+        let profile = MachineProfile::tianhe2();
+        let auto = ClusterSim::new(&run_cfg(4, false, Strategy::Auto), profile).run(15);
+        let used: u64 = auto.strategy_uses.iter().sum();
+        assert!(used > 0, "auto never resolved a strategy");
+        // physics is strategy-independent, and auto picks the argmin
+        // of the same per-exchange model, so it can only tie or win
+        for s in Strategy::CONCRETE {
+            let fixed = ClusterSim::new(&run_cfg(4, false, s), profile).run(15);
+            assert_eq!(fixed.population, auto.population, "physics drifted under {s:?}");
+            assert!(
+                auto.total_time <= fixed.total_time * (1.0 + 1e-12),
+                "auto {} slower than {s:?} {}",
+                auto.total_time,
+                fixed.total_time
+            );
+        }
     }
 
     #[test]

@@ -201,7 +201,14 @@ impl Dataset {
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     pub sim: SimConfig,
-    /// Communication strategy for both exchanges.
+    /// Communication strategy for every particle exchange (DSMC, PIC
+    /// and rebalance migration). Concrete strategies (`Centralized`,
+    /// `Distributed`, `Sparse`) run as configured; [`Strategy::Auto`]
+    /// re-picks among them before each exchange from the
+    /// rank-0-reduced migration byte matrix and the machine cost
+    /// model. The choice only changes the message schedule — every
+    /// strategy delivers identical buffers in identical source order,
+    /// so outputs are bitwise independent of this field.
     pub strategy: Strategy,
     /// Dynamic load balancing on/off + parameters.
     pub rebalance: Option<RebalanceConfig>,

@@ -18,4 +18,4 @@ pub use machine::{CostModel, MachineProfile, Placement};
 pub use state::{CoupledState, StepRecord};
 pub use threadrun::{run_serial, run_threaded, ThreadedRunResult};
 pub use timers::{Breakdown, Phase, Stopwatch};
-pub use tune::{tune_balancer, TunePoint, TuneReport};
+pub use tune::{tune_balancer, tune_strategy, StrategyPoint, StrategyTuneReport, TunePoint, TuneReport};

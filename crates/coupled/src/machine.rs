@@ -166,32 +166,64 @@ impl CostModel {
     ///
     /// Centralized: the root serializes 2(N−1) messages and every
     /// migrated byte crosses the wire twice through it.
+    ///
+    /// Sparse: two barrier fences bracket the counts round, then only
+    /// the busiest rank's nonzero pairs pay per-operation latency
+    /// (one count message + one payload message per partner) — the
+    /// latency bill scales with actual migration, not with N².
     pub fn exchange_time(&self, strategy: Strategy, t: &TrafficSummary) -> f64 {
         let n = self.ranks as f64;
         let a = self.alpha();
         let b = self.beta();
+        // NIC contention: the paper's two-round ordered protocols make
+        // every rank block in strict source order, so skew accumulates
+        // and each node's link is contended by all `cores_per_node`
+        // ranks simultaneously — the N(N−1)-transaction cost §IV-B.3
+        // predicts. Calibrated so the DC/CC crossover appears near 768
+        // ranks on BSCC (Fig. 11) while DC stays ahead on Tianhe-2's
+        // particle-heavy runs (Table II).
+        let contention = n * self.profile.cores_per_node as f64 / 1536.0;
+        let per_op = a * (2.0 + contention);
         match strategy {
-            Strategy::Distributed => {
-                // Two-round ordered protocol: every rank performs
-                // 2(N−1) blocking operations in strict source order,
-                // so skew accumulates and the NIC of each node is
-                // contended by all of its `cores_per_node` ranks
-                // simultaneously — the N(N−1)-transaction cost the
-                // paper's §IV-B.3 analysis predicts. The contention
-                // factor is calibrated so the DC/CC crossover appears
-                // near 768 ranks on BSCC (Fig. 11) while DC stays
-                // ahead on Tianhe-2's particle-heavy runs (Table II).
-                let contention =
-                    n * self.profile.cores_per_node as f64 / 1536.0;
-                let per_op = a * (2.0 + contention);
-                2.0 * (n - 1.0) * per_op + t.max_rank_bytes as f64 / b
-            }
+            Strategy::Distributed => 2.0 * (n - 1.0) * per_op + t.max_rank_bytes as f64 / b,
             Strategy::Centralized => {
                 // root serializes 2(N−1) eager messages; all migrated
                 // bytes cross its single link twice
                 2.0 * (n - 1.0) * a + t.max_rank_bytes as f64 / b
             }
+            Strategy::Sparse => {
+                // log-depth barrier fences + the busiest rank's
+                // serialized nonzero operations + its payload bytes
+                let fences = 2.0 * n.log2().max(1.0) * a;
+                fences + t.max_rank_msgs as f64 * per_op + t.max_rank_bytes as f64 / b
+            }
+            Strategy::Auto => panic!(
+                "Strategy::Auto has no cost of its own — resolve it with \
+                 CostModel::pick_strategy first"
+            ),
         }
+    }
+
+    /// Modelled wall time of one exchange of the migration byte matrix
+    /// `m` under `strategy` (traffic prediction + α–β charge).
+    pub fn exchange_time_for(&self, strategy: Strategy, m: &[Vec<u64>]) -> f64 {
+        self.exchange_time(strategy, &vmpi::traffic(strategy, m))
+    }
+
+    /// The per-step Auto decision rule (§IV-B addendum): score the
+    /// three concrete strategies on the rank-0-reduced migration byte
+    /// matrix with this machine's α/β parameters and return the
+    /// cheapest. Ties break toward the earlier entry of
+    /// [`Strategy::CONCRETE`], so the rule is deterministic.
+    pub fn pick_strategy(&self, m: &[Vec<u64>]) -> Strategy {
+        Strategy::CONCRETE
+            .into_iter()
+            .min_by(|&x, &y| {
+                self.exchange_time_for(x, m)
+                    .partial_cmp(&self.exchange_time_for(y, m))
+                    .expect("exchange times are finite")
+            })
+            .expect("CONCRETE is non-empty")
     }
 
     /// Wall time of one distributed Poisson solve: `iters` CG
@@ -278,6 +310,58 @@ mod tests {
         let dc = many.exchange_time(Strategy::Distributed, &vmpi::traffic(Strategy::Distributed, &m));
         let cc = many.exchange_time(Strategy::Centralized, &vmpi::traffic(Strategy::Centralized, &m));
         assert!(cc < dc, "cc {cc} dc {dc}");
+    }
+
+    fn pair_matrix(n: usize, pairs: &[(usize, usize, u64)]) -> Vec<Vec<u64>> {
+        let mut m = vec![vec![0u64; n]; n];
+        for &(s, d, b) in pairs {
+            m[s][d] = b;
+        }
+        m
+    }
+
+    #[test]
+    fn sparse_wins_quiet_steps_dc_wins_dense_ones() {
+        let cm = CostModel::new(MachineProfile::tianhe2(), 96);
+
+        // quiet step: two migrating pairs out of 96·95 — the sparse
+        // protocol's 4-message bill beats both all-pairs schedules
+        let quiet = pair_matrix(96, &[(3, 7, 4_000), (40, 12, 2_000)]);
+        let sp = cm.exchange_time_for(Strategy::Sparse, &quiet);
+        let dc = cm.exchange_time_for(Strategy::Distributed, &quiet);
+        let cc = cm.exchange_time_for(Strategy::Centralized, &quiet);
+        assert!(sp < dc, "sparse {sp} dc {dc}");
+        assert!(sp < cc, "sparse {sp} cc {cc}");
+
+        // dense step: every pair migrates, so sparse pays the same
+        // payload plus count messages and fences — distributed wins
+        let dense = uniform_matrix(96, 50_000);
+        let sp = cm.exchange_time_for(Strategy::Sparse, &dense);
+        let dc = cm.exchange_time_for(Strategy::Distributed, &dense);
+        assert!(dc < sp, "dc {dc} sparse {sp}");
+    }
+
+    #[test]
+    fn pick_strategy_follows_the_matrix() {
+        let cm = CostModel::new(MachineProfile::tianhe2(), 96);
+        let quiet = pair_matrix(96, &[(3, 7, 4_000)]);
+        assert_eq!(cm.pick_strategy(&quiet), Strategy::Sparse);
+        let dense = uniform_matrix(96, 50_000);
+        assert_eq!(cm.pick_strategy(&dense), Strategy::Distributed);
+
+        // tiny dense traffic at high rank counts: root serialization
+        // is cheaper than either all-pairs schedule (Fig. 11 regime)
+        let many = CostModel::new(MachineProfile::bscc(), 768);
+        let trickle = uniform_matrix(768, 20);
+        assert_eq!(many.pick_strategy(&trickle), Strategy::Centralized);
+    }
+
+    #[test]
+    #[should_panic(expected = "pick_strategy")]
+    fn auto_has_no_cost_of_its_own() {
+        let cm = CostModel::new(MachineProfile::tianhe2(), 8);
+        let m = uniform_matrix(8, 100);
+        cm.exchange_time(Strategy::Auto, &vmpi::traffic(Strategy::Distributed, &m));
     }
 
     #[test]

@@ -14,19 +14,20 @@
 //! differences ... mainly due to random seeds").
 
 use crate::config::RunConfig;
+use crate::machine::{CostModel, MachineProfile};
 use crate::timers::{Breakdown, Phase, Stopwatch};
 use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
 use dsmc::{move_particles_pooled, ChemistryModel, CollisionModel, Injector};
 use kernels::Pool;
 use mesh::NestedMesh;
-use particles::{pack_selected_into, unpack_all, ParticleBuffer, SortScratch, SpeciesTable};
+use particles::{pack_index, unpack_all, ParticleBuffer, SortScratch, SpeciesTable};
 use pic::{accelerate_charged_pooled, deposit_charge_pooled, ElectricField, PoissonSolver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparse::KrylovOptions;
 use std::sync::Arc;
 use vmpi::collectives::{allgather_u64, allreduce_sum_f64, broadcast, gather};
-use vmpi::{exchange, run_world, Comm, ThreadComm};
+use vmpi::{exchange_into, run_world, Comm, Strategy, ThreadComm};
 
 /// Result of a threaded run (as returned by rank 0).
 #[derive(Debug, Clone)]
@@ -43,6 +44,11 @@ pub struct ThreadedRunResult {
     pub bytes: u64,
     /// Number of rebalances performed.
     pub rebalances: usize,
+    /// Exchanges carried per concrete strategy, indexed by
+    /// [`Strategy::CONCRETE`] order (CC, DC, Sparse). Under
+    /// [`Strategy::Auto`] the per-exchange decision rule fills
+    /// whichever buckets it picks; a fixed strategy fills one.
+    pub strategy_uses: [u64; 3],
 }
 
 /// Run the coupled solver on `run.ranks` OS threads for `run.steps`
@@ -85,49 +91,36 @@ pub fn run_threaded(run: &RunConfig) -> ThreadedRunResult {
 }
 
 /// Per-rank scratch state for the exchange phases, reused across
-/// steps so the steady state is allocation-free: destination index
-/// lists and the keep mask persist at capacity, and byte buffers
-/// received from peers are recycled as the next step's send buffers.
+/// steps so the steady state is allocation-free: the keep mask and
+/// both buffer sets persist at capacity — emigrants are serialized
+/// straight into `outgoing` and [`exchange_into`] refills `incoming`
+/// in place.
 #[derive(Debug, Default)]
 pub struct ExchangeScratch {
-    by_dest: Vec<Vec<usize>>,
     keep: Vec<bool>,
-    /// Recycled wire buffers (cleared, capacity retained).
-    spare: Vec<Vec<u8>>,
+    /// `outgoing[d]`: wire bytes headed to rank `d`, cleared and
+    /// repacked each exchange (capacity retained).
+    outgoing: Vec<Vec<u8>>,
+    /// `incoming[s]`: wire bytes received from rank `s`.
+    incoming: Vec<Vec<u8>>,
 }
 
-impl ExchangeScratch {
-    /// Return a cleared byte buffer, reusing a recycled one if
-    /// available.
-    fn take_buffer(&mut self) -> Vec<u8> {
-        let mut b = self.spare.pop().unwrap_or_default();
-        b.clear();
-        b
-    }
-
-    /// Hand a no-longer-needed wire buffer back for reuse.
-    pub fn recycle(&mut self, buf: Vec<u8>) {
-        self.spare.push(buf);
-    }
-}
-
-/// Split off the particles of `buf` that no longer belong to `me` and
-/// return one packed buffer per destination rank.
-///
-/// Single pass over the particles: destination lists and the keep
-/// mask are built together (the seed version walked the `by_dest`
-/// lists a second time to derive the mask — O(particles × ranks) of
-/// extra traffic per exchange on migration-heavy steps).
+/// Split off the particles of `buf` that no longer belong to `me`,
+/// serialising each emigrant straight into its destination's wire
+/// buffer in the same pass that builds the keep mask. (The seed
+/// version staged per-destination index lists and re-walked them
+/// through a second packing pass, allocating fresh wire buffers every
+/// exchange.)
 fn pack_emigrants(
     buf: &mut ParticleBuffer,
     owner: &[u32],
     me: usize,
     ranks: usize,
     scratch: &mut ExchangeScratch,
-) -> Vec<Vec<u8>> {
-    scratch.by_dest.resize_with(ranks, Vec::new);
-    for d in scratch.by_dest.iter_mut() {
-        d.clear();
+) {
+    scratch.outgoing.resize_with(ranks, Vec::new);
+    for b in scratch.outgoing.iter_mut() {
+        b.clear();
     }
     scratch.keep.clear();
     scratch.keep.resize(buf.len(), true);
@@ -135,21 +128,82 @@ fn pack_emigrants(
     for i in 0..buf.len() {
         let dest = owner[buf.cell[i] as usize] as usize;
         if dest != me {
-            scratch.by_dest[dest].push(i);
+            pack_index(buf, i, &mut scratch.outgoing[dest]);
             scratch.keep[i] = false;
             emigrants += 1;
         }
     }
-    let mut outgoing: Vec<Vec<u8>> = Vec::with_capacity(ranks);
-    for d in 0..ranks {
-        let mut b = scratch.take_buffer();
-        pack_selected_into(buf, &scratch.by_dest[d], &mut b);
-        outgoing.push(b);
-    }
     if emigrants > 0 {
         buf.compact(&scratch.keep);
     }
-    outgoing
+}
+
+/// Resolve [`Strategy::Auto`] for one exchange: every rank contributes
+/// its per-destination byte counts (8·ranks bytes), rank 0 assembles
+/// the migration byte matrix and scores the concrete strategies with
+/// the cost model, and the 1-byte pick is broadcast. The pick only
+/// changes the message schedule — every strategy delivers identical
+/// buffers — so the machine profile behind `cost` can never affect
+/// physics.
+fn resolve_strategy<C: Comm>(
+    comm: &C,
+    configured: Strategy,
+    outgoing: &[Vec<u8>],
+    cost: &CostModel,
+) -> Strategy {
+    if configured != Strategy::Auto {
+        return configured;
+    }
+    let mut row = Vec::with_capacity(outgoing.len() * 8);
+    for b in outgoing {
+        row.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    }
+    let choice = gather(comm, 0, row).map(|rows| {
+        let matrix: Vec<Vec<u64>> = rows
+            .iter()
+            .map(|r| {
+                r.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            })
+            .collect();
+        let pick = cost.pick_strategy(&matrix);
+        let idx = Strategy::CONCRETE
+            .iter()
+            .position(|&s| s == pick)
+            .expect("pick is concrete");
+        vec![idx as u8]
+    });
+    Strategy::CONCRETE[broadcast(comm, 0, choice)[0] as usize]
+}
+
+/// One full particle migration: pack emigrants, resolve the strategy,
+/// run the wire exchange through the reused scratch buffers, unpack
+/// immigrants. Returns the concrete strategy that carried it.
+fn migrate<C: Comm>(
+    comm: &C,
+    configured: Strategy,
+    cost: &CostModel,
+    buf: &mut ParticleBuffer,
+    owner: &[u32],
+    scratch: &mut ExchangeScratch,
+) -> Strategy {
+    pack_emigrants(buf, owner, comm.rank(), comm.size(), scratch);
+    let strategy = resolve_strategy(comm, configured, &scratch.outgoing, cost);
+    exchange_into(comm, strategy, &mut scratch.outgoing, &mut scratch.incoming);
+    for inc in &scratch.incoming {
+        unpack_all(inc, buf);
+    }
+    strategy
+}
+
+/// Tally one resolved exchange into the CONCRETE-ordered counters.
+fn tally(uses: &mut [u64; 3], s: Strategy) {
+    let idx = Strategy::CONCRETE
+        .iter()
+        .position(|&c| c == s)
+        .expect("resolved strategy is concrete");
+    uses[idx] += 1;
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -172,6 +226,12 @@ fn rank_main(
     let pool = Pool::new(run.threads_per_rank);
     let mut exch = ExchangeScratch::default();
     let mut sort_scratch = SortScratch::default();
+    // Parameters for the Auto decision rule. The threaded backend has
+    // no real α/β of its own, so the Tianhe-2 profile is the
+    // documented default; see `resolve_strategy` for why this can
+    // never change the physics.
+    let cost = CostModel::new(MachineProfile::tianhe2(), ranks);
+    let mut strategy_uses = [0u64; 3];
 
     let mut buf = ParticleBuffer::new();
     let mut injector = Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
@@ -240,11 +300,8 @@ fn rank_main(
             None,
         );
         sw.lap(&mut step_bd, Phase::DsmcMove);
-        let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
-        for incoming in exchange(&comm, run.strategy, outgoing) {
-            unpack_all(&incoming, &mut buf);
-            exch.recycle(incoming);
-        }
+        let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
+        tally(&mut strategy_uses, s);
         sw.lap(&mut step_bd, Phase::DsmcExchange);
 
         // --- Colli_React ----------------------------------------------
@@ -306,11 +363,8 @@ fn rank_main(
                 None,
             );
             sw.lap(&mut step_bd, Phase::PicMove);
-            let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
-            for incoming in exchange(&comm, run.strategy, outgoing) {
-                unpack_all(&incoming, &mut buf);
-                exch.recycle(incoming);
-            }
+            let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
+            tally(&mut strategy_uses, s);
             sw.lap(&mut step_bd, Phase::PicExchange);
 
             // deposit local charge, sum boundary/node charge across
@@ -330,7 +384,7 @@ fn rank_main(
         sw.lap(&mut step_bd, Phase::Reindex);
 
         // --- Rebalance (measured lii, Algorithm 1) ---------------------
-        if rebalancer.is_some() {
+        if let Some(rb) = &mut rebalancer {
             // share measured times: (total, migration, poisson) triples
             let mine = [
                 step_bd.total(),
@@ -376,18 +430,14 @@ fn rank_main(
 
             // every rank runs the (deterministic) algorithm on the
             // same inputs => identical new ownership everywhere
-            let rb = rebalancer.as_mut().unwrap();
             if let RebalanceOutcome::Remapped { new_owner, .. } =
                 rb.step(lii, xadj, adjncy, &neutral, &charged, &owner, ranks)
             {
                 owner = new_owner;
                 injector =
                     Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
-                let outgoing = pack_emigrants(&mut buf, &owner, me, ranks, &mut exch);
-                for incoming in exchange(&comm, run.strategy, outgoing) {
-                    unpack_all(&incoming, &mut buf);
-                    exch.recycle(incoming);
-                }
+                let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
+                tally(&mut strategy_uses, s);
             }
             sw.lap(&mut step_bd, Phase::Rebalance);
         }
@@ -418,6 +468,7 @@ fn rank_main(
         transactions: comm.stats().transactions(),
         bytes: comm.stats().bytes(),
         rebalances: rebalancer.map_or(0, |r| r.rebalance_count),
+        strategy_uses,
     }
 }
 
@@ -442,6 +493,7 @@ pub fn run_serial(run: &RunConfig) -> ThreadedRunResult {
         transactions: 0,
         bytes: 0,
         rebalances: 0,
+        strategy_uses: [0; 3],
     }
 }
 
@@ -505,5 +557,33 @@ mod tests {
         let r = quick_run(4, Strategy::Distributed, true);
         assert!(r.rebalances >= 1, "threaded balancer never fired");
         assert!(r.population > 0);
+    }
+
+    #[test]
+    fn sparse_matches_distributed_exactly() {
+        // same seeds, and both strategies deliver identical buffers in
+        // identical source order — the full pipeline must agree bit
+        // for bit, not just statistically. (No load balancer here: its
+        // trigger is *measured wall time*, which is nondeterministic
+        // across runs regardless of strategy.)
+        let dc = quick_run(3, Strategy::Distributed, false);
+        let sp = quick_run(3, Strategy::Sparse, false);
+        assert_eq!(sp.population, dc.population);
+        assert_eq!(sp.density_h, dc.density_h);
+        let [_, _, sparse_uses] = sp.strategy_uses;
+        assert!(sparse_uses > 0, "sparse never carried an exchange");
+    }
+
+    #[test]
+    fn auto_resolves_concrete_strategies() {
+        let a = quick_run(3, Strategy::Auto, false);
+        assert!(a.population > 0);
+        let used: u64 = a.strategy_uses.iter().sum();
+        // one DSMC exchange + one per PIC substep, every step
+        assert!(used >= 12, "expected an exchange tally per step, got {used}");
+        // same seeds → same physics as any fixed strategy
+        let dc = quick_run(3, Strategy::Distributed, false);
+        assert_eq!(a.population, dc.population);
+        assert_eq!(a.density_h, dc.density_h);
     }
 }

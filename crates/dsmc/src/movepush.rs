@@ -231,10 +231,11 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
     let n = buf.len();
     let ranges = kernels::chunk_ranges(n, pool.workers());
 
-    // Carve the SoA fields into disjoint per-chunk mutable slices.
+    // Carve the SoA fields into disjoint per-chunk mutable slices:
+    // (chunk offset, positions, velocities, cell ids).
+    type SoaChunk<'a> = (usize, &'a mut [Vec3], &'a mut [Vec3], &'a mut [u32]);
     let species_arr: &[u8] = &buf.species;
-    let mut parts: Vec<(usize, &mut [Vec3], &mut [Vec3], &mut [u32])> =
-        Vec::with_capacity(ranges.len());
+    let mut parts: Vec<SoaChunk<'_>> = Vec::with_capacity(ranges.len());
     {
         let mut pos_rest: &mut [Vec3] = &mut buf.pos;
         let mut vel_rest: &mut [Vec3] = &mut buf.vel;

@@ -117,8 +117,8 @@ impl ParticleBuffer {
     pub fn compact(&mut self, keep: &[bool]) {
         assert_eq!(keep.len(), self.len());
         let mut w = 0usize;
-        for r in 0..self.len() {
-            if keep[r] {
+        for (r, &kept) in keep.iter().enumerate() {
+            if kept {
                 if w != r {
                     self.pos[w] = self.pos[r];
                     self.vel[w] = self.vel[r];

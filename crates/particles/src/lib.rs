@@ -1,6 +1,8 @@
 //! Particle substrate: SoA storage, species registry, Maxwellian
-//! sampling, and the migration wire format shared by both exchange
+//! sampling, and the migration wire format shared by the exchange
 //! strategies.
+
+#![deny(unsafe_code)]
 
 pub mod buffer;
 pub mod pack;
@@ -8,5 +10,8 @@ pub mod sample;
 pub mod species;
 
 pub use buffer::{Particle, ParticleBuffer, SortScratch};
-pub use pack::{pack_particle, pack_selected, pack_selected_into, unpack_all, unpack_particle, PACKED_SIZE};
+pub use pack::{
+    pack_index, pack_particle, pack_selected, pack_selected_into, unpack_all, unpack_particle,
+    PACKED_SIZE,
+};
 pub use species::{Species, SpeciesTable, KB, MASS_H, QE};

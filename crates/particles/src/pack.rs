@@ -63,8 +63,23 @@ pub fn pack_selected(src: &ParticleBuffer, indices: &[usize]) -> Vec<u8> {
 pub fn pack_selected_into(src: &ParticleBuffer, indices: &[usize], buf: &mut Vec<u8>) {
     buf.reserve(indices.len() * PACKED_SIZE);
     for &i in indices {
-        pack_particle(&src.get(i), buf);
+        pack_index(src, i, buf);
     }
+}
+
+/// Append the wire record of particle `i` straight from the SoA
+/// columns — the hot path of emigrant packing (no intermediate
+/// [`Particle`] materialisation, one append per field).
+#[inline]
+pub fn pack_index(src: &ParticleBuffer, i: usize, buf: &mut Vec<u8>) {
+    buf.reserve(PACKED_SIZE);
+    let (p, v) = (src.pos[i], src.vel[i]);
+    for c in [p.x, p.y, p.z, v.x, v.y, v.z] {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    buf.extend_from_slice(&src.cell[i].to_le_bytes());
+    buf.push(src.species[i]);
+    buf.extend_from_slice(&src.id[i].to_le_bytes());
 }
 
 #[cfg(test)]

@@ -93,9 +93,9 @@ pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
 
         // Final part absorbs everything left.
         if p + 1 == k {
-            for v in 0..n {
-                if part[v] == u32::MAX {
-                    part[v] = p as u32;
+            for (v, pv) in part.iter_mut().enumerate() {
+                if *pv == u32::MAX {
+                    *pv = p as u32;
                     part_wgt[p] += g.vwgt[v];
                 }
             }
@@ -103,10 +103,10 @@ pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
     }
 
     // Sweep stragglers (disconnected leftovers) into the lightest part.
-    for v in 0..n {
-        if part[v] == u32::MAX {
+    for (v, pv) in part.iter_mut().enumerate() {
+        if *pv == u32::MAX {
             let p = (0..k).min_by_key(|&p| part_wgt[p]).unwrap();
-            part[v] = p as u32;
+            *pv = p as u32;
             part_wgt[p] += g.vwgt[v];
         }
     }

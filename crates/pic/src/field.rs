@@ -26,14 +26,14 @@ impl ElectricField {
     pub fn from_potential(fine: &TetMesh, phi: &[f64]) -> Self {
         assert_eq!(phi.len(), fine.num_nodes());
         let mut e = vec![Vec3::ZERO; fine.num_cells()];
-        for t in 0..fine.num_cells() {
+        for (t, et) in e.iter_mut().enumerate() {
             let g = shape_gradients(fine.tet_pos(t));
             let tet = fine.tets[t];
             let mut grad = Vec3::ZERO;
             for k in 0..4 {
                 grad += g[k] * phi[tet[k] as usize];
             }
-            e[t] = -grad;
+            *et = -grad;
         }
         ElectricField { e }
     }

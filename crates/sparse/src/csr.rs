@@ -45,12 +45,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -87,10 +87,10 @@ impl CsrMatrix {
     /// Diagonal entries (0.0 where a row has no stored diagonal).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, di) in d.iter_mut().enumerate() {
             for (j, v) in self.row(i) {
                 if i == j {
-                    d[i] = v;
+                    *di = v;
                 }
             }
         }

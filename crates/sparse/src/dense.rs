@@ -4,6 +4,10 @@
 /// Solve `A x = b` by Gaussian elimination with partial pivoting.
 /// `a` is row-major `n×n`. Returns `None` for (numerically) singular
 /// systems.
+// index loops: the elimination updates row `row` from row `col` of the
+// same matrix, which iterator adapters can't express without
+// split_at_mut gymnastics
+#[allow(clippy::needless_range_loop)]
 pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = b.len();
     assert_eq!(a.len(), n);

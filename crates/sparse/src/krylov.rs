@@ -148,7 +148,7 @@ pub fn cg_with(
 
     for it in 0..opts.max_iters {
         let res = det_dot(&r, &r, pool).sqrt() / norm_b;
-        if let Some(h) = history.as_deref_mut() {
+        if let Some(h) = history.as_mut() {
             h.push(res);
         }
         if res <= opts.rtol {
@@ -181,7 +181,7 @@ pub fn cg_with(
     }
 
     let res = det_dot(&r, &r, pool).sqrt() / norm_b;
-    if let Some(h) = history.as_deref_mut() {
+    if let Some(h) = history.as_mut() {
         h.push(res);
     }
     SolveStats {

@@ -14,9 +14,9 @@ pub fn gather<C: Comm>(comm: &C, root: usize, mine: Vec<u8>) -> Option<Vec<Vec<u
     if comm.rank() == root {
         let mut all = vec![Vec::new(); comm.size()];
         all[root] = mine;
-        for r in 0..comm.size() {
+        for (r, slot) in all.iter_mut().enumerate() {
             if r != root {
-                all[r] = comm.recv(r);
+                *slot = comm.recv(r);
             }
         }
         Some(all)
@@ -102,6 +102,43 @@ pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> f64 {
     f64::from_le_bytes(out[..8].try_into().unwrap())
 }
 
+/// Sparse all-to-all of one `u64` per destination: rank `d` receives
+/// `mine[d]` of every source, as `out[src]` (the column of the
+/// world-wide matrix addressed to it). **Zero entries cost no
+/// message**: senders post only the nonzero values, a barrier fences
+/// the round, and receivers drain queued messages with
+/// [`Comm::try_recv`] — absence of a message *is* the zero. A second
+/// barrier keeps the next round's messages from interleaving into the
+/// drain. This is the counts-first round of the sparse exchange
+/// (§IV-B): on a quiet step its transaction count is proportional to
+/// the nonzero pairs, not to `N²`.
+pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
+    let me = comm.rank();
+    let n = comm.size();
+    assert_eq!(mine.len(), n);
+    for (d, &v) in mine.iter().enumerate() {
+        if d != me && v != 0 {
+            comm.send(d, v.to_le_bytes().to_vec());
+        }
+    }
+    // Fence 1: after this, every message of the round is queued.
+    comm.barrier();
+    let mut out = vec![0u64; n];
+    out[me] = mine[me];
+    for (s, slot) in out.iter_mut().enumerate() {
+        if s == me {
+            continue;
+        }
+        // at most one message per source this round
+        if let Some(m) = comm.try_recv(s) {
+            *slot = u64::from_le_bytes(m[..8].try_into().unwrap());
+        }
+    }
+    // Fence 2: nobody starts the next round until everyone drained.
+    comm.barrier();
+    out
+}
+
 /// All-gather a u64 from every rank (returned in rank order on all
 /// ranks). Used for global particle counts and the load-imbalance
 /// indicator.
@@ -179,6 +216,68 @@ mod tests {
     fn allreduce_max() {
         let out = run_world(4, |c| allreduce_max_f64(&c, c.rank() as f64 * 1.5));
         assert!(out.iter().all(|&v| v == 4.5));
+    }
+
+    #[test]
+    fn alltoall_delivers_columns() {
+        let n = 5usize;
+        let out = run_world(n, |c| {
+            // mine[d] = 100*me + d, except a band of zeros
+            let mine: Vec<u64> = (0..c.size())
+                .map(|d| {
+                    if (c.rank() + d) % 3 == 0 {
+                        0
+                    } else {
+                        (100 * c.rank() + d) as u64
+                    }
+                })
+                .collect();
+            alltoall_u64(&c, &mine)
+        });
+        for (d, col) in out.iter().enumerate() {
+            for (s, &v) in col.iter().enumerate() {
+                let want = if (s + d) % 3 == 0 { 0 } else { (100 * s + d) as u64 };
+                assert_eq!(v, want, "{s} -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_zero_entries_cost_no_messages() {
+        let tx = run_world(6, |c| {
+            c.stats().reset();
+            c.barrier();
+            // only rank 2 posts anything: one value to rank 5
+            let mut mine = vec![0u64; 6];
+            if c.rank() == 2 {
+                mine[5] = 77;
+            }
+            let out = alltoall_u64(&c, &mine);
+            if c.rank() == 5 {
+                assert_eq!(out[2], 77);
+            }
+            assert!(out.iter().enumerate().all(|(s, &v)| v == 0 || s == 2));
+            c.barrier();
+            c.stats().transactions()
+        })[0];
+        assert_eq!(tx, 1, "one nonzero entry = one message");
+    }
+
+    #[test]
+    fn back_to_back_alltoalls_do_not_interleave() {
+        let out = run_world(4, |c| {
+            let a: Vec<u64> = (0..4).map(|d| (c.rank() * 10 + d) as u64).collect();
+            let first = alltoall_u64(&c, &a);
+            let b: Vec<u64> = (0..4).map(|d| (c.rank() * 1000 + d) as u64).collect();
+            let second = alltoall_u64(&c, &b);
+            (first, second)
+        });
+        for (d, (f, s)) in out.iter().enumerate() {
+            for src in 0..4 {
+                assert_eq!(f[src], (src * 10 + d) as u64);
+                assert_eq!(s[src], (src * 1000 + d) as u64);
+            }
+        }
     }
 
     #[test]

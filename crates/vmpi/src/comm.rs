@@ -30,6 +30,25 @@ pub trait Comm {
     fn send(&self, to: usize, msg: Vec<u8>);
     /// Receive the next message sent by rank `from`.
     fn recv(&self, from: usize) -> Vec<u8>;
+    /// Non-blocking receive: the next message rank `from` sent us, if
+    /// one is already queued. Callers must fence with [`Comm::barrier`]
+    /// to know the set of queued messages is complete (used by the
+    /// sparse counts round, where "no message" means "zero bytes").
+    fn try_recv(&self, from: usize) -> Option<Vec<u8>>;
+    /// Send from a borrowed slice. Transports that must own their
+    /// payload copy here; the caller's buffer stays available for
+    /// reuse, which is what keeps the exchange path allocation-free in
+    /// steady state.
+    fn send_from(&self, to: usize, msg: &[u8]) {
+        self.send(to, msg.to_vec());
+    }
+    /// Receive into a caller-supplied buffer (cleared first, capacity
+    /// retained). The reusable-buffer counterpart of [`Comm::recv`].
+    fn recv_into(&self, from: usize, buf: &mut Vec<u8>) {
+        let msg = self.recv(from);
+        buf.clear();
+        buf.extend_from_slice(&msg);
+    }
     /// Block until every rank has entered the barrier.
     fn barrier(&self);
     /// Shared traffic statistics for the whole world.

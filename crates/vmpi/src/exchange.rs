@@ -1,9 +1,10 @@
-//! The paper's two particle-migration strategies (§IV-B).
+//! The particle-migration strategies (§IV-B) plus the sparse adaptive
+//! extension.
 //!
 //! Particles can cross from any rank's subdomain to any other's, so
 //! the solver needs all-to-any exchange rather than neighbour halo
-//! exchange. Both strategies take, on every rank, one packed byte
-//! buffer per destination rank, and return the buffers this rank
+//! exchange. Every strategy takes, on each rank, one packed byte
+//! buffer per destination rank, and fills the buffers this rank
 //! received.
 //!
 //! * [`Strategy::Centralized`]: gather → classify → scatter through a
@@ -11,11 +12,29 @@
 //!   twice (≈2M data volume).
 //! * [`Strategy::Distributed`]: all-pairs two-round ordered
 //!   send/recv. ~N(N−1) transactions but each byte moves once (≈M).
+//! * [`Strategy::Sparse`]: counts-first — a sparse
+//!   [`alltoall_u64`](crate::collectives::alltoall_u64) of
+//!   per-destination byte counts, then point-to-point transfers **only
+//!   between pairs with nonzero payload**, still walking the paper's
+//!   rank-ordered two-round schedule for deadlock freedom. A quiet
+//!   step (particles mostly staying put or crossing into neighbouring
+//!   subdomains) costs `O(nonzero pairs)` messages instead of
+//!   `N(N−1)`.
+//! * [`Strategy::Auto`]: a marker resolved per step by the caller
+//!   (`coupled::machine::CostModel::pick_strategy`) from the measured
+//!   migration byte matrix — it never reaches the wire itself.
 //!
 //! The deadlock-avoidance ordering follows the paper: round 1 receives
 //! from lower ranks then sends to higher ranks; round 2 receives from
 //! higher ranks then sends to lower ranks.
+//!
+//! [`exchange_into`] is the allocation-free core: outgoing buffers are
+//! sent from borrowed slices ([`Comm::send_from`]) and incoming
+//! buffers are refilled in place ([`Comm::recv_into`]), so a steady
+//! state reuses the same capacity step after step. [`exchange`] is the
+//! owned-buffer convenience wrapper.
 
+use crate::collectives::alltoall_u64;
 use crate::comm::Comm;
 use serde::{Deserialize, Serialize};
 
@@ -26,119 +45,194 @@ pub enum Strategy {
     Centralized,
     /// All-pairs two-round ordered exchange.
     Distributed,
+    /// Counts-first, then point-to-point only between nonzero pairs.
+    Sparse,
+    /// Pick Centralized/Distributed/Sparse per step from the migration
+    /// matrix and the machine model. Must be resolved to a concrete
+    /// strategy before the exchange itself runs.
+    Auto,
+}
+
+impl Strategy {
+    /// The strategies that actually move bytes (everything but
+    /// [`Strategy::Auto`]), in the order the auto-selector scores them.
+    pub const CONCRETE: [Strategy; 3] =
+        [Strategy::Centralized, Strategy::Distributed, Strategy::Sparse];
 }
 
 /// Exchange `outgoing[dest]` buffers between all ranks; returns
-/// `incoming[src]` buffers. `outgoing[comm.rank()]` is moved straight
-/// to `incoming[comm.rank()]` without touching the network.
-pub fn exchange<C: Comm>(comm: &C, strategy: Strategy, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-    assert_eq!(outgoing.len(), comm.size());
+/// `incoming[src]` buffers. `outgoing[comm.rank()]` is delivered
+/// straight to `incoming[comm.rank()]` without touching the network.
+pub fn exchange<C: Comm>(comm: &C, strategy: Strategy, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let mut incoming = Vec::new();
+    exchange_into(comm, strategy, &mut outgoing, &mut incoming);
+    incoming
+}
+
+/// Allocation-free exchange: fills `incoming[src]` (resized to world
+/// size, buffers cleared and refilled in place) from `outgoing[dest]`,
+/// which is only borrowed — its buffers keep their contents and
+/// capacity, ready to be cleared and repacked next step.
+pub fn exchange_into<C: Comm>(
+    comm: &C,
+    strategy: Strategy,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut Vec<Vec<u8>>,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(outgoing.len(), n);
+    incoming.resize_with(n, Vec::new);
+    for buf in incoming.iter_mut() {
+        buf.clear();
+    }
+    // local delivery without touching the network
+    incoming[me].extend_from_slice(&outgoing[me]);
     match strategy {
-        Strategy::Centralized => exchange_centralized(comm, outgoing),
-        Strategy::Distributed => exchange_distributed(comm, outgoing),
+        Strategy::Centralized => exchange_centralized_into(comm, outgoing, incoming),
+        Strategy::Distributed => exchange_distributed_into(comm, outgoing, incoming),
+        Strategy::Sparse => exchange_sparse_into(comm, outgoing, incoming),
+        Strategy::Auto => panic!(
+            "Strategy::Auto must be resolved to a concrete strategy before the \
+             exchange runs (see coupled::machine::CostModel::pick_strategy)"
+        ),
     }
 }
 
 /// Distributed strategy: all-pairs, two rounds, paper ordering.
-pub fn exchange_distributed<C: Comm>(comm: &C, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+// index loops: the loop variable is the peer rank of an ordered
+// schedule, and the iteration bounds (`0..me`, `me+1..n`, reversed)
+// are the deadlock-freedom argument — keep them explicit
+#[allow(clippy::needless_range_loop)]
+fn exchange_distributed_into<C: Comm>(
+    comm: &C,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut [Vec<u8>],
+) {
     let me = comm.rank();
     let n = comm.size();
-    let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); n];
-    incoming[me] = std::mem::take(&mut outgoing[me]);
-
     // Round 1: receive from every lower rank (ascending), then send to
     // every higher rank (ascending).
     for src in 0..me {
-        incoming[src] = comm.recv(src);
+        comm.recv_into(src, &mut incoming[src]);
     }
     for dst in me + 1..n {
-        comm.send(dst, std::mem::take(&mut outgoing[dst]));
+        comm.send_from(dst, &outgoing[dst]);
     }
     // Round 2: receive from every higher rank (descending), then send
     // to every lower rank (descending).
     for src in (me + 1..n).rev() {
-        incoming[src] = comm.recv(src);
+        comm.recv_into(src, &mut incoming[src]);
     }
     for dst in (0..me).rev() {
-        comm.send(dst, std::mem::take(&mut outgoing[dst]));
+        comm.send_from(dst, &outgoing[dst]);
     }
-    incoming
+}
+
+/// Sparse strategy: a counts round tells every rank which peers hold
+/// payload for it, then the distributed two-round ordered schedule
+/// runs with every zero pair skipped on both sides (the counts are
+/// symmetric knowledge, so the schedule stays deadlock-free).
+// index loops: see exchange_distributed_into — same ordered schedule
+#[allow(clippy::needless_range_loop)]
+fn exchange_sparse_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &mut [Vec<u8>]) {
+    let me = comm.rank();
+    let n = comm.size();
+    let counts: Vec<u64> = outgoing
+        .iter()
+        .enumerate()
+        .map(|(d, b)| if d == me { 0 } else { b.len() as u64 })
+        .collect();
+    let expect = alltoall_u64(comm, &counts);
+    for src in 0..me {
+        if expect[src] > 0 {
+            comm.recv_into(src, &mut incoming[src]);
+        }
+    }
+    for dst in me + 1..n {
+        if !outgoing[dst].is_empty() {
+            comm.send_from(dst, &outgoing[dst]);
+        }
+    }
+    for src in (me + 1..n).rev() {
+        if expect[src] > 0 {
+            comm.recv_into(src, &mut incoming[src]);
+        }
+    }
+    for dst in (0..me).rev() {
+        if !outgoing[dst].is_empty() {
+            comm.send_from(dst, &outgoing[dst]);
+        }
+    }
 }
 
 /// Centralized strategy: gather at root, classify by destination,
-/// scatter.
-pub fn exchange_centralized<C: Comm>(comm: &C, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+/// scatter. Classification borrows byte ranges of the gathered
+/// messages — each payload is copied exactly once into its scatter
+/// buffer, not staged through intermediate per-payload `Vec`s.
+fn exchange_centralized_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &mut [Vec<u8>]) {
     const ROOT: usize = 0;
     let me = comm.rank();
     let n = comm.size();
-    let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); n];
-    incoming[me] = std::mem::take(&mut outgoing[me]);
 
-    // --- gather stage: pack (dest, payload) groups into one message.
-    let pack = |outgoing: &[Vec<u8>]| -> Vec<u8> {
-        let mut buf = Vec::new();
+    // pack (dst, payload) groups into one message, skipping self
+    let pack = |outgoing: &[Vec<u8>], me: usize, buf: &mut Vec<u8>| {
         for (dst, payload) in outgoing.iter().enumerate() {
-            if payload.is_empty() {
+            if dst == me || payload.is_empty() {
                 continue;
             }
             buf.extend_from_slice(&(dst as u32).to_le_bytes());
             buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             buf.extend_from_slice(payload);
         }
-        buf
     };
-    // unpack groups of (dst, payload) out of a gathered message,
-    // appending into per-(dst) classified buffers tagged with source.
-    fn unpack(buf: &[u8], src: usize, sink: &mut [Vec<(usize, Vec<u8>)>]) {
-        let mut off = 0usize;
-        while off < buf.len() {
-            let dst = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-            off += 4;
-            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-            off += 8;
-            sink[dst].push((src, buf[off..off + len].to_vec()));
-            off += len;
-        }
-    }
 
     if me == ROOT {
-        // classified[dst] = list of (src, payload)
-        let mut classified: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n];
-        unpack(&pack(&outgoing), ROOT, &mut classified);
-        for src in 0..n {
-            if src == ROOT {
-                continue;
-            }
-            let msg = comm.recv(src);
-            unpack(&msg, src, &mut classified);
+        // --- gather stage -------------------------------------------
+        let mut gathered: Vec<Vec<u8>> = Vec::with_capacity(n);
+        gathered.push(Vec::new()); // root's groups come straight from `outgoing`
+        for src in 1..n {
+            gathered.push(comm.recv(src));
         }
-        // --- scatter stage: repack per destination with source tags.
-        for (dst, groups) in classified.into_iter().enumerate() {
-            let mut buf = Vec::new();
-            for (src, payload) in groups {
-                buf.extend_from_slice(&(src as u32).to_le_bytes());
-                buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-                buf.extend_from_slice(&payload);
+        // --- classify stage: borrowed (src, payload-slice) refs -----
+        let mut classified: Vec<Vec<(u32, &[u8])>> = vec![Vec::new(); n];
+        for (dst, payload) in outgoing.iter().enumerate() {
+            if dst != ROOT && !payload.is_empty() {
+                classified[dst].push((ROOT as u32, payload.as_slice()));
             }
+        }
+        for (src, buf) in gathered.iter().enumerate().skip(1) {
+            let mut off = 0usize;
+            while off < buf.len() {
+                let dst = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+                off += 4;
+                let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+                off += 8;
+                classified[dst].push((src as u32, &buf[off..off + len]));
+                off += len;
+            }
+        }
+        // --- scatter stage: one copy per payload --------------------
+        let mut scatter = Vec::new();
+        for (dst, groups) in classified.iter().enumerate() {
             if dst == ROOT {
-                // deliver locally
-                let mut off = 0usize;
-                while off < buf.len() {
-                    let src =
-                        u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-                    off += 4;
-                    let len =
-                        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-                    off += 8;
-                    incoming[src].extend_from_slice(&buf[off..off + len]);
-                    off += len;
+                for &(src, payload) in groups {
+                    incoming[src as usize].extend_from_slice(payload);
                 }
             } else {
-                comm.send(dst, buf);
+                scatter.clear();
+                for &(src, payload) in groups {
+                    scatter.extend_from_slice(&src.to_le_bytes());
+                    scatter.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                    scatter.extend_from_slice(payload);
+                }
+                comm.send_from(dst, &scatter);
             }
         }
     } else {
-        comm.send(ROOT, pack(&outgoing));
+        let mut msg = Vec::new();
+        pack(outgoing, me, &mut msg);
+        comm.send(ROOT, msg);
         let buf = comm.recv(ROOT);
         let mut off = 0usize;
         while off < buf.len() {
@@ -150,7 +244,6 @@ pub fn exchange_centralized<C: Comm>(comm: &C, mut outgoing: Vec<Vec<u8>>) -> Ve
             off += len;
         }
     }
-    incoming
 }
 
 /// Traffic summary for one exchange given the migration byte matrix
@@ -166,6 +259,12 @@ pub struct TrafficSummary {
     /// Worst per-rank sum of (sent + received) bytes — the serial
     /// bottleneck rank (the root, under the centralized scheme).
     pub max_rank_bytes: u64,
+    /// Nonzero off-diagonal entries of the migration matrix: the
+    /// ordered src→dst pairs that actually carry bytes.
+    pub nonzero_pairs: u64,
+    /// Worst per-rank count of point-to-point operations (sends +
+    /// receives) — the serialized-latency bound of the protocol.
+    pub max_rank_msgs: u64,
 }
 
 /// Predict the traffic of one exchange under `strategy`.
@@ -174,13 +273,19 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
     let mut off_diag = 0u64; // M: bytes that actually change ranks
     let mut sent = vec![0u64; n];
     let mut recvd = vec![0u64; n];
+    let mut nz_sent = vec![0u64; n]; // nonzero destinations per source
+    let mut nz_recvd = vec![0u64; n]; // nonzero sources per destination
+    let mut nonzero_pairs = 0u64;
     for (s, row) in matrix.iter().enumerate() {
         assert_eq!(row.len(), n);
         for (d, &b) in row.iter().enumerate() {
-            if s != d {
+            if s != d && b > 0 {
                 off_diag += b;
                 sent[s] += b;
                 recvd[d] += b;
+                nz_sent[s] += 1;
+                nz_recvd[d] += 1;
+                nonzero_pairs += 1;
             }
         }
     }
@@ -193,6 +298,8 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
                 transactions,
                 total_bytes: off_diag,
                 max_rank_bytes: max_rank,
+                nonzero_pairs,
+                max_rank_msgs: 2 * (n as u64 - 1),
             }
         }
         Strategy::Centralized => {
@@ -216,8 +323,34 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
                 transactions: 2 * (n as u64 - 1),
                 total_bytes: total,
                 max_rank_bytes: root_bytes,
+                nonzero_pairs,
+                max_rank_msgs: 2 * (n as u64 - 1),
             }
         }
+        Strategy::Sparse => {
+            // per nonzero pair: one 8-byte count message (the sparse
+            // alltoall — zero entries cost no message) + one payload
+            // message; barriers are synchronization, not transactions.
+            let max_rank = (0..n)
+                .map(|r| sent[r] + recvd[r] + 8 * (nz_sent[r] + nz_recvd[r]))
+                .max()
+                .unwrap_or(0);
+            let max_msgs = (0..n)
+                .map(|r| 2 * (nz_sent[r] + nz_recvd[r]))
+                .max()
+                .unwrap_or(0);
+            TrafficSummary {
+                transactions: 2 * nonzero_pairs,
+                total_bytes: off_diag + 8 * nonzero_pairs,
+                max_rank_bytes: max_rank,
+                nonzero_pairs,
+                max_rank_msgs: max_msgs,
+            }
+        }
+        Strategy::Auto => panic!(
+            "Strategy::Auto has no traffic of its own — resolve it to a concrete \
+             strategy first (CostModel::pick_strategy)"
+        ),
     }
 }
 
@@ -260,8 +393,15 @@ mod tests {
     }
 
     #[test]
+    fn sparse_delivers_everything() {
+        for n in [1usize, 2, 3, 5, 8] {
+            check_all_to_all(Strategy::Sparse, n);
+        }
+    }
+
+    #[test]
     fn empty_buffers_allowed() {
-        for strategy in [Strategy::Centralized, Strategy::Distributed] {
+        for strategy in Strategy::CONCRETE {
             let results = run_world(4, move |c| {
                 // only rank 1 sends, and only to rank 3
                 let mut outgoing = vec![Vec::new(); 4];
@@ -274,8 +414,46 @@ mod tests {
             for (dst, inc) in results.iter().enumerate() {
                 for (src, buf) in inc.iter().enumerate() {
                     if !(src == 1 && dst == 3) {
-                        assert!(buf.is_empty(), "unexpected bytes {src}->{dst}");
+                        assert!(buf.is_empty(), "unexpected bytes {src}->{dst} ({strategy:?})");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_into_reuses_buffers_across_steps() {
+        // two consecutive exchanges through the same scratch buffers:
+        // outgoing keeps its contents (borrowed sends), incoming is
+        // cleared and refilled in place.
+        for strategy in Strategy::CONCRETE {
+            let results = run_world(3, move |c| {
+                let mut outgoing: Vec<Vec<u8>> =
+                    (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
+                let mut incoming = Vec::new();
+                exchange_into(&c, strategy, &mut outgoing, &mut incoming);
+                let first: Vec<Vec<u8>> = incoming.clone();
+                // outgoing untouched by the exchange
+                for (dst, buf) in outgoing.iter().enumerate() {
+                    assert_eq!(buf, &payload(c.rank(), dst));
+                }
+                // repack different content into the same buffers
+                for (dst, buf) in outgoing.iter_mut().enumerate() {
+                    buf.clear();
+                    buf.extend_from_slice(&payload(c.rank(), dst));
+                    buf.push(0xEE);
+                }
+                exchange_into(&c, strategy, &mut outgoing, &mut incoming);
+                (first, incoming)
+            });
+            for (dst, (first, second)) in results.iter().enumerate() {
+                for (src, buf) in first.iter().enumerate() {
+                    assert_eq!(buf, &payload(src, dst), "{strategy:?} step1 {src}->{dst}");
+                }
+                for (src, buf) in second.iter().enumerate() {
+                    let mut want = payload(src, dst);
+                    want.push(0xEE);
+                    assert_eq!(buf, &want, "{strategy:?} step2 {src}->{dst}");
                 }
             }
         }
@@ -287,6 +465,9 @@ mod tests {
         for (strategy, expect) in [
             (Strategy::Distributed, (n * (n - 1)) as u64),
             (Strategy::Centralized, 2 * (n as u64 - 1)),
+            // dense matrix: every ordered pair is nonzero — counts
+            // round + payload round each cost n(n-1) messages
+            (Strategy::Sparse, 2 * (n * (n - 1)) as u64),
         ] {
             let tx = run_world(n, move |c| {
                 c.stats().reset();
@@ -300,6 +481,103 @@ mod tests {
         }
     }
 
+    /// ISSUE acceptance: a quiet step (≤2 nonzero pairs) at 8 ranks
+    /// must cost Sparse well under 25% of DC's N(N−1) transactions,
+    /// and exactly `alltoall cost + 2·(nonzero off-diagonal pairs)`
+    /// (the sparse alltoall costs one message per nonzero pair, so
+    /// 2 messages per pair in total).
+    #[test]
+    fn sparse_quiet_step_transactions() {
+        let n = 8usize;
+        let measure = |strategy: Strategy| {
+            run_world(n, move |c| {
+                c.stats().reset();
+                c.barrier();
+                // two nonzero pairs: 1→3 and 6→2
+                let mut outgoing = vec![Vec::new(); c.size()];
+                match c.rank() {
+                    1 => outgoing[3] = vec![7u8; 61],
+                    6 => outgoing[2] = vec![9u8; 122],
+                    _ => {}
+                }
+                let inc = exchange(&c, strategy, outgoing);
+                c.barrier();
+                (c.stats().transactions(), inc)
+            })
+        };
+        let sparse = measure(Strategy::Sparse);
+        let dc = measure(Strategy::Distributed);
+        let (tx_sparse, _) = &sparse[0];
+        let (tx_dc, _) = &dc[0];
+        assert_eq!(*tx_dc, (n * (n - 1)) as u64);
+        assert_eq!(*tx_sparse, 2 * 2, "counts msg + payload msg per nonzero pair");
+        assert!(
+            (*tx_sparse as f64) < 0.25 * (*tx_dc as f64),
+            "sparse {tx_sparse} !< 25% of dc {tx_dc}"
+        );
+        // identical deliveries
+        for (rank, ((_, a), (_, b))) in sparse.iter().zip(&dc).enumerate() {
+            assert_eq!(a, b, "rank {rank} incoming differs");
+        }
+    }
+
+    /// The symmetric-pair form of the counts test: both directions of
+    /// two unordered pairs are nonzero, so transactions =
+    /// 2·(nonzero ordered pairs) = 4·(unordered pairs).
+    #[test]
+    fn sparse_transactions_two_per_nonzero_pair() {
+        let n = 5usize;
+        let tx = run_world(n, move |c| {
+            c.stats().reset();
+            c.barrier();
+            let mut outgoing = vec![Vec::new(); c.size()];
+            // symmetric pairs {0,4} and {1,2}
+            match c.rank() {
+                0 => outgoing[4] = vec![1u8; 10],
+                4 => outgoing[0] = vec![2u8; 20],
+                1 => outgoing[2] = vec![3u8; 30],
+                2 => outgoing[1] = vec![4u8; 40],
+                _ => {}
+            }
+            let _ = exchange(&c, Strategy::Sparse, outgoing);
+            c.barrier();
+            c.stats().transactions()
+        })[0];
+        assert_eq!(tx, 2 * 4, "4 nonzero ordered pairs, 2 messages each");
+    }
+
+    /// `traffic(Sparse, m)` must agree with what CommStats measures on
+    /// the threaded backend for the same migration matrix.
+    #[test]
+    fn sparse_traffic_model_matches_measurement() {
+        let n = 6usize;
+        // a lumpy, asymmetric matrix with plenty of zeros
+        let mut m = vec![vec![0u64; n]; n];
+        m[0][3] = 100;
+        m[3][0] = 50;
+        m[2][5] = 7;
+        m[4][1] = 1;
+        m[1][4] = 900;
+        let model = traffic(Strategy::Sparse, &m);
+        let m2 = m.clone();
+        let (tx, bytes) = {
+            let out = run_world(n, move |c| {
+                c.stats().reset();
+                c.barrier();
+                let outgoing: Vec<Vec<u8>> = (0..c.size())
+                    .map(|d| vec![0xAAu8; m2[c.rank()][d] as usize])
+                    .collect();
+                let _ = exchange(&c, Strategy::Sparse, outgoing);
+                c.barrier();
+                (c.stats().transactions(), c.stats().bytes())
+            });
+            out[0]
+        };
+        assert_eq!(model.transactions, tx, "transactions");
+        assert_eq!(model.total_bytes, bytes, "bytes (payload + 8-byte counts)");
+        assert_eq!(model.nonzero_pairs, 5);
+    }
+
     #[test]
     fn traffic_model_distributed() {
         // 3 ranks, only 0->2 sends 100 bytes
@@ -309,6 +587,8 @@ mod tests {
         assert_eq!(t.transactions, 6);
         assert_eq!(t.total_bytes, 100);
         assert_eq!(t.max_rank_bytes, 100);
+        assert_eq!(t.nonzero_pairs, 1);
+        assert_eq!(t.max_rank_msgs, 4);
     }
 
     #[test]
@@ -320,6 +600,26 @@ mod tests {
         assert_eq!(t.transactions, 4);
         assert_eq!(t.total_bytes, 250);
         assert_eq!(t.max_rank_bytes, 250);
+    }
+
+    #[test]
+    fn traffic_model_sparse_quiet_vs_dense() {
+        let n = 8usize;
+        // quiet: one pair
+        let mut quiet = vec![vec![0u64; n]; n];
+        quiet[1][3] = 1000;
+        let tq = traffic(Strategy::Sparse, &quiet);
+        assert_eq!(tq.transactions, 2);
+        assert_eq!(tq.total_bytes, 1000 + 8);
+        assert_eq!(tq.max_rank_msgs, 2);
+        // dense: every pair — sparse pays the counts overhead on top
+        let dense: Vec<Vec<u64>> = (0..n)
+            .map(|s| (0..n).map(|d| if s == d { 0 } else { 10 }).collect())
+            .collect();
+        let td = traffic(Strategy::Sparse, &dense);
+        let dc = traffic(Strategy::Distributed, &dense);
+        assert_eq!(td.transactions, 2 * dc.transactions);
+        assert!(td.total_bytes > dc.total_bytes);
     }
 
     #[test]

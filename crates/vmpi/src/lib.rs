@@ -7,11 +7,13 @@
 //! that feeds the analytic cluster model in the `coupled` crate for
 //! experiments at paper scale (hundreds to thousands of ranks).
 
+#![deny(unsafe_code)]
+
 pub mod collectives;
 pub mod comm;
 pub mod exchange;
 pub mod threaded;
 
 pub use comm::{Comm, CommStats};
-pub use exchange::{exchange, traffic, Strategy, TrafficSummary};
+pub use exchange::{exchange, exchange_into, traffic, Strategy, TrafficSummary};
 pub use threaded::{run_world, ThreadComm};

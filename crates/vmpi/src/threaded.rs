@@ -40,6 +40,10 @@ impl Comm for ThreadComm {
         self.from[from].recv().expect("sender hung up")
     }
 
+    fn try_recv(&self, from: usize) -> Option<Vec<u8>> {
+        self.from[from].try_recv()
+    }
+
     fn barrier(&self) {
         self.barrier.wait();
     }
@@ -68,10 +72,10 @@ where
     }
     for i in 0..n {
         let mut row = Vec::with_capacity(n);
-        for j in 0..n {
+        for recv_row in receivers.iter_mut() {
             let (s, r) = unbounded();
             row.push(s);
-            receivers[j][i] = Some(r); // rank j receives from i
+            recv_row[i] = Some(r); // rank j receives from i
         }
         senders.push(row);
     }

@@ -1,7 +1,8 @@
-//! The two particle-migration strategies side by side (paper §IV-B):
-//! run the same plume on thread-ranks under the centralized and the
-//! distributed protocol, and confirm the §IV-B.3 efficiency analysis
-//! with both measured traffic and the analytic model.
+//! The particle-migration strategies side by side (paper §IV-B plus
+//! the sparse adaptive extension): run the same plume on thread-ranks
+//! under every concrete protocol and Auto, and confirm the §IV-B.3
+//! efficiency analysis with both measured traffic and the analytic
+//! model.
 //!
 //! ```bash
 //! cargo run --release --example comm_strategies
@@ -17,13 +18,14 @@ fn main() {
     base.rebalance = None;
 
     println!("measured on {ranks} rank-threads, {} DSMC steps:\n", base.steps);
-    println!("  strategy    | transactions |      bytes | population");
-    for strategy in [Strategy::Centralized, Strategy::Distributed] {
+    println!("  strategy    | transactions |      bytes | population | uses CC/DC/Sparse");
+    for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::Auto]) {
         let mut run = base.clone();
         run.strategy = strategy;
         let res = run_threaded(&run);
+        let [cc, dc, sp] = res.strategy_uses;
         println!(
-            "  {:11} | {:>12} | {:>10} | {:>9}",
+            "  {:11} | {:>12} | {:>10} | {:>10} | {cc}/{dc}/{sp}",
             format!("{strategy:?}"),
             res.transactions,
             res.bytes,
@@ -31,27 +33,35 @@ fn main() {
         );
     }
 
-    // The §IV-B.3 theory on a synthetic migration matrix: M bytes of
-    // particles moving uniformly between N ranks.
-    println!("\nanalytic traffic for a uniform migration matrix (N = 16, 1 KiB per pair):");
+    // The §IV-B.3 theory on synthetic migration matrices: M bytes of
+    // particles moving uniformly between N ranks, and a quiet step
+    // where only two pairs migrate.
     let n = 16usize;
-    let m: Vec<Vec<u64>> = (0..n)
+    let dense: Vec<Vec<u64>> = (0..n)
         .map(|s| (0..n).map(|d| if s == d { 0 } else { 1024 }).collect())
         .collect();
-    println!("  strategy    | transactions | total bytes | busiest rank");
-    for strategy in [Strategy::Centralized, Strategy::Distributed] {
-        let t = traffic(strategy, &m);
-        println!(
-            "  {:11} | {:>12} | {:>11} | {:>12}",
-            format!("{strategy:?}"),
-            t.transactions,
-            t.total_bytes,
-            t.max_rank_bytes
-        );
+    let mut quiet = vec![vec![0u64; n]; n];
+    quiet[1][3] = 1024;
+    quiet[14][2] = 512;
+    for (label, m) in [("uniform 1 KiB per pair", &dense), ("quiet, 2 pairs", &quiet)] {
+        println!("\nanalytic traffic, N = {n}, {label}:");
+        println!("  strategy    | transactions | total bytes | busiest rank");
+        for strategy in Strategy::CONCRETE {
+            let t = traffic(strategy, m);
+            println!(
+                "  {:11} | {:>12} | {:>11} | {:>12}",
+                format!("{strategy:?}"),
+                t.transactions,
+                t.total_bytes,
+                t.max_rank_bytes
+            );
+        }
     }
     println!(
         "\npaper §IV-B.3: centralized ≈ 2N transactions but ≈ 2M data (all through\n\
          the root); distributed ≈ N(N−1) transactions but each byte moves once.\n\
-         Neither wins universally — see bench/fig11_cc_vs_dc for the crossover."
+         Sparse pays 2 messages per nonzero pair, so a quiet step costs O(pairs).\n\
+         Neither fixed choice wins universally — see bench/fig11_cc_vs_dc for the\n\
+         crossover and Strategy::Auto for the per-step decision rule."
     );
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and the
+# zero-warning lint bar. Run before every merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -64,6 +64,50 @@ fn centralized_and_distributed_same_physics() {
     }
 }
 
+/// ISSUE acceptance: the sparse counts-first protocol must be a pure
+/// message-schedule change — the full coupled pipeline ends in the
+/// *identical* final particle state as under the distributed protocol,
+/// bit for bit, at both an odd and an even rank count.
+#[test]
+fn sparse_matches_distributed_bitwise() {
+    for ranks in [3usize, 4] {
+        let mut dc = base_run(ranks);
+        dc.strategy = Strategy::Distributed;
+        let mut sp = base_run(ranks);
+        sp.strategy = Strategy::Sparse;
+        let rdc = run_threaded(&dc);
+        let rsp = run_threaded(&sp);
+        assert_eq!(rsp.population, rdc.population, "{ranks} ranks");
+        assert_eq!(rsp.density_h, rdc.density_h, "{ranks} ranks");
+        // the quiet plume flow leaves most rank pairs idle, so the
+        // counts-first schedule sends strictly fewer messages
+        assert!(
+            rsp.transactions < rdc.transactions,
+            "{ranks} ranks: sparse {} !< dc {}",
+            rsp.transactions,
+            rdc.transactions
+        );
+    }
+}
+
+/// Auto is a routing decision per exchange; it must leave the physics
+/// bitwise untouched too.
+#[test]
+fn auto_matches_distributed_bitwise() {
+    let mut dc = base_run(4);
+    dc.strategy = Strategy::Distributed;
+    let mut auto = base_run(4);
+    auto.strategy = Strategy::Auto;
+    let rdc = run_threaded(&dc);
+    let rauto = run_threaded(&auto);
+    assert_eq!(rauto.population, rdc.population);
+    assert_eq!(rauto.density_h, rdc.density_h);
+    assert!(
+        rauto.strategy_uses.iter().sum::<u64>() > 0,
+        "auto never resolved a concrete strategy"
+    );
+}
+
 #[test]
 fn transaction_counts_reflect_strategy() {
     let mut dc = base_run(5);

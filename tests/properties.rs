@@ -2,13 +2,16 @@
 //! wire format, sparse algebra, assignment and the exchange traffic
 //! model.
 
+// small dense-matrix constructions read naturally as index loops
+#![allow(clippy::needless_range_loop)]
+
 use mesh::geom::{barycentric, tet_contains, tet_volume, tet_volume_signed, Vec3};
 use particles::{
     pack_particle, unpack_particle, Particle, ParticleBuffer, SortScratch, PACKED_SIZE,
 };
 use proptest::prelude::*;
 use sparse::{cg, solve_dense, CooBuilder, KrylovOptions};
-use vmpi::{traffic, Strategy as CommStrategy};
+use vmpi::{exchange, run_world, traffic, Comm, Strategy as CommStrategy};
 
 fn vec3() -> impl Strategy<Value = Vec3> {
     (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Vec3::new(x, y, z))
@@ -170,6 +173,7 @@ proptest! {
         let m: Vec<Vec<u64>> = nbytes.chunks(3).map(|c| c.to_vec()).collect();
         let dc = traffic(CommStrategy::Distributed, &m);
         let cc = traffic(CommStrategy::Centralized, &m);
+        let sp = traffic(CommStrategy::Sparse, &m);
         // centralized never has more transactions
         prop_assert!(cc.transactions <= dc.transactions);
         // distributed never moves more bytes
@@ -177,6 +181,47 @@ proptest! {
         // busiest rank bounded by total traffic
         prop_assert!(dc.max_rank_bytes <= 2 * dc.total_bytes);
         prop_assert!(cc.max_rank_bytes <= cc.total_bytes);
+        // sparse: 2 messages per nonzero ordered pair, payload plus an
+        // 8-byte count message each; never more pairs than DC slots
+        prop_assert_eq!(sp.nonzero_pairs, dc.nonzero_pairs);
+        prop_assert_eq!(sp.transactions, 2 * sp.nonzero_pairs);
+        prop_assert_eq!(sp.total_bytes, dc.total_bytes + 8 * sp.nonzero_pairs);
+        prop_assert!(sp.transactions <= 2 * dc.transactions);
+        prop_assert!(sp.max_rank_msgs <= 2 * dc.max_rank_msgs);
+    }
+
+    #[test]
+    fn sparse_and_distributed_deliver_identical_buffers(
+        n in 2usize..7,
+        entries in proptest::collection::vec(0u64..600, 36),
+    ) {
+        // random migration matrix, weighted 75% toward zero entries so
+        // all-empty and single-pair cases occur regularly; payload
+        // bytes are a deterministic function of (src, dst, offset)
+        let weight = |e: u64| if e < 450 { 0 } else { e - 449 };
+        let m: Vec<Vec<u64>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|d| if s == d { 0 } else { weight(entries[s * 6 + d]) })
+                    .collect()
+            })
+            .collect();
+        let deliver = |strategy: CommStrategy| {
+            let m = m.clone();
+            run_world(n, move |c| {
+                let outgoing: Vec<Vec<u8>> = (0..c.size())
+                    .map(|d| {
+                        (0..m[c.rank()][d])
+                            .map(|i| (c.rank() as u64 * 31 + d as u64 * 7 + i) as u8)
+                            .collect()
+                    })
+                    .collect();
+                exchange(&c, strategy, outgoing)
+            })
+        };
+        let sp = deliver(CommStrategy::Sparse);
+        let dc = deliver(CommStrategy::Distributed);
+        prop_assert_eq!(sp, dc);
     }
 
     #[test]
