@@ -105,11 +105,7 @@ impl Rebalancer {
         let new_part = part_graph_kway(&graph, k, self.config.kway);
 
         // migration cost per cell = resident particles
-        let load: Vec<u64> = neutral
-            .iter()
-            .zip(charged)
-            .map(|(&n, &c)| n + c)
-            .collect();
+        let load: Vec<u64> = neutral.iter().zip(charged).map(|(&n, &c)| n + c).collect();
         let new_owner = if self.config.use_km {
             remap_km(old_owner, &new_part, &load, k)
         } else {

@@ -94,9 +94,7 @@ mod tests {
             let load: Vec<u64> = (0..n).map(|_| rnd(100)).collect();
             let km = remap_km(&old, &new_part, &load, k);
             let id = remap_identity(&new_part);
-            assert!(
-                migration_volume(&old, &km, &load) <= migration_volume(&old, &id, &load)
-            );
+            assert!(migration_volume(&old, &km, &load) <= migration_volume(&old, &id, &load));
         }
     }
 

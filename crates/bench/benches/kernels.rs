@@ -26,7 +26,12 @@ fn filled_buffer(nm: &NestedMesh, n: usize) -> ParticleBuffer {
         let p = nm.coarse.tet_pos(c);
         buf.push(Particle {
             pos: particles::sample::point_in_tet(&mut rng, p[0], p[1], p[2], p[3]),
-            vel: particles::sample::maxwellian(&mut rng, 300.0, particles::MASS_H, Vec3::new(0.0, 0.0, 1e4)),
+            vel: particles::sample::maxwellian(
+                &mut rng,
+                300.0,
+                particles::MASS_H,
+                Vec3::new(0.0, 0.0, 1e4),
+            ),
             cell: c as u32,
             species: 0,
             id: k as u64,
@@ -118,8 +123,7 @@ fn bench_collide(c: &mut Criterion) {
                 )
             },
             |(mut buf, mut model, mut rng, mut ev)| {
-                let stats =
-                    model.collide(&nm.coarse, &mut buf, &table, 0, 1e-6, &mut rng, &mut ev);
+                let stats = model.collide(&nm.coarse, &mut buf, &table, 0, 1e-6, &mut rng, &mut ev);
                 black_box(stats)
             },
             criterion::BatchSize::LargeInput,
@@ -196,14 +200,7 @@ fn bench_pooled_scaling(c: &mut Criterion) {
                 },
                 |(mut buf, mut model, mut rng, mut ev)| {
                     let st = model.collide_pooled(
-                        &nm.coarse,
-                        &mut buf,
-                        &table,
-                        0,
-                        1e-6,
-                        &mut rng,
-                        &mut ev,
-                        &pool,
+                        &nm.coarse, &mut buf, &table, 0, 1e-6, &mut rng, &mut ev, &pool,
                     );
                     black_box(st)
                 },
@@ -230,7 +227,12 @@ fn bench_sort_by_cell(c: &mut Criterion) {
     let nm = nested();
     c.bench_function("particles/sort_by_cell_10k", |b| {
         b.iter_batched(
-            || (filled_buffer(&nm, 10_000), particles::SortScratch::default()),
+            || {
+                (
+                    filled_buffer(&nm, 10_000),
+                    particles::SortScratch::default(),
+                )
+            },
             |(mut buf, mut scratch)| {
                 buf.sort_by_cell(nm.num_coarse(), &mut scratch);
                 black_box(buf.cell[0])

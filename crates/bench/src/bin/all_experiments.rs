@@ -36,5 +36,8 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "{name} failed");
     }
-    println!("\nall experiments completed; CSVs in {}", bench::out_dir().display());
+    println!(
+        "\nall experiments completed; CSVs in {}",
+        bench::out_dir().display()
+    );
 }

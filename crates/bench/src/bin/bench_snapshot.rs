@@ -203,14 +203,7 @@ fn main() {
                 },
                 |(mut buf, mut model, mut rng, mut ev)| {
                     let st = model.collide_pooled(
-                        &nm.coarse,
-                        &mut buf,
-                        &table,
-                        h,
-                        1e-6,
-                        &mut rng,
-                        &mut ev,
-                        &pool,
+                        &nm.coarse, &mut buf, &table, h, 1e-6, &mut rng, &mut ev, &pool,
                     );
                     black_box(st)
                 },
@@ -287,7 +280,10 @@ fn main() {
             .map(|m| m.ns_per_iter)
     };
     println!("\nhost CPUs visible: {host_cpus}");
-    println!("{:<10} {:>8} {:>14} {:>9}", "kernel", "workers", "ns/op", "speedup");
+    println!(
+        "{:<10} {:>8} {:>14} {:>9}",
+        "kernel", "workers", "ns/op", "speedup"
+    );
     for kernel in ["move", "collide", "deposit", "spmv"] {
         let base = ns(kernel, workers[0]).unwrap_or(f64::NAN);
         for &w in &workers {

@@ -38,8 +38,7 @@ fn main() {
                 ..Experiment::default()
             }
             .run();
-            let exchange =
-                rep.breakdown[Phase::DsmcExchange] + rep.breakdown[Phase::PicExchange];
+            let exchange = rep.breakdown[Phase::DsmcExchange] + rep.breakdown[Phase::PicExchange];
             totals[i] = rep.total_time;
             row.push(format!("{:.1}", rep.total_time));
             row.push(format!("{exchange:.2}"));
@@ -77,7 +76,13 @@ fn main() {
     println!("{}", table(&headers, &rows));
     write_csv(
         "fig11_cc_vs_dc.csv",
-        &["strategy", "ranks", "total_s", "exchange_s", "uses_cc_dc_sparse"],
+        &[
+            "strategy",
+            "ranks",
+            "total_s",
+            "exchange_s",
+            "uses_cc_dc_sparse",
+        ],
         &csv_rows,
     );
     println!("paper: DC/CC ≈ 1 below 384 ranks, ≈ 1.25 at 768 ranks");

@@ -36,7 +36,11 @@ fn main() {
                     ranks.to_string(),
                     format!("{:.3}", rep.total_time),
                 ]);
-                eprintln!("  {} {pname} @ {ranks}: {:.1}s", strat_name(strategy), rep.total_time);
+                eprintln!(
+                    "  {} {pname} @ {ranks}: {:.1}s",
+                    strat_name(strategy),
+                    rep.total_time
+                );
             }
             rows.push(row);
         }

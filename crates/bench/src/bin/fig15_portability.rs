@@ -27,10 +27,7 @@ fn main() {
     for dataset in datasets {
         for (profile, mname) in machines {
             for strategy in [Strategy::Distributed, Strategy::Centralized] {
-                let mut row = vec![format!(
-                    "{dataset:?} {mname} {}",
-                    strat_name(strategy)
-                )];
+                let mut row = vec![format!("{dataset:?} {mname} {}", strat_name(strategy))];
                 let mut last = 0.0;
                 for &ranks in &ranks_ladder {
                     let rep = Experiment {

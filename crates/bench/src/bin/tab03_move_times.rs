@@ -35,7 +35,11 @@ fn main() {
     println!("\nTable III — DSMC_Move + PIC_Move time (s), DC, Dataset 2, Tianhe-2");
     let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
     println!("{}", table(&headers, &rows));
-    write_csv("tab03_move_times.csv", &["variant", "ranks", "move_s"], &csv_rows);
+    write_csv(
+        "tab03_move_times.csv",
+        &["variant", "ranks", "move_s"],
+        &csv_rows,
+    );
 
     let with_lb: f64 = rows[0][1].parse().unwrap();
     let without: f64 = rows[1][1].parse().unwrap();

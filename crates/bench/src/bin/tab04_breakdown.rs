@@ -47,7 +47,11 @@ fn main() {
     println!("\nTable IV — breakdown (s), DC+LB, Dataset 2, Tianhe-2");
     let headers = ["procedure", "24", "48", "96", "192", "384", "768", "1536"];
     println!("{}", table(&headers, &rows));
-    write_csv("tab04_breakdown.csv", &["procedure", "ranks", "time_s"], &csv_rows);
+    write_csv(
+        "tab04_breakdown.csv",
+        &["procedure", "ranks", "time_s"],
+        &csv_rows,
+    );
 
     // headline checks
     let poi = |i: usize| per_rank_reports[i].breakdown[Phase::PoissonSolve];

@@ -38,7 +38,10 @@ fn main() {
                 format!("{overhead:.4}"),
                 rep.rebalances.to_string(),
             ]);
-            eprintln!("  {name} @ {ranks}: overhead={overhead:.2}s ({} rebalances)", rep.rebalances);
+            eprintln!(
+                "  {name} @ {ranks}: overhead={overhead:.2}s ({} rebalances)",
+                rep.rebalances
+            );
         }
         rows.push(row);
     }

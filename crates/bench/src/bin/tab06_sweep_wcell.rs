@@ -34,7 +34,11 @@ fn main() {
     println!("\nTable VI — total time (s) vs W_cell, DC+LB, Dataset 2, Tianhe-2");
     let headers = ["variant", "24", "48", "96", "192", "384", "768", "1536"];
     println!("{}", table(&headers, &rows));
-    write_csv("tab06_sweep_wcell.csv", &["w_cell", "ranks", "total_s"], &csv_rows);
+    write_csv(
+        "tab06_sweep_wcell.csv",
+        &["w_cell", "ranks", "total_s"],
+        &csv_rows,
+    );
 
     let w1: f64 = rows[0][1].parse().unwrap();
     let w10000: f64 = rows[4][1].parse().unwrap();

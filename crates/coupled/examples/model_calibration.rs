@@ -18,7 +18,10 @@ fn main() {
         }
         let mut cs = ClusterSim::new(&run, MachineProfile::tianhe2());
         let rep = cs.run(20);
-        println!("LB={lb} total={:.4} rebalances={}", rep.total_time, rep.rebalances);
+        println!(
+            "LB={lb} total={:.4} rebalances={}",
+            rep.total_time, rep.rebalances
+        );
         println!("{}", rep.breakdown);
     }
 }

@@ -1,27 +1,36 @@
 //! Binary checkpoint / restart of a running simulation.
 //!
 //! Long plume runs (the paper's are 100+ DSMC steps at 10⁹ particles)
-//! need restartability. A checkpoint captures the particle population
-//! and the step counter; on restore, the caller rebuilds the
-//! [`CoupledState`] from the *same* [`crate::config::SimConfig`]
-//! (meshes and matrices are deterministic functions of it) and the
-//! RNG is re-seeded deterministically from `(seed, step)`, so a
-//! restored run is reproducible (though not bitwise-identical to the
-//! uninterrupted one, exactly like an MPI restart with fresh RNG
-//! streams).
+//! need restartability. A checkpoint captures every piece of evolving
+//! state the meshes and matrices (deterministic functions of the
+//! [`crate::config::SimConfig`]) do not fix: the step counter, the
+//! RNG stream, the injector's fractional-particle carry, the Poisson
+//! solver's warm-start potential (which also reconstructs E), the
+//! adaptively ratcheted NTC `sigma_g_max` table, and the particle
+//! population. A run restored from a v2 checkpoint therefore finishes
+//! **bitwise identical** to the uninterrupted run.
 //!
-//! Format (little-endian): magic `DPIC`, version u32, step u64,
-//! particle count u64, then the fixed 61-byte wire records of
-//! `particles::pack`.
+//! Format (little-endian): magic `DPIC`, version u32, step u64, then
+//! - v2: RNG state 4×u64, injector carry f64, potential count u64 +
+//!   f64s, `sigma_g_max` count u64 + f64s, particle count u64,
+//!   particle records;
+//! - v1 (still readable): particle count u64, particle records; the
+//!   RNG is re-seeded deterministically from `(seed, step)`, so the
+//!   continuation is reproducible but not bitwise-identical to the
+//!   uninterrupted run.
+//!
+//! Particle records are the fixed 61-byte wire format of
+//! `particles::pack` — the full particle state.
 
 use crate::state::CoupledState;
 use bytes::{Buf, BufMut, BytesMut};
 use particles::{pack_particle, unpack_particle, ParticleBuffer, PACKED_SIZE};
+use pic::ElectricField;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const MAGIC: &[u8; 4] = b"DPIC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors from [`restore`].
 #[derive(Debug, PartialEq, Eq)]
@@ -29,6 +38,9 @@ pub enum CheckpointError {
     BadMagic,
     BadVersion(u32),
     Truncated,
+    /// A v2 field does not match the simulation it is restored into
+    /// (different mesh resolution or collision table size).
+    Mismatch,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -37,19 +49,43 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a dsmc-pic checkpoint"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Mismatch => {
+                write!(f, "checkpoint does not match this configuration")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialize the restartable state of `sim`.
+/// Serialize the restartable state of `sim` (v2).
 pub fn checkpoint(sim: &CoupledState) -> Vec<u8> {
     let n = sim.particles.len();
-    let mut buf = BytesMut::with_capacity(4 + 4 + 8 + 8 + n * PACKED_SIZE);
+    let phi = sim.poisson.phi();
+    let sigma = sim.collisions.sigma_g_max();
+    let mut buf = BytesMut::with_capacity(
+        4 + 4 + 8 + 32 + 8 + 8 + phi.len() * 8 + 8 + sigma.len() * 8 + 8 + n * PACKED_SIZE,
+    );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(sim.step_count as u64);
+    for w in sim.rng.state() {
+        buf.put_u64_le(w);
+    }
+    buf.put_u64_le(
+        sim.injector
+            .as_ref()
+            .map_or(0.0, |inj| inj.carry())
+            .to_bits(),
+    );
+    buf.put_u64_le(phi.len() as u64);
+    for &v in phi {
+        buf.put_u64_le(v.to_bits());
+    }
+    buf.put_u64_le(sigma.len() as u64);
+    for &v in sigma {
+        buf.put_u64_le(v.to_bits());
+    }
     buf.put_u64_le(n as u64);
     let mut rec = Vec::with_capacity(n * PACKED_SIZE);
     for i in 0..n {
@@ -59,9 +95,19 @@ pub fn checkpoint(sim: &CoupledState) -> Vec<u8> {
     buf.to_vec()
 }
 
+fn read_f64s(buf: &mut &[u8], n: usize) -> Result<Vec<f64>, CheckpointError> {
+    if buf.remaining() < n * 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok((0..n).map(|_| f64::from_bits(buf.get_u64_le())).collect())
+}
+
 /// Restore a checkpoint into `sim` (which must have been built from
-/// the same `SimConfig`). Replaces the particle population and step
-/// counter and re-seeds the RNG deterministically.
+/// the same `SimConfig`). Replaces the particle population, step
+/// counter and — for v2 checkpoints — the RNG stream, injector carry,
+/// warm-start potential (reconstructing E) and NTC `sigma_g_max`
+/// table, making the continuation bitwise identical to the
+/// uninterrupted run.
 pub fn restore(sim: &mut CoupledState, data: &[u8]) -> Result<(), CheckpointError> {
     let mut buf = data;
     if buf.remaining() < 24 {
@@ -73,24 +119,71 @@ pub fn restore(sim: &mut CoupledState, data: &[u8]) -> Result<(), CheckpointErro
         return Err(CheckpointError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
     let step = buf.get_u64_le() as usize;
+
+    let v2 = if version == VERSION {
+        if buf.remaining() < 32 + 8 + 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rng_state = [
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+        ];
+        let carry = f64::from_bits(buf.get_u64_le());
+        let n_phi = buf.get_u64_le() as usize;
+        if n_phi != sim.poisson.num_nodes() {
+            return Err(CheckpointError::Mismatch);
+        }
+        let phi = read_f64s(&mut buf, n_phi)?;
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let n_sigma = buf.get_u64_le() as usize;
+        if n_sigma != sim.collisions.sigma_g_max().len() {
+            return Err(CheckpointError::Mismatch);
+        }
+        let sigma = read_f64s(&mut buf, n_sigma)?;
+        Some((rng_state, carry, phi, sigma))
+    } else {
+        None
+    };
+
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
     let n = buf.get_u64_le() as usize;
     if buf.remaining() != n * PACKED_SIZE {
         return Err(CheckpointError::Truncated);
     }
-
     let mut particles = ParticleBuffer::with_capacity(n);
     for k in 0..n {
         particles.push(unpack_particle(buf, k * PACKED_SIZE));
     }
     sim.particles = particles;
     sim.step_count = step;
-    sim.rng = StdRng::seed_from_u64(
-        sim.config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ step as u64,
-    );
+    match v2 {
+        Some((rng_state, carry, phi, sigma)) => {
+            sim.rng = StdRng::from_state(rng_state);
+            if let Some(inj) = sim.injector.as_mut() {
+                inj.set_carry(carry);
+            }
+            sim.poisson.set_phi(&phi);
+            sim.efield = ElectricField::from_potential(&sim.nm.fine, &phi);
+            sim.collisions.set_sigma_g_max(&sigma);
+        }
+        None => {
+            // legacy v1: deterministic fresh stream, like an MPI
+            // restart with new RNG seeds
+            sim.rng = StdRng::seed_from_u64(
+                sim.config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ step as u64,
+            );
+        }
+    }
     Ok(())
 }
 
@@ -123,6 +216,35 @@ mod tests {
     }
 
     #[test]
+    fn restored_run_finishes_byte_identical() {
+        // interrupt at step 6, restore into a fresh state, finish both
+        // runs: the v2 checkpoint must make the continuation bitwise
+        // identical through the unified engine — particles, RNG
+        // stream, warm-start potential and all.
+        let mut a = sim();
+        for _ in 0..6 {
+            a.dsmc_step();
+        }
+        let blob = checkpoint(&a);
+        let mut b = sim();
+        restore(&mut b, &blob).unwrap();
+        for _ in 0..5 {
+            a.dsmc_step();
+            b.dsmc_step();
+        }
+        assert_eq!(a.particles.len(), b.particles.len());
+        for i in 0..a.particles.len() {
+            assert_eq!(
+                a.particles.get(i),
+                b.particles.get(i),
+                "particle {i} diverged"
+            );
+        }
+        assert_eq!(a.rng, b.rng, "RNG streams diverged");
+        assert_eq!(a.poisson.phi(), b.poisson.phi(), "potentials diverged");
+    }
+
+    #[test]
     fn restored_run_continues_stably() {
         let mut a = sim();
         for _ in 0..6 {
@@ -142,13 +264,38 @@ mod tests {
     }
 
     #[test]
+    fn v1_checkpoints_still_restore() {
+        let mut a = sim();
+        for _ in 0..4 {
+            a.dsmc_step();
+        }
+        // hand-build a v1 blob: magic, version 1, step, count, records
+        let mut blob = BytesMut::new();
+        blob.put_slice(MAGIC);
+        blob.put_u32_le(1);
+        blob.put_u64_le(a.step_count as u64);
+        blob.put_u64_le(a.particles.len() as u64);
+        for i in 0..a.particles.len() {
+            let mut rec = Vec::new();
+            pack_particle(&a.particles.get(i), &mut rec);
+            blob.put_slice(&rec);
+        }
+        let blob = blob.to_vec();
+        let mut b = sim();
+        restore(&mut b, &blob).unwrap();
+        assert_eq!(b.step_count, a.step_count);
+        assert_eq!(b.particles.len(), a.particles.len());
+        // legacy restores re-seed deterministically
+        let mut c = sim();
+        restore(&mut c, &blob).unwrap();
+        assert_eq!(b.rng, c.rng);
+    }
+
+    #[test]
     fn rejects_garbage() {
         let mut s = sim();
         assert_eq!(restore(&mut s, b"nope"), Err(CheckpointError::Truncated));
-        assert_eq!(
-            restore(&mut s, &[0u8; 64]),
-            Err(CheckpointError::BadMagic)
-        );
+        assert_eq!(restore(&mut s, &[0u8; 64]), Err(CheckpointError::BadMagic));
         // corrupt the version field
         let mut blob = checkpoint(&s);
         blob[4] = 0xFF;

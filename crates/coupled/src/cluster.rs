@@ -8,60 +8,40 @@
 //! exact migration byte matrices the exchange protocols would move.
 //! This reproduces the paper's scaling experiments (Tables II–VI,
 //! Figs 10–15) at rank counts far beyond the local core count.
+//!
+//! The step itself is the one [`StepPipeline`]; this module only
+//! supplies [`ModelledBackend`] — cost-model attribution in the `lap`
+//! hooks instead of a stopwatch, no real communication — and the
+//! [`ClusterSim`] wrapper around a whole-domain [`RankEngine`].
 
 use crate::config::RunConfig;
+use crate::engine::{Backend, BackendStats, NoProbe, RankEngine, StepOutcome, StepPipeline};
 use crate::machine::{CostModel, MachineProfile, Placement};
+use crate::report::{ReportBuilder, RunReport};
 use crate::state::{CoupledState, StepRecord};
 use crate::timers::{Breakdown, Phase};
 use balance::{load_imbalance_indicator, RebalanceOutcome, Rebalancer};
 use dsmc::EXITED;
-use partition::{part_graph_kway, Graph, KwayOptions};
 use particles::PACKED_SIZE;
+use partition::{part_graph_kway, Graph, KwayOptions};
 use vmpi::{traffic, Strategy};
 
-/// Per-step scalar history of a cluster run.
-#[derive(Debug, Clone, Default)]
-pub struct StepTrace {
-    /// Modelled wall time of this step (max over ranks per phase).
-    pub step_time: f64,
-    /// Load-imbalance indicator measured this step.
-    pub lii: f64,
-    /// Particle share per rank (fraction of the population).
-    pub share: Vec<f64>,
-    /// Whether a rebalance happened this step.
-    pub rebalanced: bool,
-}
+pub use crate::report::StepTrace;
 
-/// Aggregate outcome of a cluster run.
-#[derive(Debug, Clone, Default)]
-pub struct ClusterReport {
-    /// Total modelled wall time (s).
-    pub total_time: f64,
-    /// Accumulated per-phase times (max over ranks per step, summed).
-    pub breakdown: Breakdown,
-    /// Number of re-decompositions performed.
-    pub rebalances: usize,
-    /// Total particles migrated by rebalancing.
-    pub rebalance_migrated: u64,
-    /// Per-step traces.
-    pub trace: Vec<StepTrace>,
-    /// Final particle population.
-    pub population: usize,
-    /// How often each concrete strategy carried an exchange, indexed
-    /// by [`Strategy::CONCRETE`] order (CC, DC, Sparse). A fixed
-    /// strategy puts every exchange in one bucket; `Strategy::Auto`
-    /// spreads them according to the per-step decision rule.
-    pub strategy_uses: [u64; 3],
-}
+/// Aggregate outcome of a cluster run — the shared [`RunReport`].
+pub type ClusterReport = RunReport;
 
-/// Domain-decomposed coupled simulation with modelled timing.
-pub struct ClusterSim {
-    pub state: CoupledState,
+/// Attribution backend: no real communication, modelled per-rank
+/// costs. Each `lap` charges the phase's work to the virtual rank
+/// owning the cell it happened in; `end_step` collapses the per-rank
+/// breakdowns bulk-synchronously (per phase, the slowest rank holds
+/// everyone up).
+pub struct ModelledBackend {
     /// Coarse-cell ownership: cell → rank.
-    pub owner: Vec<u32>,
-    pub strategy: Strategy,
-    pub cost: CostModel,
-    pub rebalancer: Option<Rebalancer>,
+    owner: Vec<u32>,
+    strategy: Strategy,
+    cost: CostModel,
+    rebalancer: Option<Rebalancer>,
     xadj: Vec<u32>,
     adjncy: Vec<u32>,
     ranks: usize,
@@ -75,25 +55,21 @@ pub struct ClusterSim {
     grid_boost: f64,
     /// Exchanges carried per concrete strategy (CONCRETE order).
     strategy_uses: [u64; 3],
+    rebalance_migrated: u64,
+    /// Modelled per-rank phase times of the step in flight.
+    per_rank: Vec<Breakdown>,
 }
 
-impl ClusterSim {
-    /// Build from a [`RunConfig`] on a machine profile. The initial
-    /// decomposition is unweighted k-way partitioning (paper §V-B:
-    /// "we use METIS to decompose the grid ... solely according to
-    /// the number of grid cells").
-    pub fn new(run: &RunConfig, profile: MachineProfile) -> Self {
-        let state = CoupledState::new(run.sim.clone());
-        let (xadj, adjncy) = state.nm.coarse.cell_graph();
-        let g = Graph::new(
-            xadj.clone(),
-            adjncy.clone(),
-            vec![1; state.nm.num_coarse()],
-        );
-        let ncoarse = state.nm.num_coarse();
-        let owner = part_graph_kway(&g, run.ranks, KwayOptions::default());
-        ClusterSim {
-            state,
+impl ModelledBackend {
+    fn new(
+        run: &RunConfig,
+        profile: MachineProfile,
+        ncoarse: usize,
+        owner: Vec<u32>,
+        xadj: Vec<u32>,
+        adjncy: Vec<u32>,
+    ) -> Self {
+        ModelledBackend {
             owner,
             strategy: run.strategy,
             cost: CostModel::new(profile, run.ranks),
@@ -107,6 +83,8 @@ impl ClusterSim {
                 .map(|pc| (pc as f64 / (8.0 * ncoarse as f64)).max(1.0))
                 .unwrap_or(1.0),
             strategy_uses: [0; 3],
+            rebalance_migrated: 0,
+            per_rank: Vec::new(),
         }
     }
 
@@ -127,22 +105,6 @@ impl ClusterSim {
         s
     }
 
-    /// Set the MPI rank placement (Fig. 14 experiment).
-    pub fn with_placement(mut self, placement: Placement) -> Self {
-        self.cost.placement = placement;
-        self
-    }
-
-    /// Fraction of the particle population owned by each rank.
-    pub fn particle_share(&self) -> Vec<f64> {
-        let mut counts = vec![0u64; self.ranks];
-        for &c in &self.state.particles.cell {
-            counts[self.owner[c as usize] as usize] += 1;
-        }
-        let total = self.state.particles.len().max(1) as f64;
-        counts.iter().map(|&c| c as f64 / total).collect()
-    }
-
     /// Migration byte matrix from `(old_cell, new_cell)` transitions.
     fn migration_matrix(&self, transitions: &[(u32, u32)]) -> Vec<Vec<u64>> {
         let mut m = vec![vec![0u64; self.ranks]; self.ranks];
@@ -160,108 +122,153 @@ impl ClusterSim {
         }
         m
     }
+}
 
-    /// Run one DSMC iteration and return the per-step trace.
-    pub fn step(&mut self) -> (StepTrace, Breakdown) {
-        let rec: StepRecord = self.state.dsmc_step();
+impl Backend for ModelledBackend {
+    fn track(&self) -> bool {
+        true
+    }
+
+    fn begin_step(&mut self, _eng: &RankEngine) {
+        self.per_rank = vec![Breakdown::new(); self.ranks];
+    }
+
+    fn lap(
+        &mut self,
+        phase: Phase,
+        sub: usize,
+        eng: &RankEngine,
+        rec: &StepRecord,
+        _bd: &mut Breakdown,
+    ) {
         let k = self.ranks;
         let prof = self.cost.profile;
-        let mut per_rank = vec![Breakdown::new(); k];
-
-        // --- Inject: embarrassingly parallel. The production solver
-        // generates the inflow cooperatively — every rank creates an
-        // equal share of the new particles and ships misplaced ones
-        // with the regular exchange — which is what lets the paper's
-        // Inject scale near-linearly to 1536 ranks (Table IV:
-        // 1622 s -> 31 s).
-        let inject_each = rec.injected_cells.len() as f64 * self.boost / k as f64;
-        for bd in per_rank.iter_mut() {
-            bd[Phase::Inject] += self.cost.compute(inject_each, prof.inject_rate);
-        }
-
-        // --- DSMC_Move: each move is charged to the owner of the
-        // particle's start-of-step cell.
-        let mut moves = vec![0u64; k];
-        for &(oc, _) in &rec.neutral_transitions {
-            moves[self.owner[oc as usize] as usize] += 1;
-        }
-        for r in 0..k {
-            per_rank[r][Phase::DsmcMove] +=
-                self.cost.compute(moves[r] as f64 * self.boost, prof.move_rate);
-        }
-
-        // --- DSMC_Exchange: synchronized phase, same cost on all ranks.
-        let m = self.migration_matrix(&rec.neutral_transitions);
-        let s = self.resolve(&m);
-        let t_exc = self.cost.exchange_time(s, &traffic(s, &m));
-        for bd in per_rank.iter_mut() {
-            bd[Phase::DsmcExchange] += t_exc;
-        }
-
-        // --- Colli_React: candidates distributed ∝ n_c(n_c−1) over
-        // owned cells.
-        let (neutral, charged) = self.state.counts_per_cell();
-        let mut pairs = vec![0f64; k];
-        let mut total_pairs = 0f64;
-        for (c, &n) in neutral.iter().enumerate() {
-            let w = n as f64 * (n as f64 - 1.0);
-            pairs[self.owner[c] as usize] += w;
-            total_pairs += w;
-        }
-        if total_pairs > 0.0 {
-            for r in 0..k {
-                let share =
-                    pairs[r] / total_pairs * rec.collision_candidates as f64 * self.boost;
-                per_rank[r][Phase::ColliReact] +=
-                    self.cost.compute(share, prof.collide_rate);
+        match phase {
+            // Inject: embarrassingly parallel. The production solver
+            // generates the inflow cooperatively — every rank creates
+            // an equal share of the new particles and ships misplaced
+            // ones with the regular exchange — which is what lets the
+            // paper's Inject scale near-linearly to 1536 ranks
+            // (Table IV: 1622 s -> 31 s).
+            Phase::Inject => {
+                let each = rec.injected_cells.len() as f64 * self.boost / k as f64;
+                let t = self.cost.compute(each, prof.inject_rate);
+                for bd in self.per_rank.iter_mut() {
+                    bd[Phase::Inject] += t;
+                }
             }
-        }
-
-        // --- PIC substeps.
-        // grid work at paper scale: more cells mean proportionally more
-        // non-zeros and (for CG on a 3-D Laplacian) iterations growing
-        // with the 1-D resolution ratio
-        let gb = self.grid_boost;
-        let nnz = (self.state.poisson.matrix.nnz() as f64 * gb) as usize;
-        let nodes = (self.state.poisson.num_nodes() as f64 * gb) as usize;
-        for (sub, tr) in rec.charged_transitions.iter().enumerate() {
-            let mut moves = vec![0u64; k];
-            for &(oc, _) in tr {
-                moves[self.owner[oc as usize] as usize] += 1;
+            // DSMC_Move: each move is charged to the owner of the
+            // particle's start-of-step cell.
+            Phase::DsmcMove => {
+                let mut moves = vec![0u64; k];
+                for &(oc, _) in &rec.neutral_transitions {
+                    moves[self.owner[oc as usize] as usize] += 1;
+                }
+                for (bd, &mv) in self.per_rank.iter_mut().zip(&moves) {
+                    bd[Phase::DsmcMove] +=
+                        self.cost.compute(mv as f64 * self.boost, prof.move_rate);
+                }
             }
-            for r in 0..k {
-                per_rank[r][Phase::PicMove] +=
-                    self.cost.compute(moves[r] as f64 * self.boost, prof.move_rate);
+            // Exchanges: synchronized phases, same cost on all ranks,
+            // charged from the exact byte matrix the protocol would
+            // move.
+            Phase::DsmcExchange | Phase::PicExchange => {
+                let tr = if phase == Phase::DsmcExchange {
+                    &rec.neutral_transitions
+                } else {
+                    &rec.charged_transitions[sub]
+                };
+                let m = self.migration_matrix(tr);
+                let s = self.resolve(&m);
+                let t = self.cost.exchange_time(s, &traffic(s, &m));
+                for bd in self.per_rank.iter_mut() {
+                    bd[phase] += t;
+                }
             }
-            let m = self.migration_matrix(tr);
-            let s = self.resolve(&m);
-            let t_exc = self.cost.exchange_time(s, &traffic(s, &m));
-            let iters = (rec.poisson_iters[sub] as f64 * gb.cbrt()).ceil() as usize;
-            let t_poi = self.cost.poisson_time(iters, nnz, nodes);
-            for bd in per_rank.iter_mut() {
-                bd[Phase::PicExchange] += t_exc;
-                bd[Phase::PoissonSolve] += t_poi;
+            // Colli_React: candidates distributed ∝ n_c(n_c−1) over
+            // owned cells. (Neutral counts are stable from here to the
+            // end of the step: PIC moves only the charged species.)
+            Phase::ColliReact => {
+                let (neutral, _) = eng.counts_per_cell();
+                let mut pairs = vec![0f64; k];
+                let mut total_pairs = 0f64;
+                for (c, &n) in neutral.iter().enumerate() {
+                    let w = n as f64 * (n as f64 - 1.0);
+                    pairs[self.owner[c] as usize] += w;
+                    total_pairs += w;
+                }
+                if total_pairs > 0.0 {
+                    for (bd, &p) in self.per_rank.iter_mut().zip(&pairs) {
+                        let share = p / total_pairs * rec.collision_candidates as f64 * self.boost;
+                        bd[Phase::ColliReact] += self.cost.compute(share, prof.collide_rate);
+                    }
+                }
             }
+            Phase::PicMove => {
+                let mut moves = vec![0u64; k];
+                for &(oc, _) in &rec.charged_transitions[sub] {
+                    moves[self.owner[oc as usize] as usize] += 1;
+                }
+                for (bd, &mv) in self.per_rank.iter_mut().zip(&moves) {
+                    bd[Phase::PicMove] += self.cost.compute(mv as f64 * self.boost, prof.move_rate);
+                }
+            }
+            // Poisson_Solve: grid work at paper scale — more cells
+            // mean proportionally more non-zeros and (for CG on a 3-D
+            // Laplacian) iterations growing with the 1-D resolution
+            // ratio.
+            Phase::PoissonSolve => {
+                let gb = self.grid_boost;
+                let nnz = (eng.poisson.matrix.nnz() as f64 * gb) as usize;
+                let nodes = (eng.poisson.num_nodes() as f64 * gb) as usize;
+                let iters = (rec.poisson_iters[sub] as f64 * gb.cbrt()).ceil() as usize;
+                let t = self.cost.poisson_time(iters, nnz, nodes);
+                for bd in self.per_rank.iter_mut() {
+                    bd[Phase::PoissonSolve] += t;
+                }
+            }
+            // Reindex: prefix-scan of counts + local renumber.
+            Phase::Reindex => {
+                let mut owned = vec![0u64; k];
+                for &c in &eng.particles.cell {
+                    owned[self.owner[c as usize] as usize] += 1;
+                }
+                let scan_latency = (k as f64).log2().max(1.0) * self.cost.alpha();
+                for (bd, &ow) in self.per_rank.iter_mut().zip(&owned) {
+                    bd[Phase::Reindex] +=
+                        self.cost.compute(ow as f64 * self.boost, prof.reindex_rate) + scan_latency;
+                }
+            }
+            // Rebalance time is attributed inside the rebalance hook
+            // (it needs the re-decomposition's own byte matrix).
+            Phase::Rebalance => {}
         }
+    }
 
-        // --- Reindex: prefix-scan of counts + local renumber.
-        let mut owned = vec![0u64; k];
-        for &c in &self.state.particles.cell {
-            owned[self.owner[c as usize] as usize] += 1;
-        }
-        let scan_latency = (k as f64).log2().max(1.0) * self.cost.alpha();
-        for r in 0..k {
-            per_rank[r][Phase::Reindex] +=
-                self.cost.compute(owned[r] as f64 * self.boost, prof.reindex_rate)
-                    + scan_latency;
-        }
+    /// No real decomposition: the one engine owns every particle.
+    fn exchange(&mut self, _eng: &mut RankEngine, _phase: Phase, _sub: usize) {}
 
-        // --- lii + Rebalance (Algorithm 1).
-        // Eq. 6 subtracts the components that are "largely constant"
-        // across ranks. In this model Inject is cooperative and
-        // rank-constant (like the exchanges and the Poisson solve),
-        // so it is excluded from the adjusted compute time as well.
-        let times: Vec<balance::RankTimes> = per_rank
+    fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
+        node_charge
+    }
+
+    fn reindex_base(&mut self, _eng: &RankEngine) -> u64 {
+        0
+    }
+
+    fn rebalance(
+        &mut self,
+        eng: &mut RankEngine,
+        _bd: &Breakdown,
+        _rec: &StepRecord,
+    ) -> StepOutcome {
+        // lii (paper eq. 6) subtracts the components that are "largely
+        // constant" across ranks. In this model Inject is cooperative
+        // and rank-constant (like the exchanges and the Poisson
+        // solve), so it is excluded from the adjusted compute time as
+        // well.
+        let times: Vec<balance::RankTimes> = self
+            .per_rank
             .iter()
             .map(|bd| balance::RankTimes {
                 total: bd.total() - bd[Phase::Inject],
@@ -270,10 +277,13 @@ impl ClusterSim {
             })
             .collect();
         let lii = load_imbalance_indicator(&times);
-        let mut rebalanced = false;
-        let mut migrated = 0u64;
+        let mut outcome = StepOutcome {
+            lii,
+            ..StepOutcome::default()
+        };
         if let Some(rb) = self.rebalancer.as_mut() {
             let use_km = rb.config.use_km;
+            let (neutral, charged) = eng.counts_per_cell();
             match rb.step(
                 lii,
                 &self.xadj,
@@ -281,7 +291,7 @@ impl ClusterSim {
                 &neutral,
                 &charged,
                 &self.owner,
-                k,
+                self.ranks,
             ) {
                 RebalanceOutcome::Remapped {
                     new_owner,
@@ -290,68 +300,134 @@ impl ClusterSim {
                 } => {
                     // migration byte matrix: every particle in a cell
                     // changing hands moves once
+                    let k = self.ranks;
                     let mut m = vec![vec![0u64; k]; k];
                     for c in 0..self.owner.len() {
                         let (o, n) = (self.owner[c] as usize, new_owner[c] as usize);
                         if o != n {
                             let load = neutral[c] + charged[c];
-                            m[o][n] +=
-                                (load as f64 * PACKED_SIZE as f64 * self.boost) as u64;
+                            m[o][n] += (load as f64 * PACKED_SIZE as f64 * self.boost) as u64;
                         }
                     }
                     let cells_eff = (self.owner.len() as f64 * self.grid_boost) as usize;
                     let s = self.resolve(&m);
-                    let t_reb =
-                        self.cost.rebalance_time(cells_eff, &traffic(s, &m), s, use_km);
-                    for bd in per_rank.iter_mut() {
+                    let t_reb = self
+                        .cost
+                        .rebalance_time(cells_eff, &traffic(s, &m), s, use_km);
+                    for bd in self.per_rank.iter_mut() {
                         bd[Phase::Rebalance] += t_reb;
                     }
                     self.owner = new_owner;
-                    rebalanced = true;
-                    migrated = migration_volume;
+                    self.rebalance_migrated += migration_volume;
+                    outcome.rebalanced = true;
+                    outcome.migrated = migration_volume;
                 }
                 RebalanceOutcome::TooSoon | RebalanceOutcome::Balanced { .. } => {}
             }
         }
+        outcome
+    }
 
-        // --- Step wall time: per phase, the slowest rank holds
-        // everyone up (bulk-synchronous execution).
-        let mut step_bd = Breakdown::new();
+    /// Step wall time: per phase, the slowest rank holds everyone up
+    /// (bulk-synchronous execution).
+    fn end_step(&mut self, _eng: &RankEngine, bd: &mut Breakdown) {
         for p in Phase::ALL {
-            let mx = per_rank
-                .iter()
-                .map(|bd| bd[p])
-                .fold(0.0f64, f64::max);
-            step_bd[p] = mx;
+            bd[p] = self.per_rank.iter().map(|r| r[p]).fold(0.0f64, f64::max);
         }
+    }
 
-        let trace = StepTrace {
-            step_time: step_bd.total(),
-            lii,
-            share: self.particle_share(),
-            rebalanced,
-        };
-        let _ = migrated;
-        (trace, step_bd)
+    fn share(&self, eng: &RankEngine) -> Vec<f64> {
+        let mut counts = vec![0u64; self.ranks];
+        for &c in &eng.particles.cell {
+            counts[self.owner[c as usize] as usize] += 1;
+        }
+        let total = eng.particles.len().max(1) as f64;
+        counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            strategy_uses: self.strategy_uses,
+            rebalances: self.rebalancer.as_ref().map_or(0, |r| r.rebalance_count),
+            rebalance_migrated: self.rebalance_migrated,
+        }
+    }
+}
+
+/// Domain-decomposed coupled simulation with modelled timing: one
+/// whole-domain [`RankEngine`] plus the [`ModelledBackend`] running
+/// through the shared [`StepPipeline`].
+pub struct ClusterSim {
+    pub state: CoupledState,
+    backend: ModelledBackend,
+    pipeline: StepPipeline,
+}
+
+impl ClusterSim {
+    /// Build from a [`RunConfig`] on a machine profile. The initial
+    /// decomposition is unweighted k-way partitioning (paper §V-B:
+    /// "we use METIS to decompose the grid ... solely according to
+    /// the number of grid cells").
+    pub fn new(run: &RunConfig, profile: MachineProfile) -> Self {
+        let state = CoupledState::new(run.sim.clone());
+        let (xadj, adjncy) = state.nm.coarse.cell_graph();
+        let g = Graph::new(xadj.clone(), adjncy.clone(), vec![1; state.nm.num_coarse()]);
+        let ncoarse = state.nm.num_coarse();
+        let owner = part_graph_kway(&g, run.ranks, KwayOptions::default());
+        let backend = ModelledBackend::new(run, profile, ncoarse, owner, xadj, adjncy);
+        ClusterSim {
+            state,
+            backend,
+            pipeline: StepPipeline::default(),
+        }
+    }
+
+    /// Set the MPI rank placement (Fig. 14 experiment).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.backend.cost.placement = placement;
+        self
+    }
+
+    /// Current coarse-cell ownership: cell → rank.
+    pub fn owner(&self) -> &[u32] {
+        &self.backend.owner
+    }
+
+    /// Fraction of the particle population owned by each rank.
+    pub fn particle_share(&self) -> Vec<f64> {
+        self.backend.share(&self.state)
+    }
+
+    /// Run one DSMC iteration and return the per-step trace.
+    pub fn step(&mut self) -> (StepTrace, Breakdown) {
+        let idx = self.state.step_count;
+        let (_, trace, bd) =
+            self.pipeline
+                .run_step(&mut self.state, &mut self.backend, &mut NoProbe, idx);
+        (trace, bd)
     }
 
     /// Run `steps` DSMC iterations, returning the aggregate report.
     pub fn run(&mut self, steps: usize) -> ClusterReport {
-        let mut report = ClusterReport::default();
+        let mut builder = ReportBuilder::new();
         for _ in 0..steps {
-            let (trace, bd) = self.step();
-            report.total_time += trace.step_time;
-            report.breakdown += bd;
-            if trace.rebalanced {
-                report.rebalances += 1;
-            }
-            report.trace.push(trace);
+            let idx = self.state.step_count;
+            self.pipeline
+                .run_step(&mut self.state, &mut self.backend, &mut builder, idx);
         }
-        if let Some(rb) = &self.rebalancer {
-            report.rebalances = rb.rebalance_count;
-        }
+        let stats = self.backend.stats();
+        let mut report = builder.finish();
         report.population = self.state.particles.len();
-        report.strategy_uses = self.strategy_uses;
+        report.strategy_uses = stats.strategy_uses;
+        report.rebalances = stats.rebalances;
+        report.rebalance_migrated = stats.rebalance_migrated;
+        let (neutral, _) = self.state.counts_per_cell();
+        let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
+        report.density_h = crate::diag::number_density(
+            &counts,
+            &self.state.nm.coarse.volumes,
+            self.state.species.get(self.state.h_id).weight,
+        );
         report
     }
 }
@@ -383,15 +459,21 @@ mod tests {
 
     #[test]
     fn initial_partition_covers_all_ranks() {
-        let cs = ClusterSim::new(&run_cfg(4, true, Strategy::Distributed), MachineProfile::tianhe2());
+        let cs = ClusterSim::new(
+            &run_cfg(4, true, Strategy::Distributed),
+            MachineProfile::tianhe2(),
+        );
         for r in 0..4u32 {
-            assert!(cs.owner.contains(&r), "rank {r} owns nothing");
+            assert!(cs.owner().contains(&r), "rank {r} owns nothing");
         }
     }
 
     #[test]
     fn imbalance_appears_without_lb() {
-        let mut cs = ClusterSim::new(&run_cfg(4, false, Strategy::Distributed), MachineProfile::tianhe2());
+        let mut cs = ClusterSim::new(
+            &run_cfg(4, false, Strategy::Distributed),
+            MachineProfile::tianhe2(),
+        );
         let report = cs.run(15);
         // plume fills from the inlet: early steps should show one rank
         // holding the bulk of the particles (paper Fig. 5)
@@ -420,7 +502,10 @@ mod tests {
 
     #[test]
     fn rebalance_fires_and_improves_share() {
-        let mut cs = ClusterSim::new(&run_cfg(4, true, Strategy::Distributed), MachineProfile::tianhe2());
+        let mut cs = ClusterSim::new(
+            &run_cfg(4, true, Strategy::Distributed),
+            MachineProfile::tianhe2(),
+        );
         let report = cs.run(25);
         assert!(report.rebalances >= 1, "balancer never fired");
         // after rebalance the worst share should drop well below the
@@ -432,7 +517,10 @@ mod tests {
 
     #[test]
     fn breakdown_phases_all_populated() {
-        let mut cs = ClusterSim::new(&run_cfg(3, true, Strategy::Distributed), MachineProfile::tianhe2());
+        let mut cs = ClusterSim::new(
+            &run_cfg(3, true, Strategy::Distributed),
+            MachineProfile::tianhe2(),
+        );
         let report = cs.run(12);
         assert!(report.breakdown[Phase::Inject] > 0.0);
         assert!(report.breakdown[Phase::DsmcMove] > 0.0);
@@ -440,11 +528,16 @@ mod tests {
         assert!(report.breakdown[Phase::Reindex] > 0.0);
         assert!(report.total_time > 0.0);
         assert_eq!(report.trace.len(), 12);
+        // the unified report now carries the density diagnostic too
+        assert!(report.density_h.iter().any(|&d| d > 0.0));
     }
 
     #[test]
     fn fixed_strategy_tallies_every_exchange() {
-        let mut cs = ClusterSim::new(&run_cfg(4, false, Strategy::Distributed), MachineProfile::tianhe2());
+        let mut cs = ClusterSim::new(
+            &run_cfg(4, false, Strategy::Distributed),
+            MachineProfile::tianhe2(),
+        );
         let report = cs.run(10);
         let [cc, dc, sparse] = report.strategy_uses;
         assert_eq!(cc, 0);
@@ -463,7 +556,10 @@ mod tests {
         // of the same per-exchange model, so it can only tie or win
         for s in Strategy::CONCRETE {
             let fixed = ClusterSim::new(&run_cfg(4, false, s), profile).run(15);
-            assert_eq!(fixed.population, auto.population, "physics drifted under {s:?}");
+            assert_eq!(
+                fixed.population, auto.population,
+                "physics drifted under {s:?}"
+            );
             assert!(
                 auto.total_time <= fixed.total_time * (1.0 + 1e-12),
                 "auto {} slower than {s:?} {}",

@@ -276,7 +276,10 @@ mod tests {
         let big = Dataset::D2.config(1.0);
         let small = Dataset::D2.config(0.1);
         assert!(small.nozzle.nd <= big.nozzle.nd);
-        assert!(small.weight_h > big.weight_h, "fewer particles = larger weight");
+        assert!(
+            small.weight_h > big.weight_h,
+            "fewer particles = larger weight"
+        );
     }
 
     #[test]

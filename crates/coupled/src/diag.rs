@@ -4,6 +4,19 @@
 
 use mesh::{locate, TetMesh, Vec3};
 
+/// Real number density per cell from per-cell simulation-particle
+/// counts: `count · weight / volume`. The end-of-run `density_h`
+/// diagnostic of every driver (counts arrive as f64 because the
+/// threaded backend reduces them across ranks).
+pub fn number_density(counts: &[f64], volumes: &[f64], weight: f64) -> Vec<f64> {
+    assert_eq!(counts.len(), volumes.len());
+    counts
+        .iter()
+        .zip(volumes)
+        .map(|(&c, &v)| c * weight / v)
+        .collect()
+}
+
 /// Sample a per-cell field at `n` evenly spaced points on the
 //  cylinder's central axis. Returns `(z, value)` pairs; points whose
 /// cell cannot be located (outside the voxelised boundary) are
@@ -110,6 +123,12 @@ mod tests {
         };
         let m = spec.generate();
         (spec, m)
+    }
+
+    #[test]
+    fn number_density_scales_counts_by_weight_over_volume() {
+        let d = number_density(&[2.0, 0.0, 6.0], &[0.5, 1.0, 3.0], 1.5e14);
+        assert_eq!(d, vec![2.0 * 1.5e14 / 0.5, 0.0, 6.0 * 1.5e14 / 3.0]);
     }
 
     #[test]

@@ -1,0 +1,736 @@
+//! The unified per-rank step pipeline.
+//!
+//! Every driver in this crate executes the same coupled DSMC/PIC
+//! timestep (paper Fig. 1): Inject → DSMC_Move → Exchange →
+//! Colli_React → R × (PIC_Move → Exchange → Poisson_Solve) → Reindex
+//! → Rebalance. This module defines that sequence **exactly once**:
+//!
+//! * [`RankEngine`] owns all per-rank simulation state — particle
+//!   buffer, RNG stream, (filtered) injector, field solver, exchange
+//!   scratch, kernel pool — with one method per physics phase.
+//! * [`StepPipeline::run_step`] is the phase sequence. Nothing else
+//!   in the crate orders the phases.
+//! * [`Backend`] supplies the execution context between the physics
+//!   phases: [`SerialBackend`] (single rank, no communication, real
+//!   stopwatch), the threaded backend in [`crate::threadrun`] (real
+//!   `vmpi` messaging, measured timing) and the modelled backend in
+//!   [`crate::cluster`] (cost-model attribution, no real
+//!   communication).
+//! * [`Probe`] observes per-phase times and per-step traces; the
+//!   default implementation is a no-op, and
+//!   [`crate::report::ReportBuilder`] uses it to assemble the shared
+//!   [`crate::report::RunReport`].
+
+use crate::config::SimConfig;
+use crate::report::StepTrace;
+use crate::state::StepRecord;
+use crate::timers::{Breakdown, Phase, Stopwatch};
+use dsmc::{
+    move_particles_pooled, ChemistryModel, CollisionEvent, CollisionModel, CrossCollisionModel,
+    Injector, ReactStats,
+};
+use kernels::Pool;
+use mesh::NestedMesh;
+use particles::{ParticleBuffer, SortScratch, SpeciesTable};
+use pic::{accelerate_charged_pooled, deposit_charge_pooled, ElectricField, PoissonSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::KrylovOptions;
+use std::sync::Arc;
+
+/// Per-rank scratch state for the exchange phases, reused across
+/// steps so the steady state is allocation-free: the keep mask and
+/// both buffer sets persist at capacity — emigrants are serialized
+/// straight into `outgoing` and `vmpi::exchange_into` refills
+/// `incoming` in place.
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    pub(crate) keep: Vec<bool>,
+    /// `outgoing[d]`: wire bytes headed to rank `d`, cleared and
+    /// repacked each exchange (capacity retained).
+    pub(crate) outgoing: Vec<Vec<u8>>,
+    /// `incoming[s]`: wire bytes received from rank `s`.
+    pub(crate) incoming: Vec<Vec<u8>>,
+}
+
+/// All per-rank state of one coupled simulation. A serial run is one
+/// engine owning the whole domain; a threaded run is one engine per
+/// rank-thread sharing the meshes behind [`Arc`]s; the modelled
+/// cluster driver is one engine executing the global physics while
+/// its backend attributes the work to virtual ranks.
+pub struct RankEngine {
+    pub config: SimConfig,
+    pub nm: Arc<NestedMesh>,
+    pub species: Arc<SpeciesTable>,
+    pub h_id: u8,
+    pub hp_id: u8,
+    pub particles: ParticleBuffer,
+    /// Inlet injector over the cells this engine owns (`None` when a
+    /// decomposed rank owns no inlet cells).
+    pub injector: Option<Injector>,
+    pub collisions: CollisionModel,
+    pub cross: CrossCollisionModel,
+    pub chemistry: ChemistryModel,
+    pub poisson: PoissonSolver,
+    pub efield: ElectricField,
+    pub rng: StdRng,
+    /// DSMC iterations completed.
+    pub step_count: usize,
+    /// Kernel worker pool for the pooled phase kernels (serial pools
+    /// delegate to the scalar kernels bit-identically).
+    pub pool: Pool,
+    /// Exchange scratch (used by communicating backends).
+    pub exch: ExchangeScratch,
+    sort_scratch: SortScratch,
+    events: Vec<CollisionEvent>,
+}
+
+impl RankEngine {
+    /// Build a whole-domain engine (the serial and modelled drivers):
+    /// full injector, serial kernel pool, RNG seeded from
+    /// `config.seed`.
+    pub fn new(config: SimConfig) -> Self {
+        let spec = config.nozzle;
+        let coarse = spec.generate();
+        let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
+            spec.classify(c, n)
+        }));
+        let (species, h_id, hp_id) =
+            SpeciesTable::hydrogen_plasma(config.weight_h, config.weight_hplus);
+        let injector = Some(Injector::new(&nm.coarse));
+        let seed = config.seed;
+        Self::assemble(
+            config,
+            nm,
+            Arc::new(species),
+            h_id,
+            hp_id,
+            injector,
+            seed,
+            Pool::serial(),
+        )
+    }
+
+    /// Build the per-rank engine of a decomposed run: shared meshes
+    /// and species table, injector filtered to the inlet cells rank
+    /// `me` owns, and an independent RNG stream (`seed + 1 + me`, the
+    /// paper's per-rank seeding).
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_rank(
+        config: SimConfig,
+        nm: Arc<NestedMesh>,
+        species: Arc<SpeciesTable>,
+        h_id: u8,
+        hp_id: u8,
+        owner: &[u32],
+        me: usize,
+        threads: usize,
+    ) -> Self {
+        let injector = Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
+        let seed = config.seed.wrapping_add(1 + me as u64);
+        Self::assemble(
+            config,
+            nm,
+            species,
+            h_id,
+            hp_id,
+            injector,
+            seed,
+            Pool::new(threads),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        config: SimConfig,
+        nm: Arc<NestedMesh>,
+        species: Arc<SpeciesTable>,
+        h_id: u8,
+        hp_id: u8,
+        injector: Option<Injector>,
+        seed: u64,
+        pool: Pool,
+    ) -> Self {
+        let collisions = CollisionModel::new(nm.num_coarse(), &species, config.t_inject);
+        let poisson = PoissonSolver::new(
+            &nm.fine,
+            KrylovOptions {
+                rtol: 1e-6,
+                max_iters: 1000,
+            },
+        );
+        let efield = ElectricField::zeros(&nm.fine);
+        RankEngine {
+            config,
+            nm,
+            species,
+            h_id,
+            hp_id,
+            particles: ParticleBuffer::new(),
+            injector,
+            collisions,
+            cross: CrossCollisionModel::default(),
+            chemistry: ChemistryModel::default(),
+            poisson,
+            efield,
+            rng: StdRng::seed_from_u64(seed),
+            step_count: 0,
+            pool,
+            exch: ExchangeScratch::default(),
+            sort_scratch: SortScratch::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Per-step injection rate (simulation particles) for H over this
+    /// engine's inlet share.
+    pub fn h_rate(&self) -> f64 {
+        self.injector.as_ref().map_or(0.0, |inj| {
+            inj.particles_per_step(
+                self.config.density_h,
+                self.config.v_drift,
+                self.config.dt_dsmc,
+                self.config.weight_h,
+            )
+        })
+    }
+
+    /// Per-step injection rate (simulation particles) for H⁺.
+    pub fn ion_rate(&self) -> f64 {
+        self.injector.as_ref().map_or(0.0, |inj| {
+            inj.particles_per_step(
+                self.config.density_hplus,
+                self.config.v_drift,
+                self.config.dt_dsmc,
+                self.config.weight_hplus,
+            )
+        })
+    }
+
+    /// Neutral / charged particle counts per coarse cell.
+    pub fn counts_per_cell(&self) -> (Vec<u64>, Vec<u64>) {
+        let nc = self.nm.num_coarse();
+        let mut neutral = vec![0u64; nc];
+        let mut charged = vec![0u64; nc];
+        for i in 0..self.particles.len() {
+            let c = self.particles.cell[i] as usize;
+            if self.particles.species[i] == self.h_id {
+                neutral[c] += 1;
+            } else {
+                charged[c] += 1;
+            }
+        }
+        (neutral, charged)
+    }
+
+    /// Execute one full DSMC iteration through the unified pipeline
+    /// with the serial backend (no communication, full record).
+    pub fn dsmc_step(&mut self) -> StepRecord {
+        let step = self.step_count;
+        let (rec, _, _) =
+            StepPipeline::default().run_step(self, &mut SerialBackend::new(), &mut NoProbe, step);
+        rec
+    }
+
+    // --- phase methods, called only by `StepPipeline::run_step` -----
+
+    /// Periodic cell-order sort: restores memory locality for the
+    /// per-cell collide/deposit loops. Off by default (reordering
+    /// shifts RNG consumption order and thus default outputs).
+    fn sort_by_cell(&mut self) {
+        let nc = self.nm.num_coarse();
+        self.particles.sort_by_cell(nc, &mut self.sort_scratch);
+    }
+
+    /// Inject (only effective on engines owning inlet cells).
+    fn inject(&mut self, rec: &mut StepRecord, track: bool) {
+        let before = self.particles.len();
+        if let Some(inj) = self.injector.as_mut() {
+            let cfg = &self.config;
+            let h_rate =
+                inj.particles_per_step(cfg.density_h, cfg.v_drift, cfg.dt_dsmc, cfg.weight_h);
+            let ion_rate = inj.particles_per_step(
+                cfg.density_hplus,
+                cfg.v_drift,
+                cfg.dt_dsmc,
+                cfg.weight_hplus,
+            );
+            let h_sp = self.species.get(self.h_id).clone();
+            let ion_sp = self.species.get(self.hp_id).clone();
+            inj.inject(
+                &self.nm.coarse,
+                &mut self.particles,
+                self.h_id,
+                &h_sp,
+                h_rate,
+                cfg.v_drift,
+                cfg.t_inject,
+                &mut self.rng,
+            );
+            inj.inject(
+                &self.nm.coarse,
+                &mut self.particles,
+                self.hp_id,
+                &ion_sp,
+                ion_rate,
+                cfg.v_drift,
+                cfg.t_inject,
+                &mut self.rng,
+            );
+        }
+        if track {
+            rec.injected_cells
+                .extend_from_slice(&self.particles.cell[before..]);
+        }
+    }
+
+    /// DSMC_Move: advect the neutrals.
+    fn dsmc_move(&mut self, rec: &mut StepRecord, track: bool) {
+        let h_id = self.h_id;
+        let stats = move_particles_pooled(
+            &self.nm.coarse,
+            &mut self.particles,
+            &self.species,
+            self.config.dt_dsmc,
+            self.config.t_wall,
+            &mut self.rng,
+            &self.pool,
+            |s| s == h_id,
+            track.then_some(&mut rec.neutral_transitions),
+        );
+        rec.exited += stats.exited;
+    }
+
+    /// Colli_React: NTC collisions, optional cross-species pass,
+    /// chemistry.
+    fn colli_react(&mut self, rec: &mut StepRecord) {
+        let dt = self.config.dt_dsmc;
+        self.events.clear();
+        let cstats = self.collisions.collide_pooled(
+            &self.nm.coarse,
+            &mut self.particles,
+            &self.species,
+            self.h_id,
+            dt,
+            &mut self.rng,
+            &mut self.events,
+            &self.pool,
+        );
+        rec.collision_candidates = cstats.candidates;
+        rec.collisions = cstats.collisions;
+        if self.config.cross_collisions {
+            let xstats = self.cross.collide(
+                &self.nm.coarse,
+                &mut self.particles,
+                &self.species,
+                self.h_id,
+                self.hp_id,
+                dt,
+                &mut self.rng,
+                &mut self.events,
+            );
+            rec.collision_candidates += xstats.candidates;
+            rec.collisions += xstats.mex + xstats.cex;
+        }
+        let r1 = self.chemistry.react_collisions(
+            &mut self.particles,
+            &self.species,
+            self.h_id,
+            self.hp_id,
+            &self.events,
+            &mut self.rng,
+        );
+        let r2 = self.chemistry.recombine(
+            &self.nm.coarse,
+            &mut self.particles,
+            &self.species,
+            self.h_id,
+            self.hp_id,
+            dt,
+            &mut self.rng,
+        );
+        rec.reactions = ReactStats {
+            dissociations: r1.dissociations + r2.dissociations,
+            recombinations: r1.recombinations + r2.recombinations,
+        };
+    }
+
+    /// PIC_Move: kick with the *previous* substep's field, then
+    /// advect the charged species (paper §III-B: "driven by the
+    /// electric field of the previous timestep").
+    fn pic_move(&mut self, rec: &mut StepRecord, track: bool) {
+        let dt_pic = self.config.dt_pic();
+        accelerate_charged_pooled(
+            &self.nm,
+            &mut self.particles,
+            &self.species,
+            &self.efield,
+            self.config.b_field,
+            dt_pic,
+            &self.pool,
+        );
+        let hp_id = self.hp_id;
+        let mut tr = Vec::new();
+        let stats = move_particles_pooled(
+            &self.nm.coarse,
+            &mut self.particles,
+            &self.species,
+            dt_pic,
+            self.config.t_wall,
+            &mut self.rng,
+            &self.pool,
+            |s| s == hp_id,
+            track.then_some(&mut tr),
+        );
+        rec.exited += stats.exited;
+        if track {
+            rec.charged_transitions.push(tr);
+        }
+    }
+
+    /// Deposit the local charge onto the fine-grid nodes.
+    fn deposit(&mut self) -> Vec<f64> {
+        let mut node_charge = vec![0.0f64; self.nm.fine.num_nodes()];
+        deposit_charge_pooled(
+            &self.nm,
+            &self.particles,
+            &self.species,
+            &mut node_charge,
+            &self.pool,
+        );
+        node_charge
+    }
+
+    /// Poisson_Solve on the (globally reduced) node charge, then
+    /// refresh E.
+    fn field_solve(&mut self, node_charge: &[f64], rec: &mut StepRecord) {
+        let (phi, stats) = self.poisson.solve_with(node_charge, &self.pool, None);
+        self.efield = ElectricField::from_potential(&self.nm.fine, phi);
+        rec.poisson_iters.push(stats.iterations);
+    }
+
+    /// Reindex: renumber owned particles from this rank's global
+    /// offset.
+    fn reindex(&mut self, start: u64) {
+        self.particles.renumber(start);
+    }
+}
+
+/// What a rebalance hook decided this step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepOutcome {
+    /// Load-imbalance indicator (paper eq. 6) measured this step.
+    pub lii: f64,
+    /// Whether the decomposition changed.
+    pub rebalanced: bool,
+    /// Particles migrated by the re-decomposition.
+    pub migrated: u64,
+}
+
+/// Cumulative backend-side counters a driver folds into its report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendStats {
+    /// Exchanges carried per concrete strategy
+    /// ([`vmpi::Strategy::CONCRETE`] order: CC, DC, Sparse).
+    pub strategy_uses: [u64; 3],
+    /// Re-decompositions performed.
+    pub rebalances: usize,
+    /// Total particles migrated by rebalancing.
+    pub rebalance_migrated: u64,
+}
+
+/// Execution context of the pipeline: where time is accounted, how
+/// particles and charge move between ranks, and what the Rebalance
+/// phase does. The physics phases themselves live on [`RankEngine`]
+/// and are identical under every backend.
+pub trait Backend {
+    /// Whether the engine should record per-particle work quantities
+    /// (injection cells, cell transitions) into the [`StepRecord`].
+    /// Attribution backends need them; real-time backends skip the
+    /// overhead.
+    fn track(&self) -> bool {
+        false
+    }
+
+    /// A new step begins (reset the stopwatch / attribution scratch).
+    fn begin_step(&mut self, eng: &RankEngine);
+
+    /// Close `phase` (`sub` = PIC substep index, 0 otherwise):
+    /// measure the elapsed wall time or attribute the modelled cost
+    /// into `bd`.
+    fn lap(
+        &mut self,
+        phase: Phase,
+        sub: usize,
+        eng: &RankEngine,
+        rec: &StepRecord,
+        bd: &mut Breakdown,
+    );
+
+    /// Migrate emigrant particles to their owning ranks (no-op
+    /// without real decomposition).
+    fn exchange(&mut self, eng: &mut RankEngine, phase: Phase, sub: usize);
+
+    /// Sum the node charge across ranks (paper §IV-C reduction);
+    /// identity without real decomposition.
+    fn reduce_charge(&mut self, eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64>;
+
+    /// Global base index for Reindex (exclusive scan of per-rank
+    /// populations).
+    fn reindex_base(&mut self, eng: &RankEngine) -> u64;
+
+    /// The Rebalance phase: measure the load-imbalance indicator and,
+    /// when a rebalancer is armed, possibly re-decompose.
+    fn rebalance(&mut self, eng: &mut RankEngine, bd: &Breakdown, rec: &StepRecord) -> StepOutcome;
+
+    /// The step is complete; attribution backends collapse their
+    /// per-rank costs into `bd` here.
+    fn end_step(&mut self, eng: &RankEngine, bd: &mut Breakdown);
+
+    /// Fraction of the particle population owned by each rank.
+    fn share(&self, eng: &RankEngine) -> Vec<f64>;
+
+    /// Cumulative counters for the run report.
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+}
+
+/// Observer of the pipeline: per-phase times and per-step traces.
+/// All methods default to no-ops; [`crate::report::ReportBuilder`]
+/// implements it to assemble a [`crate::report::RunReport`].
+pub trait Probe {
+    /// `phase` took `seconds` this step (called once per phase per
+    /// step, after the step completes).
+    fn phase(&mut self, phase: Phase, seconds: f64) {
+        let _ = (phase, seconds);
+    }
+
+    /// Step `index` finished with this trace.
+    fn step(&mut self, index: usize, trace: &StepTrace) {
+        let _ = (index, trace);
+    }
+}
+
+/// The do-nothing probe.
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// The coupled timestep's phase sequence (paper Fig. 1), defined
+/// exactly once. Every driver — `run_serial`, `run_threaded`,
+/// `ClusterSim` — iterates this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepPipeline {
+    /// Sort particles into cell order every this many steps (0 = off;
+    /// see [`crate::config::RunConfig::sort_every`]).
+    pub sort_every: usize,
+}
+
+impl StepPipeline {
+    /// Execute one coupled DSMC/PIC timestep of `eng` under `be`,
+    /// reporting to `probe`. Returns the work record, the step trace
+    /// and the per-phase time breakdown.
+    pub fn run_step<B: Backend, P: Probe>(
+        &self,
+        eng: &mut RankEngine,
+        be: &mut B,
+        probe: &mut P,
+        step_index: usize,
+    ) -> (StepRecord, StepTrace, Breakdown) {
+        let mut rec = StepRecord::default();
+        let mut bd = Breakdown::new();
+        let track = be.track();
+        be.begin_step(eng);
+
+        if self.sort_every > 0 && step_index > 0 && step_index.is_multiple_of(self.sort_every) {
+            eng.sort_by_cell();
+        }
+
+        // --- Inject --------------------------------------------------
+        eng.inject(&mut rec, track);
+        be.lap(Phase::Inject, 0, eng, &rec, &mut bd);
+
+        // --- DSMC_Move + DSMC_Exchange --------------------------------
+        eng.dsmc_move(&mut rec, track);
+        be.lap(Phase::DsmcMove, 0, eng, &rec, &mut bd);
+        be.exchange(eng, Phase::DsmcExchange, 0);
+        be.lap(Phase::DsmcExchange, 0, eng, &rec, &mut bd);
+
+        // --- Colli_React ----------------------------------------------
+        eng.colli_react(&mut rec);
+        be.lap(Phase::ColliReact, 0, eng, &rec, &mut bd);
+
+        // --- R × (PIC_Move + PIC_Exchange + Poisson_Solve) ------------
+        for sub in 0..eng.config.pic_per_dsmc {
+            eng.pic_move(&mut rec, track);
+            be.lap(Phase::PicMove, sub, eng, &rec, &mut bd);
+            be.exchange(eng, Phase::PicExchange, sub);
+            be.lap(Phase::PicExchange, sub, eng, &rec, &mut bd);
+            let local = eng.deposit();
+            let node_charge = be.reduce_charge(eng, local);
+            eng.field_solve(&node_charge, &mut rec);
+            be.lap(Phase::PoissonSolve, sub, eng, &rec, &mut bd);
+        }
+
+        // --- Reindex --------------------------------------------------
+        let base = be.reindex_base(eng);
+        eng.reindex(base);
+        be.lap(Phase::Reindex, 0, eng, &rec, &mut bd);
+
+        // --- Rebalance (Algorithm 1) ----------------------------------
+        let outcome = be.rebalance(eng, &bd, &rec);
+        be.lap(Phase::Rebalance, 0, eng, &rec, &mut bd);
+
+        be.end_step(eng, &mut bd);
+        eng.step_count += 1;
+        rec.population = eng.particles.len();
+
+        let trace = StepTrace {
+            step_time: bd.total(),
+            lii: outcome.lii,
+            share: be.share(eng),
+            rebalanced: outcome.rebalanced,
+        };
+        for p in Phase::ALL {
+            probe.phase(p, bd[p]);
+        }
+        probe.step(step_index, &trace);
+        (rec, trace, bd)
+    }
+}
+
+/// Single-rank backend: no communication, full work record, real
+/// stopwatch timing.
+pub struct SerialBackend {
+    sw: Stopwatch,
+}
+
+impl SerialBackend {
+    pub fn new() -> Self {
+        SerialBackend {
+            sw: Stopwatch::start(),
+        }
+    }
+}
+
+impl Default for SerialBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for SerialBackend {
+    fn track(&self) -> bool {
+        true
+    }
+
+    fn begin_step(&mut self, _eng: &RankEngine) {
+        self.sw = Stopwatch::start();
+    }
+
+    fn lap(
+        &mut self,
+        phase: Phase,
+        _sub: usize,
+        _eng: &RankEngine,
+        _rec: &StepRecord,
+        bd: &mut Breakdown,
+    ) {
+        self.sw.lap(bd, phase);
+    }
+
+    fn exchange(&mut self, _eng: &mut RankEngine, _phase: Phase, _sub: usize) {}
+
+    fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
+        node_charge
+    }
+
+    fn reindex_base(&mut self, _eng: &RankEngine) -> u64 {
+        0
+    }
+
+    fn rebalance(
+        &mut self,
+        _eng: &mut RankEngine,
+        _bd: &Breakdown,
+        _rec: &StepRecord,
+    ) -> StepOutcome {
+        StepOutcome::default()
+    }
+
+    fn end_step(&mut self, _eng: &RankEngine, _bd: &mut Breakdown) {}
+
+    fn share(&self, _eng: &RankEngine) -> Vec<f64> {
+        vec![1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Dataset;
+
+    #[test]
+    fn serial_pipeline_matches_monolithic_record() {
+        // the pipeline-driven dsmc_step must fill the full record
+        let mut cfg = Dataset::D1.config(0.02);
+        cfg.seed = 7;
+        let mut eng = RankEngine::new(cfg);
+        let rec = eng.dsmc_step();
+        assert!(!rec.injected_cells.is_empty());
+        assert_eq!(rec.poisson_iters.len(), eng.config.pic_per_dsmc);
+        assert_eq!(rec.charged_transitions.len(), eng.config.pic_per_dsmc);
+        assert_eq!(rec.population, eng.particles.len());
+        assert_eq!(eng.step_count, 1);
+    }
+
+    #[test]
+    fn serial_backend_breakdown_tiles_the_step() {
+        let mut cfg = Dataset::D1.config(0.02);
+        cfg.seed = 7;
+        let mut eng = RankEngine::new(cfg);
+        let mut be = SerialBackend::new();
+        let pipeline = StepPipeline::default();
+        let (_, trace, bd) = pipeline.run_step(&mut eng, &mut be, &mut NoProbe, 0);
+        assert!(bd.total() > 0.0, "laps must measure wall time");
+        assert_eq!(trace.step_time, bd.total());
+        assert_eq!(trace.share, vec![1.0]);
+        assert!(!trace.rebalanced);
+    }
+
+    #[test]
+    fn probe_sees_every_phase_and_step() {
+        struct Counting {
+            phases: usize,
+            steps: usize,
+            time: f64,
+        }
+        impl Probe for Counting {
+            fn phase(&mut self, _p: Phase, s: f64) {
+                self.phases += 1;
+                self.time += s;
+            }
+            fn step(&mut self, _i: usize, t: &StepTrace) {
+                self.steps += 1;
+                assert!((self.time - t.step_time).abs() < 1e-12);
+                self.time = 0.0;
+            }
+        }
+        let mut cfg = Dataset::D1.config(0.02);
+        cfg.seed = 7;
+        let mut eng = RankEngine::new(cfg);
+        let mut be = SerialBackend::new();
+        let mut probe = Counting {
+            phases: 0,
+            steps: 0,
+            time: 0.0,
+        };
+        let pipeline = StepPipeline::default();
+        for step in 0..3 {
+            pipeline.run_step(&mut eng, &mut be, &mut probe, step);
+        }
+        assert_eq!(probe.steps, 3);
+        assert_eq!(probe.phases, 3 * Phase::ALL.len());
+    }
+}

@@ -4,6 +4,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod diag;
+pub mod engine;
 pub mod machine;
 pub mod report;
 pub mod state;
@@ -12,10 +13,17 @@ pub mod timers;
 pub mod tune;
 
 pub use checkpoint::{checkpoint, restore, CheckpointError};
-pub use cluster::{ClusterReport, ClusterSim, StepTrace};
+pub use cluster::{ClusterReport, ClusterSim, ModelledBackend};
 pub use config::{Dataset, RunConfig, SimConfig};
+pub use engine::{
+    Backend, BackendStats, ExchangeScratch, NoProbe, Probe, RankEngine, SerialBackend, StepOutcome,
+    StepPipeline,
+};
 pub use machine::{CostModel, MachineProfile, Placement};
+pub use report::{ReportBuilder, RunReport, StepTrace};
 pub use state::{CoupledState, StepRecord};
-pub use threadrun::{run_serial, run_threaded, ThreadedRunResult};
+pub use threadrun::{run_serial, run_threaded, ThreadedBackend, ThreadedRunResult};
 pub use timers::{Breakdown, Phase, Stopwatch};
-pub use tune::{tune_balancer, tune_strategy, StrategyPoint, StrategyTuneReport, TunePoint, TuneReport};
+pub use tune::{
+    tune_balancer, tune_strategy, StrategyPoint, StrategyTuneReport, TunePoint, TuneReport,
+};

@@ -255,16 +255,14 @@ impl CostModel {
         use_km: bool,
     ) -> f64 {
         let n = self.ranks as f64;
-        let partition = cells as f64 * (cells as f64).log2().max(1.0)
-            / self.profile.partition_rate;
+        let partition = cells as f64 * (cells as f64).log2().max(1.0) / self.profile.partition_rate;
         let km = if use_km {
             // O(k³) Hungarian, tiny next to everything else
             n.powi(3) * 2e-10
         } else {
             0.0
         };
-        let bcast = (n.log2().max(1.0)) * self.alpha()
-            + cells as f64 * 4.0 / self.beta();
+        let bcast = (n.log2().max(1.0)) * self.alpha() + cells as f64 * 4.0 / self.beta();
         partition + km + bcast + self.exchange_time(strategy, migration)
     }
 }
@@ -300,15 +298,27 @@ mod tests {
         // many particles, few ranks: distributed faster
         let few = CostModel::new(MachineProfile::tianhe2(), 16);
         let m = uniform_matrix(16, 2_000_000);
-        let dc = few.exchange_time(Strategy::Distributed, &vmpi::traffic(Strategy::Distributed, &m));
-        let cc = few.exchange_time(Strategy::Centralized, &vmpi::traffic(Strategy::Centralized, &m));
+        let dc = few.exchange_time(
+            Strategy::Distributed,
+            &vmpi::traffic(Strategy::Distributed, &m),
+        );
+        let cc = few.exchange_time(
+            Strategy::Centralized,
+            &vmpi::traffic(Strategy::Centralized, &m),
+        );
         assert!(dc < cc, "dc {dc} cc {cc}");
 
         // few particles, many ranks: centralized faster
         let many = CostModel::new(MachineProfile::bscc(), 768);
         let m = uniform_matrix(768, 20);
-        let dc = many.exchange_time(Strategy::Distributed, &vmpi::traffic(Strategy::Distributed, &m));
-        let cc = many.exchange_time(Strategy::Centralized, &vmpi::traffic(Strategy::Centralized, &m));
+        let dc = many.exchange_time(
+            Strategy::Distributed,
+            &vmpi::traffic(Strategy::Distributed, &m),
+        );
+        let cc = many.exchange_time(
+            Strategy::Centralized,
+            &vmpi::traffic(Strategy::Centralized, &m),
+        );
         assert!(cc < dc, "cc {cc} dc {dc}");
     }
 
@@ -370,7 +380,8 @@ mod tests {
         // ranks (latency-bound), mirroring Table IV
         let nnz = 4_000_000usize;
         let nodes = 600_000usize;
-        let t = |k: usize| CostModel::new(MachineProfile::tianhe2(), k).poisson_time(200, nnz, nodes);
+        let t =
+            |k: usize| CostModel::new(MachineProfile::tianhe2(), k).poisson_time(200, nnz, nodes);
         assert!(t(24) > t(96) * 0.5, "some speedup early is fine");
         assert!(t(1536) > t(96), "latency must dominate at scale");
     }
@@ -383,12 +394,19 @@ mod tests {
             cm.placement = p;
             let m = uniform_matrix(96, 10_000);
             // a step dominated by compute with some exchange
-            1.0 + cm.exchange_time(Strategy::Distributed, &vmpi::traffic(Strategy::Distributed, &m))
+            1.0 + cm.exchange_time(
+                Strategy::Distributed,
+                &vmpi::traffic(Strategy::Distributed, &m),
+            )
         };
         let inner = mk(Placement::InnerFrame);
         let inter = mk(Placement::InterRack);
         assert!(inter > inner);
-        assert!((inter - inner) / inner < 0.05, "{}", (inter - inner) / inner);
+        assert!(
+            (inter - inner) / inner < 0.05,
+            "{}",
+            (inter - inner) / inner
+        );
     }
 
     #[test]

@@ -1,7 +1,87 @@
-//! Minimal table/CSV rendering for the experiment binaries, so every
-//! bench prints rows in the same layout the paper's tables use.
+//! The shared run report of every driver, plus minimal table/CSV
+//! rendering for the experiment binaries (so every bench prints rows
+//! in the same layout the paper's tables use).
 
+use crate::engine::Probe;
+use crate::timers::{Breakdown, Phase};
 use std::fmt::Write as _;
+
+/// Per-step scalar history of a run.
+#[derive(Debug, Clone, Default)]
+pub struct StepTrace {
+    /// Wall time of this step — measured for the serial/threaded
+    /// backends, modelled (max over ranks per phase) for the cluster.
+    pub step_time: f64,
+    /// Load-imbalance indicator measured this step.
+    pub lii: f64,
+    /// Particle share per rank (fraction of the population).
+    pub share: Vec<f64>,
+    /// Whether a rebalance happened this step.
+    pub rebalanced: bool,
+}
+
+/// Unified result of a coupled run. The serial, threaded and
+/// modelled-cluster drivers all return this one type (the old
+/// `ThreadedRunResult` / `ClusterReport` are aliases of it), so every
+/// consumer gets the same breakdown, traffic and per-step trace
+/// regardless of which backend produced it.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// H number density per coarse cell at the end of the run.
+    pub density_h: Vec<f64>,
+    /// Final global particle population.
+    pub population: usize,
+    /// Total wall time attributed to phases (measured or modelled).
+    pub total_time: f64,
+    /// Accumulated per-phase times (rank 0's measurement for the
+    /// threaded backend; max over ranks per step for the cluster).
+    pub breakdown: Breakdown,
+    /// Total messages sent in the world (0 without real comm).
+    pub transactions: u64,
+    /// Total bytes sent in the world (0 without real comm).
+    pub bytes: u64,
+    /// Number of rebalances performed.
+    pub rebalances: usize,
+    /// Total particles migrated by rebalancing.
+    pub rebalance_migrated: u64,
+    /// Exchanges carried per concrete strategy, indexed by
+    /// [`vmpi::Strategy::CONCRETE`] order (CC, DC, Sparse). Under
+    /// [`vmpi::Strategy::Auto`] the per-exchange decision rule fills
+    /// whichever buckets it picks; a fixed strategy fills one.
+    pub strategy_uses: [u64; 3],
+    /// Per-step traces.
+    pub trace: Vec<StepTrace>,
+}
+
+/// A [`Probe`] that accumulates phase times and step traces into a
+/// [`RunReport`]; the driver fills in the end-of-run fields
+/// (diagnostics, traffic, backend counters) and calls
+/// [`ReportBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    report: RunReport,
+}
+
+impl ReportBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn finish(self) -> RunReport {
+        self.report
+    }
+}
+
+impl Probe for ReportBuilder {
+    fn phase(&mut self, phase: Phase, seconds: f64) {
+        self.report.breakdown[phase] += seconds;
+        self.report.total_time += seconds;
+    }
+
+    fn step(&mut self, _index: usize, trace: &StepTrace) {
+        self.report.trace.push(trace.clone());
+    }
+}
 
 /// Render an aligned text table. `headers.len()` must match every
 /// row's length.

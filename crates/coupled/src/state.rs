@@ -1,24 +1,22 @@
-//! Shared simulation state and the coupled DSMC/PIC timestep
-//! (paper Fig. 1).
+//! Shared simulation state of the coupled DSMC/PIC solver.
 //!
-//! One [`CoupledState`] owns the dual grids, the particle population
-//! and all physics sub-models. [`CoupledState::dsmc_step`] executes
-//! one full DSMC iteration — Inject → DSMC_Move → Colli_React →
-//! `R ×` (PIC_Move → Poisson_Solve) → Reindex — and returns a
-//! [`StepRecord`] with every work quantity the serial validator, the
-//! threaded runner and the modelled cluster driver need.
+//! The per-rank state and the timestep itself live in
+//! [`crate::engine`]: [`CoupledState`] is the whole-domain
+//! [`RankEngine`] (one engine owning every cell, serial pool, full
+//! injector), and [`CoupledState::dsmc_step`] drives the one
+//! [`crate::engine::StepPipeline`] with the serial backend — Inject →
+//! DSMC_Move → Colli_React → `R ×` (PIC_Move → Poisson_Solve) →
+//! Reindex (paper Fig. 1) — returning a [`StepRecord`] with every
+//! work quantity the serial validator and the modelled cluster driver
+//! need.
 
-use crate::config::SimConfig;
-use dsmc::{
-    move_particles_tracked, ChemistryModel, CollisionEvent, CollisionModel,
-    CrossCollisionModel, Injector, MoveStats, ReactStats,
-};
-use mesh::NestedMesh;
-use particles::{ParticleBuffer, SpeciesTable};
-use pic::{accelerate_charged, deposit_charge, ElectricField, PoissonSolver};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparse::KrylovOptions;
+use crate::engine::RankEngine;
+use dsmc::ReactStats;
+
+/// All state of one coupled simulation (physics only — ownership and
+/// communication live in the drivers/backends). Alias of the unified
+/// per-rank engine.
+pub type CoupledState = RankEngine;
 
 /// Work quantities of one DSMC iteration, for timing attribution.
 #[derive(Debug, Clone, Default)]
@@ -42,244 +40,6 @@ pub struct StepRecord {
     pub exited: usize,
     /// Particle population after the step.
     pub population: usize,
-}
-
-/// All state of one coupled simulation (physics only — ownership and
-/// communication live in the drivers).
-pub struct CoupledState {
-    pub config: SimConfig,
-    pub nm: NestedMesh,
-    pub species: SpeciesTable,
-    pub h_id: u8,
-    pub hp_id: u8,
-    pub particles: ParticleBuffer,
-    pub injector: Injector,
-    pub collisions: CollisionModel,
-    pub cross: CrossCollisionModel,
-    pub chemistry: ChemistryModel,
-    pub poisson: PoissonSolver,
-    pub efield: ElectricField,
-    pub rng: StdRng,
-    /// DSMC iterations completed.
-    pub step_count: usize,
-    events: Vec<CollisionEvent>,
-}
-
-impl CoupledState {
-    /// Build the dual grids and all sub-models from a configuration.
-    pub fn new(config: SimConfig) -> Self {
-        let spec = config.nozzle;
-        let coarse = spec.generate();
-        let nm = NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n));
-        let (species, h_id, hp_id) =
-            SpeciesTable::hydrogen_plasma(config.weight_h, config.weight_hplus);
-        let injector = Injector::new(&nm.coarse);
-        let collisions = CollisionModel::new(nm.num_coarse(), &species, config.t_inject);
-        let poisson = PoissonSolver::new(
-            &nm.fine,
-            KrylovOptions {
-                rtol: 1e-6,
-                max_iters: 1000,
-            },
-        );
-        let efield = ElectricField::zeros(&nm.fine);
-        let rng = StdRng::seed_from_u64(config.seed);
-        CoupledState {
-            config,
-            nm,
-            species,
-            h_id,
-            hp_id,
-            particles: ParticleBuffer::new(),
-            injector,
-            collisions,
-            cross: CrossCollisionModel::default(),
-            chemistry: ChemistryModel::default(),
-            poisson,
-            efield,
-            rng,
-            step_count: 0,
-            events: Vec::new(),
-        }
-    }
-
-    /// Per-step injection rate (simulation particles) for H.
-    pub fn h_rate(&self) -> f64 {
-        self.injector.particles_per_step(
-            self.config.density_h,
-            self.config.v_drift,
-            self.config.dt_dsmc,
-            self.config.weight_h,
-        )
-    }
-
-    /// Per-step injection rate (simulation particles) for H⁺.
-    pub fn ion_rate(&self) -> f64 {
-        self.injector.particles_per_step(
-            self.config.density_hplus,
-            self.config.v_drift,
-            self.config.dt_dsmc,
-            self.config.weight_hplus,
-        )
-    }
-
-    /// Execute one full DSMC iteration (paper Fig. 1 workflow).
-    pub fn dsmc_step(&mut self) -> StepRecord {
-        let mut rec = StepRecord::default();
-        let cfg = self.config.clone();
-        let dt = cfg.dt_dsmc;
-
-        // --- Inject -------------------------------------------------
-        let before = self.particles.len();
-        let h_rate = self.h_rate();
-        let ion_rate = self.ion_rate();
-        let h_sp = self.species.get(self.h_id).clone();
-        let ion_sp = self.species.get(self.hp_id).clone();
-        self.injector.inject(
-            &self.nm.coarse,
-            &mut self.particles,
-            self.h_id,
-            &h_sp,
-            h_rate,
-            cfg.v_drift,
-            cfg.t_inject,
-            &mut self.rng,
-        );
-        self.injector.inject(
-            &self.nm.coarse,
-            &mut self.particles,
-            self.hp_id,
-            &ion_sp,
-            ion_rate,
-            cfg.v_drift,
-            cfg.t_inject,
-            &mut self.rng,
-        );
-        rec.injected_cells
-            .extend_from_slice(&self.particles.cell[before..]);
-
-        // --- DSMC_Move (neutrals) ------------------------------------
-        let h_id = self.h_id;
-        let stats: MoveStats = move_particles_tracked(
-            &self.nm.coarse,
-            &mut self.particles,
-            &self.species,
-            dt,
-            cfg.t_wall,
-            &mut self.rng,
-            |s| s == h_id,
-            Some(&mut rec.neutral_transitions),
-        );
-        rec.exited += stats.exited;
-
-        // --- Colli_React ---------------------------------------------
-        self.events.clear();
-        let cstats = self.collisions.collide(
-            &self.nm.coarse,
-            &mut self.particles,
-            &self.species,
-            self.h_id,
-            dt,
-            &mut self.rng,
-            &mut self.events,
-        );
-        rec.collision_candidates = cstats.candidates;
-        rec.collisions = cstats.collisions;
-        if cfg.cross_collisions {
-            let xstats = self.cross.collide(
-                &self.nm.coarse,
-                &mut self.particles,
-                &self.species,
-                self.h_id,
-                self.hp_id,
-                dt,
-                &mut self.rng,
-                &mut self.events,
-            );
-            rec.collision_candidates += xstats.candidates;
-            rec.collisions += xstats.mex + xstats.cex;
-        }
-        let r1 = self.chemistry.react_collisions(
-            &mut self.particles,
-            &self.species,
-            self.h_id,
-            self.hp_id,
-            &self.events,
-            &mut self.rng,
-        );
-        let r2 = self.chemistry.recombine(
-            &self.nm.coarse,
-            &mut self.particles,
-            &self.species,
-            self.h_id,
-            self.hp_id,
-            dt,
-            &mut self.rng,
-        );
-        rec.reactions = ReactStats {
-            dissociations: r1.dissociations + r2.dissociations,
-            recombinations: r1.recombinations + r2.recombinations,
-        };
-
-        // --- PIC substeps ---------------------------------------------
-        let dt_pic = cfg.dt_pic();
-        let hp_id = self.hp_id;
-        for _ in 0..cfg.pic_per_dsmc {
-            // PIC_Move: kick with the *previous* step's field, then
-            // advect (paper §III-B: "driven by the electric field of
-            // the previous timestep")
-            accelerate_charged(
-                &self.nm,
-                &mut self.particles,
-                &self.species,
-                &self.efield,
-                cfg.b_field,
-                dt_pic,
-            );
-            let mut tr = Vec::new();
-            let stats = move_particles_tracked(
-                &self.nm.coarse,
-                &mut self.particles,
-                &self.species,
-                dt_pic,
-                cfg.t_wall,
-                &mut self.rng,
-                |s| s == hp_id,
-                Some(&mut tr),
-            );
-            rec.exited += stats.exited;
-            rec.charged_transitions.push(tr);
-
-            // Poisson_Solve: deposit, solve, refresh E
-            let node_charge = deposit_charge(&self.nm, &self.particles, &self.species);
-            let (phi, pstats) = self.poisson.solve(&node_charge);
-            self.efield = ElectricField::from_potential(&self.nm.fine, phi);
-            rec.poisson_iters.push(pstats.iterations);
-        }
-
-        // --- Reindex ---------------------------------------------------
-        self.particles.renumber(0);
-
-        self.step_count += 1;
-        rec.population = self.particles.len();
-        rec
-    }
-
-    /// Neutral / charged particle counts per coarse cell.
-    pub fn counts_per_cell(&self) -> (Vec<u64>, Vec<u64>) {
-        let nc = self.nm.num_coarse();
-        let mut neutral = vec![0u64; nc];
-        let mut charged = vec![0u64; nc];
-        for i in 0..self.particles.len() {
-            let c = self.particles.cell[i] as usize;
-            if self.particles.species[i] == self.h_id {
-                neutral[c] += 1;
-            } else {
-                charged[c] += 1;
-            }
-        }
-        (neutral, charged)
-    }
 }
 
 #[cfg(test)]
@@ -317,7 +77,10 @@ mod tests {
         let mid: f64 = pops[25..35].iter().sum::<usize>() as f64 / 10.0;
         let end: f64 = pops[50..60].iter().sum::<usize>() as f64 / 10.0;
         assert!(end > 0.0);
-        assert!(end < 3.0 * mid + 100.0, "population must not diverge: {pops:?}");
+        assert!(
+            end < 3.0 * mid + 100.0,
+            "population must not diverge: {pops:?}"
+        );
     }
 
     #[test]
@@ -354,8 +117,8 @@ mod tests {
             .count();
         // survivors can since have reacted, so allow slack of the
         // reaction counts
-        let slack = rec.reactions.dissociations + rec.reactions.recombinations
-            + rec.injected_cells.len();
+        let slack =
+            rec.reactions.dissociations + rec.reactions.recombinations + rec.injected_cells.len();
         assert!(
             (neutrals_now as i64 - survived as i64).unsigned_abs() as usize <= slack,
             "{neutrals_now} vs {survived} (slack {slack})"

@@ -8,52 +8,41 @@
 //! load balancer. Used for validation (serial vs parallel, paper
 //! Fig. 8/9) and for the threaded benches.
 //!
+//! The step itself is the one [`StepPipeline`]; this module only
+//! supplies [`ThreadedBackend`] — real `vmpi` communication plus
+//! measured [`crate::timers::Stopwatch`] timing — and the run
+//! harness around it.
+//!
 //! Determinism note: each rank owns an independent RNG stream, so a
 //! k-rank run is statistically — not bitwise — equivalent to the
 //! serial run, exactly like the paper's MPI solver ("minor
 //! differences ... mainly due to random seeds").
 
 use crate::config::RunConfig;
+use crate::engine::{
+    Backend, BackendStats, ExchangeScratch, RankEngine, SerialBackend, StepOutcome, StepPipeline,
+};
 use crate::machine::{CostModel, MachineProfile};
+use crate::report::{ReportBuilder, RunReport};
+use crate::state::StepRecord;
 use crate::timers::{Breakdown, Phase, Stopwatch};
 use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
-use dsmc::{move_particles_pooled, ChemistryModel, CollisionModel, Injector};
-use kernels::Pool;
+use dsmc::Injector;
 use mesh::NestedMesh;
-use particles::{pack_index, unpack_all, ParticleBuffer, SortScratch, SpeciesTable};
-use pic::{accelerate_charged_pooled, deposit_charge_pooled, ElectricField, PoissonSolver};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparse::KrylovOptions;
+use particles::{pack_index, unpack_all, ParticleBuffer, SpeciesTable};
 use std::sync::Arc;
-use vmpi::collectives::{allgather_u64, allreduce_sum_f64, broadcast, gather};
+use vmpi::collectives::{
+    allgather_f64, allgather_u64, allreduce_sum_f64, allreduce_sum_u64, broadcast, gather,
+};
 use vmpi::{exchange_into, run_world, Comm, Strategy, ThreadComm};
 
-/// Result of a threaded run (as returned by rank 0).
-#[derive(Debug, Clone)]
-pub struct ThreadedRunResult {
-    /// Real H number density per coarse cell at the end of the run.
-    pub density_h: Vec<f64>,
-    /// Final global particle population.
-    pub population: usize,
-    /// Rank 0's measured wall-clock phase breakdown.
-    pub breakdown: Breakdown,
-    /// Total messages sent in the world.
-    pub transactions: u64,
-    /// Total bytes sent in the world.
-    pub bytes: u64,
-    /// Number of rebalances performed.
-    pub rebalances: usize,
-    /// Exchanges carried per concrete strategy, indexed by
-    /// [`Strategy::CONCRETE`] order (CC, DC, Sparse). Under
-    /// [`Strategy::Auto`] the per-exchange decision rule fills
-    /// whichever buckets it picks; a fixed strategy fills one.
-    pub strategy_uses: [u64; 3],
-}
+/// Result of a threaded run (as returned by rank 0) — the shared
+/// [`RunReport`].
+pub type ThreadedRunResult = RunReport;
 
 /// Run the coupled solver on `run.ranks` OS threads for `run.steps`
 /// DSMC iterations.
-pub fn run_threaded(run: &RunConfig) -> ThreadedRunResult {
+pub fn run_threaded(run: &RunConfig) -> RunReport {
     let spec = run.sim.nozzle;
     let coarse = spec.generate();
     let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
@@ -76,41 +65,15 @@ pub fn run_threaded(run: &RunConfig) -> ThreadedRunResult {
 
     let results = run_world(run.ranks, |comm| {
         rank_main(
-            comm,
-            run,
-            &nm,
-            &species,
-            h_id,
-            hp_id,
-            &owner0,
-            &xadj,
-            &adjncy,
+            comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy,
         )
     });
     results.into_iter().next().expect("rank 0 result")
 }
 
-/// Per-rank scratch state for the exchange phases, reused across
-/// steps so the steady state is allocation-free: the keep mask and
-/// both buffer sets persist at capacity — emigrants are serialized
-/// straight into `outgoing` and [`exchange_into`] refills `incoming`
-/// in place.
-#[derive(Debug, Default)]
-pub struct ExchangeScratch {
-    keep: Vec<bool>,
-    /// `outgoing[d]`: wire bytes headed to rank `d`, cleared and
-    /// repacked each exchange (capacity retained).
-    outgoing: Vec<Vec<u8>>,
-    /// `incoming[s]`: wire bytes received from rank `s`.
-    incoming: Vec<Vec<u8>>,
-}
-
 /// Split off the particles of `buf` that no longer belong to `me`,
 /// serialising each emigrant straight into its destination's wire
-/// buffer in the same pass that builds the keep mask. (The seed
-/// version staged per-destination index lists and re-walked them
-/// through a second packing pass, allocating fresh wire buffers every
-/// exchange.)
+/// buffer in the same pass that builds the keep mask.
 fn pack_emigrants(
     buf: &mut ParticleBuffer,
     owner: &[u32],
@@ -206,295 +169,257 @@ fn tally(uses: &mut [u64; 3], s: Strategy) {
     uses[idx] += 1;
 }
 
+/// Real-communication backend: `vmpi` collectives between the phases,
+/// measured [`Stopwatch`] timing, measured-lii rebalancing
+/// (Algorithm 1).
+pub struct ThreadedBackend<'a, C: Comm> {
+    comm: &'a C,
+    strategy: Strategy,
+    /// Parameters for the Auto decision rule. The threaded backend
+    /// has no real α/β of its own, so the Tianhe-2 profile is the
+    /// documented default; see [`resolve_strategy`] for why this can
+    /// never change the physics.
+    cost: CostModel,
+    owner: Vec<u32>,
+    xadj: &'a [u32],
+    adjncy: &'a [u32],
+    rebalancer: Option<Rebalancer>,
+    sw: Stopwatch,
+    strategy_uses: [u64; 3],
+    rebalance_migrated: u64,
+    /// Per-rank populations from the Reindex allgather (reused for
+    /// the step trace's share).
+    pops: Vec<u64>,
+}
+
+impl<'a, C: Comm> ThreadedBackend<'a, C> {
+    pub fn new(
+        comm: &'a C,
+        run: &RunConfig,
+        owner0: &[u32],
+        xadj: &'a [u32],
+        adjncy: &'a [u32],
+    ) -> Self {
+        ThreadedBackend {
+            comm,
+            strategy: run.strategy,
+            cost: CostModel::new(MachineProfile::tianhe2(), comm.size()),
+            owner: owner0.to_vec(),
+            xadj,
+            adjncy,
+            rebalancer: run.rebalance.map(Rebalancer::new),
+            sw: Stopwatch::start(),
+            strategy_uses: [0; 3],
+            rebalance_migrated: 0,
+            pops: Vec::new(),
+        }
+    }
+
+    fn migrate_and_tally(&mut self, eng: &mut RankEngine) {
+        let s = migrate(
+            self.comm,
+            self.strategy,
+            &self.cost,
+            &mut eng.particles,
+            &self.owner,
+            &mut eng.exch,
+        );
+        tally(&mut self.strategy_uses, s);
+    }
+}
+
+impl<C: Comm> Backend for ThreadedBackend<'_, C> {
+    fn begin_step(&mut self, _eng: &RankEngine) {
+        self.sw = Stopwatch::start();
+    }
+
+    fn lap(
+        &mut self,
+        phase: Phase,
+        _sub: usize,
+        _eng: &RankEngine,
+        _rec: &StepRecord,
+        bd: &mut Breakdown,
+    ) {
+        self.sw.lap(bd, phase);
+    }
+
+    fn exchange(&mut self, eng: &mut RankEngine, _phase: Phase, _sub: usize) {
+        self.migrate_and_tally(eng);
+    }
+
+    fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
+        // sum boundary/node charge across ranks (paper §IV-C
+        // reduction); every rank then solves the replicated system
+        allreduce_sum_f64(self.comm, &node_charge)
+    }
+
+    fn reindex_base(&mut self, eng: &RankEngine) -> u64 {
+        self.pops = allgather_u64(self.comm, eng.particles.len() as u64);
+        self.pops[..self.comm.rank()].iter().sum()
+    }
+
+    fn rebalance(
+        &mut self,
+        eng: &mut RankEngine,
+        bd: &Breakdown,
+        _rec: &StepRecord,
+    ) -> StepOutcome {
+        // share measured times: (total, migration, poisson) triples
+        let mine = [bd.total(), bd.migration(), bd.poisson()];
+        let all = allgather_f64(self.comm, &mine);
+        let times: Vec<RankTimes> = all
+            .chunks_exact(3)
+            .map(|c| RankTimes {
+                total: c[0],
+                migration: c[1],
+                poisson: c[2],
+            })
+            .collect();
+        let lii = load_imbalance_indicator(&times);
+        let mut outcome = StepOutcome {
+            lii,
+            ..StepOutcome::default()
+        };
+        if self.rebalancer.is_some() {
+            // global per-cell counts (needed by the load model)
+            let nc = eng.nm.num_coarse();
+            let mut local = vec![0u64; 2 * nc];
+            for i in 0..eng.particles.len() {
+                let c = eng.particles.cell[i] as usize;
+                if eng.particles.species[i] == eng.h_id {
+                    local[c] += 1;
+                } else {
+                    local[nc + c] += 1;
+                }
+            }
+            let global = allreduce_sum_u64(self.comm, &local);
+            let (neutral, charged) = global.split_at(nc);
+
+            // every rank runs the (deterministic) algorithm on the
+            // same inputs => identical new ownership everywhere
+            let rb = self.rebalancer.as_mut().expect("checked above");
+            if let RebalanceOutcome::Remapped {
+                new_owner,
+                migration_volume,
+                ..
+            } = rb.step(
+                lii,
+                self.xadj,
+                self.adjncy,
+                neutral,
+                charged,
+                &self.owner,
+                self.comm.size(),
+            ) {
+                self.owner = new_owner;
+                let me = self.comm.rank() as u32;
+                let owner = &self.owner;
+                eng.injector = Injector::with_filter(&eng.nm.coarse, |t| owner[t as usize] == me);
+                self.migrate_and_tally(eng);
+                self.rebalance_migrated += migration_volume;
+                outcome.rebalanced = true;
+                outcome.migrated = migration_volume;
+            }
+        }
+        outcome
+    }
+
+    fn end_step(&mut self, _eng: &RankEngine, _bd: &mut Breakdown) {}
+
+    fn share(&self, _eng: &RankEngine) -> Vec<f64> {
+        let total = self.pops.iter().sum::<u64>().max(1) as f64;
+        self.pops.iter().map(|&p| p as f64 / total).collect()
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            strategy_uses: self.strategy_uses,
+            rebalances: self.rebalancer.as_ref().map_or(0, |r| r.rebalance_count),
+            rebalance_migrated: self.rebalance_migrated,
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     comm: ThreadComm,
     run: &RunConfig,
-    nm: &NestedMesh,
-    species: &SpeciesTable,
+    nm: &Arc<NestedMesh>,
+    species: &Arc<SpeciesTable>,
     h_id: u8,
     hp_id: u8,
     owner0: &[u32],
     xadj: &[u32],
     adjncy: &[u32],
-) -> ThreadedRunResult {
-    let me = comm.rank();
-    let ranks = comm.size();
-    let cfg = &run.sim;
-    let mut owner: Vec<u32> = owner0.to_vec();
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1 + me as u64));
-    let pool = Pool::new(run.threads_per_rank);
-    let mut exch = ExchangeScratch::default();
-    let mut sort_scratch = SortScratch::default();
-    // Parameters for the Auto decision rule. The threaded backend has
-    // no real α/β of its own, so the Tianhe-2 profile is the
-    // documented default; see `resolve_strategy` for why this can
-    // never change the physics.
-    let cost = CostModel::new(MachineProfile::tianhe2(), ranks);
-    let mut strategy_uses = [0u64; 3];
-
-    let mut buf = ParticleBuffer::new();
-    let mut injector = Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
-    let mut collisions = CollisionModel::new(nm.num_coarse(), species, cfg.t_inject);
-    let chemistry = ChemistryModel::default();
-    let mut poisson = PoissonSolver::new(
-        &nm.fine,
-        KrylovOptions {
-            rtol: 1e-6,
-            max_iters: 1000,
-        },
+) -> RunReport {
+    let mut eng = RankEngine::for_rank(
+        run.sim.clone(),
+        nm.clone(),
+        species.clone(),
+        h_id,
+        hp_id,
+        owner0,
+        comm.rank(),
+        run.threads_per_rank,
     );
-    let mut efield = ElectricField::zeros(&nm.fine);
-    let mut rebalancer = run.rebalance.map(Rebalancer::new);
-    let mut breakdown = Breakdown::new();
-    let mut events = Vec::new();
-    let h_sp = species.get(h_id).clone();
-    let ion_sp = species.get(hp_id).clone();
-
+    let mut be = ThreadedBackend::new(&comm, run, owner0, xadj, adjncy);
+    let pipeline = StepPipeline {
+        sort_every: run.sort_every,
+    };
+    let mut builder = ReportBuilder::new();
     for step in 0..run.steps {
-        let mut sw = Stopwatch::start();
-        let mut step_bd = Breakdown::new();
-
-        // Periodic cell-order sort: restores memory locality for the
-        // per-cell collide/deposit loops. Off by default (reordering
-        // shifts RNG consumption order and thus default outputs).
-        if run.sort_every > 0 && step > 0 && step % run.sort_every == 0 {
-            buf.sort_by_cell(nm.num_coarse(), &mut sort_scratch);
-        }
-
-        // --- Inject (only on ranks owning inlet cells) --------------
-        if let Some(inj) = injector.as_mut() {
-            let h_rate = inj.particles_per_step(
-                cfg.density_h,
-                cfg.v_drift,
-                cfg.dt_dsmc,
-                cfg.weight_h,
-            );
-            let ion_rate = inj.particles_per_step(
-                cfg.density_hplus,
-                cfg.v_drift,
-                cfg.dt_dsmc,
-                cfg.weight_hplus,
-            );
-            inj.inject(
-                &nm.coarse, &mut buf, h_id, &h_sp, h_rate, cfg.v_drift, cfg.t_inject,
-                &mut rng,
-            );
-            inj.inject(
-                &nm.coarse, &mut buf, hp_id, &ion_sp, ion_rate, cfg.v_drift, cfg.t_inject,
-                &mut rng,
-            );
-        }
-        sw.lap(&mut step_bd, Phase::Inject);
-
-        // --- DSMC_Move + DSMC_Exchange -------------------------------
-        move_particles_pooled(
-            &nm.coarse,
-            &mut buf,
-            species,
-            cfg.dt_dsmc,
-            cfg.t_wall,
-            &mut rng,
-            &pool,
-            |s| s == h_id,
-            None,
-        );
-        sw.lap(&mut step_bd, Phase::DsmcMove);
-        let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
-        tally(&mut strategy_uses, s);
-        sw.lap(&mut step_bd, Phase::DsmcExchange);
-
-        // --- Colli_React ----------------------------------------------
-        events.clear();
-        collisions.collide_pooled(
-            &nm.coarse,
-            &mut buf,
-            species,
-            h_id,
-            cfg.dt_dsmc,
-            &mut rng,
-            &mut events,
-            &pool,
-        );
-        if cfg.cross_collisions {
-            dsmc::CrossCollisionModel::default().collide(
-                &nm.coarse,
-                &mut buf,
-                species,
-                h_id,
-                hp_id,
-                cfg.dt_dsmc,
-                &mut rng,
-                &mut events,
-            );
-        }
-        chemistry.react_collisions(&mut buf, species, h_id, hp_id, &events, &mut rng);
-        chemistry.recombine(
-            &nm.coarse,
-            &mut buf,
-            species,
-            h_id,
-            hp_id,
-            cfg.dt_dsmc,
-            &mut rng,
-        );
-        sw.lap(&mut step_bd, Phase::ColliReact);
-
-        // --- PIC substeps ----------------------------------------------
-        for _ in 0..cfg.pic_per_dsmc {
-            accelerate_charged_pooled(
-                nm,
-                &mut buf,
-                species,
-                &efield,
-                cfg.b_field,
-                cfg.dt_pic(),
-                &pool,
-            );
-            move_particles_pooled(
-                &nm.coarse,
-                &mut buf,
-                species,
-                cfg.dt_pic(),
-                cfg.t_wall,
-                &mut rng,
-                &pool,
-                |s| s == hp_id,
-                None,
-            );
-            sw.lap(&mut step_bd, Phase::PicMove);
-            let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
-            tally(&mut strategy_uses, s);
-            sw.lap(&mut step_bd, Phase::PicExchange);
-
-            // deposit local charge, sum boundary/node charge across
-            // ranks (paper §IV-C reduction), solve replicated
-            let mut node_charge = vec![0.0f64; nm.fine.num_nodes()];
-            deposit_charge_pooled(nm, &buf, species, &mut node_charge, &pool);
-            let node_charge = allreduce_sum_f64(&comm, &node_charge);
-            let (phi, _stats) = poisson.solve_with(&node_charge, &pool, None);
-            efield = ElectricField::from_potential(&nm.fine, phi);
-            sw.lap(&mut step_bd, Phase::PoissonSolve);
-        }
-
-        // --- Reindex: exclusive scan of per-rank counts ----------------
-        let counts = allgather_u64(&comm, buf.len() as u64);
-        let start: u64 = counts[..me].iter().sum();
-        buf.renumber(start);
-        sw.lap(&mut step_bd, Phase::Reindex);
-
-        // --- Rebalance (measured lii, Algorithm 1) ---------------------
-        if let Some(rb) = &mut rebalancer {
-            // share measured times: (total, migration, poisson) triples
-            let mine = [
-                step_bd.total(),
-                step_bd.migration(),
-                step_bd.poisson(),
-            ];
-            let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
-            let gathered = gather(&comm, 0, bytes);
-            let packed = if me == 0 {
-                let mut out = Vec::new();
-                for b in gathered.unwrap() {
-                    out.extend_from_slice(&b);
-                }
-                Some(out)
-            } else {
-                None
-            };
-            let all = broadcast(&comm, 0, packed);
-            let times: Vec<RankTimes> = all
-                .chunks_exact(24)
-                .map(|c| RankTimes {
-                    total: f64::from_le_bytes(c[0..8].try_into().unwrap()),
-                    migration: f64::from_le_bytes(c[8..16].try_into().unwrap()),
-                    poisson: f64::from_le_bytes(c[16..24].try_into().unwrap()),
-                })
-                .collect();
-            let lii = load_imbalance_indicator(&times);
-
-            // global per-cell counts (needed by the load model)
-            let nc = nm.num_coarse();
-            let mut local = vec![0.0f64; 2 * nc];
-            for i in 0..buf.len() {
-                let c = buf.cell[i] as usize;
-                if buf.species[i] == h_id {
-                    local[c] += 1.0;
-                } else {
-                    local[nc + c] += 1.0;
-                }
-            }
-            let global = allreduce_sum_f64(&comm, &local);
-            let neutral: Vec<u64> = global[..nc].iter().map(|&v| v as u64).collect();
-            let charged: Vec<u64> = global[nc..].iter().map(|&v| v as u64).collect();
-
-            // every rank runs the (deterministic) algorithm on the
-            // same inputs => identical new ownership everywhere
-            if let RebalanceOutcome::Remapped { new_owner, .. } =
-                rb.step(lii, xadj, adjncy, &neutral, &charged, &owner, ranks)
-            {
-                owner = new_owner;
-                injector =
-                    Injector::with_filter(&nm.coarse, |t| owner[t as usize] == me as u32);
-                let s = migrate(&comm, run.strategy, &cost, &mut buf, &owner, &mut exch);
-                tally(&mut strategy_uses, s);
-            }
-            sw.lap(&mut step_bd, Phase::Rebalance);
-        }
-
-        breakdown += step_bd;
+        pipeline.run_step(&mut eng, &mut be, &mut builder, step);
     }
 
     // --- final diagnostics: global H density per coarse cell ---------
-    let nc = nm.num_coarse();
+    let nc = eng.nm.num_coarse();
     let mut counts = vec![0.0f64; nc];
-    for i in 0..buf.len() {
-        if buf.species[i] == h_id {
-            counts[buf.cell[i] as usize] += 1.0;
+    for i in 0..eng.particles.len() {
+        if eng.particles.species[i] == h_id {
+            counts[eng.particles.cell[i] as usize] += 1.0;
         }
     }
     let counts = allreduce_sum_f64(&comm, &counts);
-    let density_h: Vec<f64> = counts
-        .iter()
-        .zip(&nm.coarse.volumes)
-        .map(|(&c, &v)| c * species.get(h_id).weight / v)
-        .collect();
-    let pops = allgather_u64(&comm, buf.len() as u64);
+    let pops = allgather_u64(&comm, eng.particles.len() as u64);
 
-    ThreadedRunResult {
-        density_h,
-        population: pops.iter().sum::<u64>() as usize,
-        breakdown,
-        transactions: comm.stats().transactions(),
-        bytes: comm.stats().bytes(),
-        rebalances: rebalancer.map_or(0, |r| r.rebalance_count),
-        strategy_uses,
-    }
+    let stats = be.stats();
+    let mut report = builder.finish();
+    report.density_h =
+        crate::diag::number_density(&counts, &eng.nm.coarse.volumes, species.get(h_id).weight);
+    report.population = pops.iter().sum::<u64>() as usize;
+    report.transactions = comm.stats().transactions();
+    report.bytes = comm.stats().bytes();
+    report.rebalances = stats.rebalances;
+    report.rebalance_migrated = stats.rebalance_migrated;
+    report.strategy_uses = stats.strategy_uses;
+    report
 }
 
 /// Reference serial run of the same configuration (the paper's
-/// validated serial baseline), returning the same diagnostics.
-pub fn run_serial(run: &RunConfig) -> ThreadedRunResult {
-    let mut st = crate::state::CoupledState::new(run.sim.clone());
-    for _ in 0..run.steps {
-        st.dsmc_step();
+/// validated serial baseline), returning the same diagnostics — now
+/// including a measured breakdown and per-step trace, through the
+/// same pipeline.
+pub fn run_serial(run: &RunConfig) -> RunReport {
+    let mut eng = RankEngine::new(run.sim.clone());
+    let mut be = SerialBackend::new();
+    let pipeline = StepPipeline {
+        sort_every: run.sort_every,
+    };
+    let mut builder = ReportBuilder::new();
+    for step in 0..run.steps {
+        pipeline.run_step(&mut eng, &mut be, &mut builder, step);
     }
-    let (neutral, _) = st.counts_per_cell();
-    let w = st.species.get(st.h_id).weight;
-    let density_h: Vec<f64> = neutral
-        .iter()
-        .zip(&st.nm.coarse.volumes)
-        .map(|(&c, &v)| c as f64 * w / v)
-        .collect();
-    ThreadedRunResult {
-        density_h,
-        population: st.particles.len(),
-        breakdown: Breakdown::new(),
-        transactions: 0,
-        bytes: 0,
-        rebalances: 0,
-        strategy_uses: [0; 3],
-    }
+    let (neutral, _) = eng.counts_per_cell();
+    let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
+    let mut report = builder.finish();
+    report.density_h = crate::diag::number_density(
+        &counts,
+        &eng.nm.coarse.volumes,
+        eng.species.get(eng.h_id).weight,
+    );
+    report.population = eng.particles.len();
+    report
 }
 
 #[cfg(test)]
@@ -503,7 +428,7 @@ mod tests {
     use crate::config::{Dataset, RunConfig};
     use vmpi::Strategy;
 
-    fn quick_run(ranks: usize, strategy: Strategy, lb: bool) -> ThreadedRunResult {
+    fn quick_run(ranks: usize, strategy: Strategy, lb: bool) -> RunReport {
         let mut run = RunConfig::paper(Dataset::D1, 0.02, ranks);
         run.sim.seed = 5;
         run.steps = 12;
@@ -532,8 +457,8 @@ mod tests {
         let dc = quick_run(3, Strategy::Distributed, false);
         let cc = quick_run(3, Strategy::Centralized, false);
         // same seeds, same physics: populations must be close
-        let diff = (dc.population as f64 - cc.population as f64).abs()
-            / dc.population.max(1) as f64;
+        let diff =
+            (dc.population as f64 - cc.population as f64).abs() / dc.population.max(1) as f64;
         assert!(diff < 0.15, "dc {} vs cc {}", dc.population, cc.population);
     }
 
@@ -557,6 +482,8 @@ mod tests {
         let r = quick_run(4, Strategy::Distributed, true);
         assert!(r.rebalances >= 1, "threaded balancer never fired");
         assert!(r.population > 0);
+        let fired: usize = r.trace.iter().filter(|t| t.rebalanced).count();
+        assert_eq!(fired, r.rebalances, "trace must record each rebalance");
     }
 
     #[test]
@@ -580,10 +507,31 @@ mod tests {
         assert!(a.population > 0);
         let used: u64 = a.strategy_uses.iter().sum();
         // one DSMC exchange + one per PIC substep, every step
-        assert!(used >= 12, "expected an exchange tally per step, got {used}");
+        assert!(
+            used >= 12,
+            "expected an exchange tally per step, got {used}"
+        );
         // same seeds → same physics as any fixed strategy
         let dc = quick_run(3, Strategy::Distributed, false);
         assert_eq!(a.population, dc.population);
         assert_eq!(a.density_h, dc.density_h);
+    }
+
+    #[test]
+    fn every_driver_reports_a_trace() {
+        let r = quick_run(3, Strategy::Distributed, false);
+        assert_eq!(r.trace.len(), 12);
+        for t in &r.trace {
+            assert_eq!(t.share.len(), 3);
+            assert!((t.share.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        let mut run = RunConfig::paper(Dataset::D1, 0.02, 1);
+        run.sim.seed = 5;
+        run.steps = 4;
+        run.rebalance = None;
+        let s = run_serial(&run);
+        assert_eq!(s.trace.len(), 4);
+        assert!(s.breakdown.total() > 0.0, "serial breakdown now measured");
+        assert!((s.total_time - s.breakdown.total()).abs() < 1e-12);
     }
 }

@@ -153,7 +153,10 @@ pub struct Stopwatch {
 impl Stopwatch {
     pub fn start() -> Self {
         let now = std::time::Instant::now();
-        Stopwatch { origin: now, start: now }
+        Stopwatch {
+            origin: now,
+            start: now,
+        }
     }
 
     /// Elapsed seconds since the last lap (or construction).

@@ -55,6 +55,19 @@ impl CollisionModel {
         }
     }
 
+    /// The adaptive per-cell `(σg)_max` table (checkpoint state: it
+    /// ratchets up over a run and gates the NTC candidate count, so a
+    /// restored run must resume from the same table).
+    pub fn sigma_g_max(&self) -> &[f64] {
+        &self.sigma_g_max
+    }
+
+    /// Restore a [`CollisionModel::sigma_g_max`] snapshot.
+    pub fn set_sigma_g_max(&mut self, table: &[f64]) {
+        assert_eq!(table.len(), self.sigma_g_max.len(), "cell count mismatch");
+        self.sigma_g_max.copy_from_slice(table);
+    }
+
     /// Perform one NTC collision pass over the *neutral* particles of
     /// `buf` (species id `neutral_id`). Returns statistics and pushes
     /// every accepted collision into `events` for the chemistry step.
@@ -91,11 +104,9 @@ impl CollisionModel {
             }
             let vc = mesh.volumes[c];
             let sgm = self.sigma_g_max[c];
-            let n_cand =
-                0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
+            let n_cand = 0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
             // probabilistic rounding of the fractional candidate count
-            let n_cand = n_cand.floor() as usize
-                + usize::from(rng.gen::<f64>() < n_cand.fract());
+            let n_cand = n_cand.floor() as usize + usize::from(rng.gen::<f64>() < n_cand.fract());
 
             for _ in 0..n_cand {
                 stats.candidates += 1;
@@ -122,11 +133,7 @@ impl CollisionModel {
                     let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                     let sin_t = (1.0 - cos_t * cos_t).sqrt();
                     let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
-                    let dir = mesh::Vec3::new(
-                        sin_t * phi.cos(),
-                        sin_t * phi.sin(),
-                        cos_t,
-                    );
+                    let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
                     buf.vel[a] = cm + dir * (g * m2 / (m1 + m2));
                     buf.vel[b] = cm - dir * (g * m1 / (m1 + m2));
                     events.push(CollisionEvent {
@@ -216,8 +223,8 @@ impl CollisionModel {
                 let sgm = sigma_g_max[c];
                 let mut sgm_adapt = sgm;
                 let n_cand = 0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
-                let n_cand = n_cand.floor() as usize
-                    + usize::from(rng.gen::<f64>() < n_cand.fract());
+                let n_cand =
+                    n_cand.floor() as usize + usize::from(rng.gen::<f64>() < n_cand.fract());
                 if n_cand == 0 {
                     continue;
                 }
@@ -248,11 +255,7 @@ impl CollisionModel {
                         let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                         let sin_t = (1.0 - cos_t * cos_t).sqrt();
                         let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
-                        let dir = mesh::Vec3::new(
-                            sin_t * phi.cos(),
-                            sin_t * phi.sin(),
-                            cos_t,
-                        );
+                        let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
                         local_vel[a] = cm + dir * (g * m2 / (m1 + m2));
                         local_vel[b] = cm - dir * (g * m1 / (m1 + m2));
                         dirty[a] = true;

@@ -90,8 +90,7 @@ impl CrossCollisionModel {
             let g_ref = n_sp.thermal_speed(n_sp.t_ref);
             let sigma_g_max = 2.0 * n_sp.vhs_cross_section(g_ref) * g_ref;
             let n_cand = nn as f64 * ni as f64 * f_n * sigma_g_max * dt / mesh.volumes[c];
-            let n_cand =
-                n_cand.floor() as usize + usize::from(rng.gen::<f64>() < n_cand.fract());
+            let n_cand = n_cand.floor() as usize + usize::from(rng.gen::<f64>() < n_cand.fract());
 
             for _ in 0..n_cand {
                 stats.candidates += 1;
@@ -118,8 +117,7 @@ impl CrossCollisionModel {
                     let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                     let sin_t = (1.0 - cos_t * cos_t).sqrt();
                     let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
-                    let dir =
-                        mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
+                    let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
                     buf.vel[a] = cm + dir * (g * m2 / (m1 + m2));
                     buf.vel[b] = cm - dir * (g * m1 / (m1 + m2));
                     stats.mex += 1;
@@ -218,12 +216,8 @@ mod tests {
         let model = CrossCollisionModel { cex_fraction: 0.0 };
         let mut rng = StdRng::seed_from_u64(4);
         let mut ev = Vec::new();
-        let mom = |buf: &ParticleBuffer| {
-            buf.vel.iter().fold(Vec3::ZERO, |acc, &v| acc + v)
-        };
-        let energy = |buf: &ParticleBuffer| -> f64 {
-            buf.vel.iter().map(|v| v.norm2()).sum()
-        };
+        let mom = |buf: &ParticleBuffer| buf.vel.iter().fold(Vec3::ZERO, |acc, &v| acc + v);
+        let energy = |buf: &ParticleBuffer| -> f64 { buf.vel.iter().map(|v| v.norm2()).sum() };
         let (p0, e0) = (mom(&buf), energy(&buf));
         let stats = model.collide(&m, &mut buf, &table, 0, 1, 5e-6, &mut rng, &mut ev);
         assert!(stats.mex > 0);

@@ -61,6 +61,18 @@ impl Injector {
         })
     }
 
+    /// Fractional particle carry accumulated so far (checkpoint
+    /// state: without it a restored run injects on a shifted
+    /// schedule).
+    pub fn carry(&self) -> f64 {
+        self.carry
+    }
+
+    /// Restore a [`Injector::carry`] snapshot.
+    pub fn set_carry(&mut self, carry: f64) {
+        self.carry = carry;
+    }
+
     /// Number of simulation particles to inject this step for a
     /// species with real number density `n_real` (1/m³) entering at
     /// drift speed `v_drift` (m/s) over timestep `dt`, given the

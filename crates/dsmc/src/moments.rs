@@ -128,7 +128,11 @@ mod tests {
             });
         }
         let mom = moments(&m, &buf, &table, h);
-        assert!((mom.temperature[0] - 450.0).abs() < 20.0, "{}", mom.temperature[0]);
+        assert!(
+            (mom.temperature[0] - 450.0).abs() < 20.0,
+            "{}",
+            mom.temperature[0]
+        );
         assert!((mom.velocity[0].z - 1e4).abs() < 100.0);
     }
 

@@ -215,16 +215,7 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
     mut transitions: Option<&mut Vec<(u32, u32)>>,
 ) -> MoveStats {
     if pool.is_serial() || buf.len() < 2 {
-        return move_particles_tracked(
-            mesh,
-            buf,
-            species,
-            dt,
-            wall_temp,
-            rng,
-            pred,
-            transitions,
-        );
+        return move_particles_tracked(mesh, buf, species, dt, wall_temp, rng, pred, transitions);
     }
     let base: u64 = rng.gen();
     let nudge_len = mesh.mean_cell_size() * NUDGE;
@@ -500,7 +491,10 @@ mod tests {
             None,
         );
         assert_eq!(sa, sb);
-        assert_eq!(rng_a, rng_b, "serial pool must consume the caller RNG identically");
+        assert_eq!(
+            rng_a, rng_b,
+            "serial pool must consume the caller RNG identically"
+        );
         for i in 0..a.len() {
             assert_eq!(a.get(i), b.get(i));
         }
@@ -510,8 +504,7 @@ mod tests {
     fn pooled_removes_exited_and_keeps_rest_valid() {
         let (m, sp) = setup();
         let mut buf = ParticleBuffer::new();
-        let near_outlet =
-            mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0012, 0.001)).unwrap();
+        let near_outlet = mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0012, 0.001)).unwrap();
         for k in 0..120u64 {
             // half fast exiting, half slow staying; ids distinguish
             let (cell, vel) = if k % 2 == 0 {

@@ -237,8 +237,7 @@ mod tests {
                 id: k,
             });
         }
-        let stats_dense =
-            chem.recombine(&m, &mut dense, &table, 0, 1, 1e-6, &mut rng);
+        let stats_dense = chem.recombine(&m, &mut dense, &table, 0, 1, 1e-6, &mut rng);
         // sparse cloud: 4 ions
         let mut sparse = ParticleBuffer::new();
         for k in 0..4u64 {
@@ -250,8 +249,7 @@ mod tests {
                 id: k,
             });
         }
-        let stats_sparse =
-            chem.recombine(&m, &mut sparse, &table, 0, 1, 1e-6, &mut rng);
+        let stats_sparse = chem.recombine(&m, &mut sparse, &table, 0, 1, 1e-6, &mut rng);
         let frac_dense = stats_dense.recombinations as f64 / 400.0;
         let frac_sparse = stats_sparse.recombinations as f64 / 4.0;
         assert!(

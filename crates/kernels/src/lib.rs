@@ -127,7 +127,11 @@ impl Pool {
     {
         let n = parts.len();
         if self.workers == 1 || n <= 1 {
-            return parts.into_iter().enumerate().map(|(i, p)| f(i, p)).collect();
+            return parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| f(i, p))
+                .collect();
         }
         let groups = chunk_ranges(n, self.workers);
         let mut indexed: Vec<Vec<(usize, T)>> = Vec::with_capacity(groups.len());
@@ -167,7 +171,14 @@ impl Pool {
     /// combines block results **in block-index order** on the caller
     /// thread. Because block boundaries depend only on `block`, the
     /// result is bitwise identical for every worker count.
-    pub fn par_map_reduce<R, A, M, F>(&self, n: usize, block: usize, map: M, init: A, mut fold: F) -> A
+    pub fn par_map_reduce<R, A, M, F>(
+        &self,
+        n: usize,
+        block: usize,
+        map: M,
+        init: A,
+        mut fold: F,
+    ) -> A
     where
         R: Send,
         M: Fn(Range<usize>) -> R + Sync,
@@ -258,7 +269,9 @@ mod tests {
     #[test]
     fn map_reduce_is_worker_count_invariant() {
         // floating-point sum: identical bits for every worker count
-        let xs: Vec<f64> = (0..40_000).map(|i| ((i * 37) % 1009) as f64 * 1e-3).collect();
+        let xs: Vec<f64> = (0..40_000)
+            .map(|i| ((i * 37) % 1009) as f64 * 1e-3)
+            .collect();
         let sum_with = |workers: usize| {
             Pool::new(workers).par_map_reduce(
                 xs.len(),

@@ -114,8 +114,7 @@ impl CellLocator {
         // Try the home bin, then all populated bins spiralling out is
         // overkill here: try home, then any populated bin, then brute.
         if self.bins[idx] != u32::MAX {
-            if let Some(t) = locate_walk(mesh, self.bins[idx] as usize, p, 4 * mesh.num_cells())
-            {
+            if let Some(t) = locate_walk(mesh, self.bins[idx] as usize, p, 4 * mesh.num_cells()) {
                 return Some(t);
             }
         }
@@ -226,7 +225,10 @@ mod tests {
         // crossing point lies on the face plane
         let hit = r + v * tc;
         let w = m.bary(t, hit);
-        assert!(w[f] < 1e-8, "barycentric weight of opposite vertex ~0 on face");
+        assert!(
+            w[f] < 1e-8,
+            "barycentric weight of opposite vertex ~0 on face"
+        );
     }
 
     #[test]

@@ -84,18 +84,17 @@ impl NozzleSpec {
         let mut tets: Vec<[u32; 4]> = Vec::new();
 
         let n = self.nd as i64;
-        let mut node =
-            |key: (i64, i64, i64), nodes: &mut Vec<Vec3>| -> u32 {
-                *node_ids.entry(key).or_insert_with(|| {
-                    let id = nodes.len() as u32;
-                    nodes.push(Vec3::new(
-                        key.0 as f64 * hx - self.radius,
-                        key.1 as f64 * hx - self.radius,
-                        key.2 as f64 * hz,
-                    ));
-                    id
-                })
-            };
+        let mut node = |key: (i64, i64, i64), nodes: &mut Vec<Vec3>| -> u32 {
+            *node_ids.entry(key).or_insert_with(|| {
+                let id = nodes.len() as u32;
+                nodes.push(Vec3::new(
+                    key.0 as f64 * hx - self.radius,
+                    key.1 as f64 * hx - self.radius,
+                    key.2 as f64 * hz,
+                ));
+                id
+            })
+        };
 
         for k in 0..self.nz as i64 {
             for j in 0..n {
@@ -195,7 +194,10 @@ mod tests {
         // voxelisation error: within 40% for this coarse lattice and
         // strictly less than the circumscribing box
         assert!(tot < 4.0 * spec.radius * spec.radius * spec.length);
-        assert!((tot - exact).abs() / exact < 0.4, "tot={tot}, exact={exact}");
+        assert!(
+            (tot - exact).abs() / exact < 0.4,
+            "tot={tot}, exact={exact}"
+        );
     }
 
     #[test]
@@ -228,8 +230,18 @@ mod tests {
 
     #[test]
     fn resolution_scales_cell_count() {
-        let a = NozzleSpec { nd: 4, nz: 4, ..NozzleSpec::default() }.generate();
-        let b = NozzleSpec { nd: 8, nz: 8, ..NozzleSpec::default() }.generate();
+        let a = NozzleSpec {
+            nd: 4,
+            nz: 4,
+            ..NozzleSpec::default()
+        }
+        .generate();
+        let b = NozzleSpec {
+            nd: 8,
+            nz: 8,
+            ..NozzleSpec::default()
+        }
+        .generate();
         assert!(b.num_cells() > 4 * a.num_cells());
     }
 }

@@ -74,7 +74,12 @@ mod tests {
 
     #[test]
     fn nozzle_quality_bounded() {
-        let m = NozzleSpec { nd: 6, nz: 8, ..NozzleSpec::default() }.generate();
+        let m = NozzleSpec {
+            nd: 6,
+            nz: 8,
+            ..NozzleSpec::default()
+        }
+        .generate();
         let q = analyze(&m);
         assert_eq!(q.num_cells, m.num_cells());
         assert!(q.min_volume > 0.0);
@@ -87,7 +92,11 @@ mod tests {
 
     #[test]
     fn refinement_halves_edges() {
-        let spec = NozzleSpec { nd: 4, nz: 6, ..NozzleSpec::default() };
+        let spec = NozzleSpec {
+            nd: 4,
+            nz: 6,
+            ..NozzleSpec::default()
+        };
         let coarse = spec.generate();
         let nm = crate::refine::NestedMesh::from_coarse(coarse, move |c, n| spec.classify(c, n));
         let qc = analyze(&nm.coarse);

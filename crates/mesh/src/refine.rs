@@ -195,8 +195,7 @@ mod tests {
         for (t, nb) in nm.fine.neighbors.iter().enumerate() {
             for tag in nb {
                 if let FaceTag::Interior(o) = tag {
-                    assert!(nm.fine.neighbors[*o as usize]
-                        .contains(&FaceTag::Interior(t as u32)));
+                    assert!(nm.fine.neighbors[*o as usize].contains(&FaceTag::Interior(t as u32)));
                 }
             }
         }

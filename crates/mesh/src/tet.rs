@@ -6,9 +6,7 @@
 //! another tet ([`FaceTag::Interior`]) or lies on the domain boundary
 //! with a physical tag ([`FaceTag::Boundary`]).
 
-use crate::geom::{
-    barycentric, outward_face_normal, tet_centroid, tet_volume_signed, Vec3,
-};
+use crate::geom::{barycentric, outward_face_normal, tet_centroid, tet_volume_signed, Vec3};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 

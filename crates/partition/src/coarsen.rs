@@ -43,10 +43,12 @@ pub fn coarsen(g: &Graph, seed: u64) -> CoarseLevel {
         // Heaviest unmatched neighbour.
         let mut best: Option<(u32, i64)> = None;
         for (u, w) in g.edges(v) {
-            if matched[u as usize] == u32::MAX && u as usize != v
-                && best.is_none_or(|(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if matched[u as usize] == u32::MAX
+                && u as usize != v
+                && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((u, w));
+            }
         }
         let c = ncoarse;
         ncoarse += 1;
@@ -127,12 +129,19 @@ mod tests {
 
     #[test]
     fn coarse_edges_are_symmetric() {
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)], vec![1; 6]);
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)],
+            vec![1; 6],
+        );
         let lvl = coarsen(&g, 7);
         let cg = &lvl.graph;
         for v in 0..cg.num_vertices() {
             for (u, w) in cg.edges(v) {
-                let back: Vec<_> = cg.edges(u as usize).filter(|&(x, _)| x as usize == v).collect();
+                let back: Vec<_> = cg
+                    .edges(u as usize)
+                    .filter(|&(x, _)| x as usize == v)
+                    .collect();
                 assert_eq!(back.len(), 1);
                 assert_eq!(back[0].1, w);
             }
@@ -141,7 +150,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (3, 4)], vec![1; 8]);
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (3, 4)],
+            vec![1; 8],
+        );
         let a = coarsen(&g, 5);
         let b = coarsen(&g, 5);
         assert_eq!(a.map, b.map);

@@ -115,11 +115,7 @@ mod tests {
 
     #[test]
     fn identity_when_diagonal_is_best() {
-        let w = vec![
-            vec![10, 1, 1],
-            vec![1, 10, 1],
-            vec![1, 1, 10],
-        ];
+        let w = vec![vec![10, 1, 1], vec![1, 10, 1], vec![1, 1, 10]];
         let (a, total) = max_weight_assignment(&w);
         assert_eq!(a, vec![0, 1, 2]);
         assert_eq!(total, 30);
@@ -128,11 +124,7 @@ mod tests {
     #[test]
     fn forced_permutation() {
         // best assignment is the anti-diagonal
-        let w = vec![
-            vec![0, 0, 9],
-            vec![0, 9, 0],
-            vec![9, 0, 0],
-        ];
+        let w = vec![vec![0, 0, 9], vec![0, 9, 0], vec![9, 0, 0]];
         let (a, total) = max_weight_assignment(&w);
         assert_eq!(a, vec![2, 1, 0]);
         assert_eq!(total, 27);
@@ -141,15 +133,18 @@ mod tests {
     #[test]
     fn min_cost_classic_example() {
         // well-known 3x3 example with optimum 5 (1+3+1? verify by brute force)
-        let c = vec![
-            vec![4, 1, 3],
-            vec![2, 0, 5],
-            vec![3, 2, 2],
-        ];
+        let c = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
         let (a, total) = min_cost_assignment(&c);
         // brute force check
         let mut best = i64::MAX;
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         for p in perms {
             best = best.min(c[0][p[0]] + c[1][p[1]] + c[2][p[2]]);
         }

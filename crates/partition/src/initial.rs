@@ -48,11 +48,11 @@ pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
         let mut frontier: Vec<u32> = Vec::new();
 
         let absorb = |v: usize,
-                          part: &mut Vec<u32>,
-                          part_wgt: &mut Vec<i64>,
-                          gain: &mut Vec<i64>,
-                          in_frontier: &mut Vec<bool>,
-                          frontier: &mut Vec<u32>| {
+                      part: &mut Vec<u32>,
+                      part_wgt: &mut Vec<i64>,
+                      gain: &mut Vec<i64>,
+                      in_frontier: &mut Vec<bool>,
+                      frontier: &mut Vec<u32>| {
             part[v] = p as u32;
             part_wgt[p] += g.vwgt[v];
             for (u, w) in g.edges(v) {
@@ -67,7 +67,14 @@ pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
             }
         };
 
-        absorb(seed, &mut part, &mut part_wgt, &mut gain, &mut in_frontier, &mut frontier);
+        absorb(
+            seed,
+            &mut part,
+            &mut part_wgt,
+            &mut gain,
+            &mut in_frontier,
+            &mut frontier,
+        );
 
         // Leave room for the remaining parts: stop at target even if
         // the frontier is rich.
@@ -88,7 +95,14 @@ pub fn greedy_growing(g: &Graph, k: usize) -> Vec<u32> {
             let Some((v, _)) = best else { break };
             frontier.swap_remove(best_idx);
             in_frontier[v] = false;
-            absorb(v, &mut part, &mut part_wgt, &mut gain, &mut in_frontier, &mut frontier);
+            absorb(
+                v,
+                &mut part,
+                &mut part_wgt,
+                &mut gain,
+                &mut in_frontier,
+                &mut frontier,
+            );
         }
 
         // Final part absorbs everything left.

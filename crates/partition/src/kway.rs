@@ -142,10 +142,7 @@ mod tests {
         for k in [2usize, 4, 8, 16] {
             let part = part_graph_kway(&g, k, KwayOptions::default());
             let imb = imbalance(&g, &part, k);
-            assert!(
-                imb <= BALANCE_TOL + 0.05,
-                "k={k}: imbalance {imb}"
-            );
+            assert!(imb <= BALANCE_TOL + 0.05, "k={k}: imbalance {imb}");
             for p in 0..k as u32 {
                 assert!(part.contains(&p), "empty part {p} for k={k}");
             }

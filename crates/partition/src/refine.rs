@@ -96,7 +96,9 @@ pub fn force_balance(g: &Graph, part: &mut [u32], k: usize) {
     // Repeatedly move the cheapest boundary vertex out of the heaviest
     // offending part.
     for _ in 0..4 * n {
-        let Some(hp) = (0..k).filter(|&p| part_wgt[p] > max_wgt).max_by_key(|&p| part_wgt[p])
+        let Some(hp) = (0..k)
+            .filter(|&p| part_wgt[p] > max_wgt)
+            .max_by_key(|&p| part_wgt[p])
         else {
             break;
         };
@@ -155,7 +157,10 @@ mod tests {
         let after = edge_cut(&g, &part);
         assert!(after <= before);
         assert_eq!(before - after, gain);
-        assert!(after < before / 2, "checkerboard should improve a lot: {before} -> {after}");
+        assert!(
+            after < before / 2,
+            "checkerboard should improve a lot: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -30,11 +30,7 @@ pub fn fine_cell_of(nm: &NestedMesh, coarse_cell: usize, pos: mesh::Vec3) -> usi
 /// Deposit all charged particles of `buf` onto the fine-grid nodes.
 /// Returns the accumulated node charge (Coulombs of *real* charge per
 /// node), suitable as the FEM right-hand side after division by ε₀.
-pub fn deposit_charge(
-    nm: &NestedMesh,
-    buf: &ParticleBuffer,
-    species: &SpeciesTable,
-) -> Vec<f64> {
+pub fn deposit_charge(nm: &NestedMesh, buf: &ParticleBuffer, species: &SpeciesTable) -> Vec<f64> {
     let mut node_charge = vec![0.0f64; nm.fine.num_nodes()];
     deposit_charge_into(nm, buf, species, &mut node_charge);
     node_charge
@@ -162,7 +158,10 @@ mod tests {
         let node_charge = deposit_charge(&nm, &buf, &table);
         let total: f64 = node_charge.iter().sum();
         let expect = 50.0 * QE * 100.0;
-        assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() < 1e-9 * expect,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]

@@ -141,6 +141,14 @@ impl PoissonSolver {
         &self.phi
     }
 
+    /// Restore a potential snapshot (checkpoint state: `phi` doubles
+    /// as the CG warm start, so the first solve after a restart must
+    /// begin from the same iterate to stay bit-identical).
+    pub fn set_phi(&mut self, phi: &[f64]) {
+        assert_eq!(phi.len(), self.phi.len(), "node count mismatch");
+        self.phi.copy_from_slice(phi);
+    }
+
     /// Number of unknowns.
     pub fn num_nodes(&self) -> usize {
         self.phi.len()

@@ -128,7 +128,12 @@ mod tests {
             }
             buf
         };
-        let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| -500.0 * p.z + 200.0 * p.x).collect();
+        let phi: Vec<f64> = nm
+            .fine
+            .nodes
+            .iter()
+            .map(|p| -500.0 * p.z + 200.0 * p.x)
+            .collect();
         let ef = ElectricField::from_potential(&nm.fine, &phi);
         let b = Vec3::new(0.0, 0.01, 0.0);
         let mut serial = make();

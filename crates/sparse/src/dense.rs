@@ -11,16 +11,19 @@
 pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = b.len();
     assert_eq!(a.len(), n);
-    let mut m: Vec<Vec<f64>> = a.iter().map(|r| {
-        assert_eq!(r.len(), n);
-        r.clone()
-    }).collect();
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), n);
+            r.clone()
+        })
+        .collect();
     let mut x = b.to_vec();
 
     for col in 0..n {
         // partial pivot
-        let piv = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
+        let piv =
+            (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
         if m[piv][col].abs() < 1e-300 {
             return None;
         }

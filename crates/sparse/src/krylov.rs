@@ -58,7 +58,13 @@ pub fn det_dot(a: &[f64], b: &[f64], pool: &Pool) -> f64 {
     pool.par_map_reduce(
         a.len(),
         DET_DOT_BLOCK,
-        |r| a[r.clone()].iter().zip(&b[r]).map(|(x, y)| x * y).sum::<f64>(),
+        |r| {
+            a[r.clone()]
+                .iter()
+                .zip(&b[r])
+                .map(|(x, y)| x * y)
+                .sum::<f64>()
+        },
         0.0f64,
         |acc, s| acc + s,
     )
@@ -329,7 +335,9 @@ mod tests {
     fn spmv_pooled_matches_serial_bitwise() {
         let n = 2500;
         let a = laplacian_1d(n);
-        let x: Vec<f64> = (0..n).map(|i| ((i * 29) % 97) as f64 * 0.013 - 0.5).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 29) % 97) as f64 * 0.013 - 0.5)
+            .collect();
         let mut y_serial = vec![0.0; n];
         a.spmv(&x, &mut y_serial);
         for w in [2usize, 3, 4, 8] {
@@ -349,10 +357,15 @@ mod tests {
             det_dot(&small, &small, &Pool::serial()).to_bits(),
             flat.to_bits()
         );
-        let large: Vec<f64> = (0..10_000).map(|i| ((i * 13) % 701) as f64 * 1e-3).collect();
+        let large: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 13) % 701) as f64 * 1e-3)
+            .collect();
         let d1 = det_dot(&large, &large, &Pool::new(1));
         for w in [2usize, 4, 16] {
-            assert_eq!(d1.to_bits(), det_dot(&large, &large, &Pool::new(w)).to_bits());
+            assert_eq!(
+                d1.to_bits(),
+                det_dot(&large, &large, &Pool::new(w)).to_bits()
+            );
         }
     }
 

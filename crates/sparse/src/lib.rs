@@ -8,4 +8,6 @@ pub mod krylov;
 
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::solve_dense;
-pub use krylov::{bicgstab, cg, cg_with, det_dot, Jacobi, KrylovOptions, SolveStats, DET_DOT_BLOCK};
+pub use krylov::{
+    bicgstab, cg, cg_with, det_dot, Jacobi, KrylovOptions, SolveStats, DET_DOT_BLOCK,
+};

@@ -139,6 +139,55 @@ pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
     out
 }
 
+/// All-reduce a vector of u64 by element-wise summation — the
+/// lossless counterpart of [`allreduce_sum_f64`] for particle counts
+/// (a count round-tripped through f64 silently loses precision past
+/// 2^53).
+pub fn allreduce_sum_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
+    let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let gathered = gather(comm, 0, bytes);
+    let reduced = if comm.rank() == 0 {
+        let mut acc = vec![0u64; mine.len()];
+        for buf in gathered.unwrap() {
+            assert_eq!(buf.len(), mine.len() * 8);
+            for (a, chunk) in acc.iter_mut().zip(buf.chunks_exact(8)) {
+                *a += u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+        }
+        Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect())
+    } else {
+        None
+    };
+    let out = broadcast(comm, 0, reduced);
+    out.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// All-gather a fixed-size slice of f64 from every rank. Returns the
+/// concatenation in rank order (`size() * mine.len()` values) on all
+/// ranks. Every rank must contribute the same number of values. Used
+/// to share measured per-rank phase times for the load-imbalance
+/// indicator.
+pub fn allgather_f64<C: Comm>(comm: &C, mine: &[f64]) -> Vec<f64> {
+    let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let gathered = gather(comm, 0, bytes);
+    let packed = if comm.rank() == 0 {
+        let mut out = Vec::with_capacity(comm.size() * mine.len() * 8);
+        for b in gathered.unwrap() {
+            assert_eq!(b.len(), mine.len() * 8, "ragged allgather contribution");
+            out.extend_from_slice(&b);
+        }
+        Some(out)
+    } else {
+        None
+    };
+    let out = broadcast(comm, 0, packed);
+    out.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
 /// All-gather a u64 from every rank (returned in rank order on all
 /// ranks). Used for global particle counts and the load-imbalance
 /// indicator.
@@ -236,7 +285,11 @@ mod tests {
         });
         for (d, col) in out.iter().enumerate() {
             for (s, &v) in col.iter().enumerate() {
-                let want = if (s + d) % 3 == 0 { 0 } else { (100 * s + d) as u64 };
+                let want = if (s + d) % 3 == 0 {
+                    0
+                } else {
+                    (100 * s + d) as u64
+                };
                 assert_eq!(v, want, "{s} -> {d}");
             }
         }
@@ -277,6 +330,30 @@ mod tests {
                 assert_eq!(f[src], (src * 10 + d) as u64);
                 assert_eq!(s[src], (src * 1000 + d) as u64);
             }
+        }
+    }
+
+    #[test]
+    fn allreduce_u64_is_lossless() {
+        // 2^53 + rank is not representable round-tripped through f64;
+        // the u64 reduction must keep every bit
+        let out = run_world(3, |c| {
+            let mine = vec![(1u64 << 53) + c.rank() as u64, c.rank() as u64];
+            allreduce_sum_u64(&c, &mine)
+        });
+        for v in out {
+            assert_eq!(v, vec![3 * (1u64 << 53) + 3, 3]);
+        }
+    }
+
+    #[test]
+    fn allgather_f64_concatenates_in_rank_order() {
+        let out = run_world(3, |c| {
+            let r = c.rank() as f64;
+            allgather_f64(&c, &[r, r + 0.5])
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5]);
         }
     }
 

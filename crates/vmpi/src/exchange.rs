@@ -56,8 +56,11 @@ pub enum Strategy {
 impl Strategy {
     /// The strategies that actually move bytes (everything but
     /// [`Strategy::Auto`]), in the order the auto-selector scores them.
-    pub const CONCRETE: [Strategy; 3] =
-        [Strategy::Centralized, Strategy::Distributed, Strategy::Sparse];
+    pub const CONCRETE: [Strategy; 3] = [
+        Strategy::Centralized,
+        Strategy::Distributed,
+        Strategy::Sparse,
+    ];
 }
 
 /// Exchange `outgoing[dest]` buffers between all ranks; returns
@@ -170,7 +173,11 @@ fn exchange_sparse_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &
 /// scatter. Classification borrows byte ranges of the gathered
 /// messages — each payload is copied exactly once into its scatter
 /// buffer, not staged through intermediate per-payload `Vec`s.
-fn exchange_centralized_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &mut [Vec<u8>]) {
+fn exchange_centralized_into<C: Comm>(
+    comm: &C,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut [Vec<u8>],
+) {
     const ROOT: usize = 0;
     let me = comm.rank();
     let n = comm.size();
@@ -366,8 +373,7 @@ mod tests {
 
     fn check_all_to_all(strategy: Strategy, n: usize) {
         let results = run_world(n, |c| {
-            let outgoing: Vec<Vec<u8>> =
-                (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
+            let outgoing: Vec<Vec<u8>> = (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
             exchange(&c, strategy, outgoing)
         });
         for (dst, incoming) in results.iter().enumerate() {
@@ -414,7 +420,10 @@ mod tests {
             for (dst, inc) in results.iter().enumerate() {
                 for (src, buf) in inc.iter().enumerate() {
                     if !(src == 1 && dst == 3) {
-                        assert!(buf.is_empty(), "unexpected bytes {src}->{dst} ({strategy:?})");
+                        assert!(
+                            buf.is_empty(),
+                            "unexpected bytes {src}->{dst} ({strategy:?})"
+                        );
                     }
                 }
             }
@@ -510,7 +519,11 @@ mod tests {
         let (tx_sparse, _) = &sparse[0];
         let (tx_dc, _) = &dc[0];
         assert_eq!(*tx_dc, (n * (n - 1)) as u64);
-        assert_eq!(*tx_sparse, 2 * 2, "counts msg + payload msg per nonzero pair");
+        assert_eq!(
+            *tx_sparse,
+            2 * 2,
+            "counts msg + payload msg per nonzero pair"
+        );
         assert!(
             (*tx_sparse as f64) < 0.25 * (*tx_dc as f64),
             "sparse {tx_sparse} !< 25% of dc {tx_dc}"

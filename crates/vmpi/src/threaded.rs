@@ -133,17 +133,15 @@ mod tests {
     fn source_matched_receive_ordering() {
         // rank 0 receives from 2 then 1; messages must be matched by
         // source regardless of arrival order
-        let got = run_world(3, |c| {
-            match c.rank() {
-                0 => {
-                    let a = c.recv(2);
-                    let b = c.recv(1);
-                    (a[0], b[0])
-                }
-                r => {
-                    c.send(0, vec![r as u8]);
-                    (0, 0)
-                }
+        let got = run_world(3, |c| match c.rank() {
+            0 => {
+                let a = c.recv(2);
+                let b = c.recv(1);
+                (a[0], b[0])
+            }
+            r => {
+                c.send(0, vec![r as u8]);
+                (0, 0)
             }
         });
         assert_eq!(got[0], (2, 1));

@@ -17,7 +17,10 @@ fn main() {
     base.steps = 25;
     base.rebalance = None;
 
-    println!("measured on {ranks} rank-threads, {} DSMC steps:\n", base.steps);
+    println!(
+        "measured on {ranks} rank-threads, {} DSMC steps:\n",
+        base.steps
+    );
     println!("  strategy    | transactions |      bytes | population | uses CC/DC/Sparse");
     for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::Auto]) {
         let mut run = base.clone();
@@ -43,7 +46,10 @@ fn main() {
     let mut quiet = vec![vec![0u64; n]; n];
     quiet[1][3] = 1024;
     quiet[14][2] = 512;
-    for (label, m) in [("uniform 1 KiB per pair", &dense), ("quiet, 2 pairs", &quiet)] {
+    for (label, m) in [
+        ("uniform 1 KiB per pair", &dense),
+        ("quiet, 2 pairs", &quiet),
+    ] {
         println!("\nanalytic traffic, N = {n}, {label}:");
         println!("  strategy    | transactions | total bytes | busiest rank");
         for strategy in Strategy::CONCRETE {

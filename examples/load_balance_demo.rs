@@ -37,12 +37,18 @@ fn main() {
     let res_lb = run_threaded(&with_lb);
     let wall_lb = t0.elapsed().as_secs_f64();
 
-    println!("without LB: wall {wall_no:.2}s, population {}, rebalances 0", res_no.population);
+    println!(
+        "without LB: wall {wall_no:.2}s, population {}, rebalances 0",
+        res_no.population
+    );
     println!(
         "with    LB: wall {wall_lb:.2}s, population {}, rebalances {}",
         res_lb.population, res_lb.rebalances
     );
-    println!("\nrank-0 measured breakdown (with LB):\n{}", res_lb.breakdown);
+    println!(
+        "\nrank-0 measured breakdown (with LB):\n{}",
+        res_lb.breakdown
+    );
     println!(
         "communication: {} messages, {} bytes (with LB)",
         res_lb.transactions, res_lb.bytes

@@ -79,11 +79,19 @@ fn main() {
         "results/plume.vtk",
         mesh,
         &[
-            mesh::CellField { name: "n_H", values: &nh },
-            mesh::CellField { name: "n_Hplus", values: &ni },
+            mesh::CellField {
+                name: "n_H",
+                values: &nh,
+            },
+            mesh::CellField {
+                name: "n_Hplus",
+                values: &ni,
+            },
         ],
     )
     .expect("write VTK");
-    println!("
-wrote results/plume.vtk (open with ParaView)");
+    println!(
+        "
+wrote results/plume.vtk (open with ParaView)"
+    );
 }

@@ -50,12 +50,8 @@ fn main() {
         .zip(&sim.nm.coarse.volumes)
         .map(|(&c, &v)| c as f64 * w / v)
         .collect();
-    let profile = coupled::diag::axis_profile(
-        &sim.nm.coarse,
-        &density,
-        sim.config.nozzle.length,
-        10,
-    );
+    let profile =
+        coupled::diag::axis_profile(&sim.nm.coarse, &density, sim.config.nozzle.length, 10);
     println!("\nH number density on the axis:");
     for (z, n) in profile {
         println!("  z = {:>5.2} mm   n_H = {n:.3e} 1/m^3", z * 1e3);

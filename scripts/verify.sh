@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: release build, full test suite, and the
-# zero-warning lint bar. Run before every merge.
+# Tier-1 verification gate: release build, full test suite, the
+# zero-warning lint bar, and the formatting check. Run before every
+# merge (CI runs exactly this script).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,12 @@ cargo test --workspace -q
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check) =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
 
 echo "verify: OK"

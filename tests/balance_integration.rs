@@ -85,10 +85,10 @@ fn km_remap_on_real_partitions_migrates_less() {
     let g = Graph::new(xadj, adjncy, wlm);
     let new_part = part_graph_kway(&g, 6, KwayOptions::default());
 
-    let km = remap_km(&cs.owner, &new_part, &load, 6);
+    let km = remap_km(cs.owner(), &new_part, &load, 6);
     let id = remap_identity(&new_part);
-    let vol_km = balance::migration_volume(&cs.owner, &km, &load);
-    let vol_id = balance::migration_volume(&cs.owner, &id, &load);
+    let vol_km = balance::migration_volume(cs.owner(), &km, &load);
+    let vol_id = balance::migration_volume(cs.owner(), &id, &load);
     assert!(vol_km <= vol_id, "KM {vol_km} !<= identity {vol_id}");
 }
 

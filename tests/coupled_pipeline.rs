@@ -74,12 +74,7 @@ fn plume_advances_downstream_over_time() {
     for step in 1..=30 {
         st.dsmc_step();
         if step % 10 == 0 {
-            let front = st
-                .particles
-                .pos
-                .iter()
-                .map(|p| p.z)
-                .fold(0.0f64, f64::max);
+            let front = st.particles.pos.iter().map(|p| p.z).fold(0.0f64, f64::max);
             front_at.push(front);
         }
     }
@@ -108,7 +103,10 @@ fn electric_field_pushes_ions_outward_from_charge() {
         .filter(|&&s| s == st.hp_id)
         .count();
     if n_ions > 0 {
-        assert!(max_phi > 0.0, "positive space charge must raise the potential");
+        assert!(
+            max_phi > 0.0,
+            "positive space charge must raise the potential"
+        );
     }
     assert!(phi.iter().all(|v| v.is_finite()));
 }

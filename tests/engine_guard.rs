@@ -1,0 +1,55 @@
+//! Regression guard for the unified step-pipeline engine.
+//!
+//! The serial/threaded/modelled drivers all execute the one
+//! `StepPipeline`; these tests pin their outputs for a fixed seed to
+//! the exact values the pre-engine (monolithic) drivers produced, so
+//! any refactor that perturbs the phase order, RNG consumption or
+//! exchange semantics shows up as a bitwise difference. The load
+//! balancer stays off: its trigger is measured wall time, which is
+//! nondeterministic across runs.
+
+use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+
+/// FNV-1a over the little-endian bytes of the density field.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn guard_config() -> RunConfig {
+    let mut run = RunConfig::paper(Dataset::D1, 0.02, 3);
+    run.sim.seed = 4242;
+    run.steps = 12;
+    run.rebalance = None;
+    run
+}
+
+#[test]
+fn threaded_density_is_bitwise_pinned() {
+    let r = run_threaded(&guard_config());
+    assert_eq!(r.population, 389, "population drifted");
+    assert_eq!(r.density_h.len(), 432);
+    assert_eq!(
+        fnv1a(&r.density_h),
+        0x8e483db2789e1ad2,
+        "threaded density_h no longer bitwise identical to the pinned baseline"
+    );
+}
+
+#[test]
+fn serial_density_is_bitwise_pinned() {
+    let r = run_serial(&guard_config());
+    assert_eq!(r.population, 389, "population drifted");
+    assert_eq!(r.density_h.len(), 432);
+    assert_eq!(
+        fnv1a(&r.density_h),
+        0x9839330415d13fb3,
+        "serial density_h no longer bitwise identical to the pinned baseline"
+    );
+}

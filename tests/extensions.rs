@@ -62,7 +62,11 @@ fn magnetic_field_bends_ion_trajectories() {
     }
     for p in st.particles.iter() {
         assert!(p.vel.norm().is_finite());
-        assert!(p.vel.norm() < 3e5, "B field must not pump energy: {:?}", p.vel);
+        assert!(
+            p.vel.norm() < 3e5,
+            "B field must not pump energy: {:?}",
+            p.vel
+        );
         assert!(st.nm.coarse.contains(p.cell as usize, p.pos, 1e-5));
     }
 }

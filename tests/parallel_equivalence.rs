@@ -25,8 +25,7 @@ fn parallel_population_tracks_serial() {
     let run4 = base_run(4);
     let ser = run_serial(&run4);
     let par = run_threaded(&run4);
-    let rel = (par.population as f64 - ser.population as f64).abs()
-        / ser.population.max(1) as f64;
+    let rel = (par.population as f64 - ser.population as f64).abs() / ser.population.max(1) as f64;
     assert!(
         rel < 0.1,
         "serial {} vs parallel {}",
@@ -198,7 +197,11 @@ fn load_balanced_run_matches_unbalanced_physics() {
     });
     let a = run_threaded(&plain);
     let b = run_threaded(&lb);
-    let rel =
-        (a.population as f64 - b.population as f64).abs() / a.population.max(1) as f64;
-    assert!(rel < 0.1, "LB changed the physics: {} vs {}", a.population, b.population);
+    let rel = (a.population as f64 - b.population as f64).abs() / a.population.max(1) as f64;
+    assert!(
+        rel < 0.1,
+        "LB changed the physics: {} vs {}",
+        a.population,
+        b.population
+    );
 }

@@ -20,8 +20,9 @@ fn vec3() -> impl Strategy<Value = Vec3> {
 /// A tet with volume bounded away from zero (degenerate tets are
 /// rejected; the mesh generator never produces them).
 fn good_tet() -> impl Strategy<Value = [Vec3; 4]> {
-    [vec3(), vec3(), vec3(), vec3()]
-        .prop_filter("non-degenerate", |p| tet_volume(p[0], p[1], p[2], p[3]) > 10.0)
+    [vec3(), vec3(), vec3(), vec3()].prop_filter("non-degenerate", |p| {
+        tet_volume(p[0], p[1], p[2], p[3]) > 10.0
+    })
 }
 
 proptest! {

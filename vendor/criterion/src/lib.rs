@@ -105,7 +105,8 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let batch = ((self.budget.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let batch =
+            ((self.budget.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
 
         let deadline = Instant::now() + self.budget;
         while Instant::now() < deadline {

@@ -29,7 +29,9 @@ pub mod channel {
 
     impl<T> Sender<T> {
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
-            self.inner.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(v)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -58,7 +60,11 @@ pub mod channel {
         }
 
         pub fn try_recv(&self) -> Option<T> {
-            self.inner.lock().expect("receiver poisoned").try_recv().ok()
+            self.inner
+                .lock()
+                .expect("receiver poisoned")
+                .try_recv()
+                .ok()
         }
     }
 

@@ -308,9 +308,7 @@ macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => {{
         let (__a, __b) = (&$a, &$b);
         if !(*__a == *__b) {
-            return ::std::result::Result::Err(
-                format!("assertion failed: {:?} != {:?}", __a, __b),
-            );
+            return ::std::result::Result::Err(format!("assertion failed: {:?} != {:?}", __a, __b));
         }
     }};
 }
@@ -320,9 +318,7 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (__a, __b) = (&$a, &$b);
         if !(*__a != *__b) {
-            return ::std::result::Result::Err(
-                format!("assertion failed: {:?} == {:?}", __a, __b),
-            );
+            return ::std::result::Result::Err(format!("assertion failed: {:?} == {:?}", __a, __b));
         }
     }};
 }
