@@ -10,7 +10,11 @@ use coupled::report::table;
 use coupled::{tune_balancer, Dataset, MachineProfile, RunConfig};
 
 fn main() {
-    let run = RunConfig::paper(Dataset::D1, bench::scale().min(0.15), 48);
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, bench::scale().min(0.15))
+        .ranks(48)
+        .build()
+        .expect("valid autotune config");
     let pilot_steps = bench::steps().min(30);
     let report = tune_balancer(
         &run,

@@ -6,18 +6,34 @@
 //! agreement.
 
 use coupled::diag::{ascii_contour, mean_relative_error, rz_slice};
-use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+use coupled::prelude::*;
 
 fn main() {
     let scale = bench::scale().min(0.15); // threaded runs are real work
-    let mut run = RunConfig::paper(Dataset::D1, scale, 4);
-    run.steps = bench::steps();
-    run.rebalance = None;
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, scale)
+        .ranks(4)
+        .steps(bench::steps())
+        .rebalance(None)
+        .build()
+        .expect("valid fig08 config");
 
     println!("running serial reference ({} steps)...", run.steps);
     let ser = run_serial(&run);
     println!("running 4-rank threaded solver...");
-    let par = run_threaded(&run);
+    // the threaded run is the designated trace target: pass
+    // `--trace-out <path>` (or set REPRO_TRACE) for a JSONL trace,
+    // and its report + metrics land next to the CSV.
+    let metrics = Registry::new();
+    let mut par_run = run.clone();
+    par_run.obs.trace = bench::trace_spec();
+    par_run.obs.metrics = Some(metrics.clone());
+    let par = run_threaded(&par_run);
+    bench::write_report_json(
+        "fig08_parallel_report.json",
+        &par,
+        Some(&metrics.snapshot()),
+    );
 
     let spec = run.sim.nozzle;
     let mesh = spec.generate();

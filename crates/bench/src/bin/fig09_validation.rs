@@ -12,7 +12,7 @@
 //! ~1/√N per bin.
 
 use coupled::diag::{mean_relative_error, rz_slice};
-use coupled::{run_serial, run_threaded, Dataset, RunConfig};
+use coupled::prelude::*;
 
 fn main() {
     let scale = bench::scale().min(0.3);
@@ -27,11 +27,24 @@ fn main() {
 
     let mut csv_rows = Vec::new();
     for &steps in &checkpoints {
-        let mut run = RunConfig::paper(Dataset::D1, scale, 4);
-        run.steps = steps.max(1);
-        run.rebalance = None;
+        // `--trace-out` traces the full-length parallel run only (the
+        // earlier checkpoints would overwrite the same file).
+        let trace = if steps == base_steps {
+            bench::trace_spec()
+        } else {
+            TraceSpec::Off
+        };
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, scale)
+            .ranks(4)
+            .steps(steps.max(1))
+            .rebalance(None)
+            .build()
+            .expect("valid fig09 config");
         let ser = run_serial(&run);
-        let par = run_threaded(&run);
+        let mut par_run = run.clone();
+        par_run.obs.trace = trace;
+        let par = run_threaded(&par_run);
 
         let spec = run.sim.nozzle;
         let mesh = spec.generate();

@@ -8,9 +8,12 @@
 //!   DESIGN.md). Larger = closer to paper resolution, slower.
 //! * `REPRO_STEPS` — DSMC steps per run (default 50; paper uses 100).
 //! * `REPRO_OUT` — directory for CSV output (default `results/`).
+//! * `REPRO_TRACE` / `--trace-out <path>` — structured JSONL trace of
+//!   the designated run (see [`trace_spec`] and DESIGN.md §11).
 
 use balance::RebalanceConfig;
 use coupled::{ClusterReport, ClusterSim, Dataset, MachineProfile, Placement, RunConfig};
+use obs::{MetricsSnapshot, TraceSpec};
 use std::path::PathBuf;
 use vmpi::Strategy;
 
@@ -48,6 +51,42 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("[csv] {}", path.display());
 }
 
+/// Trace output path: `--trace-out <path>` (or `--trace-out=<path>`)
+/// on the command line, else env `REPRO_TRACE`, else `None`.
+pub fn trace_out() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    std::env::var("REPRO_TRACE").ok().map(PathBuf::from)
+}
+
+/// The [`TraceSpec`] selected for this process: JSONL at
+/// [`trace_out`]'s path, or [`TraceSpec::Off`] when no path is given.
+/// Binaries that run several simulations attach this to one
+/// designated run (re-opening the same path would overwrite it).
+pub fn trace_spec() -> TraceSpec {
+    trace_out().map(TraceSpec::Jsonl).unwrap_or_default()
+}
+
+/// Write a versioned [`coupled::RunReport`] JSON artifact (schema
+/// [`obs::SCHEMA_VERSION`]) next to the CSVs, with an optional
+/// metrics snapshot embedded.
+pub fn write_report_json(
+    name: &str,
+    report: &coupled::RunReport,
+    metrics: Option<&MetricsSnapshot>,
+) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, format!("{}\n", report.to_json(metrics))).expect("write report json");
+    println!("[json] {}", path.display());
+}
+
 /// Configuration of one modelled cluster run.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
@@ -83,18 +122,31 @@ impl Default for Experiment {
 impl Experiment {
     /// Run the modelled cluster simulation and return its report.
     pub fn run(&self) -> ClusterReport {
-        let mut run = RunConfig::paper(self.dataset, scale(), self.ranks);
-        run.strategy = self.strategy;
-        run.rebalance = self.load_balance.then(|| RebalanceConfig {
-            t_interval: self.t_interval,
-            threshold: self.threshold,
-            use_km: self.use_km,
-            wlm: balance::WlmParams {
-                r: 2,
-                w_cell: self.w_cell,
-            },
-            ..RebalanceConfig::default()
-        });
+        self.run_with(obs::TraceSpec::Off, None)
+    }
+
+    /// Like [`Experiment::run`], with an explicit trace sink and
+    /// optional metrics registry attached to the run.
+    pub fn run_with(&self, trace: TraceSpec, metrics: Option<obs::Registry>) -> ClusterReport {
+        let mut builder = RunConfig::builder()
+            .paper(self.dataset, scale())
+            .ranks(self.ranks)
+            .strategy(self.strategy)
+            .rebalance(self.load_balance.then(|| RebalanceConfig {
+                t_interval: self.t_interval,
+                threshold: self.threshold,
+                use_km: self.use_km,
+                wlm: balance::WlmParams {
+                    r: 2,
+                    w_cell: self.w_cell,
+                },
+                ..RebalanceConfig::default()
+            }))
+            .trace(trace);
+        if let Some(reg) = metrics {
+            builder = builder.metrics(reg);
+        }
+        let run = builder.build().expect("valid experiment config");
         let mut sim = ClusterSim::new(&run, (self.profile)()).with_placement(self.placement);
         sim.run(steps())
     }

@@ -5,17 +5,17 @@ use vmpi::Strategy;
 
 fn main() {
     for lb in [false, true] {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
-        run.sim.seed = 11;
-        run.strategy = Strategy::Distributed;
-        if !lb {
-            run.rebalance = None;
-        } else {
-            run.rebalance = Some(balance::RebalanceConfig {
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(4)
+            .seed(11)
+            .strategy(Strategy::Distributed)
+            .rebalance(lb.then(|| balance::RebalanceConfig {
                 t_interval: 5,
                 ..Default::default()
-            });
-        }
+            }))
+            .build()
+            .expect("valid calibration config");
         let mut cs = ClusterSim::new(&run, MachineProfile::tianhe2());
         let rep = cs.run(20);
         println!(

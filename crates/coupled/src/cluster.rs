@@ -15,7 +15,9 @@
 //! [`ClusterSim`] wrapper around a whole-domain [`RankEngine`].
 
 use crate::config::RunConfig;
-use crate::engine::{Backend, BackendStats, NoProbe, RankEngine, StepOutcome, StepPipeline};
+use crate::engine::{
+    Backend, BackendStats, ExchangeInfo, NoProbe, RankEngine, StepComm, StepOutcome, StepPipeline,
+};
 use crate::machine::{CostModel, MachineProfile, Placement};
 use crate::report::{ReportBuilder, RunReport};
 use crate::state::{CoupledState, StepRecord};
@@ -24,7 +26,7 @@ use balance::{load_imbalance_indicator, RebalanceOutcome, Rebalancer};
 use dsmc::EXITED;
 use particles::PACKED_SIZE;
 use partition::{part_graph_kway, Graph, KwayOptions};
-use vmpi::{traffic, Strategy};
+use vmpi::{traffic, Strategy, TrafficSummary};
 
 pub use crate::report::StepTrace;
 
@@ -58,6 +60,16 @@ pub struct ModelledBackend {
     rebalance_migrated: u64,
     /// Modelled per-rank phase times of the step in flight.
     per_rank: Vec<Breakdown>,
+    /// Attribution of the exchange in flight (exact — the protocol
+    /// prediction is the modelled backend's ground truth).
+    pending_exchange: Option<ExchangeInfo>,
+    /// Protocol-predicted traffic of the step in flight.
+    step_tx: u64,
+    step_bytes: u64,
+    /// Accumulated per-step traffic = run totals for the report.
+    total_tx: u64,
+    total_bytes: u64,
+    uses_mark: [u64; 3],
 }
 
 impl ModelledBackend {
@@ -85,13 +97,20 @@ impl ModelledBackend {
             strategy_uses: [0; 3],
             rebalance_migrated: 0,
             per_rank: Vec::new(),
+            pending_exchange: None,
+            step_tx: 0,
+            step_bytes: 0,
+            total_tx: 0,
+            total_bytes: 0,
+            uses_mark: [0; 3],
         }
     }
 
     /// The strategy that carries this exchange: the configured one,
     /// or — under [`Strategy::Auto`] — the cost model's pick for this
-    /// migration matrix. Tallies the choice for the report.
-    fn resolve(&mut self, m: &[Vec<u64>]) -> Strategy {
+    /// migration matrix. Tallies the choice for the report and returns
+    /// it with its CONCRETE index.
+    fn resolve(&mut self, m: &[Vec<u64>]) -> (Strategy, usize) {
         let s = if self.strategy == Strategy::Auto {
             self.cost.pick_strategy(m)
         } else {
@@ -102,7 +121,20 @@ impl ModelledBackend {
             .position(|&c| c == s)
             .expect("resolved strategy is concrete");
         self.strategy_uses[idx] += 1;
-        s
+        (s, idx)
+    }
+
+    /// Record one carried exchange's protocol-predicted traffic for
+    /// the step trace and the pipeline's exchange events.
+    fn note_exchange(&mut self, strategy: usize, tf: &TrafficSummary) {
+        self.step_tx += tf.transactions;
+        self.step_bytes += tf.total_bytes;
+        self.pending_exchange = Some(ExchangeInfo {
+            strategy,
+            transactions: tf.transactions,
+            bytes: tf.total_bytes,
+            max_rank_msgs: tf.max_rank_msgs,
+        });
     }
 
     /// Migration byte matrix from `(old_cell, new_cell)` transitions.
@@ -179,11 +211,13 @@ impl Backend for ModelledBackend {
                     &rec.charged_transitions[sub]
                 };
                 let m = self.migration_matrix(tr);
-                let s = self.resolve(&m);
-                let t = self.cost.exchange_time(s, &traffic(s, &m));
+                let (s, idx) = self.resolve(&m);
+                let tf = traffic(s, &m);
+                let t = self.cost.exchange_time(s, &tf);
                 for bd in self.per_rank.iter_mut() {
                     bd[phase] += t;
                 }
+                self.note_exchange(idx, &tf);
             }
             // Colli_React: candidates distributed ∝ n_c(n_c−1) over
             // owned cells. (Neutral counts are stable from here to the
@@ -248,6 +282,30 @@ impl Backend for ModelledBackend {
     /// No real decomposition: the one engine owns every particle.
     fn exchange(&mut self, _eng: &mut RankEngine, _phase: Phase, _sub: usize) {}
 
+    fn take_exchange_info(&mut self) -> Option<ExchangeInfo> {
+        self.pending_exchange.take()
+    }
+
+    fn step_comm(&mut self) -> StepComm {
+        let tx = std::mem::take(&mut self.step_tx);
+        let bytes = std::mem::take(&mut self.step_bytes);
+        self.total_tx += tx;
+        self.total_bytes += bytes;
+        let mut uses = [0u64; 3];
+        for (u, (&cur, &mark)) in uses
+            .iter_mut()
+            .zip(self.strategy_uses.iter().zip(&self.uses_mark))
+        {
+            *u = cur - mark;
+        }
+        self.uses_mark = self.strategy_uses;
+        StepComm {
+            transactions: tx,
+            bytes,
+            strategy_uses: uses,
+        }
+    }
+
     fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
         node_charge
     }
@@ -310,17 +368,18 @@ impl Backend for ModelledBackend {
                         }
                     }
                     let cells_eff = (self.owner.len() as f64 * self.grid_boost) as usize;
-                    let s = self.resolve(&m);
-                    let t_reb = self
-                        .cost
-                        .rebalance_time(cells_eff, &traffic(s, &m), s, use_km);
+                    let (s, idx) = self.resolve(&m);
+                    let tf = traffic(s, &m);
+                    let t_reb = self.cost.rebalance_time(cells_eff, &tf, s, use_km);
                     for bd in self.per_rank.iter_mut() {
                         bd[Phase::Rebalance] += t_reb;
                     }
+                    self.note_exchange(idx, &tf);
                     self.owner = new_owner;
                     self.rebalance_migrated += migration_volume;
                     outcome.rebalanced = true;
                     outcome.migrated = migration_volume;
+                    outcome.remap_seconds = t_reb;
                 }
                 RebalanceOutcome::TooSoon | RebalanceOutcome::Balanced { .. } => {}
             }
@@ -350,6 +409,8 @@ impl Backend for ModelledBackend {
             strategy_uses: self.strategy_uses,
             rebalances: self.rebalancer.as_ref().map_or(0, |r| r.rebalance_count),
             rebalance_migrated: self.rebalance_migrated,
+            transactions: self.total_tx,
+            bytes: self.total_bytes,
         }
     }
 }
@@ -361,6 +422,9 @@ pub struct ClusterSim {
     pub state: CoupledState,
     backend: ModelledBackend,
     pipeline: StepPipeline,
+    /// Observability config carried from the [`RunConfig`]; honored
+    /// by [`ClusterSim::run`] exactly like the other drivers.
+    obs: crate::config::ObsConfig,
 }
 
 impl ClusterSim {
@@ -379,6 +443,7 @@ impl ClusterSim {
             state,
             backend,
             pipeline: StepPipeline::default(),
+            obs: run.obs.clone(),
         }
     }
 
@@ -410,17 +475,24 @@ impl ClusterSim {
     /// Run `steps` DSMC iterations, returning the aggregate report.
     pub fn run(&mut self, steps: usize) -> ClusterReport {
         let mut builder = ReportBuilder::new();
+        let sink = self.obs.trace.make_sink().expect("open trace sink");
+        let mut rec = obs::Recorder::new(self.obs.metrics.as_ref(), sink);
+        rec.meta(self.backend.ranks, steps);
         for _ in 0..steps {
             let idx = self.state.step_count;
+            let mut observer = obs::Tee(&mut builder, &mut rec);
             self.pipeline
-                .run_step(&mut self.state, &mut self.backend, &mut builder, idx);
+                .run_step(&mut self.state, &mut self.backend, &mut observer, idx);
         }
+        rec.finish();
         let stats = self.backend.stats();
         let mut report = builder.finish();
         report.population = self.state.particles.len();
         report.strategy_uses = stats.strategy_uses;
         report.rebalances = stats.rebalances;
         report.rebalance_migrated = stats.rebalance_migrated;
+        report.transactions = stats.transactions;
+        report.bytes = stats.bytes;
         let (neutral, _) = self.state.counts_per_cell();
         let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
         report.density_h = crate::diag::number_density(
@@ -439,22 +511,18 @@ mod tests {
     use balance::RebalanceConfig;
 
     fn run_cfg(ranks: usize, lb: bool, strategy: Strategy) -> RunConfig {
-        let mut sim = Dataset::D1.config(0.02);
-        sim.seed = 11;
-        RunConfig {
-            sim,
-            strategy,
-            rebalance: lb.then(|| RebalanceConfig {
+        RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .seed(11)
+            .strategy(strategy)
+            .rebalance(lb.then(|| RebalanceConfig {
                 t_interval: 5,
                 ..RebalanceConfig::default()
-            }),
-            ranks,
-            steps: 20,
-            work_boost: Dataset::D1.work_boost(0.02),
-            paper_cells: Some(Dataset::D1.paper_pic_cells()),
-            threads_per_rank: 1,
-            sort_every: 0,
-        }
+            }))
+            .ranks(ranks)
+            .steps(20)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

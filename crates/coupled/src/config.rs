@@ -8,6 +8,7 @@
 
 use balance::RebalanceConfig;
 use mesh::NozzleSpec;
+use obs::{Registry, TraceSpec};
 use serde::{Deserialize, Serialize};
 use vmpi::Strategy;
 
@@ -197,6 +198,41 @@ impl Dataset {
     }
 }
 
+/// Observability settings of a run (see the `obs` crate and
+/// DESIGN.md §11). The default observes nothing and is bit-identical
+/// to an unobserved run: the drivers' physics never reads either
+/// field.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Metrics registry the run taps (phase times, exchange traffic,
+    /// rebalances, kernel-pool busy time). Keep a clone to read the
+    /// snapshot after the run; `None` records no metrics.
+    pub metrics: Option<Registry>,
+    /// Where the structured trace (one event per step, exchange and
+    /// rebalance) goes. [`TraceSpec::Off`] by default.
+    pub trace: TraceSpec,
+}
+
+/// Why a [`RunConfigBuilder`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `ranks` was 0 — every run needs at least one rank.
+    ZeroRanks,
+    /// `threads_per_rank` was 0 — kernel pools need at least one lane.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRanks => write!(f, "ranks must be >= 1"),
+            ConfigError::ZeroThreads => write!(f, "threads_per_rank must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Complete experiment setup: physics + parallel strategy + balancer.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -231,30 +267,174 @@ pub struct RunConfig {
     /// particle iteration order — and hence RNG consumption — so the
     /// default is off to keep default outputs unchanged.
     pub sort_every: usize,
+    /// Observability: metrics registry + trace sink selection.
+    pub obs: ObsConfig,
 }
 
 impl RunConfig {
+    /// Validating builder — the preferred way to assemble a run:
+    /// `RunConfig::builder().ranks(8).strategy(Strategy::Auto).build()?`.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder::default()
+    }
+
+    #[deprecated(since = "0.1.0", note = "use RunConfig::builder() instead")]
     pub fn new(sim: SimConfig, ranks: usize) -> Self {
-        RunConfig {
-            sim,
-            strategy: Strategy::Distributed,
-            rebalance: Some(RebalanceConfig::default()),
-            ranks,
-            steps: 100,
-            work_boost: 1.0,
-            paper_cells: None,
-            threads_per_rank: 1,
-            sort_every: 0,
-        }
+        let mut run = RunConfigBuilder::default().build_unchecked();
+        run.sim = sim;
+        run.ranks = ranks;
+        run
     }
 
     /// Standard paper-experiment setup: dataset at `scale`, with the
-    /// matching work boost for the cost model.
+    /// matching work boost for the cost model. Equivalent to
+    /// `RunConfig::builder().paper(dataset, scale).ranks(ranks)`.
+    ///
+    /// # Panics
+    /// If `ranks == 0` (use [`RunConfig::builder`] for fallible
+    /// validation).
     pub fn paper(dataset: Dataset, scale: f64, ranks: usize) -> Self {
-        let mut run = RunConfig::new(dataset.config(scale), ranks);
-        run.work_boost = dataset.work_boost(scale);
-        run.paper_cells = Some(dataset.paper_pic_cells());
-        run
+        RunConfig::builder()
+            .paper(dataset, scale)
+            .ranks(ranks)
+            .build()
+            .expect("ranks >= 1")
+    }
+}
+
+/// Builder for [`RunConfig`] with validation at [`build`] time.
+///
+/// Defaults: [`SimConfig::default`] physics, Distributed strategy,
+/// rebalancing on with default parameters, 1 rank, 100 steps, no cost
+/// boosts, 1 thread per rank, sorting off, no observability.
+///
+/// [`build`]: RunConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    run: RunConfig,
+}
+
+impl Default for RunConfigBuilder {
+    fn default() -> Self {
+        RunConfigBuilder {
+            run: RunConfig {
+                sim: SimConfig::default(),
+                strategy: Strategy::Distributed,
+                rebalance: Some(RebalanceConfig::default()),
+                ranks: 1,
+                steps: 100,
+                work_boost: 1.0,
+                paper_cells: None,
+                threads_per_rank: 1,
+                sort_every: 0,
+                obs: ObsConfig::default(),
+            },
+        }
+    }
+}
+
+impl RunConfigBuilder {
+    /// Set the physics/numerics configuration wholesale.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.run.sim = sim;
+        self
+    }
+
+    /// Use `dataset` scaled by `scale`, with the matching cost-model
+    /// work boost and paper-scale cell count (the standard experiment
+    /// setup).
+    pub fn paper(mut self, dataset: Dataset, scale: f64) -> Self {
+        self.run.sim = dataset.config(scale);
+        self.run.work_boost = dataset.work_boost(scale);
+        self.run.paper_cells = Some(dataset.paper_pic_cells());
+        self
+    }
+
+    /// RNG seed (convenience for `sim.seed`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.run.sim.seed = seed;
+        self
+    }
+
+    /// Exchange strategy for every particle migration.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.run.strategy = strategy;
+        self
+    }
+
+    /// Dynamic load balancing settings (`None` disables).
+    pub fn rebalance(mut self, rebalance: Option<RebalanceConfig>) -> Self {
+        self.run.rebalance = rebalance;
+        self
+    }
+
+    /// Number of (virtual or threaded) ranks. Must be >= 1.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.run.ranks = ranks;
+        self
+    }
+
+    /// DSMC steps to run.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.run.steps = steps;
+        self
+    }
+
+    /// Cost-model particle work boost (see [`Dataset::work_boost`]).
+    pub fn work_boost(mut self, boost: f64) -> Self {
+        self.run.work_boost = boost;
+        self
+    }
+
+    /// Paper-scale fine (PIC) cell count for the cost model.
+    pub fn paper_cells(mut self, cells: Option<usize>) -> Self {
+        self.run.paper_cells = cells;
+        self
+    }
+
+    /// Intra-rank worker threads for the hot kernels. Must be >= 1
+    /// (1 = the bit-identical serial code path).
+    pub fn threads_per_rank(mut self, threads: usize) -> Self {
+        self.run.threads_per_rank = threads;
+        self
+    }
+
+    /// Re-sort particles into cell order every `n` DSMC steps (0 =
+    /// off). Determinism note: sorting changes particle iteration
+    /// order and hence RNG consumption, so any non-zero value changes
+    /// outputs relative to the default — statistically, not
+    /// physically.
+    pub fn sort_every(mut self, n: usize) -> Self {
+        self.run.sort_every = n;
+        self
+    }
+
+    /// Tap this metrics registry during the run.
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.run.obs.metrics = Some(registry);
+        self
+    }
+
+    /// Send the structured trace to this sink specification.
+    pub fn trace(mut self, trace: TraceSpec) -> Self {
+        self.run.obs.trace = trace;
+        self
+    }
+
+    /// Validate and produce the [`RunConfig`].
+    pub fn build(self) -> Result<RunConfig, ConfigError> {
+        if self.run.ranks == 0 {
+            return Err(ConfigError::ZeroRanks);
+        }
+        if self.run.threads_per_rank == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(self.run)
+    }
+
+    /// Escape hatch for the deprecated [`RunConfig::new`] shim.
+    fn build_unchecked(self) -> RunConfig {
+        self.run
     }
 }
 
@@ -303,5 +483,56 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.pic_per_dsmc, 2);
         assert!((c.dt_pic() - c.dt_dsmc / 2.0).abs() < 1e-20);
+    }
+
+    #[test]
+    fn builder_validates_and_matches_paper_shorthand() {
+        let built = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(3)
+            .strategy(Strategy::Auto)
+            .threads_per_rank(4)
+            .steps(12)
+            .build()
+            .unwrap();
+        let shorthand = RunConfig::paper(Dataset::D1, 0.02, 3);
+        assert_eq!(built.work_boost, shorthand.work_boost);
+        assert_eq!(built.paper_cells, shorthand.paper_cells);
+        assert_eq!(built.ranks, 3);
+        assert_eq!(built.strategy, Strategy::Auto);
+        assert_eq!(built.threads_per_rank, 4);
+        assert_eq!(built.steps, 12);
+        assert!(built.obs.metrics.is_none());
+        assert!(built.obs.trace.is_off());
+    }
+
+    #[test]
+    fn builder_rejects_zero_ranks_and_threads() {
+        assert_eq!(
+            RunConfig::builder().ranks(0).build().unwrap_err(),
+            ConfigError::ZeroRanks
+        );
+        assert_eq!(
+            RunConfig::builder()
+                .threads_per_rank(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        assert!(ConfigError::ZeroRanks.to_string().contains("ranks"));
+    }
+
+    #[test]
+    fn builder_carries_observability() {
+        let reg = Registry::new();
+        let run = RunConfig::builder()
+            .metrics(reg.clone())
+            .trace(TraceSpec::Memory(obs::MemorySink::new()))
+            .build()
+            .unwrap();
+        assert!(run.obs.metrics.is_some());
+        assert!(!run.obs.trace.is_off());
+        // RunConfig stays Clone with observability attached
+        let _copy = run.clone();
     }
 }

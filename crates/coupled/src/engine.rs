@@ -12,25 +12,29 @@
 //!   in the crate orders the phases.
 //! * [`Backend`] supplies the execution context between the physics
 //!   phases: [`SerialBackend`] (single rank, no communication, real
-//!   stopwatch), the threaded backend in [`crate::threadrun`] (real
+//!   wall clock), the threaded backend in [`crate::threadrun`] (real
 //!   `vmpi` messaging, measured timing) and the modelled backend in
 //!   [`crate::cluster`] (cost-model attribution, no real
 //!   communication).
-//! * [`Probe`] observes per-phase times and per-step traces; the
-//!   default implementation is a no-op, and
+//! * [`obs::Observer`] observes per-phase times, per-exchange
+//!   traffic, rebalances and per-step traces; the default
+//!   implementation is a no-op, and
 //!   [`crate::report::ReportBuilder`] uses it to assemble the shared
-//!   [`crate::report::RunReport`].
+//!   [`crate::report::RunReport`]. The engine-private [`Probe`] hook
+//!   is superseded by that public API; [`ProbeAdapter`] keeps legacy
+//!   probes working.
 
 use crate::config::SimConfig;
 use crate::report::StepTrace;
 use crate::state::StepRecord;
-use crate::timers::{Breakdown, Phase, Stopwatch};
+use crate::timers::{Breakdown, Phase};
 use dsmc::{
     move_particles_pooled, ChemistryModel, CollisionEvent, CollisionModel, CrossCollisionModel,
     Injector, ReactStats,
 };
 use kernels::Pool;
 use mesh::NestedMesh;
+use obs::{ExchangeEvent, Observer, RebalanceEvent, SpanTimer};
 use particles::{ParticleBuffer, SortScratch, SpeciesTable};
 use pic::{accelerate_charged_pooled, deposit_charge_pooled, ElectricField, PoissonSolver};
 use rand::rngs::StdRng;
@@ -227,8 +231,12 @@ impl RankEngine {
     /// with the serial backend (no communication, full record).
     pub fn dsmc_step(&mut self) -> StepRecord {
         let step = self.step_count;
-        let (rec, _, _) =
-            StepPipeline::default().run_step(self, &mut SerialBackend::new(), &mut NoProbe, step);
+        let (rec, _, _) = StepPipeline::default().run_step(
+            self,
+            &mut SerialBackend::new(),
+            &mut obs::NullObserver,
+            step,
+        );
         rec
     }
 
@@ -425,6 +433,42 @@ pub struct StepOutcome {
     pub rebalanced: bool,
     /// Particles migrated by the re-decomposition.
     pub migrated: u64,
+    /// Seconds spent re-decomposing (WLM + partition + KM remap +
+    /// migration) — measured for real backends, modelled for the
+    /// cluster; 0 when no rebalance happened.
+    pub remap_seconds: f64,
+}
+
+/// Traffic attribution of one particle exchange, reported by a
+/// backend for the exchange it just carried (see
+/// [`Backend::take_exchange_info`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExchangeInfo {
+    /// Concrete strategy index ([`vmpi::Strategy::CONCRETE`] order).
+    pub strategy: usize,
+    /// Messages attributed to the exchange (exact protocol prediction
+    /// for the modelled backend; a world-counter delta, best-effort,
+    /// for the threaded one).
+    pub transactions: u64,
+    /// Bytes attributed to the exchange (same provenance).
+    pub bytes: u64,
+    /// Worst per-rank message count (0 when unknown).
+    pub max_rank_msgs: u64,
+}
+
+/// Communication carried during one step, as attributed by the
+/// backend (see [`Backend::step_comm`]). Per-step values telescope:
+/// summed over a run they equal the backend's cumulative totals
+/// exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepComm {
+    /// Messages sent in the world this step.
+    pub transactions: u64,
+    /// Bytes sent in the world this step.
+    pub bytes: u64,
+    /// Exchanges carried this step per concrete strategy
+    /// ([`vmpi::Strategy::CONCRETE`] order).
+    pub strategy_uses: [u64; 3],
 }
 
 /// Cumulative backend-side counters a driver folds into its report.
@@ -437,6 +481,12 @@ pub struct BackendStats {
     pub rebalances: usize,
     /// Total particles migrated by rebalancing.
     pub rebalance_migrated: u64,
+    /// Total messages over all steps (sum of the per-step
+    /// [`StepComm::transactions`], so trace sums match exactly).
+    pub transactions: u64,
+    /// Total bytes over all steps (sum of the per-step
+    /// [`StepComm::bytes`]).
+    pub bytes: u64,
 }
 
 /// Execution context of the pipeline: where time is accounted, how
@@ -471,6 +521,22 @@ pub trait Backend {
     /// without real decomposition).
     fn exchange(&mut self, eng: &mut RankEngine, phase: Phase, sub: usize);
 
+    /// Traffic attribution of the most recent exchange, if the
+    /// backend measured or modelled one. Called by the pipeline right
+    /// after each exchange's `lap` (the modelled backend only knows
+    /// the traffic once the lap has attributed it); the returned
+    /// record is consumed.
+    fn take_exchange_info(&mut self) -> Option<ExchangeInfo> {
+        None
+    }
+
+    /// Communication attributed to the step that just ended; resets
+    /// the per-step accumulation. Backends without communication
+    /// return zeros.
+    fn step_comm(&mut self) -> StepComm {
+        StepComm::default()
+    }
+
     /// Sum the node charge across ranks (paper §IV-C reduction);
     /// identity without real decomposition.
     fn reduce_charge(&mut self, eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64>;
@@ -496,9 +562,11 @@ pub trait Backend {
     }
 }
 
-/// Observer of the pipeline: per-phase times and per-step traces.
-/// All methods default to no-ops; [`crate::report::ReportBuilder`]
-/// implements it to assemble a [`crate::report::RunReport`].
+/// Legacy observer hook of the pipeline, superseded by the public
+/// [`obs::Observer`] API (which adds per-exchange and per-rebalance
+/// signals). Existing implementations keep working through
+/// [`ProbeAdapter`]; new code should implement [`obs::Observer`]
+/// directly.
 pub trait Probe {
     /// `phase` took `seconds` this step (called once per phase per
     /// step, after the step completes).
@@ -512,10 +580,25 @@ pub trait Probe {
     }
 }
 
-/// The do-nothing probe.
-pub struct NoProbe;
+/// Adapts a legacy [`Probe`] to the [`obs::Observer`] API the
+/// pipeline drives (exchange/rebalance signals are dropped — the
+/// `Probe` trait never had them).
+#[derive(Debug, Default)]
+pub struct ProbeAdapter<P: Probe>(pub P);
 
-impl Probe for NoProbe {}
+impl<P: Probe> Observer for ProbeAdapter<P> {
+    fn phase(&mut self, phase: Phase, seconds: f64) {
+        self.0.phase(phase, seconds);
+    }
+
+    fn step(&mut self, index: usize, trace: &StepTrace) {
+        self.0.step(index, trace);
+    }
+}
+
+/// The do-nothing observer (historical name; now an alias of
+/// [`obs::NullObserver`], which the pipeline accepts directly).
+pub use obs::NullObserver as NoProbe;
 
 /// The coupled timestep's phase sequence (paper Fig. 1), defined
 /// exactly once. Every driver — `run_serial`, `run_threaded`,
@@ -528,14 +611,36 @@ pub struct StepPipeline {
 }
 
 impl StepPipeline {
+    /// Emit the exchange the backend just attributed (if any) to the
+    /// observer.
+    fn emit_exchange<B: Backend, O: Observer>(
+        be: &mut B,
+        observer: &mut O,
+        step: usize,
+        phase: Phase,
+        sub: usize,
+    ) {
+        if let Some(info) = be.take_exchange_info() {
+            observer.exchange(&ExchangeEvent {
+                step,
+                phase,
+                sub,
+                strategy: info.strategy,
+                transactions: info.transactions,
+                bytes: info.bytes,
+                max_rank_msgs: info.max_rank_msgs,
+            });
+        }
+    }
+
     /// Execute one coupled DSMC/PIC timestep of `eng` under `be`,
-    /// reporting to `probe`. Returns the work record, the step trace
-    /// and the per-phase time breakdown.
-    pub fn run_step<B: Backend, P: Probe>(
+    /// reporting to `observer`. Returns the work record, the step
+    /// trace and the per-phase time breakdown.
+    pub fn run_step<B: Backend, O: Observer>(
         &self,
         eng: &mut RankEngine,
         be: &mut B,
-        probe: &mut P,
+        observer: &mut O,
         step_index: usize,
     ) -> (StepRecord, StepTrace, Breakdown) {
         let mut rec = StepRecord::default();
@@ -556,6 +661,7 @@ impl StepPipeline {
         be.lap(Phase::DsmcMove, 0, eng, &rec, &mut bd);
         be.exchange(eng, Phase::DsmcExchange, 0);
         be.lap(Phase::DsmcExchange, 0, eng, &rec, &mut bd);
+        Self::emit_exchange(be, observer, step_index, Phase::DsmcExchange, 0);
 
         // --- Colli_React ----------------------------------------------
         eng.colli_react(&mut rec);
@@ -567,6 +673,7 @@ impl StepPipeline {
             be.lap(Phase::PicMove, sub, eng, &rec, &mut bd);
             be.exchange(eng, Phase::PicExchange, sub);
             be.lap(Phase::PicExchange, sub, eng, &rec, &mut bd);
+            Self::emit_exchange(be, observer, step_index, Phase::PicExchange, sub);
             let local = eng.deposit();
             let node_charge = be.reduce_charge(eng, local);
             eng.field_solve(&node_charge, &mut rec);
@@ -581,35 +688,88 @@ impl StepPipeline {
         // --- Rebalance (Algorithm 1) ----------------------------------
         let outcome = be.rebalance(eng, &bd, &rec);
         be.lap(Phase::Rebalance, 0, eng, &rec, &mut bd);
+        // rebalance migration is also an exchange
+        Self::emit_exchange(be, observer, step_index, Phase::Rebalance, 0);
+        if outcome.rebalanced {
+            observer.rebalance(&RebalanceEvent {
+                step: step_index,
+                lii: outcome.lii,
+                migrated: outcome.migrated,
+                remap_seconds: outcome.remap_seconds,
+            });
+        }
 
         be.end_step(eng, &mut bd);
         eng.step_count += 1;
         rec.population = eng.particles.len();
 
+        let comm = be.step_comm();
         let trace = StepTrace {
             step_time: bd.total(),
             lii: outcome.lii,
             share: be.share(eng),
             rebalanced: outcome.rebalanced,
+            transactions: comm.transactions,
+            bytes: comm.bytes,
+            strategy_uses: comm.strategy_uses,
         };
         for p in Phase::ALL {
-            probe.phase(p, bd[p]);
+            observer.phase(p, bd[p]);
         }
-        probe.step(step_index, &trace);
+        observer.step(step_index, &trace);
         (rec, trace, bd)
     }
 }
 
+/// The one wall-clock phase-attribution path shared by the serial and
+/// threaded backends: a flat [`SpanTimer`] whose gap-free laps are
+/// charged to the closing phase, so every lap-filled breakdown sums
+/// to exactly the origin-to-last-lap wall time.
+#[derive(Debug)]
+pub struct WallClock {
+    timer: SpanTimer,
+}
+
+impl WallClock {
+    pub fn start() -> Self {
+        WallClock {
+            timer: SpanTimer::start(),
+        }
+    }
+
+    /// Begin a step: discard time since the last lap (inter-step gaps
+    /// belong to no phase).
+    pub fn begin_step(&mut self) {
+        self.timer.lap();
+    }
+
+    /// Charge the time since the previous lap to `bd[phase]`.
+    pub fn lap(&mut self, bd: &mut Breakdown, phase: Phase) {
+        bd[phase] += self.timer.lap();
+    }
+
+    /// Seconds since the previous lap, without restarting it.
+    pub fn elapsed(&self) -> f64 {
+        self.timer.elapsed()
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::start()
+    }
+}
+
 /// Single-rank backend: no communication, full work record, real
-/// stopwatch timing.
+/// wall-clock timing through the shared [`WallClock`].
 pub struct SerialBackend {
-    sw: Stopwatch,
+    clock: WallClock,
 }
 
 impl SerialBackend {
     pub fn new() -> Self {
         SerialBackend {
-            sw: Stopwatch::start(),
+            clock: WallClock::start(),
         }
     }
 }
@@ -626,7 +786,7 @@ impl Backend for SerialBackend {
     }
 
     fn begin_step(&mut self, _eng: &RankEngine) {
-        self.sw = Stopwatch::start();
+        self.clock.begin_step();
     }
 
     fn lap(
@@ -637,7 +797,7 @@ impl Backend for SerialBackend {
         _rec: &StepRecord,
         bd: &mut Breakdown,
     ) {
-        self.sw.lap(bd, phase);
+        self.clock.lap(bd, phase);
     }
 
     fn exchange(&mut self, _eng: &mut RankEngine, _phase: Phase, _sub: usize) {}
@@ -700,7 +860,8 @@ mod tests {
     }
 
     #[test]
-    fn probe_sees_every_phase_and_step() {
+    fn legacy_probe_sees_every_phase_and_step_through_adapter() {
+        #[derive(Default)]
         struct Counting {
             phases: usize,
             steps: usize,
@@ -721,16 +882,24 @@ mod tests {
         cfg.seed = 7;
         let mut eng = RankEngine::new(cfg);
         let mut be = SerialBackend::new();
-        let mut probe = Counting {
-            phases: 0,
-            steps: 0,
-            time: 0.0,
-        };
+        let mut probe = ProbeAdapter(Counting::default());
         let pipeline = StepPipeline::default();
         for step in 0..3 {
             pipeline.run_step(&mut eng, &mut be, &mut probe, step);
         }
-        assert_eq!(probe.steps, 3);
-        assert_eq!(probe.phases, 3 * Phase::ALL.len());
+        assert_eq!(probe.0.steps, 3);
+        assert_eq!(probe.0.phases, 3 * Phase::ALL.len());
+    }
+
+    #[test]
+    fn serial_step_comm_is_zero() {
+        let mut cfg = Dataset::D1.config(0.02);
+        cfg.seed = 7;
+        let mut eng = RankEngine::new(cfg);
+        let mut be = SerialBackend::new();
+        let (_, trace, _) = StepPipeline::default().run_step(&mut eng, &mut be, &mut NoProbe, 0);
+        assert_eq!(trace.transactions, 0);
+        assert_eq!(trace.bytes, 0);
+        assert_eq!(trace.strategy_uses, [0; 3]);
     }
 }

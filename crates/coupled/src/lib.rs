@@ -1,4 +1,10 @@
 //! The coupled DSMC/PIC solver and experiment rig (paper §III, §VI).
+//!
+//! Observability (metrics registry, hierarchical span timing,
+//! structured trace sinks) lives in the `obs` crate; every driver
+//! here feeds the same [`obs::Observer`] signals through the one
+//! [`StepPipeline`]. See DESIGN.md §11 and [`prelude`] for the
+//! recommended imports.
 
 pub mod checkpoint;
 pub mod cluster;
@@ -12,18 +18,47 @@ pub mod threadrun;
 pub mod timers;
 pub mod tune;
 
+/// One-stop imports for configuring runs, driving them, and consuming
+/// their reports and traces:
+///
+/// ```
+/// use coupled::prelude::*;
+///
+/// let run = RunConfig::builder()
+///     .paper(Dataset::D1, 0.02)
+///     .ranks(2)
+///     .steps(2)
+///     .build()
+///     .unwrap();
+/// let report: RunReport = run_threaded(&run);
+/// assert_eq!(report.trace.len(), 2);
+/// ```
+pub mod prelude {
+    pub use crate::cluster::ClusterSim;
+    pub use crate::config::{
+        ConfigError, Dataset, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
+    };
+    pub use crate::machine::MachineProfile;
+    pub use crate::report::{ReportBuilder, RunReport, StepTrace};
+    pub use crate::threadrun::{run_serial, run_threaded};
+    pub use obs::{
+        MemorySink, MetricsSnapshot, Observer, Registry, TraceEvent, TraceSpec, SCHEMA_VERSION,
+    };
+    pub use vmpi::Strategy;
+}
+
 pub use checkpoint::{checkpoint, restore, CheckpointError};
 pub use cluster::{ClusterReport, ClusterSim, ModelledBackend};
-pub use config::{Dataset, RunConfig, SimConfig};
+pub use config::{ConfigError, Dataset, ObsConfig, RunConfig, RunConfigBuilder, SimConfig};
 pub use engine::{
-    Backend, BackendStats, ExchangeScratch, NoProbe, Probe, RankEngine, SerialBackend, StepOutcome,
-    StepPipeline,
+    Backend, BackendStats, ExchangeInfo, ExchangeScratch, NoProbe, Probe, ProbeAdapter, RankEngine,
+    SerialBackend, StepComm, StepOutcome, StepPipeline, WallClock,
 };
 pub use machine::{CostModel, MachineProfile, Placement};
 pub use report::{ReportBuilder, RunReport, StepTrace};
 pub use state::{CoupledState, StepRecord};
 pub use threadrun::{run_serial, run_threaded, ThreadedBackend, ThreadedRunResult};
-pub use timers::{Breakdown, Phase, Stopwatch};
+pub use timers::{Breakdown, BreakdownExt, Phase};
 pub use tune::{
     tune_balancer, tune_strategy, StrategyPoint, StrategyTuneReport, TunePoint, TuneReport,
 };

@@ -2,23 +2,12 @@
 //! rendering for the experiment binaries (so every bench prints rows
 //! in the same layout the paper's tables use).
 
-use crate::engine::Probe;
 use crate::timers::{Breakdown, Phase};
+use obs::json::{obj, Json};
+use obs::Observer;
 use std::fmt::Write as _;
 
-/// Per-step scalar history of a run.
-#[derive(Debug, Clone, Default)]
-pub struct StepTrace {
-    /// Wall time of this step — measured for the serial/threaded
-    /// backends, modelled (max over ranks per phase) for the cluster.
-    pub step_time: f64,
-    /// Load-imbalance indicator measured this step.
-    pub lii: f64,
-    /// Particle share per rank (fraction of the population).
-    pub share: Vec<f64>,
-    /// Whether a rebalance happened this step.
-    pub rebalanced: bool,
-}
+pub use obs::StepTrace;
 
 /// Unified result of a coupled run. The serial, threaded and
 /// modelled-cluster drivers all return this one type (the old
@@ -36,9 +25,14 @@ pub struct RunReport {
     /// Accumulated per-phase times (rank 0's measurement for the
     /// threaded backend; max over ranks per step for the cluster).
     pub breakdown: Breakdown,
-    /// Total messages sent in the world (0 without real comm).
+    /// Total messages sent in the world during the stepped run —
+    /// measured for the threaded backend, protocol-predicted for the
+    /// modelled one, 0 for serial. Always equals the sum of the
+    /// per-step [`StepTrace::transactions`] exactly (end-of-run
+    /// diagnostics collectives are not counted).
     pub transactions: u64,
-    /// Total bytes sent in the world (0 without real comm).
+    /// Total bytes sent in the world during the stepped run (same
+    /// provenance and exact-sum property as `transactions`).
     pub bytes: u64,
     /// Number of rebalances performed.
     pub rebalances: usize,
@@ -53,8 +47,49 @@ pub struct RunReport {
     pub trace: Vec<StepTrace>,
 }
 
-/// A [`Probe`] that accumulates phase times and step traces into a
-/// [`RunReport`]; the driver fills in the end-of-run fields
+impl RunReport {
+    /// Versioned JSON export of the whole report (schema version
+    /// [`obs::SCHEMA_VERSION`]); pass a registry snapshot to embed
+    /// the run's metrics under a `"metrics"` key.
+    pub fn to_json(&self, metrics: Option<&obs::MetricsSnapshot>) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::U64(obs::SCHEMA_VERSION as u64)),
+            ("population", Json::U64(self.population as u64)),
+            ("total_time", Json::Num(self.total_time)),
+            (
+                "breakdown",
+                obj(Phase::ALL
+                    .iter()
+                    .map(|&p| (p.name(), Json::Num(self.breakdown[p])))
+                    .collect()),
+            ),
+            ("transactions", Json::U64(self.transactions)),
+            ("bytes", Json::U64(self.bytes)),
+            ("rebalances", Json::U64(self.rebalances as u64)),
+            ("rebalance_migrated", Json::U64(self.rebalance_migrated)),
+            (
+                "strategy_uses",
+                obj(obs::STRATEGY_NAMES
+                    .iter()
+                    .zip(self.strategy_uses)
+                    .map(|(&n, u)| (n, Json::U64(u)))
+                    .collect()),
+            ),
+            ("steps", Json::U64(self.trace.len() as u64)),
+            (
+                "density_h",
+                Json::Arr(self.density_h.iter().map(|&d| Json::Num(d)).collect()),
+            ),
+        ];
+        if let Some(snap) = metrics {
+            fields.push(("metrics", snap.to_json()));
+        }
+        obj(fields)
+    }
+}
+
+/// An [`Observer`] that accumulates phase times and step traces into
+/// a [`RunReport`]; the driver fills in the end-of-run fields
 /// (diagnostics, traffic, backend counters) and calls
 /// [`ReportBuilder::finish`].
 #[derive(Debug, Default)]
@@ -72,7 +107,7 @@ impl ReportBuilder {
     }
 }
 
-impl Probe for ReportBuilder {
+impl Observer for ReportBuilder {
     fn phase(&mut self, phase: Phase, seconds: f64) {
         self.report.breakdown[phase] += seconds;
         self.report.total_time += seconds;
@@ -169,5 +204,44 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_parseable() {
+        let mut report = RunReport {
+            population: 123,
+            transactions: 45,
+            bytes: 6789,
+            strategy_uses: [1, 2, 3],
+            density_h: vec![0.5, 1.5],
+            ..RunReport::default()
+        };
+        report.breakdown[Phase::PoissonSolve] = 2.0;
+        let reg = obs::Registry::new();
+        reg.counter("engine.steps").add(4);
+        let text = report.to_json(Some(&reg.snapshot())).to_string();
+        let v = obs::json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(obs::SCHEMA_VERSION as u64)
+        );
+        assert_eq!(v.get("transactions").unwrap().as_u64(), Some(45));
+        assert_eq!(
+            v.get("breakdown")
+                .unwrap()
+                .get("Poisson_Solve")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("strategy_uses")
+                .unwrap()
+                .get("Sparse")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert_eq!(v.get("metrics").unwrap().as_array().unwrap().len(), 1);
     }
 }

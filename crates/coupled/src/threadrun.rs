@@ -10,8 +10,10 @@
 //!
 //! The step itself is the one [`StepPipeline`]; this module only
 //! supplies [`ThreadedBackend`] — real `vmpi` communication plus
-//! measured [`crate::timers::Stopwatch`] timing — and the run
-//! harness around it.
+//! measured [`crate::engine::WallClock`] timing — and the run
+//! harness around it. Rank 0 additionally drives an [`obs::Recorder`]
+//! (metrics registry + trace sink) when the run's
+//! [`crate::config::ObsConfig`] asks for one.
 //!
 //! Determinism note: each rank owns an independent RNG stream, so a
 //! k-rank run is statistically — not bitwise — equivalent to the
@@ -20,15 +22,17 @@
 
 use crate::config::RunConfig;
 use crate::engine::{
-    Backend, BackendStats, ExchangeScratch, RankEngine, SerialBackend, StepOutcome, StepPipeline,
+    Backend, BackendStats, ExchangeInfo, ExchangeScratch, RankEngine, SerialBackend, StepComm,
+    StepOutcome, StepPipeline, WallClock,
 };
 use crate::machine::{CostModel, MachineProfile};
 use crate::report::{ReportBuilder, RunReport};
 use crate::state::StepRecord;
-use crate::timers::{Breakdown, Phase, Stopwatch};
+use crate::timers::{Breakdown, Phase};
 use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
 use dsmc::Injector;
 use mesh::NestedMesh;
+use obs::{Recorder, Tee};
 use particles::{pack_index, unpack_all, ParticleBuffer, SpeciesTable};
 use std::sync::Arc;
 use vmpi::collectives::{
@@ -160,17 +164,19 @@ fn migrate<C: Comm>(
     strategy
 }
 
-/// Tally one resolved exchange into the CONCRETE-ordered counters.
-fn tally(uses: &mut [u64; 3], s: Strategy) {
+/// Tally one resolved exchange into the CONCRETE-ordered counters,
+/// returning the concrete index.
+fn tally(uses: &mut [u64; 3], s: Strategy) -> usize {
     let idx = Strategy::CONCRETE
         .iter()
         .position(|&c| c == s)
         .expect("resolved strategy is concrete");
     uses[idx] += 1;
+    idx
 }
 
 /// Real-communication backend: `vmpi` collectives between the phases,
-/// measured [`Stopwatch`] timing, measured-lii rebalancing
+/// measured [`WallClock`] timing, measured-lii rebalancing
 /// (Algorithm 1).
 pub struct ThreadedBackend<'a, C: Comm> {
     comm: &'a C,
@@ -184,12 +190,22 @@ pub struct ThreadedBackend<'a, C: Comm> {
     xadj: &'a [u32],
     adjncy: &'a [u32],
     rebalancer: Option<Rebalancer>,
-    sw: Stopwatch,
+    clock: WallClock,
     strategy_uses: [u64; 3],
     rebalance_migrated: u64,
     /// Per-rank populations from the Reindex allgather (reused for
     /// the step trace's share).
     pops: Vec<u64>,
+    /// World counter values at the last step boundary (the per-step
+    /// deltas telescope, so trace sums equal the run totals exactly).
+    comm_mark: (u64, u64),
+    uses_mark: [u64; 3],
+    /// Accumulated per-step deltas = run totals for the report.
+    total_tx: u64,
+    total_bytes: u64,
+    /// Attribution of the exchange in flight, for the pipeline's
+    /// exchange events.
+    pending_exchange: Option<ExchangeInfo>,
 }
 
 impl<'a, C: Comm> ThreadedBackend<'a, C> {
@@ -208,14 +224,24 @@ impl<'a, C: Comm> ThreadedBackend<'a, C> {
             xadj,
             adjncy,
             rebalancer: run.rebalance.map(Rebalancer::new),
-            sw: Stopwatch::start(),
+            clock: WallClock::start(),
             strategy_uses: [0; 3],
             rebalance_migrated: 0,
             pops: Vec::new(),
+            comm_mark: (0, 0),
+            uses_mark: [0; 3],
+            total_tx: 0,
+            total_bytes: 0,
+            pending_exchange: None,
         }
     }
 
+    /// Carry one migration and record its attribution: the strategy
+    /// index plus the world-counter delta observed around it. The
+    /// delta is best-effort per exchange (other ranks may be
+    /// mid-flight); per-*step* deltas are exact.
     fn migrate_and_tally(&mut self, eng: &mut RankEngine) {
+        let before = (self.comm.stats().transactions(), self.comm.stats().bytes());
         let s = migrate(
             self.comm,
             self.strategy,
@@ -224,13 +250,19 @@ impl<'a, C: Comm> ThreadedBackend<'a, C> {
             &self.owner,
             &mut eng.exch,
         );
-        tally(&mut self.strategy_uses, s);
+        let idx = tally(&mut self.strategy_uses, s);
+        self.pending_exchange = Some(ExchangeInfo {
+            strategy: idx,
+            transactions: self.comm.stats().transactions().saturating_sub(before.0),
+            bytes: self.comm.stats().bytes().saturating_sub(before.1),
+            max_rank_msgs: 0,
+        });
     }
 }
 
 impl<C: Comm> Backend for ThreadedBackend<'_, C> {
     fn begin_step(&mut self, _eng: &RankEngine) {
-        self.sw = Stopwatch::start();
+        self.clock.begin_step();
     }
 
     fn lap(
@@ -241,11 +273,39 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
         _rec: &StepRecord,
         bd: &mut Breakdown,
     ) {
-        self.sw.lap(bd, phase);
+        self.clock.lap(bd, phase);
     }
 
     fn exchange(&mut self, eng: &mut RankEngine, _phase: Phase, _sub: usize) {
         self.migrate_and_tally(eng);
+    }
+
+    fn take_exchange_info(&mut self) -> Option<ExchangeInfo> {
+        self.pending_exchange.take()
+    }
+
+    fn step_comm(&mut self) -> StepComm {
+        let now = (self.comm.stats().transactions(), self.comm.stats().bytes());
+        let delta = (
+            now.0.saturating_sub(self.comm_mark.0),
+            now.1.saturating_sub(self.comm_mark.1),
+        );
+        self.comm_mark = now;
+        self.total_tx += delta.0;
+        self.total_bytes += delta.1;
+        let mut uses = [0u64; 3];
+        for (u, (&cur, &mark)) in uses
+            .iter_mut()
+            .zip(self.strategy_uses.iter().zip(&self.uses_mark))
+        {
+            *u = cur - mark;
+        }
+        self.uses_mark = self.strategy_uses;
+        StepComm {
+            transactions: delta.0,
+            bytes: delta.1,
+            strategy_uses: uses,
+        }
     }
 
     fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
@@ -299,6 +359,7 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             // every rank runs the (deterministic) algorithm on the
             // same inputs => identical new ownership everywhere
             let rb = self.rebalancer.as_mut().expect("checked above");
+            let remap_started = std::time::Instant::now();
             if let RebalanceOutcome::Remapped {
                 new_owner,
                 migration_volume,
@@ -320,6 +381,7 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
                 self.rebalance_migrated += migration_volume;
                 outcome.rebalanced = true;
                 outcome.migrated = migration_volume;
+                outcome.remap_seconds = remap_started.elapsed().as_secs_f64();
             }
         }
         outcome
@@ -337,6 +399,8 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             strategy_uses: self.strategy_uses,
             rebalances: self.rebalancer.as_ref().map_or(0, |r| r.rebalance_count),
             rebalance_migrated: self.rebalance_migrated,
+            transactions: self.total_tx,
+            bytes: self.total_bytes,
         }
     }
 }
@@ -368,8 +432,42 @@ fn rank_main(
         sort_every: run.sort_every,
     };
     let mut builder = ReportBuilder::new();
+    // Rank 0 additionally drives the run's observability: one
+    // Recorder taps the shared metrics registry and streams events to
+    // the configured trace sink. Other ranks observe nothing.
+    let mut recorder = if comm.rank() == 0 {
+        let sink = run.obs.trace.make_sink().expect("open trace sink");
+        let mut rec = Recorder::new(run.obs.metrics.as_ref(), sink);
+        rec.meta(run.ranks, run.steps);
+        Some(rec)
+    } else {
+        None
+    };
     for step in 0..run.steps {
-        pipeline.run_step(&mut eng, &mut be, &mut builder, step);
+        match recorder.as_mut() {
+            Some(rec) => {
+                let mut obs = Tee(&mut builder, rec);
+                pipeline.run_step(&mut eng, &mut be, &mut obs, step);
+            }
+            None => {
+                pipeline.run_step(&mut eng, &mut be, &mut builder, step);
+            }
+        }
+    }
+    if let Some(rec) = recorder.as_mut() {
+        rec.finish();
+    }
+    // Every rank exports its kernel-pool busy time (the registry is
+    // shared across the rank threads; names are rank-qualified).
+    if let Some(reg) = &run.obs.metrics {
+        for (w, b) in eng.pool.busy_seconds().iter().enumerate() {
+            reg.gauge(&format!(
+                "kernels.rank{}.worker{}.busy_seconds",
+                comm.rank(),
+                w
+            ))
+            .set(*b);
+        }
     }
 
     // --- final diagnostics: global H density per coarse cell ---------
@@ -388,8 +486,11 @@ fn rank_main(
     report.density_h =
         crate::diag::number_density(&counts, &eng.nm.coarse.volumes, species.get(h_id).weight);
     report.population = pops.iter().sum::<u64>() as usize;
-    report.transactions = comm.stats().transactions();
-    report.bytes = comm.stats().bytes();
+    // Backend-accumulated per-step totals, NOT `comm.stats()` read
+    // here: the diagnostics collectives above already bumped the raw
+    // counters, and the report promises trace sums == totals exactly.
+    report.transactions = stats.transactions;
+    report.bytes = stats.bytes;
     report.rebalances = stats.rebalances;
     report.rebalance_migrated = stats.rebalance_migrated;
     report.strategy_uses = stats.strategy_uses;
@@ -407,8 +508,19 @@ pub fn run_serial(run: &RunConfig) -> RunReport {
         sort_every: run.sort_every,
     };
     let mut builder = ReportBuilder::new();
+    let sink = run.obs.trace.make_sink().expect("open trace sink");
+    let mut rec = Recorder::new(run.obs.metrics.as_ref(), sink);
+    rec.meta(1, run.steps);
     for step in 0..run.steps {
-        pipeline.run_step(&mut eng, &mut be, &mut builder, step);
+        let mut obs = Tee(&mut builder, &mut rec);
+        pipeline.run_step(&mut eng, &mut be, &mut obs, step);
+    }
+    rec.finish();
+    if let Some(reg) = &run.obs.metrics {
+        for (w, b) in eng.pool.busy_seconds().iter().enumerate() {
+            reg.gauge(&format!("kernels.rank0.worker{w}.busy_seconds"))
+                .set(*b);
+        }
     }
     let (neutral, _) = eng.counts_per_cell();
     let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
@@ -429,18 +541,18 @@ mod tests {
     use vmpi::Strategy;
 
     fn quick_run(ranks: usize, strategy: Strategy, lb: bool) -> RunReport {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, ranks);
-        run.sim.seed = 5;
-        run.steps = 12;
-        run.strategy = strategy;
-        if !lb {
-            run.rebalance = None;
-        } else {
-            run.rebalance = Some(balance::RebalanceConfig {
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(ranks)
+            .seed(5)
+            .steps(12)
+            .strategy(strategy)
+            .rebalance(lb.then(|| balance::RebalanceConfig {
                 t_interval: 4,
                 ..Default::default()
-            });
-        }
+            }))
+            .build()
+            .expect("valid test config");
         run_threaded(&run)
     }
 
@@ -464,10 +576,14 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_density() {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
-        run.sim.seed = 5;
-        run.steps = 16;
-        run.rebalance = None;
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(4)
+            .seed(5)
+            .steps(16)
+            .rebalance(None)
+            .build()
+            .expect("valid test config");
         let par = run_threaded(&run);
         let ser = run_serial(&run);
         // total inventory within statistical scatter
@@ -525,10 +641,14 @@ mod tests {
             assert_eq!(t.share.len(), 3);
             assert!((t.share.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         }
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 1);
-        run.sim.seed = 5;
-        run.steps = 4;
-        run.rebalance = None;
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(1)
+            .seed(5)
+            .steps(4)
+            .rebalance(None)
+            .build()
+            .expect("valid test config");
         let s = run_serial(&run);
         assert_eq!(s.trace.len(), 4);
         assert!(s.breakdown.total() > 0.0, "serial breakdown now measured");

@@ -1,96 +1,26 @@
 //! Per-phase time accounting, mirroring the breakdown the paper
 //! reports in Table IV.
+//!
+//! The types themselves — [`Phase`] and [`Breakdown`] — now live in
+//! the `obs` crate so observers, sinks and exporters share one phase
+//! vocabulary without depending on the solver; this module re-exports
+//! them under their historical paths and adds the solver-side
+//! [`BreakdownExt`] conversion into the balance crate's rank times.
+//! The old ad-hoc `Stopwatch` is gone: wall-clock phase attribution
+//! goes through [`obs::SpanTimer`] (see
+//! [`crate::engine::WallClock`]).
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::ops::{Add, AddAssign, Index, IndexMut};
+pub use obs::{Breakdown, Phase};
 
-/// The solver phases of Fig. 1 that we time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Phase {
-    Inject,
-    DsmcMove,
-    DsmcExchange,
-    ColliReact,
-    PicMove,
-    PicExchange,
-    PoissonSolve,
-    Reindex,
-    Rebalance,
-}
-
-impl Phase {
-    /// All phases, in the paper's reporting order.
-    pub const ALL: [Phase; 9] = [
-        Phase::DsmcMove,
-        Phase::DsmcExchange,
-        Phase::Inject,
-        Phase::PicMove,
-        Phase::PicExchange,
-        Phase::PoissonSolve,
-        Phase::Reindex,
-        Phase::ColliReact,
-        Phase::Rebalance,
-    ];
-
-    /// Display name matching the paper's tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::Inject => "Inject",
-            Phase::DsmcMove => "DSMC_Move",
-            Phase::DsmcExchange => "DSMC_Exchange",
-            Phase::ColliReact => "Colli_React",
-            Phase::PicMove => "PIC_Move",
-            Phase::PicExchange => "PIC_Exchange",
-            Phase::PoissonSolve => "Poisson_Solve",
-            Phase::Reindex => "Reindex",
-            Phase::Rebalance => "Rebalance",
-        }
-    }
-
-    fn idx(self) -> usize {
-        match self {
-            Phase::Inject => 0,
-            Phase::DsmcMove => 1,
-            Phase::DsmcExchange => 2,
-            Phase::ColliReact => 3,
-            Phase::PicMove => 4,
-            Phase::PicExchange => 5,
-            Phase::PoissonSolve => 6,
-            Phase::Reindex => 7,
-            Phase::Rebalance => 8,
-        }
-    }
-}
-
-/// Seconds per phase.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct Breakdown {
-    t: [f64; 9],
-}
-
-impl Breakdown {
-    pub fn new() -> Self {
-        Breakdown::default()
-    }
-
-    /// Total time across all phases.
-    pub fn total(&self) -> f64 {
-        self.t.iter().sum()
-    }
-
-    /// Time in the two exchange phases (the `pm` term of eq. 6).
-    pub fn migration(&self) -> f64 {
-        self[Phase::DsmcExchange] + self[Phase::PicExchange]
-    }
-
-    /// The `poi` term of eq. 6.
-    pub fn poisson(&self) -> f64 {
-        self[Phase::PoissonSolve]
-    }
-
+/// Solver-side extensions of [`Breakdown`] (defined here because
+/// `obs` cannot depend on the `balance` crate).
+pub trait BreakdownExt {
     /// Convert to the balance crate's [`balance::RankTimes`].
-    pub fn rank_times(&self) -> balance::RankTimes {
+    fn rank_times(&self) -> balance::RankTimes;
+}
+
+impl BreakdownExt for Breakdown {
+    fn rank_times(&self) -> balance::RankTimes {
         balance::RankTimes {
             total: self.total(),
             migration: self.migration(),
@@ -99,110 +29,9 @@ impl Breakdown {
     }
 }
 
-impl Index<Phase> for Breakdown {
-    type Output = f64;
-    fn index(&self, p: Phase) -> &f64 {
-        &self.t[p.idx()]
-    }
-}
-
-impl IndexMut<Phase> for Breakdown {
-    fn index_mut(&mut self, p: Phase) -> &mut f64 {
-        &mut self.t[p.idx()]
-    }
-}
-
-impl Add for Breakdown {
-    type Output = Breakdown;
-    fn add(self, o: Breakdown) -> Breakdown {
-        let mut out = self;
-        out += o;
-        out
-    }
-}
-
-impl AddAssign for Breakdown {
-    fn add_assign(&mut self, o: Breakdown) {
-        for (a, b) in self.t.iter_mut().zip(o.t) {
-            *a += b;
-        }
-    }
-}
-
-impl fmt::Display for Breakdown {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for p in Phase::ALL {
-            writeln!(f, "{:>14}: {:>10.3} s", p.name(), self[p])?;
-        }
-        writeln!(f, "{:>14}: {:>10.3} s", "TOTAL", self.total())
-    }
-}
-
-/// Wall-clock stopwatch for real (threaded / serial) runs.
-///
-/// `lap` reads the clock exactly **once** and reuses that instant as
-/// the start of the next lap, so consecutive laps tile the timeline
-/// with no gaps: the phase times of a breakdown filled solely by laps
-/// sum to exactly the origin-to-last-lap wall time.
-#[derive(Debug)]
-pub struct Stopwatch {
-    origin: std::time::Instant,
-    start: std::time::Instant,
-}
-
-impl Stopwatch {
-    pub fn start() -> Self {
-        let now = std::time::Instant::now();
-        Stopwatch {
-            origin: now,
-            start: now,
-        }
-    }
-
-    /// Elapsed seconds since the last lap (or construction).
-    pub fn elapsed(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
-    }
-
-    /// Elapsed seconds since construction.
-    pub fn since_origin(&self) -> f64 {
-        self.origin.elapsed().as_secs_f64()
-    }
-
-    /// Add the elapsed time to `bd[phase]` and restart, using a
-    /// single clock read for both.
-    pub fn lap(&mut self, bd: &mut Breakdown, phase: Phase) {
-        let now = std::time::Instant::now();
-        bd[phase] += (now - self.start).as_secs_f64();
-        self.start = now;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn index_and_total() {
-        let mut b = Breakdown::new();
-        b[Phase::Inject] = 1.5;
-        b[Phase::PoissonSolve] = 2.0;
-        assert_eq!(b[Phase::Inject], 1.5);
-        assert!((b.total() - 3.5).abs() < 1e-15);
-        assert_eq!(b.poisson(), 2.0);
-    }
-
-    #[test]
-    fn add_merges_phases() {
-        let mut a = Breakdown::new();
-        a[Phase::DsmcMove] = 1.0;
-        let mut b = Breakdown::new();
-        b[Phase::DsmcMove] = 2.0;
-        b[Phase::PicExchange] = 0.5;
-        let c = a + b;
-        assert_eq!(c[Phase::DsmcMove], 3.0);
-        assert_eq!(c.migration(), 0.5);
-    }
 
     #[test]
     fn rank_times_conversion() {
@@ -216,49 +45,5 @@ mod tests {
         assert_eq!(rt.migration, 1.5);
         assert_eq!(rt.poisson, 2.0);
         assert_eq!(rt.adjusted(), 4.0);
-    }
-
-    #[test]
-    fn all_phases_have_unique_indices() {
-        let mut seen = [false; 9];
-        for p in Phase::ALL {
-            assert!(!seen[p.idx()], "duplicate index for {p:?}");
-            seen[p.idx()] = true;
-        }
-        assert!(seen.iter().all(|&s| s));
-    }
-
-    #[test]
-    fn stopwatch_measures_time() {
-        let mut sw = Stopwatch::start();
-        std::thread::sleep(std::time::Duration::from_millis(5));
-        let mut b = Breakdown::new();
-        sw.lap(&mut b, Phase::Reindex);
-        assert!(b[Phase::Reindex] >= 0.004);
-    }
-
-    #[test]
-    fn laps_tile_the_timeline_without_gaps() {
-        // phase times must sum to (essentially) the total wall time:
-        // each lap reuses one clock read as start of the next lap
-        let mut sw = Stopwatch::start();
-        let mut b = Breakdown::new();
-        for (k, p) in Phase::ALL.iter().enumerate() {
-            if k % 3 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            sw.lap(&mut b, *p);
-        }
-        let total = sw.since_origin();
-        // all origin-to-last-lap time is attributed to some phase;
-        // only the time after the final lap is unaccounted
-        assert!(b.total() <= total);
-        assert!(
-            total - b.total() < 1e-3,
-            "gap {} s between phase sum {} and wall {}",
-            total - b.total(),
-            b.total(),
-            total
-        );
     }
 }

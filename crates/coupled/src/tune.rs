@@ -128,8 +128,12 @@ mod tests {
 
     #[test]
     fn tuner_covers_grid_and_picks_minimum() {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
-        run.sim.seed = 21;
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(4)
+            .seed(21)
+            .build()
+            .unwrap();
         let report = tune_balancer(&run, MachineProfile::tianhe2(), 8, &[4, 8], &[1.5, 3.0]);
         assert_eq!(report.points.len(), 4);
         for p in &report.points {
@@ -141,8 +145,12 @@ mod tests {
 
     #[test]
     fn strategy_tuner_covers_all_candidates() {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 4);
-        run.sim.seed = 21;
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(4)
+            .seed(21)
+            .build()
+            .unwrap();
         let report = tune_strategy(&run, MachineProfile::tianhe2(), 8);
         assert_eq!(report.points.len(), 4);
         for p in &report.points {
@@ -164,8 +172,12 @@ mod tests {
 
     #[test]
     fn tuner_is_deterministic() {
-        let mut run = RunConfig::paper(Dataset::D1, 0.02, 3);
-        run.sim.seed = 5;
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(3)
+            .seed(5)
+            .build()
+            .unwrap();
         let a = tune_balancer(&run, MachineProfile::tianhe2(), 5, &[5], &[2.0]);
         let b = tune_balancer(&run, MachineProfile::tianhe2(), 5, &[5], &[2.0]);
         assert_eq!(a.points, b.points);

@@ -23,6 +23,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Contiguous near-equal split of `0..n` into at most `parts` ranges
 /// (fewer when `n < parts`; never empty ranges).
@@ -57,10 +60,14 @@ pub fn fork_rng(base: u64, lane: u64) -> StdRng {
     StdRng::seed_from_u64(mixed)
 }
 
-/// Scoped-thread worker pool of a fixed width.
+/// Scoped-thread worker pool of a fixed width. Clones share the
+/// per-lane busy-time accounting.
 #[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    /// Cumulative busy nanoseconds per lane (lane = chunk/group
+    /// index; serial fast paths charge lane 0).
+    busy: Arc<Vec<AtomicU64>>,
 }
 
 impl Default for Pool {
@@ -72,15 +79,17 @@ impl Default for Pool {
 impl Pool {
     /// Pool with `workers` lanes (clamped to ≥ 1).
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         Pool {
-            workers: workers.max(1),
+            workers,
+            busy: Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect()),
         }
     }
 
     /// Single-lane pool: every `par_*` call runs inline on the caller
     /// thread with no spawns.
     pub fn serial() -> Self {
-        Pool { workers: 1 }
+        Pool::new(1)
     }
 
     pub fn workers(&self) -> usize {
@@ -89,6 +98,29 @@ impl Pool {
 
     pub fn is_serial(&self) -> bool {
         self.workers == 1
+    }
+
+    /// Cumulative busy time per lane, in seconds — kernel work only
+    /// (spawn/join overhead and idle tail-wait excluded), so the
+    /// spread across lanes shows intra-rank imbalance.
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.busy
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect()
+    }
+
+    /// Reset the per-lane busy counters.
+    pub fn reset_busy(&self) {
+        for b in self.busy.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn charge(&self, lane: usize, started: Instant) {
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.busy[lane.min(self.workers - 1)].fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Split `data` into one contiguous chunk per worker and run
@@ -102,7 +134,10 @@ impl Pool {
     {
         let ranges = chunk_ranges(data.len(), self.workers);
         if ranges.len() <= 1 {
-            return vec![f(0, 0, data)];
+            let started = Instant::now();
+            let r = f(0, 0, data);
+            self.charge(0, started);
+            return vec![r];
         }
         // carve `data` into disjoint &mut chunks
         let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
@@ -127,11 +162,14 @@ impl Pool {
     {
         let n = parts.len();
         if self.workers == 1 || n <= 1 {
-            return parts
+            let started = Instant::now();
+            let out = parts
                 .into_iter()
                 .enumerate()
                 .map(|(i, p)| f(i, p))
                 .collect();
+            self.charge(0, started);
+            return out;
         }
         let groups = chunk_ranges(n, self.workers);
         let mut indexed: Vec<Vec<(usize, T)>> = Vec::with_capacity(groups.len());
@@ -143,12 +181,16 @@ impl Pool {
         let grouped: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = indexed
                 .into_iter()
-                .map(|group| {
+                .enumerate()
+                .map(|(lane, group)| {
                     scope.spawn(move || {
-                        group
+                        let started = Instant::now();
+                        let out = group
                             .into_iter()
                             .map(|(i, p)| (i, f(i, p)))
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        self.charge(lane, started);
+                        out
                     })
                 })
                 .collect();
@@ -187,11 +229,13 @@ impl Pool {
         assert!(block > 0);
         let nblocks = n.div_ceil(block);
         if self.workers == 1 || nblocks <= 1 {
+            let started = Instant::now();
             let mut acc = init;
             for b in 0..nblocks {
                 let r = b * block..((b + 1) * block).min(n);
                 acc = fold(acc, map(r));
             }
+            self.charge(0, started);
             return acc;
         }
         let blocks: Vec<Range<usize>> = (0..nblocks)
@@ -295,6 +339,38 @@ mod tests {
             p * 2
         });
         assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_lane() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.busy_seconds(), vec![0.0; 3]);
+        let mut data = vec![1u64; 30_000];
+        pool.par_chunks_mut(&mut data, |_, _, chunk| {
+            for v in chunk.iter_mut() {
+                for _ in 0..50 {
+                    *v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+            }
+        });
+        let busy = pool.busy_seconds();
+        assert_eq!(busy.len(), 3);
+        assert!(busy.iter().all(|&b| b > 0.0), "{busy:?}");
+        // clones share the accounting
+        let clone = pool.clone();
+        assert_eq!(clone.busy_seconds(), busy);
+        pool.reset_busy();
+        assert_eq!(clone.busy_seconds(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn serial_fast_paths_charge_lane_zero() {
+        let pool = Pool::serial();
+        let sum = pool.par_map_reduce(1000, 128, |r| r.len(), 0usize, |a, b| a + b);
+        assert_eq!(sum, 1000);
+        let busy = pool.busy_seconds();
+        assert_eq!(busy.len(), 1);
+        assert!(busy[0] > 0.0);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Low-overhead observability for the coupled DSMC/PIC stack.
+//!
+//! This crate is the single home for everything a run can *tell you*
+//! about itself, decoupled from the solver so drivers, benches and
+//! tests share one vocabulary:
+//!
+//! * [`Registry`] — typed metrics (counters, gauges, time
+//!   histograms) behind cheap atomic handles; clones share state, so
+//!   every rank thread taps the same registry.
+//! * [`SpanTimer`] — hierarchical gap-free lap timers; the one code
+//!   path phase attribution goes through in every backend.
+//! * [`Observer`] — the public hook the step pipeline drives:
+//!   per-phase times, per-exchange traffic, rebalances, per-step
+//!   traces. All methods default to no-ops.
+//! * [`TraceSink`] / [`TraceSpec`] — structured event streams:
+//!   [`NullSink`] (default, zero cost), [`JsonlSink`] (one JSON
+//!   object per line), [`MemorySink`] (tests).
+//! * [`Recorder`] — the standard observer wiring a registry and a
+//!   sink together.
+//!
+//! All exported JSON (trace lines, metric snapshots, run reports)
+//! carries [`SCHEMA_VERSION`] so downstream tooling can detect
+//! incompatible changes.
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod phase;
+pub mod recorder;
+pub mod sink;
+pub mod span;
+
+/// Version tag stamped into every exported JSON artifact (trace meta
+/// records and run reports). Bump on incompatible schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub use events::{ExchangeEvent, RebalanceEvent, StepTrace, STRATEGY_NAMES};
+pub use json::Json;
+pub use metrics::{
+    Counter, Gauge, HistSnapshot, MetricKind, MetricValue, MetricsSnapshot, Registry, TimeHist,
+};
+pub use observer::{NullObserver, Observer, Tee};
+pub use phase::{Breakdown, Phase};
+pub use recorder::Recorder;
+pub use sink::{JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink, TraceSpec};
+pub use span::SpanTimer;

@@ -1,0 +1,390 @@
+//! The typed metrics registry: named counters, gauges and time
+//! histograms behind cheap cloneable handles.
+//!
+//! Registration (name lookup under a mutex) happens once per metric;
+//! the returned handle is a couple of `Arc`'d atomics, so the hot
+//! path — `Counter::add`, `Gauge::set`, `TimeHist::record` — is a
+//! handful of relaxed atomic operations and safe to call from every
+//! rank thread. A [`Registry`] clone shares the underlying metrics,
+//! which is how a threaded world aggregates: every rank clones the
+//! run's registry and increments the same counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{obj, Json};
+
+/// Number of exponential histogram buckets: bucket `i` counts
+/// observations below `2^i` microseconds, the last bucket is the
+/// overflow (≥ ~16.8 s).
+pub const HIST_BUCKETS: usize = 25;
+
+/// What a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Last-write-wins scalar.
+    Gauge,
+    /// Exponential-bucket histogram of durations (seconds).
+    TimeHist,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<HistInner>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<Vec<(String, Slot)>>,
+}
+
+/// Shared, cheaply cloneable metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Counter handle for `name` (registers on first use; returns the
+    /// existing handle afterwards).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
+            match slot {
+                Slot::Counter(c) => return Counter(c.clone()),
+                _ => panic!("metric {name:?} is not a counter"),
+            }
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        metrics.push((name.to_string(), Slot::Counter(cell.clone())));
+        Counter(cell)
+    }
+
+    /// Gauge handle for `name` (registers on first use).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
+            match slot {
+                Slot::Gauge(c) => return Gauge(c.clone()),
+                _ => panic!("metric {name:?} is not a gauge"),
+            }
+        }
+        let cell = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+        metrics.push((name.to_string(), Slot::Gauge(cell.clone())));
+        Gauge(cell)
+    }
+
+    /// Time-histogram handle for `name` (registers on first use).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn time_hist(&self, name: &str) -> TimeHist {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
+            match slot {
+                Slot::Hist(h) => return TimeHist(h.clone()),
+                _ => panic!("metric {name:?} is not a time histogram"),
+            }
+        }
+        let cell = Arc::new(HistInner::default());
+        metrics.push((name.to_string(), Slot::Hist(cell.clone())));
+        TimeHist(cell)
+    }
+
+    /// Point-in-time copy of every registered metric, in registration
+    /// order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.inner.metrics.lock().unwrap();
+        MetricsSnapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, slot)| {
+                    let value = match slot {
+                        Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        Slot::Gauge(g) => {
+                            MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                        }
+                        Slot::Hist(h) => MetricValue::TimeHist(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Monotone event counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 gauge (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of observations in nanoseconds (u64 holds ~584 years).
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistInner {
+    fn record(&self, seconds: f64) {
+        let ns = (seconds.max(0.0) * 1e9) as u64;
+        let us = ns / 1000;
+        // bucket i counts observations < 2^i µs
+        let idx = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exponential-bucket duration histogram.
+#[derive(Debug, Clone)]
+pub struct TimeHist(Arc<HistInner>);
+
+impl TimeHist {
+    /// Record one observation of `seconds`.
+    #[inline]
+    pub fn record(&self, seconds: f64) {
+        self.0.record(seconds);
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// `buckets[i]` counts observations below `2^i` µs (last bucket:
+    /// overflow).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all observations, seconds.
+    pub sum_seconds: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Mean observation in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+}
+
+/// Frozen value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    TimeHist(Box<HistSnapshot>),
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` in registration order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Value by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// JSON representation: an array of `{name, kind, ...}` objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.metrics
+                .iter()
+                .map(|(name, value)| match value {
+                    MetricValue::Counter(c) => obj(vec![
+                        ("name", Json::Str(name.clone())),
+                        ("kind", Json::Str("counter".into())),
+                        ("value", Json::U64(*c)),
+                    ]),
+                    MetricValue::Gauge(g) => obj(vec![
+                        ("name", Json::Str(name.clone())),
+                        ("kind", Json::Str("gauge".into())),
+                        ("value", Json::Num(*g)),
+                    ]),
+                    MetricValue::TimeHist(h) => obj(vec![
+                        ("name", Json::Str(name.clone())),
+                        ("kind", Json::Str("time_hist".into())),
+                        ("count", Json::U64(h.count)),
+                        ("sum_seconds", Json::Num(h.sum_seconds)),
+                        (
+                            "buckets",
+                            Json::Arr(h.buckets.iter().map(|&b| Json::U64(b)).collect()),
+                        ),
+                    ]),
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.counter("c").add(7);
+        reg.gauge("g").set(1.25);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(1.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.gauge("m");
+        reg.counter("m");
+    }
+
+    #[test]
+    fn hist_buckets_by_magnitude() {
+        let reg = Registry::new();
+        let h = reg.time_hist("t");
+        h.record(0.5e-6); // < 1 µs -> bucket 0
+        h.record(3e-6); // < 4 µs -> bucket 2
+        h.record(1.0); // ~1 s -> high bucket
+        match reg.snapshot().get("t") {
+            Some(MetricValue::TimeHist(s)) => {
+                assert_eq!(s.count, 3);
+                assert_eq!(s.buckets[0], 1);
+                assert_eq!(s.buckets[2], 1);
+                assert!((s.sum_seconds - 1.0000035).abs() < 1e-6);
+                assert!((s.mean() - s.sum_seconds / 3.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let reg = Registry::new();
+        reg.counter("a").add(5);
+        reg.gauge("b").set(0.5);
+        reg.time_hist("c").record(1e-3);
+        let text = reg.snapshot().to_json().to_string();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn threaded_increments_all_land() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,195 @@
+//! The standard [`Observer`] that feeds a metrics [`Registry`] and a
+//! [`TraceSink`] from pipeline signals.
+//!
+//! Drivers install one `Recorder` on the reporting rank; everything
+//! else (per-rank kernel gauges, comm counters) taps the shared
+//! registry directly. With metrics off and a [`NullSink`], a recorder
+//! degenerates to a handful of no-op calls, which is what keeps the
+//! default path bit-identical to an unobserved run.
+
+use crate::events::{ExchangeEvent, RebalanceEvent, StepTrace, STRATEGY_NAMES};
+use crate::metrics::{Counter, Gauge, Registry, TimeHist};
+use crate::observer::Observer;
+use crate::phase::Phase;
+use crate::sink::{NullSink, TraceEvent, TraceSink};
+
+/// Registry handles the recorder updates on each signal.
+#[derive(Debug)]
+struct Taps {
+    phase_time: [TimeHist; Phase::ALL.len()],
+    exchange_count: [Counter; 3],
+    exchange_tx: [Counter; 3],
+    exchange_bytes: [Counter; 3],
+    exchange_max_rank_msgs: [Gauge; 3],
+    steps: Counter,
+    step_time: TimeHist,
+    lii: Gauge,
+    rebalances: Counter,
+    rebalance_migrated: Counter,
+    remap_time: TimeHist,
+}
+
+impl Taps {
+    fn new(reg: &Registry) -> Self {
+        Taps {
+            phase_time: std::array::from_fn(|i| {
+                reg.time_hist(&format!("engine.phase.{}.seconds", Phase::ALL[i].name()))
+            }),
+            exchange_count: std::array::from_fn(|s| {
+                reg.counter(&format!("vmpi.exchange.{}.count", STRATEGY_NAMES[s]))
+            }),
+            exchange_tx: std::array::from_fn(|s| {
+                reg.counter(&format!("vmpi.exchange.{}.transactions", STRATEGY_NAMES[s]))
+            }),
+            exchange_bytes: std::array::from_fn(|s| {
+                reg.counter(&format!("vmpi.exchange.{}.bytes", STRATEGY_NAMES[s]))
+            }),
+            exchange_max_rank_msgs: std::array::from_fn(|s| {
+                reg.gauge(&format!(
+                    "vmpi.exchange.{}.max_rank_msgs",
+                    STRATEGY_NAMES[s]
+                ))
+            }),
+            steps: reg.counter("engine.steps"),
+            step_time: reg.time_hist("engine.step.seconds"),
+            lii: reg.gauge("balance.lii"),
+            rebalances: reg.counter("balance.rebalances"),
+            rebalance_migrated: reg.counter("balance.migrated_particles"),
+            remap_time: reg.time_hist("balance.remap.seconds"),
+        }
+    }
+}
+
+/// Feeds pipeline signals into a registry and a trace sink.
+pub struct Recorder {
+    taps: Option<Taps>,
+    sink: Box<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("metrics", &self.taps.is_some())
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    /// A recorder that observes nothing (no registry, null sink).
+    fn default() -> Self {
+        Recorder::new(None, Box::new(NullSink))
+    }
+}
+
+impl Recorder {
+    /// Build a recorder tapping `registry` (if any) and writing events
+    /// to `sink`.
+    pub fn new(registry: Option<&Registry>, sink: Box<dyn TraceSink>) -> Self {
+        Recorder {
+            taps: registry.map(Taps::new),
+            sink,
+        }
+    }
+
+    /// Emit the leading metadata record (call once, before the run).
+    pub fn meta(&mut self, ranks: usize, steps: usize) {
+        self.sink.emit(&TraceEvent::Meta { ranks, steps });
+    }
+
+    /// Flush the sink (call once, after the run).
+    pub fn finish(&mut self) {
+        self.sink.flush();
+    }
+}
+
+impl Observer for Recorder {
+    fn phase(&mut self, phase: Phase, seconds: f64) {
+        if let Some(taps) = &self.taps {
+            taps.phase_time[phase.idx()].record(seconds);
+        }
+    }
+
+    fn exchange(&mut self, ev: &ExchangeEvent) {
+        if let Some(taps) = &self.taps {
+            let s = ev.strategy.min(2);
+            taps.exchange_count[s].inc();
+            taps.exchange_tx[s].add(ev.transactions);
+            taps.exchange_bytes[s].add(ev.bytes);
+            if ev.max_rank_msgs > 0 {
+                taps.exchange_max_rank_msgs[s].set(ev.max_rank_msgs as f64);
+            }
+        }
+        self.sink.emit(&TraceEvent::Exchange(*ev));
+    }
+
+    fn rebalance(&mut self, ev: &RebalanceEvent) {
+        if let Some(taps) = &self.taps {
+            taps.rebalances.inc();
+            taps.rebalance_migrated.add(ev.migrated);
+            taps.remap_time.record(ev.remap_seconds);
+        }
+        self.sink.emit(&TraceEvent::Rebalance(*ev));
+    }
+
+    fn step(&mut self, index: usize, trace: &StepTrace) {
+        if let Some(taps) = &self.taps {
+            taps.steps.inc();
+            taps.step_time.record(trace.step_time);
+            taps.lii.set(trace.lii);
+        }
+        self.sink.emit(&TraceEvent::Step {
+            index,
+            trace: trace.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn recorder_taps_registry_and_sink() {
+        let reg = Registry::new();
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new(Some(&reg), Box::new(mem.clone()));
+        rec.meta(3, 2);
+        rec.phase(Phase::Inject, 0.25);
+        rec.exchange(&ExchangeEvent {
+            step: 0,
+            phase: Phase::DsmcExchange,
+            sub: 0,
+            strategy: 1,
+            transactions: 6,
+            bytes: 640,
+            max_rank_msgs: 2,
+        });
+        rec.rebalance(&RebalanceEvent {
+            step: 0,
+            lii: 1.8,
+            migrated: 42,
+            remap_seconds: 0.01,
+        });
+        rec.step(0, &StepTrace::default());
+        rec.finish();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("vmpi.exchange.DC.transactions"), Some(6));
+        assert_eq!(snap.counter("vmpi.exchange.DC.bytes"), Some(640));
+        assert_eq!(snap.counter("balance.rebalances"), Some(1));
+        assert_eq!(snap.counter("balance.migrated_particles"), Some(42));
+        assert_eq!(snap.counter("engine.steps"), Some(1));
+        // meta + exchange + rebalance + step
+        assert_eq!(mem.len(), 4);
+    }
+
+    #[test]
+    fn recorder_without_registry_still_traces() {
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new(None, Box::new(mem.clone()));
+        rec.phase(Phase::Inject, 0.1);
+        rec.step(0, &StepTrace::default());
+        assert_eq!(mem.len(), 1); // phases don't emit events
+    }
+}

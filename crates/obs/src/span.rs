@@ -1,0 +1,139 @@
+//! Hierarchical wall-clock span timers.
+//!
+//! [`SpanTimer`] replaces the flat ad-hoc stopwatch the solver crate
+//! used to carry: one timer measures a *stack* of named spans (step ⊃
+//! phase ⊃ substep) with the gap-free lap discipline the per-phase
+//! breakdown needs — every `lap`/`open`/`close` reads the clock
+//! exactly **once** and reuses that instant as the start of the next
+//! interval, so consecutive laps tile the timeline with no gaps and
+//! the lap times sum to exactly the origin-to-last-read wall time.
+
+use std::time::Instant;
+
+/// A hierarchical lap timer.
+///
+/// `open(name)` pushes a child span, `lap()` returns the seconds
+/// since the previous clock read (attributing a leaf interval),
+/// `close()` pops the innermost span and returns its inclusive
+/// duration. A plain flat stopwatch is the degenerate case of
+/// `start()` + repeated `lap()`.
+#[derive(Debug)]
+pub struct SpanTimer {
+    origin: Instant,
+    /// The previous clock read — start of the current lap.
+    last: Instant,
+    /// Open spans: (name, span start).
+    stack: Vec<(&'static str, Instant)>,
+}
+
+impl SpanTimer {
+    /// Start the timer (origin = now, no open spans).
+    pub fn start() -> Self {
+        let now = Instant::now();
+        SpanTimer {
+            origin: now,
+            last: now,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Push a child span. The clock read doubles as a lap boundary,
+    /// so time before the `open` stays attributed to the caller.
+    pub fn open(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.last = now;
+        self.stack.push((name, now));
+    }
+
+    /// Seconds since the previous clock read (lap, open or close);
+    /// restarts the lap.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let dt = (now - self.last).as_secs_f64();
+        self.last = now;
+        dt
+    }
+
+    /// Pop the innermost span, returning `(name, inclusive seconds)`.
+    /// The clock read is also a lap boundary for the parent.
+    ///
+    /// # Panics
+    /// If no span is open.
+    pub fn close(&mut self) -> (&'static str, f64) {
+        let (name, started) = self.stack.pop().expect("close() without open span");
+        let now = Instant::now();
+        self.last = now;
+        (name, (now - started).as_secs_f64())
+    }
+
+    /// Names of the open spans, outermost first.
+    pub fn path(&self) -> Vec<&'static str> {
+        self.stack.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Nesting depth (number of open spans).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Elapsed seconds since the previous clock read, without
+    /// restarting the lap.
+    pub fn elapsed(&self) -> f64 {
+        self.last.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed seconds since construction.
+    pub fn since_origin(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_tile_the_timeline_without_gaps() {
+        let mut t = SpanTimer::start();
+        let mut sum = 0.0;
+        for k in 0..9 {
+            if k % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            sum += t.lap();
+        }
+        let total = t.since_origin();
+        assert!(sum <= total);
+        assert!(
+            total - sum < 1e-3,
+            "gap {} s between lap sum {sum} and wall {total}",
+            total - sum
+        );
+    }
+
+    #[test]
+    fn spans_nest_and_cover_their_laps() {
+        let mut t = SpanTimer::start();
+        t.open("step");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a = t.lap();
+        t.open("pic");
+        assert_eq!(t.path(), vec!["step", "pic"]);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.lap();
+        let (name, pic) = t.close();
+        assert_eq!(name, "pic");
+        assert!(pic >= b);
+        let (name, step) = t.close();
+        assert_eq!(name, "step");
+        assert!(step >= a + b, "parent {step} must cover children {}", a + b);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn lap_measures_time() {
+        let mut t = SpanTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(t.lap() >= 0.004);
+    }
+}

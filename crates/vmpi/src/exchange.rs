@@ -13,7 +13,7 @@
 //! * [`Strategy::Distributed`]: all-pairs two-round ordered
 //!   send/recv. ~N(N−1) transactions but each byte moves once (≈M).
 //! * [`Strategy::Sparse`]: counts-first — a sparse
-//!   [`alltoall_u64`](crate::collectives::alltoall_u64) of
+//!   [`alltoall_u64`] of
 //!   per-destination byte counts, then point-to-point transfers **only
 //!   between pairs with nonzero payload**, still walking the paper's
 //!   rank-ordered two-round schedule for deadlock freedom. A quiet

@@ -8,14 +8,18 @@
 //! cargo run --release --example comm_strategies
 //! ```
 
-use coupled::{run_threaded, Dataset, RunConfig};
-use vmpi::{traffic, Strategy};
+use coupled::prelude::*;
+use vmpi::traffic;
 
 fn main() {
     let ranks = 6usize;
-    let mut base = RunConfig::paper(Dataset::D1, 0.08, ranks);
-    base.steps = 25;
-    base.rebalance = None;
+    let base = RunConfig::builder()
+        .paper(Dataset::D1, 0.08)
+        .ranks(ranks)
+        .steps(25)
+        .rebalance(None)
+        .build()
+        .expect("valid example config");
 
     println!(
         "measured on {ranks} rank-threads, {} DSMC steps:\n",

@@ -8,31 +8,34 @@
 //! ```
 
 use balance::RebalanceConfig;
-use coupled::{run_threaded, Dataset, RunConfig};
+use coupled::prelude::*;
 
 fn main() {
     let ranks = 4usize;
     let steps = 40usize;
 
-    let mut base = RunConfig::paper(Dataset::D1, 0.08, ranks);
-    base.steps = steps;
+    let base = RunConfig::builder()
+        .paper(Dataset::D1, 0.08)
+        .ranks(ranks)
+        .steps(steps);
 
     println!("running {steps} DSMC steps on {ranks} rank-threads ...\n");
 
     // --- without load balancing -------------------------------------
-    let mut no_lb = base.clone();
-    no_lb.rebalance = None;
+    let no_lb = base.clone().rebalance(None).build().expect("valid config");
     let t0 = std::time::Instant::now();
     let res_no = run_threaded(&no_lb);
     let wall_no = t0.elapsed().as_secs_f64();
 
     // --- with the dynamic load balancer ------------------------------
-    let mut with_lb = base.clone();
-    with_lb.rebalance = Some(RebalanceConfig {
-        t_interval: 10,
-        threshold: 1.5,
-        ..RebalanceConfig::default()
-    });
+    let with_lb = base
+        .rebalance(Some(RebalanceConfig {
+            t_interval: 10,
+            threshold: 1.5,
+            ..RebalanceConfig::default()
+        }))
+        .build()
+        .expect("valid config");
     let t0 = std::time::Instant::now();
     let res_lb = run_threaded(&with_lb);
     let wall_lb = t0.elapsed().as_secs_f64();

@@ -14,6 +14,9 @@ cargo test --workspace -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== rustfmt (check) =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

@@ -8,13 +8,17 @@ use partition::{imbalance, part_graph_kway, Graph, KwayOptions};
 use vmpi::Strategy;
 
 fn cluster(ranks: usize, lb: bool) -> ClusterSim {
-    let mut run = RunConfig::paper(Dataset::D1, 0.03, ranks);
-    run.sim.seed = 31;
-    run.strategy = Strategy::Distributed;
-    run.rebalance = lb.then(|| RebalanceConfig {
-        t_interval: 6,
-        ..RebalanceConfig::default()
-    });
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.03)
+        .ranks(ranks)
+        .seed(31)
+        .strategy(Strategy::Distributed)
+        .rebalance(lb.then(|| RebalanceConfig {
+            t_interval: 6,
+            ..RebalanceConfig::default()
+        }))
+        .build()
+        .expect("valid test config");
     ClusterSim::new(&run, MachineProfile::tianhe2())
 }
 

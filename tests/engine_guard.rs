@@ -23,11 +23,14 @@ fn fnv1a(values: &[f64]) -> u64 {
 }
 
 fn guard_config() -> RunConfig {
-    let mut run = RunConfig::paper(Dataset::D1, 0.02, 3);
-    run.sim.seed = 4242;
-    run.steps = 12;
-    run.rebalance = None;
-    run
+    RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(3)
+        .seed(4242)
+        .steps(12)
+        .rebalance(None)
+        .build()
+        .expect("valid guard config")
 }
 
 #[test]

@@ -103,8 +103,12 @@ fn magnetic_field_preserves_ion_speed_in_pure_rotation() {
 
 #[test]
 fn autotuner_prefers_some_rebalancing_on_skewed_plume() {
-    let mut run = RunConfig::paper(Dataset::D1, 0.03, 6);
-    run.sim.seed = 9;
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.03)
+        .ranks(6)
+        .seed(9)
+        .build()
+        .expect("valid test config");
     let report = coupled::tune_balancer(
         &run,
         MachineProfile::tianhe2(),

@@ -13,11 +13,14 @@ use sparse::KrylovOptions;
 use vmpi::Strategy;
 
 fn base_run(ranks: usize) -> RunConfig {
-    let mut run = RunConfig::paper(Dataset::D1, 0.03, ranks);
-    run.sim.seed = 1234;
-    run.steps = 20;
-    run.rebalance = None;
-    run
+    RunConfig::builder()
+        .paper(Dataset::D1, 0.03)
+        .ranks(ranks)
+        .seed(1234)
+        .steps(20)
+        .rebalance(None)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
