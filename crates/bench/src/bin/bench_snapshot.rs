@@ -61,12 +61,12 @@ fn measure_transactions(strategy: Strategy, m: &[Vec<u64>]) -> u64 {
     let n = m.len();
     run_world(n, |c| {
         c.stats().reset();
-        c.barrier();
+        c.barrier().expect("clean-wire barrier");
         let outgoing: Vec<Vec<u8>> = (0..n)
             .map(|d| vec![0xA5u8; m[c.rank()][d] as usize])
             .collect();
-        let inc = exchange(&c, strategy, outgoing);
-        c.barrier();
+        let inc = exchange(&c, strategy, outgoing).expect("clean-wire exchange");
+        c.barrier().expect("clean-wire barrier");
         black_box(inc.len());
         c.stats().transactions()
     })[0]
@@ -252,7 +252,7 @@ fn main() {
                             let outgoing: Vec<Vec<u8>> = (0..n)
                                 .map(|d| vec![0xA5u8; m[comm.rank()][d] as usize])
                                 .collect();
-                            exchange(&comm, strategy, outgoing)
+                            exchange(&comm, strategy, outgoing).expect("clean-wire exchange")
                         });
                         black_box(out.len())
                     })

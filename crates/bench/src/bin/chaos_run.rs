@@ -1,0 +1,131 @@
+//! Chaos demonstration run: execute the threaded solver over a
+//! deterministically faulty transport and prove bitwise recovery.
+//!
+//! Runs the same configuration twice — once on a clean wire, once
+//! under the supplied fault plan — and compares the final `density_h`
+//! fingerprints. With a kill event in the plan, add a checkpoint
+//! cadence and the restart policy to watch engine-level recovery
+//! replay the run to the identical result.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos_run -- \
+//!     --fault-plan seed=7,drop=30,dup=20,delay=25/4,kill=1@5 \
+//!     --ranks 3 --steps 12 --checkpoint-every 4 --on-fault restart
+//! ```
+//!
+//! Plan grammar (see `vmpi::FaultPlan::parse`): `seed=N`, `drop=`/
+//! `dup=`/`delay=` per-mille rates (`delay=R/S` with max span `S`),
+//! `kill=RANK@STEP`, `stall=RANK@STEP/MILLIS`.
+
+use coupled::{run_threaded, run_threaded_result, Dataset, FaultPolicy, RunConfig};
+use vmpi::FaultPlan;
+
+/// FNV-1a over the little-endian bytes of the density field (the
+/// fingerprint the chaos guard tests pin).
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+struct Cli {
+    plan: FaultPlan,
+    ranks: usize,
+    steps: usize,
+    checkpoint_every: usize,
+    on_fault: FaultPolicy,
+    seed: u64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        plan: FaultPlan::seeded(7).drops(30).dups(20).delays(25, 4),
+        ranks: 3,
+        steps: 12,
+        checkpoint_every: 4,
+        on_fault: FaultPolicy::RestartFromCheckpoint,
+        seed: 4242,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--fault-plan" => cli.plan = FaultPlan::parse(&val("--fault-plan")?)?,
+            "--ranks" => cli.ranks = val("--ranks")?.parse().map_err(|e| format!("ranks: {e}"))?,
+            "--steps" => cli.steps = val("--steps")?.parse().map_err(|e| format!("steps: {e}"))?,
+            "--checkpoint-every" => {
+                cli.checkpoint_every = val("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("checkpoint-every: {e}"))?
+            }
+            "--seed" => cli.seed = val("--seed")?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--on-fault" => {
+                cli.on_fault = match val("--on-fault")?.as_str() {
+                    "abort" => FaultPolicy::Abort,
+                    "restart" => FaultPolicy::RestartFromCheckpoint,
+                    other => return Err(format!("--on-fault abort|restart, got {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("chaos_run: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = |plan: Option<FaultPlan>| {
+        RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(cli.ranks)
+            .seed(cli.seed)
+            .steps(cli.steps)
+            .rebalance(None)
+            .checkpoint_every(cli.checkpoint_every)
+            .on_fault(cli.on_fault)
+            .fault_plan(plan)
+            .build()
+            .expect("valid run config")
+    };
+
+    println!("== clean wire ==");
+    let clean = run_threaded(&config(None));
+    let clean_hash = fnv1a(&clean.density_h);
+    println!(
+        "population={} density_h fnv1a={clean_hash:#018x}",
+        clean.population
+    );
+
+    println!("== chaotic wire: {:?} ==", cli.plan);
+    match run_threaded_result(&config(Some(cli.plan))) {
+        Ok(r) => {
+            let hash = fnv1a(&r.density_h);
+            println!("population={} density_h fnv1a={hash:#018x}", r.population);
+            println!(
+                "faults_injected={} comm_retries={} comm_dedup_dropped={} recoveries={}",
+                r.faults_injected, r.comm_retries, r.comm_dedup_dropped, r.recoveries
+            );
+            if hash == clean_hash {
+                println!("BITWISE MATCH: chaotic run reproduced the clean result exactly");
+            } else {
+                println!("MISMATCH: chaotic {hash:#018x} vs clean {clean_hash:#018x}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            println!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 use crate::state::CoupledState;
 use bytes::{Buf, BufMut, BytesMut};
+use dsmc::Injector;
 use particles::{pack_particle, unpack_particle, ParticleBuffer, PACKED_SIZE};
 use pic::ElectricField;
 use rand::rngs::StdRng;
@@ -93,6 +94,52 @@ pub fn checkpoint(sim: &CoupledState) -> Vec<u8> {
     }
     buf.put_slice(&rec);
     buf.to_vec()
+}
+
+/// Serialize one rank of a decomposed run: the coarse-cell ownership
+/// map this rank was running under, followed by the rank engine's full
+/// v2 state. The envelope is what the engine-level recovery loop
+/// (`coupled::threadrun`) stores each cadence step and replays from
+/// after a rank death — the owner map must travel with the state
+/// because the restored engine's injector is a function of it.
+///
+/// Format: `[owner_len u64 LE][owner u32 LE…][v2 checkpoint blob]`.
+pub fn checkpoint_rank(sim: &CoupledState, owner: &[u32]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + owner.len() * 4);
+    buf.put_u64_le(owner.len() as u64);
+    for &o in owner {
+        buf.put_u32_le(o);
+    }
+    let mut out = buf.to_vec();
+    out.extend_from_slice(&checkpoint(sim));
+    out
+}
+
+/// Restore a [`checkpoint_rank`] envelope into rank `me`'s engine.
+/// Rebuilds the injector from the stored ownership map *before*
+/// restoring the v2 body, so the injector carry lands in the rebuilt
+/// injector and the continuation stays bitwise identical. Returns the
+/// ownership map for the caller to resume under.
+pub fn restore_rank(
+    sim: &mut CoupledState,
+    me: usize,
+    data: &[u8],
+) -> Result<Vec<u32>, CheckpointError> {
+    let mut buf = data;
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    if n != sim.nm.num_coarse() {
+        return Err(CheckpointError::Mismatch);
+    }
+    if buf.remaining() < n * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let owner: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
+    sim.injector = Injector::with_filter(&sim.nm.coarse, |t| owner[t as usize] == me as u32);
+    restore(sim, buf)?;
+    Ok(owner)
 }
 
 fn read_f64s(buf: &mut &[u8], n: usize) -> Result<Vec<f64>, CheckpointError> {
@@ -311,6 +358,54 @@ mod tests {
                 Err(CheckpointError::Truncated)
             );
         }
+    }
+
+    #[test]
+    fn rank_envelope_roundtrips_owner_and_state() {
+        let mut a = sim();
+        for _ in 0..5 {
+            a.dsmc_step();
+        }
+        // an ownership map that gives rank 0 every coarse cell
+        let owner = vec![0u32; a.nm.num_coarse()];
+        let blob = checkpoint_rank(&a, &owner);
+
+        let mut b = sim();
+        let restored_owner = restore_rank(&mut b, 0, &blob).unwrap();
+        assert_eq!(restored_owner, owner);
+        assert_eq!(b.step_count, a.step_count);
+        assert_eq!(b.particles.len(), a.particles.len());
+        assert!(b.injector.is_some(), "owner map gives rank 0 the inlet");
+        assert_eq!(
+            b.injector.as_ref().unwrap().carry(),
+            a.injector.as_ref().unwrap().carry(),
+            "carry must land in the rebuilt injector"
+        );
+    }
+
+    #[test]
+    fn rank_envelope_rejects_bad_owner_maps() {
+        let a = sim();
+        let owner = vec![0u32; a.nm.num_coarse()];
+        let blob = checkpoint_rank(&a, &owner);
+
+        let mut b = sim();
+        // short header
+        assert_eq!(
+            restore_rank(&mut b, 0, &blob[..4]),
+            Err(CheckpointError::Truncated)
+        );
+        // owner map sized for a different mesh
+        let wrong = checkpoint_rank(&a, &[0u32; 3]);
+        assert_eq!(
+            restore_rank(&mut b, 0, &wrong),
+            Err(CheckpointError::Mismatch)
+        );
+        // owner list cut off mid-array
+        assert_eq!(
+            restore_rank(&mut b, 0, &blob[..8 + 2]),
+            Err(CheckpointError::Truncated)
+        );
     }
 
     #[test]

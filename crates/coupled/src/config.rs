@@ -10,7 +10,7 @@ use balance::RebalanceConfig;
 use mesh::NozzleSpec;
 use obs::{Registry, TraceSpec};
 use serde::{Deserialize, Serialize};
-use vmpi::Strategy;
+use vmpi::{FaultPlan, Strategy};
 
 /// Physics and numerics of one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -213,6 +213,23 @@ pub struct ObsConfig {
     pub trace: TraceSpec,
 }
 
+/// What the threaded driver does when a rank dies mid-run (a
+/// [`vmpi::CommError`] latched by any rank: a chaos-injected kill, an
+/// exhausted retry budget, or a genuinely wedged peer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Tear the world down and surface the failure to the caller
+    /// (the default — matches MPI's abort-on-error discipline).
+    #[default]
+    Abort,
+    /// Tear the world down, restore every rank from the last
+    /// consistent checkpoint (step 0 if none was taken yet) and replay
+    /// to completion. Requires `checkpoint_every > 0` to make forward
+    /// progress past the first faulty step; see DESIGN.md §12 for the
+    /// bitwise-determinism argument.
+    RestartFromCheckpoint,
+}
+
 /// Why a [`RunConfigBuilder`] rejected its inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -269,6 +286,19 @@ pub struct RunConfig {
     pub sort_every: usize,
     /// Observability: metrics registry + trace sink selection.
     pub obs: ObsConfig,
+    /// Take an in-memory per-rank checkpoint every this many DSMC
+    /// steps (0 = never). Checkpoints are only taken at fault-free
+    /// step boundaries, so every stored state is a consistent restart
+    /// point for [`FaultPolicy::RestartFromCheckpoint`].
+    pub checkpoint_every: usize,
+    /// Reaction to a detected rank death (see [`FaultPolicy`]).
+    pub on_fault: FaultPolicy,
+    /// Deterministic fault injection for the threaded driver: when
+    /// set, every rank's transport is wrapped in
+    /// [`vmpi::ChaosComm`] (applying this plan) under
+    /// [`vmpi::ReliableComm`] (recovering from it). `None` runs on the
+    /// raw transport, bit-identical to pre-chaos builds.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -328,6 +358,9 @@ impl Default for RunConfigBuilder {
                 threads_per_rank: 1,
                 sort_every: 0,
                 obs: ObsConfig::default(),
+                checkpoint_every: 0,
+                on_fault: FaultPolicy::default(),
+                fault_plan: None,
             },
         }
     }
@@ -418,6 +451,25 @@ impl RunConfigBuilder {
     /// Send the structured trace to this sink specification.
     pub fn trace(mut self, trace: TraceSpec) -> Self {
         self.run.obs.trace = trace;
+        self
+    }
+
+    /// In-memory per-rank checkpoint cadence in DSMC steps (0 = off).
+    pub fn checkpoint_every(mut self, steps: usize) -> Self {
+        self.run.checkpoint_every = steps;
+        self
+    }
+
+    /// Reaction to a detected rank death (see [`FaultPolicy`]).
+    pub fn on_fault(mut self, policy: FaultPolicy) -> Self {
+        self.run.on_fault = policy;
+        self
+    }
+
+    /// Inject this deterministic fault plan into every rank's
+    /// transport (threaded driver only; `None` = clean wire).
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.run.fault_plan = plan;
         self
     }
 
@@ -520,6 +572,24 @@ mod tests {
             ConfigError::ZeroThreads
         );
         assert!(ConfigError::ZeroRanks.to_string().contains("ranks"));
+    }
+
+    #[test]
+    fn builder_carries_fault_and_recovery_settings() {
+        let run = RunConfig::builder()
+            .checkpoint_every(4)
+            .on_fault(FaultPolicy::RestartFromCheckpoint)
+            .fault_plan(Some(FaultPlan::seeded(7).drops(30)))
+            .build()
+            .unwrap();
+        assert_eq!(run.checkpoint_every, 4);
+        assert_eq!(run.on_fault, FaultPolicy::RestartFromCheckpoint);
+        assert!(run.fault_plan.is_some());
+        // defaults: no checkpoints, abort on fault, clean wire
+        let plain = RunConfig::builder().build().unwrap();
+        assert_eq!(plain.checkpoint_every, 0);
+        assert_eq!(plain.on_fault, FaultPolicy::Abort);
+        assert!(plain.fault_plan.is_none());
     }
 
     #[test]

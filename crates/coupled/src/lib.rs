@@ -36,20 +36,22 @@ pub mod tune;
 pub mod prelude {
     pub use crate::cluster::ClusterSim;
     pub use crate::config::{
-        ConfigError, Dataset, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
+        ConfigError, Dataset, FaultPolicy, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
     };
     pub use crate::machine::MachineProfile;
     pub use crate::report::{ReportBuilder, RunReport, StepTrace};
-    pub use crate::threadrun::{run_serial, run_threaded};
+    pub use crate::threadrun::{run_serial, run_threaded, run_threaded_result, RunError};
     pub use obs::{
         MemorySink, MetricsSnapshot, Observer, Registry, TraceEvent, TraceSpec, SCHEMA_VERSION,
     };
-    pub use vmpi::Strategy;
+    pub use vmpi::{FaultAction, FaultPlan, Strategy};
 }
 
-pub use checkpoint::{checkpoint, restore, CheckpointError};
+pub use checkpoint::{checkpoint, checkpoint_rank, restore, restore_rank, CheckpointError};
 pub use cluster::{ClusterReport, ClusterSim, ModelledBackend};
-pub use config::{ConfigError, Dataset, ObsConfig, RunConfig, RunConfigBuilder, SimConfig};
+pub use config::{
+    ConfigError, Dataset, FaultPolicy, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
+};
 pub use engine::{
     Backend, BackendStats, ExchangeInfo, ExchangeScratch, NoProbe, Probe, ProbeAdapter, RankEngine,
     SerialBackend, StepComm, StepOutcome, StepPipeline, WallClock,
@@ -57,7 +59,9 @@ pub use engine::{
 pub use machine::{CostModel, MachineProfile, Placement};
 pub use report::{ReportBuilder, RunReport, StepTrace};
 pub use state::{CoupledState, StepRecord};
-pub use threadrun::{run_serial, run_threaded, ThreadedBackend, ThreadedRunResult};
+pub use threadrun::{
+    run_serial, run_threaded, run_threaded_result, RunError, ThreadedBackend, ThreadedRunResult,
+};
 pub use timers::{Breakdown, BreakdownExt, Phase};
 pub use tune::{
     tune_balancer, tune_strategy, StrategyPoint, StrategyTuneReport, TunePoint, TuneReport,

@@ -43,6 +43,21 @@ pub struct RunReport {
     /// [`vmpi::Strategy::Auto`] the per-exchange decision rule fills
     /// whichever buckets it picks; a fixed strategy fills one.
     pub strategy_uses: [u64; 3],
+    /// Times the run restored from a checkpoint and replayed after a
+    /// detected rank death
+    /// ([`crate::config::FaultPolicy::RestartFromCheckpoint`]); 0 on a
+    /// fault-free run.
+    pub recoveries: usize,
+    /// Journal retransmissions the reliability sublayer performed to
+    /// recover dropped or late messages (threaded runs under a
+    /// [`vmpi::FaultPlan`]; 0 on a clean wire).
+    pub comm_retries: u64,
+    /// Duplicate frames the reliability sublayer discarded by
+    /// sequence-number dedup.
+    pub comm_dedup_dropped: u64,
+    /// Faults the chaos layer injected (drops + duplicates + delays,
+    /// cumulative across recovery replays).
+    pub faults_injected: u64,
     /// Per-step traces.
     pub trace: Vec<StepTrace>,
 }
@@ -75,6 +90,10 @@ impl RunReport {
                     .map(|(&n, u)| (n, Json::U64(u)))
                     .collect()),
             ),
+            ("recoveries", Json::U64(self.recoveries as u64)),
+            ("comm_retries", Json::U64(self.comm_retries)),
+            ("comm_dedup_dropped", Json::U64(self.comm_dedup_dropped)),
+            ("faults_injected", Json::U64(self.faults_injected)),
             ("steps", Json::U64(self.trace.len() as u64)),
             (
                 "density_h",
@@ -243,5 +262,21 @@ mod tests {
             Some(3)
         );
         assert_eq!(v.get("metrics").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn report_json_carries_fault_counters() {
+        let report = RunReport {
+            recoveries: 2,
+            comm_retries: 17,
+            comm_dedup_dropped: 5,
+            faults_injected: 31,
+            ..RunReport::default()
+        };
+        let v = obs::json::parse(&report.to_json(None).to_string()).unwrap();
+        assert_eq!(v.get("recoveries").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("comm_retries").unwrap().as_u64(), Some(17));
+        assert_eq!(v.get("comm_dedup_dropped").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("faults_injected").unwrap().as_u64(), Some(31));
     }
 }

@@ -15,12 +15,35 @@
 //! (metrics registry + trace sink) when the run's
 //! [`crate::config::ObsConfig`] asks for one.
 //!
+//! # Faults and recovery (DESIGN.md §12)
+//!
+//! Every communication call is fallible ([`vmpi::CommError`]); the
+//! backend latches the first error it sees, aborts its rank so peers
+//! collapse promptly instead of waiting out timeouts, and the rank
+//! surfaces the failure. [`run_threaded_result`] is the recovering
+//! entry point: with a [`vmpi::FaultPlan`] installed each
+//! rank's transport is wrapped in [`vmpi::ChaosComm`] (deterministic
+//! drop/duplicate/delay/stall/kill injection) under
+//! [`vmpi::ReliableComm`] (sequence numbers, dedup and journal
+//! retransmission), and under
+//! [`FaultPolicy::RestartFromCheckpoint`] a detected rank death tears
+//! the world down, restores every rank from the last consistent
+//! in-memory checkpoint (taken every
+//! [`RunConfig::checkpoint_every`] steps, only at fault-free
+//! boundaries) and replays to completion. Because the reliability
+//! sublayer delivers exactly the clean run's per-pair payloads in
+//! order, and v2 checkpoints capture the whole evolving per-rank
+//! state, the recovered run finishes **bitwise identical** to the
+//! clean one; the trace of a recovered run contains only the replayed
+//! steps.
+//!
 //! Determinism note: each rank owns an independent RNG stream, so a
 //! k-rank run is statistically — not bitwise — equivalent to the
 //! serial run, exactly like the paper's MPI solver ("minor
 //! differences ... mainly due to random seeds").
 
-use crate::config::RunConfig;
+use crate::checkpoint::{checkpoint_rank, restore_rank, CheckpointError};
+use crate::config::{FaultPolicy, RunConfig};
 use crate::engine::{
     Backend, BackendStats, ExchangeInfo, ExchangeScratch, RankEngine, SerialBackend, StepComm,
     StepOutcome, StepPipeline, WallClock,
@@ -34,19 +57,125 @@ use dsmc::Injector;
 use mesh::NestedMesh;
 use obs::{Recorder, Tee};
 use particles::{pack_index, unpack_all, ParticleBuffer, SpeciesTable};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use vmpi::collectives::{
     allgather_f64, allgather_u64, allreduce_sum_f64, allreduce_sum_u64, broadcast, gather,
 };
-use vmpi::{exchange_into, run_world, Comm, Strategy, ThreadComm};
+use vmpi::{
+    exchange_into, run_world, ChaosComm, ChaosWorld, Comm, CommError, CommResult, ReliableComm,
+    ReliableWorld, Strategy,
+};
 
 /// Result of a threaded run (as returned by rank 0) — the shared
 /// [`RunReport`].
 pub type ThreadedRunResult = RunReport;
 
+/// Recovery replays attempted before a fault is surfaced to the
+/// caller — a backstop against fault plans (or genuinely broken
+/// transports) that keep killing the run faster than checkpoints can
+/// advance it.
+const MAX_RECOVERIES: usize = 8;
+
+/// Why a threaded run failed (see [`run_threaded_result`]).
+#[derive(Debug)]
+pub enum RunError {
+    /// A rank died — a fault-plan kill, an exhausted retry budget, or
+    /// a wedged peer — and the policy was [`FaultPolicy::Abort`], or
+    /// the bounded recovery budget was already spent.
+    RankFailure {
+        /// First failing rank (lowest rank id when several latch).
+        rank: usize,
+        /// DSMC step the failure surfaced at (`steps` = during the
+        /// end-of-run diagnostics collectives).
+        step: usize,
+        error: CommError,
+        /// Checkpoint restarts performed before giving up.
+        recoveries: usize,
+    },
+    /// A recovery replay could not restore a stored checkpoint; never
+    /// recoverable, surfaced under every policy.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RankFailure {
+                rank,
+                step,
+                error,
+                recoveries,
+            } => write!(
+                f,
+                "rank {rank} failed at step {step}: {error} (after {recoveries} recoveries)"
+            ),
+            RunError::Checkpoint(e) => write!(f, "recovery checkpoint unusable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One rank's failure, surfaced out of [`rank_main`].
+enum RankError {
+    Comm { step: usize, error: CommError },
+    Checkpoint(CheckpointError),
+}
+
+/// Per-rank in-memory checkpoint slots shared across recovery
+/// attempts: `(next step to run, checkpoint_rank envelope)`. Slots are
+/// only written after a world-wide barrier at the boundary succeeds,
+/// so the stored set is always consistent (every rank at the same
+/// step).
+type CheckpointStore = Vec<Mutex<Option<(usize, Vec<u8>)>>>;
+
+/// Fault-injection / recovery context one attempt runs under.
+struct FaultCtx<'a> {
+    chaos: Option<&'a Arc<ChaosWorld>>,
+    reliable: Option<&'a Arc<ReliableWorld>>,
+    /// Replays performed before this attempt.
+    recoveries: usize,
+    store: &'a CheckpointStore,
+}
+
+impl FaultCtx<'_> {
+    /// Whether faults were possible this run (a plan was installed).
+    fn chaotic(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.chaos.map_or(0, |c| c.injected_total())
+    }
+
+    fn retries(&self) -> u64 {
+        self.reliable.map_or(0, |r| r.retries())
+    }
+
+    fn dedup_dropped(&self) -> u64 {
+        self.reliable.map_or(0, |r| r.dedup_dropped())
+    }
+}
+
 /// Run the coupled solver on `run.ranks` OS threads for `run.steps`
-/// DSMC iterations.
+/// DSMC iterations, panicking on failure (the historical signature;
+/// use [`run_threaded_result`] to handle faults).
 pub fn run_threaded(run: &RunConfig) -> RunReport {
+    match run_threaded_result(run) {
+        Ok(report) => report,
+        Err(e) => panic!("threaded run failed: {e}"),
+    }
+}
+
+/// Run the coupled solver on `run.ranks` OS threads, applying the
+/// configured fault plan and recovery policy.
+///
+/// With [`RunConfig::fault_plan`] set, each rank's transport becomes
+/// `ReliableComm<ChaosComm<ThreadComm>>`; the chaos and reliability
+/// worlds are shared across recovery attempts, so kill events stay
+/// one-shot and the injected/retry counters in the returned report
+/// are cumulative over replays.
+pub fn run_threaded_result(run: &RunConfig) -> Result<RunReport, RunError> {
     let spec = run.sim.nozzle;
     let coarse = spec.generate();
     let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
@@ -64,15 +193,77 @@ pub fn run_threaded(run: &RunConfig) -> RunReport {
         run.ranks,
         partition::KwayOptions::default(),
     ));
-    let xadj = Arc::new(xadj);
-    let adjncy = Arc::new(adjncy);
 
-    let results = run_world(run.ranks, |comm| {
-        rank_main(
-            comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy,
-        )
-    });
-    results.into_iter().next().expect("rank 0 result")
+    let chaos = run
+        .fault_plan
+        .clone()
+        .map(|plan| ChaosWorld::new(plan, run.ranks));
+    let reliable = run
+        .fault_plan
+        .is_some()
+        .then(|| ReliableWorld::new(run.ranks));
+    let store: CheckpointStore = (0..run.ranks).map(|_| Mutex::new(None)).collect();
+
+    let mut recoveries = 0usize;
+    loop {
+        let ctx = FaultCtx {
+            chaos: chaos.as_ref(),
+            reliable: reliable.as_ref(),
+            recoveries,
+            store: &store,
+        };
+        let results = run_world(run.ranks, |comm| match (&chaos, &reliable) {
+            (Some(cw), Some(rw)) => {
+                let comm = ReliableComm::new(ChaosComm::new(comm, cw.clone()), rw.clone());
+                rank_main(
+                    &comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy, &ctx,
+                )
+            }
+            _ => rank_main(
+                &comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy, &ctx,
+            ),
+        });
+
+        let mut failure: Option<(usize, usize, CommError)> = None;
+        let mut rank0 = None;
+        for (rank, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(report) => {
+                    if rank == 0 {
+                        rank0 = Some(report);
+                    }
+                }
+                Err(RankError::Checkpoint(e)) => return Err(RunError::Checkpoint(e)),
+                Err(RankError::Comm { step, error }) => {
+                    if failure.is_none() {
+                        failure = Some((rank, step, error));
+                    }
+                }
+            }
+        }
+        let Some((rank, step, error)) = failure else {
+            return Ok(rank0.expect("rank 0 report"));
+        };
+        if run.on_fault == FaultPolicy::Abort || recoveries >= MAX_RECOVERIES {
+            return Err(RunError::RankFailure {
+                rank,
+                step,
+                error,
+                recoveries,
+            });
+        }
+        // Restart from the last consistent checkpoint set: flush the
+        // failed attempt's in-flight chaos holds and reliability
+        // journals (counters stay cumulative), then replay. One-shot
+        // kill events have already fired and stay fired.
+        recoveries += 1;
+        if let Some(cw) = &chaos {
+            cw.reset_pairs();
+        }
+        if let Some(rw) = &reliable {
+            rw.reset();
+        }
+    }
 }
 
 /// Split off the particles of `buf` that no longer belong to `me`,
@@ -117,20 +308,24 @@ fn resolve_strategy<C: Comm>(
     configured: Strategy,
     outgoing: &[Vec<u8>],
     cost: &CostModel,
-) -> Strategy {
+) -> CommResult<Strategy> {
     if configured != Strategy::Auto {
-        return configured;
+        return Ok(configured);
     }
     let mut row = Vec::with_capacity(outgoing.len() * 8);
     for b in outgoing {
         row.extend_from_slice(&(b.len() as u64).to_le_bytes());
     }
-    let choice = gather(comm, 0, row).map(|rows| {
+    let choice = gather(comm, 0, row)?.map(|rows| {
         let matrix: Vec<Vec<u64>> = rows
             .iter()
             .map(|r| {
                 r.chunks_exact(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .map(|c| {
+                        let mut w = [0u8; 8];
+                        w.copy_from_slice(c);
+                        u64::from_le_bytes(w)
+                    })
                     .collect()
             })
             .collect();
@@ -141,7 +336,12 @@ fn resolve_strategy<C: Comm>(
             .expect("pick is concrete");
         vec![idx as u8]
     });
-    Strategy::CONCRETE[broadcast(comm, 0, choice)[0] as usize]
+    match broadcast(comm, 0, choice)?.first() {
+        Some(&i) if (i as usize) < Strategy::CONCRETE.len() => Ok(Strategy::CONCRETE[i as usize]),
+        _ => Err(CommError::Malformed {
+            what: "auto strategy pick",
+        }),
+    }
 }
 
 /// One full particle migration: pack emigrants, resolve the strategy,
@@ -154,14 +354,14 @@ fn migrate<C: Comm>(
     buf: &mut ParticleBuffer,
     owner: &[u32],
     scratch: &mut ExchangeScratch,
-) -> Strategy {
+) -> CommResult<Strategy> {
     pack_emigrants(buf, owner, comm.rank(), comm.size(), scratch);
-    let strategy = resolve_strategy(comm, configured, &scratch.outgoing, cost);
-    exchange_into(comm, strategy, &mut scratch.outgoing, &mut scratch.incoming);
+    let strategy = resolve_strategy(comm, configured, &scratch.outgoing, cost)?;
+    exchange_into(comm, strategy, &mut scratch.outgoing, &mut scratch.incoming)?;
     for inc in &scratch.incoming {
         unpack_all(inc, buf);
     }
-    strategy
+    Ok(strategy)
 }
 
 /// Tally one resolved exchange into the CONCRETE-ordered counters,
@@ -178,6 +378,13 @@ fn tally(uses: &mut [u64; 3], s: Strategy) -> usize {
 /// Real-communication backend: `vmpi` collectives between the phases,
 /// measured [`WallClock`] timing, measured-lii rebalancing
 /// (Algorithm 1).
+///
+/// The [`Backend`] trait is infallible, so communication errors are
+/// *latched*: the first [`CommError`] is stored, the rank aborts its
+/// comm (collapsing peers' blocking operations promptly), and every
+/// later comm-touching backend call short-circuits to a local
+/// fallback. The run harness checks [`ThreadedBackend::fault`] after
+/// each step and discards the poisoned rank state.
 pub struct ThreadedBackend<'a, C: Comm> {
     comm: &'a C,
     strategy: Strategy,
@@ -206,6 +413,9 @@ pub struct ThreadedBackend<'a, C: Comm> {
     /// Attribution of the exchange in flight, for the pipeline's
     /// exchange events.
     pending_exchange: Option<ExchangeInfo>,
+    /// First communication error observed; once set, comm-touching
+    /// calls short-circuit (the rank's state is already condemned).
+    fault: Option<CommError>,
 }
 
 impl<'a, C: Comm> ThreadedBackend<'a, C> {
@@ -233,6 +443,28 @@ impl<'a, C: Comm> ThreadedBackend<'a, C> {
             total_tx: 0,
             total_bytes: 0,
             pending_exchange: None,
+            fault: None,
+        }
+    }
+
+    /// The first communication error this backend latched, if any.
+    pub fn fault(&self) -> Option<CommError> {
+        self.fault
+    }
+
+    /// The coarse-cell ownership map the backend is running under
+    /// (changes when the balancer remaps).
+    pub fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Latch the first fault and abort this rank's comm so peers
+    /// blocked on it collapse with [`CommError::PeerDead`] instead of
+    /// waiting out their timeouts.
+    fn latch(&mut self, error: CommError) {
+        if self.fault.is_none() {
+            self.fault = Some(error);
+            self.comm.abort();
         }
     }
 
@@ -241,22 +473,29 @@ impl<'a, C: Comm> ThreadedBackend<'a, C> {
     /// delta is best-effort per exchange (other ranks may be
     /// mid-flight); per-*step* deltas are exact.
     fn migrate_and_tally(&mut self, eng: &mut RankEngine) {
+        if self.fault.is_some() {
+            return;
+        }
         let before = (self.comm.stats().transactions(), self.comm.stats().bytes());
-        let s = migrate(
+        match migrate(
             self.comm,
             self.strategy,
             &self.cost,
             &mut eng.particles,
             &self.owner,
             &mut eng.exch,
-        );
-        let idx = tally(&mut self.strategy_uses, s);
-        self.pending_exchange = Some(ExchangeInfo {
-            strategy: idx,
-            transactions: self.comm.stats().transactions().saturating_sub(before.0),
-            bytes: self.comm.stats().bytes().saturating_sub(before.1),
-            max_rank_msgs: 0,
-        });
+        ) {
+            Ok(s) => {
+                let idx = tally(&mut self.strategy_uses, s);
+                self.pending_exchange = Some(ExchangeInfo {
+                    strategy: idx,
+                    transactions: self.comm.stats().transactions().saturating_sub(before.0),
+                    bytes: self.comm.stats().bytes().saturating_sub(before.1),
+                    max_rank_msgs: 0,
+                });
+            }
+            Err(e) => self.latch(e),
+        }
     }
 }
 
@@ -309,14 +548,34 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
     }
 
     fn reduce_charge(&mut self, _eng: &RankEngine, node_charge: Vec<f64>) -> Vec<f64> {
+        if self.fault.is_some() {
+            return node_charge;
+        }
         // sum boundary/node charge across ranks (paper §IV-C
         // reduction); every rank then solves the replicated system
-        allreduce_sum_f64(self.comm, &node_charge)
+        match allreduce_sum_f64(self.comm, &node_charge) {
+            Ok(summed) => summed,
+            Err(e) => {
+                self.latch(e);
+                node_charge
+            }
+        }
     }
 
     fn reindex_base(&mut self, eng: &RankEngine) -> u64 {
-        self.pops = allgather_u64(self.comm, eng.particles.len() as u64);
-        self.pops[..self.comm.rank()].iter().sum()
+        if self.fault.is_some() {
+            return 0;
+        }
+        match allgather_u64(self.comm, eng.particles.len() as u64) {
+            Ok(pops) => {
+                self.pops = pops;
+                self.pops[..self.comm.rank()].iter().sum()
+            }
+            Err(e) => {
+                self.latch(e);
+                0
+            }
+        }
     }
 
     fn rebalance(
@@ -325,9 +584,18 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
         bd: &Breakdown,
         _rec: &StepRecord,
     ) -> StepOutcome {
+        if self.fault.is_some() {
+            return StepOutcome::default();
+        }
         // share measured times: (total, migration, poisson) triples
         let mine = [bd.total(), bd.migration(), bd.poisson()];
-        let all = allgather_f64(self.comm, &mine);
+        let all = match allgather_f64(self.comm, &mine) {
+            Ok(all) => all,
+            Err(e) => {
+                self.latch(e);
+                return StepOutcome::default();
+            }
+        };
         let times: Vec<RankTimes> = all
             .chunks_exact(3)
             .map(|c| RankTimes {
@@ -353,7 +621,13 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
                     local[nc + c] += 1;
                 }
             }
-            let global = allreduce_sum_u64(self.comm, &local);
+            let global = match allreduce_sum_u64(self.comm, &local) {
+                Ok(global) => global,
+                Err(e) => {
+                    self.latch(e);
+                    return outcome;
+                }
+            };
             let (neutral, charged) = global.split_at(nc);
 
             // every rank runs the (deterministic) algorithm on the
@@ -405,9 +679,16 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
     }
 }
 
+/// Read a checkpoint-store slot, surviving a poisoned lock (a rank
+/// that panicked while storing): the stored bytes are still the last
+/// consistently committed envelope.
+fn read_slot(slot: &Mutex<Option<(usize, Vec<u8>)>>) -> Option<(usize, Vec<u8>)> {
+    slot.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
 #[allow(clippy::too_many_arguments)]
-fn rank_main(
-    comm: ThreadComm,
+fn rank_main<C: Comm>(
+    comm: &C,
     run: &RunConfig,
     nm: &Arc<NestedMesh>,
     species: &Arc<SpeciesTable>,
@@ -416,7 +697,9 @@ fn rank_main(
     owner0: &[u32],
     xadj: &[u32],
     adjncy: &[u32],
-) -> RunReport {
+    ctx: &FaultCtx<'_>,
+) -> Result<RunReport, RankError> {
+    let me = comm.rank();
     let mut eng = RankEngine::for_rank(
         run.sim.clone(),
         nm.clone(),
@@ -424,10 +707,19 @@ fn rank_main(
         h_id,
         hp_id,
         owner0,
-        comm.rank(),
+        me,
         run.threads_per_rank,
     );
-    let mut be = ThreadedBackend::new(&comm, run, owner0, xadj, adjncy);
+    // Resume from the last consistently committed checkpoint, if one
+    // exists (a recovery replay); otherwise start from step 0.
+    let (start_step, owner) = match read_slot(&ctx.store[me]) {
+        Some((next_step, blob)) => {
+            let owner = restore_rank(&mut eng, me, &blob).map_err(RankError::Checkpoint)?;
+            (next_step, owner)
+        }
+        None => (0, owner0.to_vec()),
+    };
+    let mut be = ThreadedBackend::new(comm, run, &owner, xadj, adjncy);
     let pipeline = StepPipeline {
         sort_every: run.sort_every,
     };
@@ -435,15 +727,24 @@ fn rank_main(
     // Rank 0 additionally drives the run's observability: one
     // Recorder taps the shared metrics registry and streams events to
     // the configured trace sink. Other ranks observe nothing.
-    let mut recorder = if comm.rank() == 0 {
-        let sink = run.obs.trace.make_sink().expect("open trace sink");
+    let mut recorder = if me == 0 {
+        let sink = run.obs.trace.make_sink().map_err(|_| RankError::Comm {
+            step: start_step,
+            error: CommError::Malformed {
+                what: "trace sink creation",
+            },
+        })?;
         let mut rec = Recorder::new(run.obs.metrics.as_ref(), sink);
         rec.meta(run.ranks, run.steps);
         Some(rec)
     } else {
         None
     };
-    for step in 0..run.steps {
+    for step in start_step..run.steps {
+        // fire scheduled stall/kill events for this rank, if any
+        if let Err(error) = comm.on_step(step) {
+            return Err(RankError::Comm { step, error });
+        }
         match recorder.as_mut() {
             Some(rec) => {
                 let mut obs = Tee(&mut builder, rec);
@@ -453,20 +754,30 @@ fn rank_main(
                 pipeline.run_step(&mut eng, &mut be, &mut builder, step);
             }
         }
-    }
-    if let Some(rec) = recorder.as_mut() {
-        rec.finish();
+        if let Some(error) = be.fault() {
+            return Err(RankError::Comm { step, error });
+        }
+        // Consistent checkpoint: the barrier proves every rank
+        // reached this fault-free boundary, so the stored set is a
+        // coherent restart point even if a fault lands one
+        // instruction later.
+        if run.checkpoint_every > 0 && (step + 1) % run.checkpoint_every == 0 {
+            match comm.barrier() {
+                Ok(()) => {
+                    let envelope = checkpoint_rank(&eng, be.owner());
+                    *ctx.store[me].lock().unwrap_or_else(|p| p.into_inner()) =
+                        Some((step + 1, envelope));
+                }
+                Err(error) => return Err(RankError::Comm { step, error }),
+            }
+        }
     }
     // Every rank exports its kernel-pool busy time (the registry is
     // shared across the rank threads; names are rank-qualified).
     if let Some(reg) = &run.obs.metrics {
         for (w, b) in eng.pool.busy_seconds().iter().enumerate() {
-            reg.gauge(&format!(
-                "kernels.rank{}.worker{}.busy_seconds",
-                comm.rank(),
-                w
-            ))
-            .set(*b);
+            reg.gauge(&format!("kernels.rank{me}.worker{w}.busy_seconds"))
+                .set(*b);
         }
     }
 
@@ -478,8 +789,29 @@ fn rank_main(
             counts[eng.particles.cell[i] as usize] += 1.0;
         }
     }
-    let counts = allreduce_sum_f64(&comm, &counts);
-    let pops = allgather_u64(&comm, eng.particles.len() as u64);
+    let at_diag = |error| RankError::Comm {
+        step: run.steps,
+        error,
+    };
+    let counts = allreduce_sum_f64(comm, &counts).map_err(at_diag)?;
+    let pops = allgather_u64(comm, eng.particles.len() as u64).map_err(at_diag)?;
+
+    // counters read *after* the diagnostics collectives so faults
+    // injected into them are counted too
+    let faults_injected = ctx.faults_injected();
+    let comm_retries = ctx.retries();
+    let comm_dedup_dropped = ctx.dedup_dropped();
+    if let Some(rec) = recorder.as_mut() {
+        if ctx.chaotic() || ctx.recoveries > 0 {
+            rec.fault_summary(
+                ctx.recoveries,
+                comm_retries,
+                comm_dedup_dropped,
+                faults_injected,
+            );
+        }
+        rec.finish();
+    }
 
     let stats = be.stats();
     let mut report = builder.finish();
@@ -494,7 +826,11 @@ fn rank_main(
     report.rebalances = stats.rebalances;
     report.rebalance_migrated = stats.rebalance_migrated;
     report.strategy_uses = stats.strategy_uses;
-    report
+    report.recoveries = ctx.recoveries;
+    report.comm_retries = comm_retries;
+    report.comm_dedup_dropped = comm_dedup_dropped;
+    report.faults_injected = faults_injected;
+    Ok(report)
 }
 
 /// Reference serial run of the same configuration (the paper's
@@ -538,7 +874,7 @@ pub fn run_serial(run: &RunConfig) -> RunReport {
 mod tests {
     use super::*;
     use crate::config::{Dataset, RunConfig};
-    use vmpi::Strategy;
+    use vmpi::{FaultAction, FaultPlan};
 
     fn quick_run(ranks: usize, strategy: Strategy, lb: bool) -> RunReport {
         let run = RunConfig::builder()
@@ -562,6 +898,8 @@ mod tests {
         assert!(r.population > 0);
         assert!(r.transactions > 0, "ranks must communicate");
         assert!(r.density_h.iter().any(|&d| d > 0.0));
+        assert_eq!(r.recoveries, 0, "clean run never recovers");
+        assert_eq!(r.faults_injected, 0, "clean run injects nothing");
     }
 
     #[test]
@@ -653,5 +991,81 @@ mod tests {
         assert_eq!(s.trace.len(), 4);
         assert!(s.breakdown.total() > 0.0, "serial breakdown now measured");
         assert!((s.total_time - s.breakdown.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_transport_matches_the_clean_run_bitwise() {
+        let base = |plan: Option<FaultPlan>| {
+            RunConfig::builder()
+                .paper(Dataset::D1, 0.02)
+                .ranks(3)
+                .seed(5)
+                .steps(12)
+                .rebalance(None)
+                .fault_plan(plan)
+                .build()
+                .expect("valid test config")
+        };
+        let clean = run_threaded(&base(None));
+        let plan = FaultPlan::seeded(0xFA11)
+            .drops(40)
+            .dups(40)
+            .delays(40, 3)
+            .action(1, 0, 0, FaultAction::Drop);
+        let chaotic = run_threaded_result(&base(Some(plan))).expect("reliable layer recovers");
+        assert_eq!(chaotic.density_h, clean.density_h);
+        assert_eq!(chaotic.population, clean.population);
+        assert!(chaotic.faults_injected > 0, "plan must have injected");
+        assert!(
+            chaotic.comm_retries > 0,
+            "the pinned drop must force a retransmission"
+        );
+    }
+
+    #[test]
+    fn abort_policy_surfaces_a_kill() {
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(3)
+            .seed(5)
+            .steps(8)
+            .rebalance(None)
+            .fault_plan(Some(FaultPlan::seeded(1).kill(1, 3)))
+            .build()
+            .expect("valid test config");
+        match run_threaded_result(&run) {
+            Err(RunError::RankFailure {
+                step, recoveries, ..
+            }) => {
+                assert!(step >= 3, "no rank can fail before the kill fires");
+                assert_eq!(recoveries, 0, "abort policy never replays");
+            }
+            other => panic!("expected a rank failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_recovers_from_checkpoint_bitwise() {
+        let base = |plan: Option<FaultPlan>| {
+            RunConfig::builder()
+                .paper(Dataset::D1, 0.02)
+                .ranks(3)
+                .seed(5)
+                .steps(12)
+                .rebalance(None)
+                .checkpoint_every(4)
+                .on_fault(FaultPolicy::RestartFromCheckpoint)
+                .fault_plan(plan)
+                .build()
+                .expect("valid test config")
+        };
+        let clean = run_threaded(&base(None));
+        let killed =
+            run_threaded_result(&base(Some(FaultPlan::seeded(2).kill(2, 6)))).expect("recovers");
+        assert_eq!(killed.recoveries, 1, "exactly one replay");
+        assert_eq!(killed.density_h, clean.density_h, "recovery is bitwise");
+        assert_eq!(killed.population, clean.population);
+        // the replay resumed from the step-4 checkpoint
+        assert_eq!(killed.trace.len(), 12 - 4, "trace holds replayed steps");
     }
 }

@@ -27,6 +27,10 @@ struct Taps {
     rebalances: Counter,
     rebalance_migrated: Counter,
     remap_time: TimeHist,
+    comm_retries: Counter,
+    comm_dedup_dropped: Counter,
+    comm_faults_injected: Counter,
+    recoveries: Counter,
 }
 
 impl Taps {
@@ -56,6 +60,10 @@ impl Taps {
             rebalances: reg.counter("balance.rebalances"),
             rebalance_migrated: reg.counter("balance.migrated_particles"),
             remap_time: reg.time_hist("balance.remap.seconds"),
+            comm_retries: reg.counter("comm.retries"),
+            comm_dedup_dropped: reg.counter("comm.dedup_dropped"),
+            comm_faults_injected: reg.counter("comm.faults_injected"),
+            recoveries: reg.counter("engine.recoveries"),
         }
     }
 }
@@ -94,6 +102,32 @@ impl Recorder {
     /// Emit the leading metadata record (call once, before the run).
     pub fn meta(&mut self, ranks: usize, steps: usize) {
         self.sink.emit(&TraceEvent::Meta { ranks, steps });
+    }
+
+    /// Emit the trailing fault/recovery summary of a run executed
+    /// over a faulty transport (call at most once, before
+    /// [`Recorder::finish`]), and mirror the counters into the
+    /// registry under `comm.retries`, `comm.dedup_dropped`,
+    /// `comm.faults_injected` and `engine.recoveries`.
+    pub fn fault_summary(
+        &mut self,
+        recoveries: usize,
+        retries: u64,
+        dedup_dropped: u64,
+        injected: u64,
+    ) {
+        if let Some(taps) = &self.taps {
+            taps.comm_retries.add(retries);
+            taps.comm_dedup_dropped.add(dedup_dropped);
+            taps.comm_faults_injected.add(injected);
+            taps.recoveries.add(recoveries as u64);
+        }
+        self.sink.emit(&TraceEvent::FaultSummary {
+            recoveries,
+            retries,
+            dedup_dropped,
+            injected,
+        });
     }
 
     /// Flush the sink (call once, after the run).
@@ -172,16 +206,21 @@ mod tests {
             remap_seconds: 0.01,
         });
         rec.step(0, &StepTrace::default());
+        rec.fault_summary(1, 7, 3, 12);
         rec.finish();
 
         let snap = reg.snapshot();
+        assert_eq!(snap.counter("comm.retries"), Some(7));
+        assert_eq!(snap.counter("comm.dedup_dropped"), Some(3));
+        assert_eq!(snap.counter("comm.faults_injected"), Some(12));
+        assert_eq!(snap.counter("engine.recoveries"), Some(1));
         assert_eq!(snap.counter("vmpi.exchange.DC.transactions"), Some(6));
         assert_eq!(snap.counter("vmpi.exchange.DC.bytes"), Some(640));
         assert_eq!(snap.counter("balance.rebalances"), Some(1));
         assert_eq!(snap.counter("balance.migrated_particles"), Some(42));
         assert_eq!(snap.counter("engine.steps"), Some(1));
-        // meta + exchange + rebalance + step
-        assert_eq!(mem.len(), 4);
+        // meta + exchange + rebalance + step + fault summary
+        assert_eq!(mem.len(), 5);
     }
 
     #[test]

@@ -30,6 +30,22 @@ pub enum TraceEvent {
     Exchange(ExchangeEvent),
     /// One rebalance performed.
     Rebalance(RebalanceEvent),
+    /// Trailing record of a run executed over a faulty transport:
+    /// what the chaos layer injected and what the reliability /
+    /// recovery machinery did about it. Emitted once, before the
+    /// final flush, and only when faults were possible (a fault plan
+    /// was installed).
+    FaultSummary {
+        /// Checkpoint restarts performed after detected rank deaths.
+        recoveries: usize,
+        /// Journal retransmissions by the reliability sublayer.
+        retries: u64,
+        /// Duplicate frames discarded by sequence-number dedup.
+        dedup_dropped: u64,
+        /// Faults injected (drops + duplicates + delays, cumulative
+        /// across recovery replays).
+        injected: u64,
+    },
 }
 
 impl TraceEvent {
@@ -46,6 +62,18 @@ impl TraceEvent {
             TraceEvent::Step { index, trace } => trace.to_json(*index),
             TraceEvent::Exchange(ev) => ev.to_json(),
             TraceEvent::Rebalance(ev) => ev.to_json(),
+            TraceEvent::FaultSummary {
+                recoveries,
+                retries,
+                dedup_dropped,
+                injected,
+            } => obj(vec![
+                ("type", Json::Str("fault_summary".into())),
+                ("recoveries", Json::U64(*recoveries as u64)),
+                ("retries", Json::U64(*retries)),
+                ("dedup_dropped", Json::U64(*dedup_dropped)),
+                ("injected", Json::U64(*injected)),
+            ]),
         }
     }
 }
@@ -211,6 +239,22 @@ mod tests {
             keep.events()[0],
             TraceEvent::Meta { ranks: 1, .. }
         ));
+    }
+
+    #[test]
+    fn fault_summary_json_carries_every_counter() {
+        let ev = TraceEvent::FaultSummary {
+            recoveries: 1,
+            retries: 9,
+            dedup_dropped: 4,
+            injected: 20,
+        };
+        let v = parse(&ev.to_json().to_string()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("fault_summary"));
+        assert_eq!(v.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("retries").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("dedup_dropped").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("injected").unwrap().as_u64(), Some(20));
     }
 
     #[test]

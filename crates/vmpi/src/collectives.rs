@@ -4,41 +4,55 @@
 //! gather/scatter through a root (the backbone of the centralized
 //! exchange), broadcast, and an all-reduce for charge-density boundary
 //! sums and residual norms in the distributed Poisson solve.
+//!
+//! Every collective is fallible: a communication fault on any hop
+//! propagates as a [`crate::CommError`] so the driver can
+//! abort the world and recover, instead of a rank panicking mid-
+//! collective and poisoning everything it shared.
 
 use crate::comm::Comm;
+use crate::error::{take_u64, CommError, CommResult};
+
+/// Read one little-endian `f64` off the front of `buf`.
+fn take_f64(buf: &mut &[u8], what: &'static str) -> CommResult<f64> {
+    Ok(f64::from_bits(take_u64(buf, what)?))
+}
 
 /// Gather each rank's buffer at `root`. Returns `Some(buffers)` (in
 /// rank order, including the root's own) on the root, `None`
 /// elsewhere.
-pub fn gather<C: Comm>(comm: &C, root: usize, mine: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+pub fn gather<C: Comm>(comm: &C, root: usize, mine: Vec<u8>) -> CommResult<Option<Vec<Vec<u8>>>> {
     if comm.rank() == root {
         let mut all = vec![Vec::new(); comm.size()];
         all[root] = mine;
         for (r, slot) in all.iter_mut().enumerate() {
             if r != root {
-                *slot = comm.recv(r);
+                *slot = comm.recv(r)?;
             }
         }
-        Some(all)
+        Ok(Some(all))
     } else {
-        comm.send(root, mine);
-        None
+        comm.send(root, mine)?;
+        Ok(None)
     }
 }
 
 /// Scatter one buffer per rank from `root`. Non-root ranks pass
 /// `None` and receive their slice; root passes `Some(buffers)`.
-pub fn scatter<C: Comm>(comm: &C, root: usize, bufs: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+///
+/// Panics if the root passes `None` or the wrong number of buffers —
+/// that is API misuse by the caller, not a communication fault.
+pub fn scatter<C: Comm>(comm: &C, root: usize, bufs: Option<Vec<Vec<u8>>>) -> CommResult<Vec<u8>> {
     if comm.rank() == root {
         let mut bufs = bufs.expect("root must provide buffers");
         assert_eq!(bufs.len(), comm.size());
         let mine = std::mem::take(&mut bufs[root]);
         for (r, b) in bufs.into_iter().enumerate() {
             if r != root {
-                comm.send(r, b);
+                comm.send(r, b)?;
             }
         }
-        mine
+        Ok(mine)
     } else {
         comm.recv(root)
     }
@@ -46,15 +60,17 @@ pub fn scatter<C: Comm>(comm: &C, root: usize, bufs: Option<Vec<Vec<u8>>>) -> Ve
 
 /// Broadcast `msg` from `root` to all ranks (returns the message on
 /// every rank).
-pub fn broadcast<C: Comm>(comm: &C, root: usize, msg: Option<Vec<u8>>) -> Vec<u8> {
+///
+/// Panics if the root passes `None` — API misuse, not a comm fault.
+pub fn broadcast<C: Comm>(comm: &C, root: usize, msg: Option<Vec<u8>>) -> CommResult<Vec<u8>> {
     if comm.rank() == root {
         let msg = msg.expect("root must provide the message");
         for r in 0..comm.size() {
             if r != root {
-                comm.send(r, msg.clone());
+                comm.send(r, msg.clone())?;
             }
         }
-        msg
+        Ok(msg)
     } else {
         comm.recv(root)
     }
@@ -64,42 +80,51 @@ pub fn broadcast<C: Comm>(comm: &C, root: usize, msg: Option<Vec<u8>>) -> Vec<u8
 /// receives the full sum. (Gather-reduce-broadcast through rank 0 —
 /// the topology-oblivious scheme, adequate for the rank counts the
 /// threaded backend runs at.)
-pub fn allreduce_sum_f64<C: Comm>(comm: &C, mine: &[f64]) -> Vec<f64> {
+pub fn allreduce_sum_f64<C: Comm>(comm: &C, mine: &[f64]) -> CommResult<Vec<f64>> {
+    let len = mine.len();
     let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let gathered = gather(comm, 0, bytes);
-    let reduced = if comm.rank() == 0 {
-        let mut acc = vec![0.0f64; mine.len()];
-        for buf in gathered.unwrap() {
-            assert_eq!(buf.len(), mine.len() * 8);
-            for (i, chunk) in buf.chunks_exact(8).enumerate() {
-                acc[i] += f64::from_le_bytes(chunk.try_into().unwrap());
+    let gathered = gather(comm, 0, bytes)?;
+    let reduced = if let Some(bufs) = gathered {
+        let mut acc = vec![0.0f64; len];
+        for buf in bufs {
+            if buf.len() != len * 8 {
+                return Err(CommError::Malformed {
+                    what: "allreduce_sum_f64 contribution",
+                });
+            }
+            let mut cur = buf.as_slice();
+            for a in acc.iter_mut() {
+                *a += take_f64(&mut cur, "allreduce_sum_f64 element")?;
             }
         }
         Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect())
     } else {
         None
     };
-    let out = broadcast(comm, 0, reduced);
-    out.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    let out = broadcast(comm, 0, reduced)?;
+    let mut cur = out.as_slice();
+    let mut result = Vec::with_capacity(len);
+    for _ in 0..len {
+        result.push(take_f64(&mut cur, "allreduce_sum_f64 result")?);
+    }
+    Ok(result)
 }
 
 /// All-reduce a single scalar by max.
-pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> f64 {
-    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec());
-    let reduced = if comm.rank() == 0 {
-        let m = gathered
-            .unwrap()
-            .iter()
-            .map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()))
-            .fold(f64::NEG_INFINITY, f64::max);
+pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> CommResult<f64> {
+    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec())?;
+    let reduced = if let Some(bufs) = gathered {
+        let mut m = f64::NEG_INFINITY;
+        for b in &bufs {
+            let mut cur = b.as_slice();
+            m = m.max(take_f64(&mut cur, "allreduce_max_f64 contribution")?);
+        }
         Some(m.to_le_bytes().to_vec())
     } else {
         None
     };
-    let out = broadcast(comm, 0, reduced);
-    f64::from_le_bytes(out[..8].try_into().unwrap())
+    let out = broadcast(comm, 0, reduced)?;
+    take_f64(&mut out.as_slice(), "allreduce_max_f64 result")
 }
 
 /// Sparse all-to-all of one `u64` per destination: rank `d` receives
@@ -112,17 +137,17 @@ pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> f64 {
 /// drain. This is the counts-first round of the sparse exchange
 /// (§IV-B): on a quiet step its transaction count is proportional to
 /// the nonzero pairs, not to `N²`.
-pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
+pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> CommResult<Vec<u64>> {
     let me = comm.rank();
     let n = comm.size();
     assert_eq!(mine.len(), n);
     for (d, &v) in mine.iter().enumerate() {
         if d != me && v != 0 {
-            comm.send(d, v.to_le_bytes().to_vec());
+            comm.send(d, v.to_le_bytes().to_vec())?;
         }
     }
     // Fence 1: after this, every message of the round is queued.
-    comm.barrier();
+    comm.barrier()?;
     let mut out = vec![0u64; n];
     out[me] = mine[me];
     for (s, slot) in out.iter_mut().enumerate() {
@@ -130,38 +155,47 @@ pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
             continue;
         }
         // at most one message per source this round
-        if let Some(m) = comm.try_recv(s) {
-            *slot = u64::from_le_bytes(m[..8].try_into().unwrap());
+        if let Some(m) = comm.try_recv(s)? {
+            *slot = take_u64(&mut m.as_slice(), "alltoall_u64 value")?;
         }
     }
     // Fence 2: nobody starts the next round until everyone drained.
-    comm.barrier();
-    out
+    comm.barrier()?;
+    Ok(out)
 }
 
 /// All-reduce a vector of u64 by element-wise summation — the
 /// lossless counterpart of [`allreduce_sum_f64`] for particle counts
 /// (a count round-tripped through f64 silently loses precision past
 /// 2^53).
-pub fn allreduce_sum_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
+pub fn allreduce_sum_u64<C: Comm>(comm: &C, mine: &[u64]) -> CommResult<Vec<u64>> {
+    let len = mine.len();
     let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let gathered = gather(comm, 0, bytes);
-    let reduced = if comm.rank() == 0 {
-        let mut acc = vec![0u64; mine.len()];
-        for buf in gathered.unwrap() {
-            assert_eq!(buf.len(), mine.len() * 8);
-            for (a, chunk) in acc.iter_mut().zip(buf.chunks_exact(8)) {
-                *a += u64::from_le_bytes(chunk.try_into().unwrap());
+    let gathered = gather(comm, 0, bytes)?;
+    let reduced = if let Some(bufs) = gathered {
+        let mut acc = vec![0u64; len];
+        for buf in bufs {
+            if buf.len() != len * 8 {
+                return Err(CommError::Malformed {
+                    what: "allreduce_sum_u64 contribution",
+                });
+            }
+            let mut cur = buf.as_slice();
+            for a in acc.iter_mut() {
+                *a += take_u64(&mut cur, "allreduce_sum_u64 element")?;
             }
         }
         Some(acc.iter().flat_map(|v| v.to_le_bytes()).collect())
     } else {
         None
     };
-    let out = broadcast(comm, 0, reduced);
-    out.chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    let out = broadcast(comm, 0, reduced)?;
+    let mut cur = out.as_slice();
+    let mut result = Vec::with_capacity(len);
+    for _ in 0..len {
+        result.push(take_u64(&mut cur, "allreduce_sum_u64 result")?);
+    }
+    Ok(result)
 }
 
 /// All-gather a fixed-size slice of f64 from every rank. Returns the
@@ -169,43 +203,59 @@ pub fn allreduce_sum_u64<C: Comm>(comm: &C, mine: &[u64]) -> Vec<u64> {
 /// ranks. Every rank must contribute the same number of values. Used
 /// to share measured per-rank phase times for the load-imbalance
 /// indicator.
-pub fn allgather_f64<C: Comm>(comm: &C, mine: &[f64]) -> Vec<f64> {
+pub fn allgather_f64<C: Comm>(comm: &C, mine: &[f64]) -> CommResult<Vec<f64>> {
+    let len = mine.len();
     let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let gathered = gather(comm, 0, bytes);
-    let packed = if comm.rank() == 0 {
-        let mut out = Vec::with_capacity(comm.size() * mine.len() * 8);
-        for b in gathered.unwrap() {
-            assert_eq!(b.len(), mine.len() * 8, "ragged allgather contribution");
+    let gathered = gather(comm, 0, bytes)?;
+    let packed = if let Some(bufs) = gathered {
+        let mut out = Vec::with_capacity(comm.size() * len * 8);
+        for b in bufs {
+            if b.len() != len * 8 {
+                return Err(CommError::Malformed {
+                    what: "ragged allgather_f64 contribution",
+                });
+            }
             out.extend_from_slice(&b);
         }
         Some(out)
     } else {
         None
     };
-    let out = broadcast(comm, 0, packed);
-    out.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    let out = broadcast(comm, 0, packed)?;
+    let mut cur = out.as_slice();
+    let mut result = Vec::with_capacity(comm.size() * len);
+    for _ in 0..comm.size() * len {
+        result.push(take_f64(&mut cur, "allgather_f64 result")?);
+    }
+    Ok(result)
 }
 
 /// All-gather a u64 from every rank (returned in rank order on all
 /// ranks). Used for global particle counts and the load-imbalance
 /// indicator.
-pub fn allgather_u64<C: Comm>(comm: &C, mine: u64) -> Vec<u64> {
-    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec());
-    let packed = if comm.rank() == 0 {
+pub fn allgather_u64<C: Comm>(comm: &C, mine: u64) -> CommResult<Vec<u64>> {
+    let gathered = gather(comm, 0, mine.to_le_bytes().to_vec())?;
+    let packed = if let Some(bufs) = gathered {
         let mut out = Vec::with_capacity(comm.size() * 8);
-        for b in gathered.unwrap() {
-            out.extend_from_slice(&b[..8]);
+        for b in bufs {
+            if b.len() != 8 {
+                return Err(CommError::Malformed {
+                    what: "allgather_u64 contribution",
+                });
+            }
+            out.extend_from_slice(&b);
         }
         Some(out)
     } else {
         None
     };
-    let out = broadcast(comm, 0, packed);
-    out.chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    let out = broadcast(comm, 0, packed)?;
+    let mut cur = out.as_slice();
+    let mut result = Vec::with_capacity(comm.size());
+    for _ in 0..comm.size() {
+        result.push(take_u64(&mut cur, "allgather_u64 result")?);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -217,7 +267,7 @@ mod tests {
     fn gather_scatter_roundtrip() {
         let out = run_world(4, |c| {
             let mine = vec![c.rank() as u8; c.rank() + 1];
-            let gathered = gather(&c, 0, mine);
+            let gathered = gather(&c, 0, mine).unwrap();
             if c.rank() == 0 {
                 let g = gathered.unwrap();
                 assert_eq!(g.len(), 4);
@@ -227,9 +277,9 @@ mod tests {
                 }
                 // scatter back doubled buffers
                 let bufs: Vec<Vec<u8>> = g.iter().map(|b| b.repeat(2)).collect();
-                scatter(&c, 0, Some(bufs))
+                scatter(&c, 0, Some(bufs)).unwrap()
             } else {
-                scatter(&c, 0, None)
+                scatter(&c, 0, None).unwrap()
             }
         });
         for (r, b) in out.iter().enumerate() {
@@ -245,7 +295,7 @@ mod tests {
             } else {
                 None
             };
-            broadcast(&c, 2, msg)
+            broadcast(&c, 2, msg).unwrap()
         });
         assert!(out.iter().all(|m| m == b"hello"));
     }
@@ -254,7 +304,7 @@ mod tests {
     fn allreduce_sums_vectors() {
         let out = run_world(3, |c| {
             let mine = vec![c.rank() as f64, 1.0];
-            allreduce_sum_f64(&c, &mine)
+            allreduce_sum_f64(&c, &mine).unwrap()
         });
         for v in out {
             assert_eq!(v, vec![3.0, 3.0]);
@@ -263,7 +313,7 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let out = run_world(4, |c| allreduce_max_f64(&c, c.rank() as f64 * 1.5));
+        let out = run_world(4, |c| allreduce_max_f64(&c, c.rank() as f64 * 1.5).unwrap());
         assert!(out.iter().all(|&v| v == 4.5));
     }
 
@@ -281,7 +331,7 @@ mod tests {
                     }
                 })
                 .collect();
-            alltoall_u64(&c, &mine)
+            alltoall_u64(&c, &mine).unwrap()
         });
         for (d, col) in out.iter().enumerate() {
             for (s, &v) in col.iter().enumerate() {
@@ -299,18 +349,18 @@ mod tests {
     fn alltoall_zero_entries_cost_no_messages() {
         let tx = run_world(6, |c| {
             c.stats().reset();
-            c.barrier();
+            c.barrier().unwrap();
             // only rank 2 posts anything: one value to rank 5
             let mut mine = vec![0u64; 6];
             if c.rank() == 2 {
                 mine[5] = 77;
             }
-            let out = alltoall_u64(&c, &mine);
+            let out = alltoall_u64(&c, &mine).unwrap();
             if c.rank() == 5 {
                 assert_eq!(out[2], 77);
             }
             assert!(out.iter().enumerate().all(|(s, &v)| v == 0 || s == 2));
-            c.barrier();
+            c.barrier().unwrap();
             c.stats().transactions()
         })[0];
         assert_eq!(tx, 1, "one nonzero entry = one message");
@@ -320,9 +370,9 @@ mod tests {
     fn back_to_back_alltoalls_do_not_interleave() {
         let out = run_world(4, |c| {
             let a: Vec<u64> = (0..4).map(|d| (c.rank() * 10 + d) as u64).collect();
-            let first = alltoall_u64(&c, &a);
+            let first = alltoall_u64(&c, &a).unwrap();
             let b: Vec<u64> = (0..4).map(|d| (c.rank() * 1000 + d) as u64).collect();
-            let second = alltoall_u64(&c, &b);
+            let second = alltoall_u64(&c, &b).unwrap();
             (first, second)
         });
         for (d, (f, s)) in out.iter().enumerate() {
@@ -339,7 +389,7 @@ mod tests {
         // the u64 reduction must keep every bit
         let out = run_world(3, |c| {
             let mine = vec![(1u64 << 53) + c.rank() as u64, c.rank() as u64];
-            allreduce_sum_u64(&c, &mine)
+            allreduce_sum_u64(&c, &mine).unwrap()
         });
         for v in out {
             assert_eq!(v, vec![3 * (1u64 << 53) + 3, 3]);
@@ -350,7 +400,7 @@ mod tests {
     fn allgather_f64_concatenates_in_rank_order() {
         let out = run_world(3, |c| {
             let r = c.rank() as f64;
-            allgather_f64(&c, &[r, r + 0.5])
+            allgather_f64(&c, &[r, r + 0.5]).unwrap()
         });
         for v in out {
             assert_eq!(v, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5]);
@@ -359,9 +409,32 @@ mod tests {
 
     #[test]
     fn allgather_orders_by_rank() {
-        let out = run_world(4, |c| allgather_u64(&c, (c.rank() * 10) as u64));
+        let out = run_world(4, |c| allgather_u64(&c, (c.rank() * 10) as u64).unwrap());
         for v in out {
             assert_eq!(v, vec![0, 10, 20, 30]);
         }
+    }
+
+    #[test]
+    fn ragged_contribution_is_malformed_not_a_panic() {
+        // rank 1 contributes the wrong element count; the root must
+        // report Malformed (and abort so nobody hangs), not panic
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                let r = allreduce_sum_f64(&c, &[0.0, 0.0]);
+                c.abort(); // release the peer waiting on the broadcast
+                r
+            } else {
+                // deliberately ragged: 1 element instead of 2
+                allreduce_sum_f64(&c, &[1.0])
+            }
+        });
+        assert_eq!(
+            out[0],
+            Err(CommError::Malformed {
+                what: "allreduce_sum_f64 contribution"
+            })
+        );
+        assert!(out[1].is_err());
     }
 }

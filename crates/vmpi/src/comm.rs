@@ -4,13 +4,21 @@
 //! [`Comm`] is the per-rank endpoint of an in-process message-passing
 //! world. Algorithms (collectives, the two particle-exchange
 //! strategies) are written against the trait so they run unchanged on
-//! the threaded backend and in tests.
+//! the threaded backend, under the chaos wrappers and in tests.
+//!
+//! Every operation is fallible: a dead peer, a stuck receive or a
+//! poisoned shared structure surfaces as a [`CommError`] value instead
+//! of a panic, so drivers can tear the world down and restart from a
+//! checkpoint (see `coupled`'s recovery path).
 //!
 //! Every send is accounted in a shared [`CommStats`] so experiments
 //! can report *transactions* (message count) and *bytes* — the two
 //! quantities the paper's efficiency analysis (§IV-B.3) contrasts
 //! between the centralized and distributed strategies.
 
+#[allow(unused_imports)] // doc links
+use crate::error::CommError;
+use crate::error::CommResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,30 +35,49 @@ pub trait Comm {
     /// Number of ranks in the world.
     fn size(&self) -> usize;
     /// Send `msg` to rank `to`.
-    fn send(&self, to: usize, msg: Vec<u8>);
+    fn send(&self, to: usize, msg: Vec<u8>) -> CommResult<()>;
     /// Receive the next message sent by rank `from`.
-    fn recv(&self, from: usize) -> Vec<u8>;
+    fn recv(&self, from: usize) -> CommResult<Vec<u8>>;
     /// Non-blocking receive: the next message rank `from` sent us, if
-    /// one is already queued. Callers must fence with [`Comm::barrier`]
-    /// to know the set of queued messages is complete (used by the
-    /// sparse counts round, where "no message" means "zero bytes").
-    fn try_recv(&self, from: usize) -> Option<Vec<u8>>;
+    /// one is already queued (`Ok(None)` = nothing queued). Callers
+    /// must fence with [`Comm::barrier`] to know the set of queued
+    /// messages is complete (used by the sparse counts round, where
+    /// "no message" means "zero bytes").
+    fn try_recv(&self, from: usize) -> CommResult<Option<Vec<u8>>>;
     /// Send from a borrowed slice. Transports that must own their
     /// payload copy here; the caller's buffer stays available for
     /// reuse, which is what keeps the exchange path allocation-free in
     /// steady state.
-    fn send_from(&self, to: usize, msg: &[u8]) {
-        self.send(to, msg.to_vec());
+    fn send_from(&self, to: usize, msg: &[u8]) -> CommResult<()> {
+        self.send(to, msg.to_vec())
     }
     /// Receive into a caller-supplied buffer (cleared first, capacity
     /// retained). The reusable-buffer counterpart of [`Comm::recv`].
-    fn recv_into(&self, from: usize, buf: &mut Vec<u8>) {
-        let msg = self.recv(from);
+    fn recv_into(&self, from: usize, buf: &mut Vec<u8>) -> CommResult<()> {
+        let msg = self.recv(from)?;
         buf.clear();
         buf.extend_from_slice(&msg);
+        Ok(())
     }
-    /// Block until every rank has entered the barrier.
-    fn barrier(&self);
+    /// Block until every rank has entered the barrier (or the world
+    /// has failed: a dead rank can never arrive, so a broken barrier
+    /// reports the failure instead of hanging).
+    fn barrier(&self) -> CommResult<()>;
+    /// Fault-tolerance hook: a new engine step begins. Transports with
+    /// a fault plan fire their scheduled per-step events here (rank
+    /// stall sleeps in place and returns `Ok`; rank kill declares this
+    /// endpoint dead and returns [`CommError::Killed`]). The default
+    /// transport has no scheduled faults and does nothing.
+    fn on_step(&self, step: usize) -> CommResult<()> {
+        let _ = step;
+        Ok(())
+    }
+    /// Fault-tolerance hook: declare this rank dead to the rest of the
+    /// world (peers' pending and future operations involving it fail
+    /// promptly with [`CommError::PeerDead`] instead of hanging).
+    /// Called when a rank latches an unrecoverable fault so the world
+    /// collapses deterministically. Default: no-op.
+    fn abort(&self) {}
     /// Shared traffic statistics for the whole world.
     fn stats(&self) -> &CommStats;
 }

@@ -22,7 +22,8 @@
 //!   `N(N−1)`.
 //! * [`Strategy::Auto`]: a marker resolved per step by the caller
 //!   (`coupled::machine::CostModel::pick_strategy`) from the measured
-//!   migration byte matrix — it never reaches the wire itself.
+//!   migration byte matrix — it never reaches the wire itself
+//!   (reaching it unresolved is [`CommError::AutoUnresolved`]).
 //!
 //! The deadlock-avoidance ordering follows the paper: round 1 receives
 //! from lower ranks then sends to higher ranks; round 2 receives from
@@ -33,9 +34,15 @@
 //! buffers are refilled in place ([`Comm::recv_into`]), so a steady
 //! state reuses the same capacity step after step. [`exchange`] is the
 //! owned-buffer convenience wrapper.
+//!
+//! Every strategy is fallible end to end: a dead peer, a timed-out
+//! receive or a malformed gathered frame surfaces as a
+//! [`CommError`] instead of a panic, so the coupled driver can tear
+//! the world down and restart from a checkpoint.
 
 use crate::collectives::alltoall_u64;
 use crate::comm::Comm;
+use crate::error::{take_u32, take_u64, CommError, CommResult};
 use serde::{Deserialize, Serialize};
 
 /// Which particle-migration strategy to use.
@@ -66,10 +73,14 @@ impl Strategy {
 /// Exchange `outgoing[dest]` buffers between all ranks; returns
 /// `incoming[src]` buffers. `outgoing[comm.rank()]` is delivered
 /// straight to `incoming[comm.rank()]` without touching the network.
-pub fn exchange<C: Comm>(comm: &C, strategy: Strategy, mut outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+pub fn exchange<C: Comm>(
+    comm: &C,
+    strategy: Strategy,
+    mut outgoing: Vec<Vec<u8>>,
+) -> CommResult<Vec<Vec<u8>>> {
     let mut incoming = Vec::new();
-    exchange_into(comm, strategy, &mut outgoing, &mut incoming);
-    incoming
+    exchange_into(comm, strategy, &mut outgoing, &mut incoming)?;
+    Ok(incoming)
 }
 
 /// Allocation-free exchange: fills `incoming[src]` (resized to world
@@ -81,7 +92,7 @@ pub fn exchange_into<C: Comm>(
     strategy: Strategy,
     outgoing: &mut [Vec<u8>],
     incoming: &mut Vec<Vec<u8>>,
-) {
+) -> CommResult<()> {
     let n = comm.size();
     let me = comm.rank();
     assert_eq!(outgoing.len(), n);
@@ -95,10 +106,7 @@ pub fn exchange_into<C: Comm>(
         Strategy::Centralized => exchange_centralized_into(comm, outgoing, incoming),
         Strategy::Distributed => exchange_distributed_into(comm, outgoing, incoming),
         Strategy::Sparse => exchange_sparse_into(comm, outgoing, incoming),
-        Strategy::Auto => panic!(
-            "Strategy::Auto must be resolved to a concrete strategy before the \
-             exchange runs (see coupled::machine::CostModel::pick_strategy)"
-        ),
+        Strategy::Auto => Err(CommError::AutoUnresolved),
     }
 }
 
@@ -111,25 +119,26 @@ fn exchange_distributed_into<C: Comm>(
     comm: &C,
     outgoing: &mut [Vec<u8>],
     incoming: &mut [Vec<u8>],
-) {
+) -> CommResult<()> {
     let me = comm.rank();
     let n = comm.size();
     // Round 1: receive from every lower rank (ascending), then send to
     // every higher rank (ascending).
     for src in 0..me {
-        comm.recv_into(src, &mut incoming[src]);
+        comm.recv_into(src, &mut incoming[src])?;
     }
     for dst in me + 1..n {
-        comm.send_from(dst, &outgoing[dst]);
+        comm.send_from(dst, &outgoing[dst])?;
     }
     // Round 2: receive from every higher rank (descending), then send
     // to every lower rank (descending).
     for src in (me + 1..n).rev() {
-        comm.recv_into(src, &mut incoming[src]);
+        comm.recv_into(src, &mut incoming[src])?;
     }
     for dst in (0..me).rev() {
-        comm.send_from(dst, &outgoing[dst]);
+        comm.send_from(dst, &outgoing[dst])?;
     }
+    Ok(())
 }
 
 /// Sparse strategy: a counts round tells every rank which peers hold
@@ -138,7 +147,11 @@ fn exchange_distributed_into<C: Comm>(
 /// symmetric knowledge, so the schedule stays deadlock-free).
 // index loops: see exchange_distributed_into — same ordered schedule
 #[allow(clippy::needless_range_loop)]
-fn exchange_sparse_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &mut [Vec<u8>]) {
+fn exchange_sparse_into<C: Comm>(
+    comm: &C,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut [Vec<u8>],
+) -> CommResult<()> {
     let me = comm.rank();
     let n = comm.size();
     let counts: Vec<u64> = outgoing
@@ -146,27 +159,28 @@ fn exchange_sparse_into<C: Comm>(comm: &C, outgoing: &mut [Vec<u8>], incoming: &
         .enumerate()
         .map(|(d, b)| if d == me { 0 } else { b.len() as u64 })
         .collect();
-    let expect = alltoall_u64(comm, &counts);
+    let expect = alltoall_u64(comm, &counts)?;
     for src in 0..me {
         if expect[src] > 0 {
-            comm.recv_into(src, &mut incoming[src]);
+            comm.recv_into(src, &mut incoming[src])?;
         }
     }
     for dst in me + 1..n {
         if !outgoing[dst].is_empty() {
-            comm.send_from(dst, &outgoing[dst]);
+            comm.send_from(dst, &outgoing[dst])?;
         }
     }
     for src in (me + 1..n).rev() {
         if expect[src] > 0 {
-            comm.recv_into(src, &mut incoming[src]);
+            comm.recv_into(src, &mut incoming[src])?;
         }
     }
     for dst in (0..me).rev() {
         if !outgoing[dst].is_empty() {
-            comm.send_from(dst, &outgoing[dst]);
+            comm.send_from(dst, &outgoing[dst])?;
         }
     }
+    Ok(())
 }
 
 /// Centralized strategy: gather at root, classify by destination,
@@ -177,7 +191,7 @@ fn exchange_centralized_into<C: Comm>(
     comm: &C,
     outgoing: &mut [Vec<u8>],
     incoming: &mut [Vec<u8>],
-) {
+) -> CommResult<()> {
     const ROOT: usize = 0;
     let me = comm.rank();
     let n = comm.size();
@@ -194,12 +208,26 @@ fn exchange_centralized_into<C: Comm>(
         }
     };
 
+    // split a (dst|src, len, payload) frame off the front of `cur`
+    fn take_group<'a>(cur: &mut &'a [u8], n: usize) -> CommResult<(usize, &'a [u8])> {
+        let who = take_u32(cur, "centralized group header")? as usize;
+        let len = take_u64(cur, "centralized group length")? as usize;
+        if who >= n || cur.len() < len {
+            return Err(CommError::Malformed {
+                what: "centralized group body",
+            });
+        }
+        let (payload, rest) = cur.split_at(len);
+        *cur = rest;
+        Ok((who, payload))
+    }
+
     if me == ROOT {
         // --- gather stage -------------------------------------------
         let mut gathered: Vec<Vec<u8>> = Vec::with_capacity(n);
         gathered.push(Vec::new()); // root's groups come straight from `outgoing`
         for src in 1..n {
-            gathered.push(comm.recv(src));
+            gathered.push(comm.recv(src)?);
         }
         // --- classify stage: borrowed (src, payload-slice) refs -----
         let mut classified: Vec<Vec<(u32, &[u8])>> = vec![Vec::new(); n];
@@ -209,14 +237,10 @@ fn exchange_centralized_into<C: Comm>(
             }
         }
         for (src, buf) in gathered.iter().enumerate().skip(1) {
-            let mut off = 0usize;
-            while off < buf.len() {
-                let dst = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-                off += 4;
-                let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-                off += 8;
-                classified[dst].push((src as u32, &buf[off..off + len]));
-                off += len;
+            let mut cur = buf.as_slice();
+            while !cur.is_empty() {
+                let (dst, payload) = take_group(&mut cur, n)?;
+                classified[dst].push((src as u32, payload));
             }
         }
         // --- scatter stage: one copy per payload --------------------
@@ -233,24 +257,21 @@ fn exchange_centralized_into<C: Comm>(
                     scatter.extend_from_slice(&(payload.len() as u64).to_le_bytes());
                     scatter.extend_from_slice(payload);
                 }
-                comm.send_from(dst, &scatter);
+                comm.send_from(dst, &scatter)?;
             }
         }
     } else {
         let mut msg = Vec::new();
         pack(outgoing, me, &mut msg);
-        comm.send(ROOT, msg);
-        let buf = comm.recv(ROOT);
-        let mut off = 0usize;
-        while off < buf.len() {
-            let src = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-            off += 4;
-            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-            off += 8;
-            incoming[src].extend_from_slice(&buf[off..off + len]);
-            off += len;
+        comm.send(ROOT, msg)?;
+        let buf = comm.recv(ROOT)?;
+        let mut cur = buf.as_slice();
+        while !cur.is_empty() {
+            let (src, payload) = take_group(&mut cur, n)?;
+            incoming[src].extend_from_slice(payload);
         }
     }
+    Ok(())
 }
 
 /// Traffic summary for one exchange given the migration byte matrix
@@ -275,6 +296,10 @@ pub struct TrafficSummary {
 }
 
 /// Predict the traffic of one exchange under `strategy`.
+///
+/// Panics on [`Strategy::Auto`]: the auto marker has no traffic of its
+/// own — resolving it first is a caller precondition, not a runtime
+/// communication fault.
 pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
     let n = matrix.len();
     let mut off_diag = 0u64; // M: bytes that actually change ranks
@@ -374,7 +399,7 @@ mod tests {
     fn check_all_to_all(strategy: Strategy, n: usize) {
         let results = run_world(n, |c| {
             let outgoing: Vec<Vec<u8>> = (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
-            exchange(&c, strategy, outgoing)
+            exchange(&c, strategy, outgoing).unwrap()
         });
         for (dst, incoming) in results.iter().enumerate() {
             assert_eq!(incoming.len(), n);
@@ -406,6 +431,16 @@ mod tests {
     }
 
     #[test]
+    fn unresolved_auto_is_an_error_not_a_panic() {
+        let out = run_world(2, |c| {
+            let outgoing = vec![Vec::new(); c.size()];
+            exchange(&c, Strategy::Auto, outgoing)
+        });
+        assert_eq!(out[0], Err(CommError::AutoUnresolved));
+        assert_eq!(out[1], Err(CommError::AutoUnresolved));
+    }
+
+    #[test]
     fn empty_buffers_allowed() {
         for strategy in Strategy::CONCRETE {
             let results = run_world(4, move |c| {
@@ -414,7 +449,7 @@ mod tests {
                 if c.rank() == 1 {
                     outgoing[3] = vec![42u8; 7];
                 }
-                exchange(&c, strategy, outgoing)
+                exchange(&c, strategy, outgoing).unwrap()
             });
             assert_eq!(results[3][1], vec![42u8; 7]);
             for (dst, inc) in results.iter().enumerate() {
@@ -440,7 +475,7 @@ mod tests {
                 let mut outgoing: Vec<Vec<u8>> =
                     (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
                 let mut incoming = Vec::new();
-                exchange_into(&c, strategy, &mut outgoing, &mut incoming);
+                exchange_into(&c, strategy, &mut outgoing, &mut incoming).unwrap();
                 let first: Vec<Vec<u8>> = incoming.clone();
                 // outgoing untouched by the exchange
                 for (dst, buf) in outgoing.iter().enumerate() {
@@ -452,7 +487,7 @@ mod tests {
                     buf.extend_from_slice(&payload(c.rank(), dst));
                     buf.push(0xEE);
                 }
-                exchange_into(&c, strategy, &mut outgoing, &mut incoming);
+                exchange_into(&c, strategy, &mut outgoing, &mut incoming).unwrap();
                 (first, incoming)
             });
             for (dst, (first, second)) in results.iter().enumerate() {
@@ -480,10 +515,10 @@ mod tests {
         ] {
             let tx = run_world(n, move |c| {
                 c.stats().reset();
-                c.barrier();
+                c.barrier().unwrap();
                 let outgoing = vec![vec![1u8; 4]; c.size()];
-                let _ = exchange(&c, strategy, outgoing);
-                c.barrier();
+                let _ = exchange(&c, strategy, outgoing).unwrap();
+                c.barrier().unwrap();
                 c.stats().transactions()
             })[0];
             assert_eq!(tx, expect, "{strategy:?}");
@@ -501,7 +536,7 @@ mod tests {
         let measure = |strategy: Strategy| {
             run_world(n, move |c| {
                 c.stats().reset();
-                c.barrier();
+                c.barrier().unwrap();
                 // two nonzero pairs: 1→3 and 6→2
                 let mut outgoing = vec![Vec::new(); c.size()];
                 match c.rank() {
@@ -509,8 +544,8 @@ mod tests {
                     6 => outgoing[2] = vec![9u8; 122],
                     _ => {}
                 }
-                let inc = exchange(&c, strategy, outgoing);
-                c.barrier();
+                let inc = exchange(&c, strategy, outgoing).unwrap();
+                c.barrier().unwrap();
                 (c.stats().transactions(), inc)
             })
         };
@@ -542,7 +577,7 @@ mod tests {
         let n = 5usize;
         let tx = run_world(n, move |c| {
             c.stats().reset();
-            c.barrier();
+            c.barrier().unwrap();
             let mut outgoing = vec![Vec::new(); c.size()];
             // symmetric pairs {0,4} and {1,2}
             match c.rank() {
@@ -552,8 +587,8 @@ mod tests {
                 2 => outgoing[1] = vec![4u8; 40],
                 _ => {}
             }
-            let _ = exchange(&c, Strategy::Sparse, outgoing);
-            c.barrier();
+            let _ = exchange(&c, Strategy::Sparse, outgoing).unwrap();
+            c.barrier().unwrap();
             c.stats().transactions()
         })[0];
         assert_eq!(tx, 2 * 4, "4 nonzero ordered pairs, 2 messages each");
@@ -576,12 +611,12 @@ mod tests {
         let (tx, bytes) = {
             let out = run_world(n, move |c| {
                 c.stats().reset();
-                c.barrier();
+                c.barrier().unwrap();
                 let outgoing: Vec<Vec<u8>> = (0..c.size())
                     .map(|d| vec![0xAAu8; m2[c.rank()][d] as usize])
                     .collect();
-                let _ = exchange(&c, Strategy::Sparse, outgoing);
-                c.barrier();
+                let _ = exchange(&c, Strategy::Sparse, outgoing).unwrap();
+                c.barrier().unwrap();
                 (c.stats().transactions(), c.stats().bytes())
             });
             out[0]

@@ -5,10 +5,120 @@
 //! (examples, validation, threaded benches). Large-scale experiments
 //! (hundreds–thousands of ranks) use the sequential cluster driver in
 //! the `coupled` crate instead, with identical exchange semantics.
+//!
+//! Fault tolerance: the world carries a control plane — a per-rank
+//! dead flag plus a breakable fault barrier — so a rank that
+//! latches an unrecoverable fault can [`Comm::abort`] and the rest of
+//! the world fails *promptly* with [`CommError::PeerDead`] instead of
+//! hanging in a receive or a barrier a dead rank can never reach.
+//! Receives are bounded by a configurable timeout
+//! ([`ThreadComm::set_recv_timeout`]) as the backstop for genuinely
+//! stuck peers.
 
 use crate::comm::{Comm, CommStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crate::error::{CommError, CommResult};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default bound on a blocking receive. Generous: the clean path never
+/// waits anywhere near this long, and fault tests shorten it.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Granularity of the receive poll loop: how often a blocked receive
+/// re-checks the control plane (peer death) and its deadline.
+const POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// Shared per-world control plane: which ranks are dead.
+#[derive(Debug)]
+pub(crate) struct WorldControl {
+    dead: Vec<AtomicBool>,
+}
+
+impl WorldControl {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(WorldControl {
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+}
+
+/// A breakable barrier: like [`std::sync::Barrier`], but a rank that
+/// dies can break it, waking every waiter with an error — a dead rank
+/// never arrives, so waiting for it would hang the world forever.
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    /// `Some(rank)` once broken by `rank`'s death.
+    broken_by: Option<usize>,
+}
+
+#[derive(Debug)]
+pub(crate) struct FaultBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl FaultBarrier {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(FaultBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                broken_by: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) -> CommResult<()> {
+        let mut st = self.state.lock().map_err(|_| CommError::Poisoned)?;
+        if let Some(peer) = st.broken_by {
+            return Err(CommError::PeerDead { peer });
+        }
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        while st.generation == gen && st.broken_by.is_none() {
+            st = self.cv.wait(st).map_err(|_| CommError::Poisoned)?;
+        }
+        // judge by generation first: if our round completed, a break
+        // that happened *afterwards* belongs to a later round
+        if st.generation != gen {
+            return Ok(());
+        }
+        match st.broken_by {
+            Some(peer) => Err(CommError::PeerDead { peer }),
+            None => Ok(()),
+        }
+    }
+
+    fn break_all(&self, by: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            if st.broken_by.is_none() {
+                st.broken_by = Some(by);
+            }
+        }
+        self.cv.notify_all();
+    }
+}
 
 /// Per-rank endpoint of a threaded world.
 pub struct ThreadComm {
@@ -18,8 +128,29 @@ pub struct ThreadComm {
     to: Vec<Sender<Vec<u8>>>,
     /// `from[j]` receives messages rank `j` sent us.
     from: Vec<Receiver<Vec<u8>>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<FaultBarrier>,
+    control: Arc<WorldControl>,
     stats: Arc<CommStats>,
+    recv_timeout: Duration,
+}
+
+impl ThreadComm {
+    /// Bound every blocking receive on this endpoint by `timeout`
+    /// (default [`DEFAULT_RECV_TIMEOUT`]). Past the bound, `recv`
+    /// returns [`CommError::Timeout`] instead of blocking forever.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.recv_timeout = timeout;
+    }
+
+    fn check_alive(&self, peer: usize) -> CommResult<()> {
+        if self.control.is_dead(self.rank) {
+            return Err(CommError::Killed { rank: self.rank });
+        }
+        if self.control.is_dead(peer) {
+            return Err(CommError::PeerDead { peer });
+        }
+        Ok(())
+    }
 }
 
 impl Comm for ThreadComm {
@@ -31,21 +162,70 @@ impl Comm for ThreadComm {
         self.size
     }
 
-    fn send(&self, to: usize, msg: Vec<u8>) {
+    fn send(&self, to: usize, msg: Vec<u8>) -> CommResult<()> {
+        self.check_alive(to)?;
         self.stats.record(msg.len());
-        self.to[to].send(msg).expect("receiver hung up");
+        self.to[to]
+            .send(msg)
+            .map_err(|_| CommError::PeerDead { peer: to })
     }
 
-    fn recv(&self, from: usize) -> Vec<u8> {
-        self.from[from].recv().expect("sender hung up")
+    fn recv(&self, from: usize) -> CommResult<Vec<u8>> {
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            // a queued message wins even over a freshly-dead peer: it
+            // was sent while the peer was alive
+            match self.from[from].try_recv() {
+                Ok(m) => return Ok(m),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => return Err(CommError::PeerDead { peer: from }),
+            }
+            self.check_alive(from)?;
+            if Instant::now() >= deadline {
+                return Err(CommError::Timeout { from });
+            }
+            match self.from[from].recv_timeout(POLL_SLICE) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerDead { peer: from })
+                }
+            }
+        }
     }
 
-    fn try_recv(&self, from: usize) -> Option<Vec<u8>> {
-        self.from[from].try_recv()
+    fn try_recv(&self, from: usize) -> CommResult<Option<Vec<u8>>> {
+        match self.from[from].try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => {
+                if self.control.is_dead(from) {
+                    Err(CommError::PeerDead { peer: from })
+                } else {
+                    Ok(None)
+                }
+            }
+            // normal exit of the peer thread with nothing queued: for
+            // the fenced sparse-counts drain this *is* the zero
+            Err(TryRecvError::Disconnected) => {
+                if self.control.is_dead(from) {
+                    Err(CommError::PeerDead { peer: from })
+                } else {
+                    Ok(None)
+                }
+            }
+        }
     }
 
-    fn barrier(&self) {
-        self.barrier.wait();
+    fn barrier(&self) -> CommResult<()> {
+        if self.control.is_dead(self.rank) {
+            return Err(CommError::Killed { rank: self.rank });
+        }
+        self.barrier.wait()
+    }
+
+    fn abort(&self) {
+        self.control.mark_dead(self.rank);
+        self.barrier.break_all(self.rank);
     }
 
     fn stats(&self) -> &CommStats {
@@ -54,7 +234,9 @@ impl Comm for ThreadComm {
 }
 
 /// Run `f(comm)` on `n` rank threads and collect the per-rank return
-/// values in rank order. Panics in any rank propagate.
+/// values in rank order. Panics in any rank propagate (communication
+/// *faults* do not panic — they surface as [`CommError`] values from
+/// the comm operations, which `f` is free to return).
 pub fn run_world<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -62,7 +244,8 @@ where
 {
     assert!(n >= 1);
     let stats = CommStats::new();
-    let barrier = Arc::new(Barrier::new(n));
+    let barrier = FaultBarrier::new(n);
+    let control = WorldControl::new(n);
 
     // channels[i][j] = channel from rank i to rank j
     let mut senders: Vec<Vec<Sender<Vec<u8>>>> = Vec::with_capacity(n);
@@ -82,14 +265,17 @@ where
 
     let mut comms: Vec<ThreadComm> = Vec::with_capacity(n);
     for (rank, (to, from_opts)) in senders.into_iter().zip(receivers).enumerate() {
-        let from = from_opts.into_iter().map(|r| r.unwrap()).collect();
+        let from: Vec<_> = from_opts.into_iter().flatten().collect();
+        debug_assert_eq!(from.len(), n);
         comms.push(ThreadComm {
             rank,
             size: n,
             to,
             from,
             barrier: barrier.clone(),
+            control: control.clone(),
             stats: stats.clone(),
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
         });
     }
 
@@ -101,7 +287,10 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -122,8 +311,8 @@ mod tests {
         let got = run_world(5, |c| {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
-            c.send(next, vec![c.rank() as u8]);
-            let m = c.recv(prev);
+            c.send(next, vec![c.rank() as u8]).unwrap();
+            let m = c.recv(prev).unwrap();
             m[0] as usize
         });
         assert_eq!(got, vec![4, 0, 1, 2, 3]);
@@ -135,12 +324,12 @@ mod tests {
         // source regardless of arrival order
         let got = run_world(3, |c| match c.rank() {
             0 => {
-                let a = c.recv(2);
-                let b = c.recv(1);
+                let a = c.recv(2).unwrap();
+                let b = c.recv(1).unwrap();
                 (a[0], b[0])
             }
             r => {
-                c.send(0, vec![r as u8]);
+                c.send(0, vec![r as u8]).unwrap();
                 (0, 0)
             }
         });
@@ -151,11 +340,11 @@ mod tests {
     fn stats_count_messages_and_bytes() {
         let out = run_world(2, |c| {
             if c.rank() == 0 {
-                c.send(1, vec![0u8; 10]);
+                c.send(1, vec![0u8; 10]).unwrap();
             } else {
-                let _ = c.recv(0);
+                let _ = c.recv(0).unwrap();
             }
-            c.barrier();
+            c.barrier().unwrap();
             (c.stats().transactions(), c.stats().bytes())
         });
         assert_eq!(out[0], (1, 10));
@@ -168,9 +357,94 @@ mod tests {
         let counter = AtomicUsize::new(0);
         run_world(8, |c| {
             counter.fetch_add(1, Ordering::SeqCst);
-            c.barrier();
+            c.barrier().unwrap();
             // after the barrier, every rank must see all increments
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         });
+    }
+
+    #[test]
+    fn queued_messages_survive_peer_exit() {
+        // rank 0 sends then exits immediately; rank 1 must still get
+        // the message, and only *then* see the hangup
+        let got = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![7]).unwrap();
+                Ok(Vec::new())
+            } else {
+                std::thread::sleep(Duration::from_millis(20));
+                c.recv(0)
+            }
+        });
+        assert_eq!(got[1].as_deref().unwrap(), &[7]);
+    }
+
+    #[test]
+    fn recv_from_exited_peer_is_peer_dead() {
+        let got = run_world(2, |c| {
+            if c.rank() == 0 {
+                Ok(Vec::new()) // exit without sending
+            } else {
+                c.recv(0)
+            }
+        });
+        assert_eq!(got[1], Err(CommError::PeerDead { peer: 0 }));
+    }
+
+    #[test]
+    fn recv_times_out_without_sender() {
+        let got = run_world(2, |mut c| {
+            c.set_recv_timeout(Duration::from_millis(10));
+            if c.rank() == 1 {
+                let r = c.recv(0);
+                c.barrier().unwrap(); // release rank 0
+                r
+            } else {
+                c.barrier().unwrap(); // stay alive until rank 1 timed out
+                Ok(Vec::new())
+            }
+        });
+        assert_eq!(got[1], Err(CommError::Timeout { from: 0 }));
+    }
+
+    #[test]
+    fn abort_breaks_the_barrier_for_everyone() {
+        let got = run_world(3, |c| {
+            if c.rank() == 2 {
+                std::thread::sleep(Duration::from_millis(10));
+                c.abort();
+                Err(CommError::Killed { rank: 2 })
+            } else {
+                c.barrier()
+            }
+        });
+        assert_eq!(got[0], Err(CommError::PeerDead { peer: 2 }));
+        assert_eq!(got[1], Err(CommError::PeerDead { peer: 2 }));
+    }
+
+    #[test]
+    fn dead_rank_operations_fail_fast() {
+        let got = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.abort();
+                // a killed endpoint refuses further traffic
+                let send_err = c.send(1, vec![1]).unwrap_err();
+                let barrier_err = c.barrier().unwrap_err();
+                (send_err, barrier_err)
+            } else {
+                // peer-facing operations fail promptly, not at timeout
+                let t0 = Instant::now();
+                let e = loop {
+                    if let Err(e) = c.recv(0) {
+                        break e;
+                    }
+                };
+                assert!(t0.elapsed() < Duration::from_secs(5));
+                (e, e)
+            }
+        });
+        assert_eq!(got[0].0, CommError::Killed { rank: 0 });
+        assert_eq!(got[0].1, CommError::Killed { rank: 0 });
+        assert_eq!(got[1].0, CommError::PeerDead { peer: 0 });
     }
 }

@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
+echo "== vmpi fast path (comm + chaos + reliability units) =="
+cargo test -q -p vmpi
+
 echo "== tests (workspace) =="
 cargo test --workspace -q
+
+echo "== chaos gate (seeded fault plans must reproduce clean hashes) =="
+cargo test -q --test chaos_guard
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -11,7 +11,10 @@ use particles::{
 };
 use proptest::prelude::*;
 use sparse::{cg, solve_dense, CooBuilder, KrylovOptions};
-use vmpi::{exchange, run_world, traffic, Comm, Strategy as CommStrategy};
+use vmpi::{
+    exchange, run_world, traffic, ChaosComm, ChaosWorld, Comm, FaultPlan, ReliableComm,
+    ReliableWorld, Strategy as CommStrategy,
+};
 
 fn vec3() -> impl Strategy<Value = Vec3> {
     (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Vec3::new(x, y, z))
@@ -223,6 +226,59 @@ proptest! {
         let sp = deliver(CommStrategy::Sparse);
         let dc = deliver(CommStrategy::Distributed);
         prop_assert_eq!(sp, dc);
+    }
+
+    #[test]
+    fn chaotic_transport_delivers_exactly_the_clean_result(
+        n in 2usize..5,
+        entries in proptest::collection::vec(0u64..600, 16),
+        plan_seed in 0u64..u64::MAX,
+        drop_rate in 0u32..150, dup_rate in 0u32..150,
+        delay_rate in 0u32..150, delay_span in 1u32..4,
+    ) {
+        // Random migration matrix (75% weighted toward empty entries,
+        // like the clean-delivery test above) exchanged with DC over a
+        // randomly faulty wire: the reliability sublayer must deliver
+        // exactly the clean run's buffers. Failing fault plans shrink
+        // through proptest's scalar shrinking of the seed and rates.
+        let weight = |e: u64| if e < 450 { 0 } else { e - 449 };
+        let m: Vec<Vec<u64>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|d| if s == d { 0 } else { weight(entries[s * 4 + d]) })
+                    .collect()
+            })
+            .collect();
+        let deliver = |faulty: bool| {
+            let m = m.clone();
+            let plan = FaultPlan::seeded(plan_seed)
+                .drops(drop_rate)
+                .dups(dup_rate)
+                .delays(delay_rate, delay_span);
+            let chaos = ChaosWorld::new(plan, n);
+            let reliable = ReliableWorld::new(n);
+            run_world(n, move |c| {
+                let outgoing: Vec<Vec<u8>> = (0..c.size())
+                    .map(|d| {
+                        (0..m[c.rank()][d])
+                            .map(|i| (c.rank() as u64 * 31 + d as u64 * 7 + i) as u8)
+                            .collect()
+                    })
+                    .collect();
+                if faulty {
+                    let c = ReliableComm::new(
+                        ChaosComm::new(c, chaos.clone()),
+                        reliable.clone(),
+                    );
+                    exchange(&c, CommStrategy::Distributed, outgoing)
+                } else {
+                    exchange(&c, CommStrategy::Distributed, outgoing)
+                }
+            })
+        };
+        let clean = deliver(false);
+        let chaotic = deliver(true);
+        prop_assert_eq!(chaotic, clean);
     }
 
     #[test]

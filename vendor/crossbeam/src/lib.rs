@@ -7,12 +7,33 @@
 pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing (crossbeam's
+    /// `TryRecvError` surface).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued right now.
+        Empty,
+        /// No message queued and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Why a bounded-wait receive returned nothing (crossbeam's
+    /// `RecvTimeoutError` surface).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// Every sender has been dropped.
+        Disconnected,
+    }
 
     /// Cloneable sending half.
     pub struct Sender<T> {
@@ -37,7 +58,8 @@ pub mod channel {
 
     /// Receiving half. Arc/Mutex-wrapped so it is `Clone + Sync` like
     /// crossbeam's receiver (the workspace only ever receives from one
-    /// thread at a time, so the lock is uncontended).
+    /// thread at a time, so the lock is uncontended). A poisoned lock
+    /// (a panic while receiving) reports as `Disconnected`.
     pub struct Receiver<T> {
         inner: Arc<Mutex<mpsc::Receiver<T>>>,
     }
@@ -52,19 +74,32 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner
-                .lock()
-                .expect("receiver poisoned")
-                .recv()
-                .map_err(|_| RecvError)
+            match self.inner.lock() {
+                Ok(rx) => rx.recv().map_err(|_| RecvError),
+                Err(_) => Err(RecvError),
+            }
         }
 
-        pub fn try_recv(&self) -> Option<T> {
-            self.inner
-                .lock()
-                .expect("receiver poisoned")
-                .try_recv()
-                .ok()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = match self.inner.lock() {
+                Ok(rx) => rx,
+                Err(_) => return Err(TryRecvError::Disconnected),
+            };
+            rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let rx = match self.inner.lock() {
+                Ok(rx) => rx,
+                Err(_) => return Err(RecvTimeoutError::Disconnected),
+            };
+            rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -94,6 +129,32 @@ pub mod channel {
                 let b = r.recv().unwrap();
                 assert_eq!(a + b, 3);
             });
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (s, r) = unbounded::<u32>();
+            assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+            s.send(9).unwrap();
+            assert_eq!(r.try_recv(), Ok(9));
+            drop(s);
+            assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_detects_hangup() {
+            let (s, r) = unbounded::<u32>();
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            s.send(4).unwrap();
+            assert_eq!(r.recv_timeout(Duration::from_millis(5)), Ok(4));
+            drop(s);
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
