@@ -1,10 +1,11 @@
 //! Machine-readable kernel-scaling snapshot.
 //!
-//! Benchmarks the four pooled hot kernels (ballistic move, NTC
-//! collide, charge deposition, SpMV) at several intra-rank worker
-//! counts and writes `BENCH_kernels.json` — one record per
-//! `(kernel, workers)` pair with the measured ns/op — plus a speedup
-//! table on stdout.
+//! Benchmarks the five pooled hot kernels (ballistic move, NTC
+//! collide, charge deposition, Boris push, SpMV) at several intra-rank
+//! worker counts and writes `BENCH_kernels.json` — one record per
+//! `(kernel, workers)` pair with the measured ns/op, plus a
+//! `per_particle` section with ns/particle for the four particle
+//! kernels — and a speedup table on stdout.
 //!
 //! Also benchmarks the three wire-exchange protocols (CC, DC, Sparse)
 //! on the threaded backend at 4 and 8 ranks with a quiet (2 nonzero
@@ -22,6 +23,13 @@
 //!   300 ms; raise for steadier numbers).
 //! * `BENCH_OUT` — output path (default `BENCH_kernels.json`).
 //! * `BENCH_WORKERS` — comma-separated worker counts (default `1,2,4`).
+//! * `BENCH_QUICK` — set to `1` for the CI smoke mode: workers fixed
+//!   to `1`, exchange section skipped, 40 ms measurement budget
+//!   (unless `CRITERION_MEASURE_MS` overrides it).
+//!
+//! After writing the JSON the binary re-reads and parses it and exits
+//! non-zero if any expected kernel row is missing — the smoke run in
+//! `scripts/verify.sh`/CI relies on this self-check.
 
 use criterion::{black_box, Criterion};
 use kernels::Pool;
@@ -139,13 +147,31 @@ fn laplacian(nx: usize, ny: usize, nz: usize) -> sparse::CsrMatrix {
     coo.build()
 }
 
+/// Number of particles in the benchmark buffers — the divisor turning
+/// ns/op into ns/particle in the JSON `per_particle` section.
+const N_PARTICLES: usize = 20_000;
+
+/// Particle kernels reported per-particle (spmv is per-node, not
+/// per-particle, so it is excluded).
+const PARTICLE_KERNELS: [&str; 4] = ["move", "collide", "deposit", "push"];
+
 fn main() {
-    let mut workers: Vec<usize> = std::env::var("BENCH_WORKERS")
-        .unwrap_or_else(|_| "1,2,4".into())
-        .split(',')
-        .filter_map(|t| t.trim().parse().ok())
-        .filter(|&w| w >= 1)
-        .collect();
+    let quick = std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if quick && std::env::var("CRITERION_MEASURE_MS").is_err() {
+        std::env::set_var("CRITERION_MEASURE_MS", "40");
+    }
+    let mut workers: Vec<usize> = if quick {
+        vec![1]
+    } else {
+        std::env::var("BENCH_WORKERS")
+            .unwrap_or_else(|_| "1,2,4".into())
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&w| w >= 1)
+            .collect()
+    };
     if workers.is_empty() {
         eprintln!("BENCH_WORKERS parsed to nothing; using 1,2,4");
         workers = vec![1, 2, 4];
@@ -157,12 +183,15 @@ fn main() {
     let nm = nested();
     let (table, h, hp) = SpeciesTable::hydrogen_plasma(1e12, 6000.0);
     let ion_buf = {
-        let mut b = filled_buffer(&nm, 20_000, h);
+        let mut b = filled_buffer(&nm, N_PARTICLES, h);
         for s in b.species.iter_mut() {
             *s = hp;
         }
         b
     };
+    // uniform axial E field for the Boris-push bench
+    let phi: Vec<f64> = nm.fine.nodes.iter().map(|p| -1000.0 * p.z).collect();
+    let efield = pic::ElectricField::from_potential(&nm.fine, &phi);
     let mat = laplacian(48, 48, 24);
     let x: Vec<f64> = (0..mat.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
 
@@ -172,7 +201,7 @@ fn main() {
 
         c.bench_function(&format!("move/w{w}"), |b| {
             b.iter_batched(
-                || (filled_buffer(&nm, 20_000, h), StdRng::seed_from_u64(1)),
+                || (filled_buffer(&nm, N_PARTICLES, h), StdRng::seed_from_u64(1)),
                 |(mut buf, mut rng)| {
                     let st = dsmc::move_particles_pooled(
                         &nm.coarse,
@@ -195,7 +224,7 @@ fn main() {
             b.iter_batched(
                 || {
                     (
-                        filled_buffer(&nm, 20_000, h),
+                        filled_buffer(&nm, N_PARTICLES, h),
                         dsmc::CollisionModel::new(nm.num_coarse(), &table, 300.0),
                         StdRng::seed_from_u64(2),
                         Vec::new(),
@@ -220,6 +249,25 @@ fn main() {
             })
         });
 
+        c.bench_function(&format!("push/w{w}"), |b| {
+            b.iter_batched(
+                || ion_buf.clone(),
+                |mut buf| {
+                    let kicked = pic::accelerate_charged_pooled(
+                        &nm,
+                        &mut buf,
+                        &table,
+                        &efield,
+                        Vec3::ZERO,
+                        1e-9,
+                        &pool,
+                    );
+                    black_box(kicked)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
         let mut y = vec![0.0f64; mat.nrows()];
         c.bench_function(&format!("spmv/w{w}"), |b| {
             b.iter(|| {
@@ -240,7 +288,8 @@ fn main() {
         nonzero_fraction: f64,
     }
     let mut exch_cases: Vec<ExchCase> = Vec::new();
-    for &n in &[4usize, 8] {
+    let rank_counts: &[usize] = if quick { &[] } else { &[4, 8] };
+    for &n in rank_counts {
         for strategy in Strategy::CONCRETE {
             let label = bench::strat_name(strategy).to_lowercase();
             for (kind, dense) in [("quiet", false), ("dense", true)] {
@@ -284,7 +333,7 @@ fn main() {
         "{:<10} {:>8} {:>14} {:>9}",
         "kernel", "workers", "ns/op", "speedup"
     );
-    for kernel in ["move", "collide", "deposit", "spmv"] {
+    for kernel in ["move", "collide", "deposit", "push", "spmv"] {
         let base = ns(kernel, workers[0]).unwrap_or(f64::NAN);
         for &w in &workers {
             if let Some(t) = ns(kernel, w) {
@@ -317,6 +366,8 @@ fn main() {
         "  \"measure_ms\": {},\n",
         std::env::var("CRITERION_MEASURE_MS").unwrap_or_else(|_| "300".into())
     ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"particles\": {N_PARTICLES},\n"));
     json.push_str("  \"exchange\": [\n");
     let exch_rows: Vec<String> = exch_cases
         .iter()
@@ -350,7 +401,60 @@ fn main() {
         })
         .collect();
     json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"per_particle\": [\n");
+    let mut pp_rows: Vec<String> = Vec::new();
+    for kernel in PARTICLE_KERNELS {
+        for &w in &workers {
+            if let Some(t) = ns(kernel, w) {
+                pp_rows.push(format!(
+                    "    {{\"kernel\": \"{kernel}\", \"workers\": {w}, \
+                     \"ns_per_particle\": {:.4}}}",
+                    t / N_PARTICLES as f64
+                ));
+            }
+        }
+    }
+    json.push_str(&pp_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
     std::fs::write(&out, json).expect("write snapshot");
-    println!("[json] {out}");
+
+    // self-check: re-read and parse the snapshot; a missing kernel row
+    // means the bench silently skipped work. The smoke step in
+    // scripts/verify.sh and CI relies on this exit code.
+    let text = std::fs::read_to_string(&out).expect("re-read snapshot");
+    let doc = match obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[json] {out} failed to parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let has = |section: &str, kernel: &str| {
+        doc.get(section)
+            .and_then(|s| s.as_array())
+            .is_some_and(|rows| {
+                rows.iter()
+                    .any(|r| r.get("kernel").and_then(|k| k.as_str()) == Some(kernel))
+            })
+    };
+    let mut missing: Vec<String> = Vec::new();
+    for kernel in ["move", "collide", "deposit", "push", "spmv"] {
+        if !has("results", kernel) {
+            missing.push(format!("results/{kernel}"));
+        }
+    }
+    for kernel in PARTICLE_KERNELS {
+        if !has("per_particle", kernel) {
+            missing.push(format!("per_particle/{kernel}"));
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "[json] {out} is missing kernel rows: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("[json] {out} (validated)");
 }

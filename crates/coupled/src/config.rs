@@ -308,14 +308,6 @@ impl RunConfig {
         RunConfigBuilder::default()
     }
 
-    #[deprecated(since = "0.1.0", note = "use RunConfig::builder() instead")]
-    pub fn new(sim: SimConfig, ranks: usize) -> Self {
-        let mut run = RunConfigBuilder::default().build_unchecked();
-        run.sim = sim;
-        run.ranks = ranks;
-        run
-    }
-
     /// Standard paper-experiment setup: dataset at `scale`, with the
     /// matching work boost for the cost model. Equivalent to
     /// `RunConfig::builder().paper(dataset, scale).ranks(ranks)`.
@@ -482,11 +474,6 @@ impl RunConfigBuilder {
             return Err(ConfigError::ZeroThreads);
         }
         Ok(self.run)
-    }
-
-    /// Escape hatch for the deprecated [`RunConfig::new`] shim.
-    fn build_unchecked(self) -> RunConfig {
-        self.run
     }
 }
 

@@ -135,7 +135,7 @@ mod tests {
         }
         assert_eq!(a.particles.len(), b.particles.len());
         for i in 0..a.particles.len() {
-            assert_eq!(a.particles.pos[i], b.particles.pos[i]);
+            assert_eq!(a.particles.pos(i), b.particles.pos(i));
         }
     }
 

@@ -97,6 +97,16 @@ impl CollisionModel {
         }
 
         let mut stats = CollideStats::default();
+        // Per-cell scratch: the cell's velocities gathered into three
+        // contiguous scalar lanes so the relative-speed / scattering
+        // arithmetic runs on dense local arrays instead of striding
+        // through the whole buffer. The candidate draw compares list
+        // *positions* instead of buffer indices — equivalent (the cell
+        // lists hold distinct indices) and identical RNG consumption.
+        let mut lvx: Vec<f64> = Vec::new();
+        let mut lvy: Vec<f64> = Vec::new();
+        let mut lvz: Vec<f64> = Vec::new();
+        let mut dirty: Vec<bool> = Vec::new();
         for (c, list) in self.cell_lists.iter().enumerate() {
             let n = list.len();
             if n < 2 {
@@ -104,24 +114,39 @@ impl CollisionModel {
             }
             let vc = mesh.volumes[c];
             let sgm = self.sigma_g_max[c];
+            let mut sgm_adapt = sgm;
             let n_cand = 0.5 * n as f64 * (n as f64 - 1.0) * f_n * sgm * dt / vc;
             // probabilistic rounding of the fractional candidate count
             let n_cand = n_cand.floor() as usize + usize::from(rng.gen::<f64>() < n_cand.fract());
+            if n_cand == 0 {
+                continue;
+            }
+
+            lvx.clear();
+            lvx.extend(list.iter().map(|&i| buf.vx[i as usize]));
+            lvy.clear();
+            lvy.extend(list.iter().map(|&i| buf.vy[i as usize]));
+            lvz.clear();
+            lvz.extend(list.iter().map(|&i| buf.vz[i as usize]));
+            dirty.clear();
+            dirty.resize(n, false);
 
             for _ in 0..n_cand {
                 stats.candidates += 1;
-                let a = list[rng.gen_range(0..n)] as usize;
+                let a = rng.gen_range(0..n);
                 let b = loop {
-                    let b = list[rng.gen_range(0..n)] as usize;
+                    let b = rng.gen_range(0..n);
                     if b != a {
                         break b;
                     }
                 };
-                let g_vec = buf.vel[a] - buf.vel[b];
-                let g = g_vec.norm();
+                let gx = lvx[a] - lvx[b];
+                let gy = lvy[a] - lvy[b];
+                let gz = lvz[a] - lvz[b];
+                let g = (gx * gx + gy * gy + gz * gz).sqrt();
                 let sigma_g = sp.vhs_cross_section(g) * g;
-                if sigma_g > self.sigma_g_max[c] {
-                    self.sigma_g_max[c] = sigma_g; // adaptive max
+                if sigma_g > sgm_adapt {
+                    sgm_adapt = sigma_g; // adaptive max
                 }
                 if rng.gen::<f64>() * sgm < sigma_g {
                     stats.collisions += 1;
@@ -129,19 +154,44 @@ impl CollisionModel {
                     // written for the general two-mass case
                     let m1 = mass;
                     let m2 = mass;
-                    let cm = (buf.vel[a] * m1 + buf.vel[b] * m2) / (m1 + m2);
+                    let cmx = (lvx[a] * m1 + lvx[b] * m2) / (m1 + m2);
+                    let cmy = (lvy[a] * m1 + lvy[b] * m2) / (m1 + m2);
+                    let cmz = (lvz[a] * m1 + lvz[b] * m2) / (m1 + m2);
                     let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                     let sin_t = (1.0 - cos_t * cos_t).sqrt();
                     let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
-                    let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
-                    buf.vel[a] = cm + dir * (g * m2 / (m1 + m2));
-                    buf.vel[b] = cm - dir * (g * m1 / (m1 + m2));
+                    let (dx, dy, dz) = (sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
+                    let fa = g * m2 / (m1 + m2);
+                    let fb = g * m1 / (m1 + m2);
+                    lvx[a] = cmx + dx * fa;
+                    lvy[a] = cmy + dy * fa;
+                    lvz[a] = cmz + dz * fa;
+                    lvx[b] = cmx - dx * fb;
+                    lvy[b] = cmy - dy * fb;
+                    lvz[b] = cmz - dz * fb;
+                    dirty[a] = true;
+                    dirty[b] = true;
                     events.push(CollisionEvent {
-                        i: a as u32,
-                        j: b as u32,
+                        i: list[a],
+                        j: list[b],
                         rel_speed: g,
                     });
                 }
+            }
+
+            // Scatter modified velocities back and commit the ratchet
+            // (deferral is value-identical: acceptance compares against
+            // the pre-pass `sgm` snapshot, the ratchet only grows).
+            for (k, &d) in dirty.iter().enumerate() {
+                if d {
+                    let i = list[k] as usize;
+                    buf.vx[i] = lvx[k];
+                    buf.vy[i] = lvy[k];
+                    buf.vz[i] = lvz[k];
+                }
+            }
+            if sgm_adapt > sgm {
+                self.sigma_g_max[c] = sgm_adapt;
             }
         }
         stats
@@ -200,7 +250,7 @@ impl CollisionModel {
             .collect();
         let cell_lists = &self.cell_lists;
         let sigma_g_max = &self.sigma_g_max;
-        let vel = &buf.vel;
+        let (bvx, bvy, bvz) = (&buf.vx, &buf.vy, &buf.vz);
 
         type LaneOut = (
             CollideStats,
@@ -214,7 +264,9 @@ impl CollisionModel {
             let mut ev: Vec<CollisionEvent> = Vec::new();
             let mut vel_updates: Vec<(u32, mesh::Vec3)> = Vec::new();
             let mut sigma_updates: Vec<(usize, f64)> = Vec::new();
-            let mut local_vel: Vec<mesh::Vec3> = Vec::new();
+            let mut lvx: Vec<f64> = Vec::new();
+            let mut lvy: Vec<f64> = Vec::new();
+            let mut lvz: Vec<f64> = Vec::new();
             let mut dirty: Vec<bool> = Vec::new();
             for c in cells {
                 let list = &cell_lists[c];
@@ -228,8 +280,12 @@ impl CollisionModel {
                 if n_cand == 0 {
                     continue;
                 }
-                local_vel.clear();
-                local_vel.extend(list.iter().map(|&i| vel[i as usize]));
+                lvx.clear();
+                lvx.extend(list.iter().map(|&i| bvx[i as usize]));
+                lvy.clear();
+                lvy.extend(list.iter().map(|&i| bvy[i as usize]));
+                lvz.clear();
+                lvz.extend(list.iter().map(|&i| bvz[i as usize]));
                 dirty.clear();
                 dirty.resize(n, false);
                 for _ in 0..n_cand {
@@ -241,8 +297,10 @@ impl CollisionModel {
                             break b;
                         }
                     };
-                    let g_vec = local_vel[a] - local_vel[b];
-                    let g = g_vec.norm();
+                    let gx = lvx[a] - lvx[b];
+                    let gy = lvy[a] - lvy[b];
+                    let gz = lvz[a] - lvz[b];
+                    let g = (gx * gx + gy * gy + gz * gz).sqrt();
                     let sigma_g = sp.vhs_cross_section(g) * g;
                     if sigma_g > sgm_adapt {
                         sgm_adapt = sigma_g; // adaptive max
@@ -251,13 +309,21 @@ impl CollisionModel {
                         stats.collisions += 1;
                         let m1 = mass;
                         let m2 = mass;
-                        let cm = (local_vel[a] * m1 + local_vel[b] * m2) / (m1 + m2);
+                        let cmx = (lvx[a] * m1 + lvx[b] * m2) / (m1 + m2);
+                        let cmy = (lvy[a] * m1 + lvy[b] * m2) / (m1 + m2);
+                        let cmz = (lvz[a] * m1 + lvz[b] * m2) / (m1 + m2);
                         let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                         let sin_t = (1.0 - cos_t * cos_t).sqrt();
                         let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
-                        let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
-                        local_vel[a] = cm + dir * (g * m2 / (m1 + m2));
-                        local_vel[b] = cm - dir * (g * m1 / (m1 + m2));
+                        let (dx, dy, dz) = (sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
+                        let fa = g * m2 / (m1 + m2);
+                        let fb = g * m1 / (m1 + m2);
+                        lvx[a] = cmx + dx * fa;
+                        lvy[a] = cmy + dy * fa;
+                        lvz[a] = cmz + dz * fa;
+                        lvx[b] = cmx - dx * fb;
+                        lvy[b] = cmy - dy * fb;
+                        lvz[b] = cmz - dz * fb;
                         dirty[a] = true;
                         dirty[b] = true;
                         ev.push(CollisionEvent {
@@ -269,7 +335,7 @@ impl CollisionModel {
                 }
                 for (k, &d) in dirty.iter().enumerate() {
                     if d {
-                        vel_updates.push((list[k], local_vel[k]));
+                        vel_updates.push((list[k], mesh::Vec3::new(lvx[k], lvy[k], lvz[k])));
                     }
                 }
                 if sgm_adapt > sgm {
@@ -285,7 +351,7 @@ impl CollisionModel {
             stats.collisions += s.collisions;
             events.extend(ev);
             for (i, v) in vel_updates {
-                buf.vel[i as usize] = v;
+                buf.set_vel(i as usize, v);
             }
             for (c, sg) in sigma_updates {
                 self.sigma_g_max[c] = sg;
@@ -417,7 +483,7 @@ mod tests {
             } else {
                 model.collide(&m, &mut buf, &table, 0, 1e-5, &mut rng, &mut ev)
             };
-            (stats, buf.vel.clone(), ev)
+            (stats, (buf.vx.clone(), buf.vy.clone(), buf.vz.clone()), ev)
         };
         let (sa, va, ea) = run(false);
         let (sb, vb, eb) = run(true);

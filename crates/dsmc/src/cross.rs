@@ -96,7 +96,7 @@ impl CrossCollisionModel {
                 stats.candidates += 1;
                 let a = neutrals[c][rng.gen_range(0..nn)] as usize;
                 let b = ions[c][rng.gen_range(0..ni)] as usize;
-                let g_vec = buf.vel[a] - buf.vel[b];
+                let g_vec = buf.vel(a) - buf.vel(b);
                 let g = g_vec.norm();
                 let sigma_g = n_sp.vhs_cross_section(g) * g;
                 if rng.gen::<f64>() * sigma_g_max >= sigma_g {
@@ -113,13 +113,13 @@ impl CrossCollisionModel {
                     // MEX: elastic isotropic VHS scattering
                     let m1 = n_sp.mass;
                     let m2 = i_sp.mass;
-                    let cm = (buf.vel[a] * m1 + buf.vel[b] * m2) / (m1 + m2);
+                    let cm = (buf.vel(a) * m1 + buf.vel(b) * m2) / (m1 + m2);
                     let cos_t = 2.0 * rng.gen::<f64>() - 1.0;
                     let sin_t = (1.0 - cos_t * cos_t).sqrt();
                     let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
                     let dir = mesh::Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t);
-                    buf.vel[a] = cm + dir * (g * m2 / (m1 + m2));
-                    buf.vel[b] = cm - dir * (g * m1 / (m1 + m2));
+                    buf.set_vel(a, cm + dir * (g * m2 / (m1 + m2)));
+                    buf.set_vel(b, cm - dir * (g * m1 / (m1 + m2)));
                     stats.mex += 1;
                 }
                 events.push(CollisionEvent {
@@ -194,7 +194,7 @@ mod tests {
         let mean_vz = |buf: &ParticleBuffer, sp: u8| {
             let vs: Vec<f64> = (0..buf.len())
                 .filter(|&i| buf.species[i] == sp)
-                .map(|i| buf.vel[i].z)
+                .map(|i| buf.vz[i])
                 .collect();
             vs.iter().sum::<f64>() / vs.len() as f64
         };
@@ -216,8 +216,8 @@ mod tests {
         let model = CrossCollisionModel { cex_fraction: 0.0 };
         let mut rng = StdRng::seed_from_u64(4);
         let mut ev = Vec::new();
-        let mom = |buf: &ParticleBuffer| buf.vel.iter().fold(Vec3::ZERO, |acc, &v| acc + v);
-        let energy = |buf: &ParticleBuffer| -> f64 { buf.vel.iter().map(|v| v.norm2()).sum() };
+        let mom = |buf: &ParticleBuffer| buf.iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
+        let energy = |buf: &ParticleBuffer| -> f64 { buf.iter().map(|p| p.vel.norm2()).sum() };
         let (p0, e0) = (mom(&buf), energy(&buf));
         let stats = model.collide(&m, &mut buf, &table, 0, 1, 5e-6, &mut rng, &mut ev);
         assert!(stats.mex > 0);

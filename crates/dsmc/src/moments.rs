@@ -40,8 +40,8 @@ pub fn moments(
         }
         let c = buf.cell[i] as usize;
         count[c] += 1;
-        vsum[c] += buf.vel[i];
-        v2sum[c] += buf.vel[i].norm2();
+        vsum[c] += buf.vel(i);
+        v2sum[c] += buf.vel(i).norm2();
     }
 
     let mut density = vec![0.0; nc];

@@ -84,6 +84,32 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
     let mut stats = MoveStats::default();
     let nudge_len = mesh.mean_cell_size() * NUDGE;
 
+    // Lane sweep: precompute the straight-line candidate `p + v*dt`
+    // for every particle over the scalar SoA lanes. The expression
+    // `px + vx*dt` is exactly what the no-crossing branch of
+    // `advance_one` evaluates (`r += v * remaining` with
+    // `remaining == dt`), so accepting a candidate is bitwise
+    // identical to the scalar path. The candidates live in three
+    // plain `Vec<f64>` kept in lockstep with `buf` via `swap_remove`.
+    let mut cx: Vec<f64> = buf
+        .px
+        .iter()
+        .zip(&buf.vx)
+        .map(|(&p, &v)| p + v * dt)
+        .collect();
+    let mut cy: Vec<f64> = buf
+        .py
+        .iter()
+        .zip(&buf.vy)
+        .map(|(&p, &v)| p + v * dt)
+        .collect();
+    let mut cz: Vec<f64> = buf
+        .pz
+        .iter()
+        .zip(&buf.vz)
+        .map(|(&p, &v)| p + v * dt)
+        .collect();
+
     let mut i = 0usize;
     while i < buf.len() {
         if !pred(buf.species[i]) {
@@ -91,29 +117,42 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
             continue;
         }
         let old_cell = buf.cell[i];
-        match advance_one(
-            mesh,
-            species,
-            buf.species[i],
-            dt,
-            wall_temp,
-            nudge_len,
-            rng,
-            buf.pos[i],
-            buf.vel[i],
-            old_cell as usize,
-            &mut stats,
-        ) {
+        let r = buf.pos(i);
+        let v = buf.vel(i);
+        // One scalar face-crossing test decides fast vs. slow path.
+        let outcome = match first_exit(mesh, old_cell as usize, r, v, dt) {
+            // Common case: no face crossed within dt — accept the
+            // precomputed candidate, velocity and cell unchanged.
+            None => Some((Vec3::new(cx[i], cy[i], cz[i]), v, old_cell)),
+            Some(fx) => advance_one(
+                mesh,
+                species,
+                buf.species[i],
+                dt,
+                wall_temp,
+                nudge_len,
+                rng,
+                r,
+                v,
+                old_cell as usize,
+                &mut stats,
+                fx,
+            ),
+        };
+        match outcome {
             None => {
                 // outlet (or inlet, flying backwards): particle left
                 buf.swap_remove(i);
+                cx.swap_remove(i);
+                cy.swap_remove(i);
+                cz.swap_remove(i);
                 if let Some(tr) = transitions.as_deref_mut() {
                     tr.push((old_cell, EXITED));
                 }
             }
             Some((r, v, cell)) => {
-                buf.pos[i] = r;
-                buf.vel[i] = v;
+                buf.set_pos(i, r);
+                buf.set_vel(i, v);
                 buf.cell[i] = cell;
                 if let Some(tr) = transitions.as_deref_mut() {
                     tr.push((old_cell, cell));
@@ -129,6 +168,11 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
 /// crossings, diffuse wall reflection, loop capped to guard against
 /// degenerate geometry. Returns the final `(pos, vel, cell)` or
 /// `None` if the particle left the domain.
+///
+/// `first` is the caller's already-computed `first_exit` result for
+/// the initial `(cell, r, v, dt)` state — the caller tests it to
+/// route no-crossing particles down the lane-sweep fast path, so this
+/// slow path consumes it instead of re-intersecting.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn advance_one<R: Rng>(
@@ -143,14 +187,20 @@ fn advance_one<R: Rng>(
     mut v: Vec3,
     mut cell: usize,
     stats: &mut MoveStats,
+    first: (f64, usize),
 ) -> Option<(Vec3, Vec3, u32)> {
     let mut remaining = dt;
+    let mut first = Some(first);
     // A particle can cross many faces per step; cap the loop.
     for _ in 0..10_000 {
         if remaining <= 0.0 {
             break;
         }
-        match first_exit(mesh, cell, r, v, remaining) {
+        let exit = match first.take() {
+            Some(fx) => Some(fx),
+            None => first_exit(mesh, cell, r, v, remaining),
+        };
+        match exit {
             None => {
                 r += v * remaining;
                 remaining = 0.0;
@@ -222,60 +272,93 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
     let n = buf.len();
     let ranges = kernels::chunk_ranges(n, pool.workers());
 
-    // Carve the SoA fields into disjoint per-chunk mutable slices:
-    // (chunk offset, positions, velocities, cell ids).
-    type SoaChunk<'a> = (usize, &'a mut [Vec3], &'a mut [Vec3], &'a mut [u32]);
+    // Carve the six scalar lanes + cell ids into disjoint per-chunk
+    // mutable slices: (chunk offset, [px py pz vx vy vz], cells).
+    type SoaChunk<'a> = (usize, [&'a mut [f64]; 6], &'a mut [u32]);
     let species_arr: &[u8] = &buf.species;
+    let px = kernels::carve_mut(&ranges, &mut buf.px);
+    let py = kernels::carve_mut(&ranges, &mut buf.py);
+    let pz = kernels::carve_mut(&ranges, &mut buf.pz);
+    let vx = kernels::carve_mut(&ranges, &mut buf.vx);
+    let vy = kernels::carve_mut(&ranges, &mut buf.vy);
+    let vz = kernels::carve_mut(&ranges, &mut buf.vz);
+    let cells = kernels::carve_mut(&ranges, &mut buf.cell);
     let mut parts: Vec<SoaChunk<'_>> = Vec::with_capacity(ranges.len());
-    {
-        let mut pos_rest: &mut [Vec3] = &mut buf.pos;
-        let mut vel_rest: &mut [Vec3] = &mut buf.vel;
-        let mut cell_rest: &mut [u32] = &mut buf.cell;
-        let mut off = 0usize;
-        for rg in &ranges {
-            let (p, pr) = pos_rest.split_at_mut(rg.len());
-            let (v, vr) = vel_rest.split_at_mut(rg.len());
-            let (c, cr) = cell_rest.split_at_mut(rg.len());
-            pos_rest = pr;
-            vel_rest = vr;
-            cell_rest = cr;
-            parts.push((off, p, v, c));
-            off += rg.len();
-        }
+    let mut off = 0usize;
+    let lanes = px
+        .into_iter()
+        .zip(py)
+        .zip(pz)
+        .zip(vx)
+        .zip(vy)
+        .zip(vz)
+        .zip(cells);
+    for ((((((cpx, cpy), cpz), cvx), cvy), cvz), cc) in lanes {
+        let len = cc.len();
+        parts.push((off, [cpx, cpy, cpz, cvx, cvy, cvz], cc));
+        off += len;
     }
 
     let pred = &pred;
-    let results = pool.run_parts(parts, |ci, (off, pos, vel, cell)| {
+    let results = pool.run_parts(parts, |ci, (off, [px, py, pz, vx, vy, vz], cell)| {
         let mut rng = fork_rng(base, ci as u64);
         let mut stats = MoveStats::default();
         let mut exited: Vec<u32> = Vec::new();
         let mut trans: Vec<(u32, u32)> = Vec::new();
-        for k in 0..pos.len() {
+        // Per-chunk straight-line candidate sweep (see the serial
+        // mover for the bitwise-identity argument).
+        let cx: Vec<f64> = px
+            .iter()
+            .zip(vx.iter())
+            .map(|(&p, &v)| p + v * dt)
+            .collect();
+        let cy: Vec<f64> = py
+            .iter()
+            .zip(vy.iter())
+            .map(|(&p, &v)| p + v * dt)
+            .collect();
+        let cz: Vec<f64> = pz
+            .iter()
+            .zip(vz.iter())
+            .map(|(&p, &v)| p + v * dt)
+            .collect();
+        for k in 0..px.len() {
             let gi = off + k;
             if !pred(species_arr[gi]) {
                 continue;
             }
             let old_cell = cell[k];
-            match advance_one(
-                mesh,
-                species,
-                species_arr[gi],
-                dt,
-                wall_temp,
-                nudge_len,
-                &mut rng,
-                pos[k],
-                vel[k],
-                old_cell as usize,
-                &mut stats,
-            ) {
+            let r = Vec3::new(px[k], py[k], pz[k]);
+            let v = Vec3::new(vx[k], vy[k], vz[k]);
+            let outcome = match first_exit(mesh, old_cell as usize, r, v, dt) {
+                None => Some((Vec3::new(cx[k], cy[k], cz[k]), v, old_cell)),
+                Some(fx) => advance_one(
+                    mesh,
+                    species,
+                    species_arr[gi],
+                    dt,
+                    wall_temp,
+                    nudge_len,
+                    &mut rng,
+                    r,
+                    v,
+                    old_cell as usize,
+                    &mut stats,
+                    fx,
+                ),
+            };
+            match outcome {
                 None => {
                     exited.push(gi as u32);
                     trans.push((old_cell, EXITED));
                 }
                 Some((r, v, c)) => {
-                    pos[k] = r;
-                    vel[k] = v;
+                    px[k] = r.x;
+                    py[k] = r.y;
+                    pz[k] = r.z;
+                    vx[k] = v.x;
+                    vy[k] = v.y;
+                    vz[k] = v.z;
                     cell[k] = c;
                     trans.push((old_cell, c));
                 }

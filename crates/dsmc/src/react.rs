@@ -74,7 +74,7 @@ impl ChemistryModel {
             let energy = 0.5 * mu * e.rel_speed * e.rel_speed;
             if energy >= self.e_activation && rng.gen::<f64>() < self.p_steric {
                 // the faster partner ionises
-                let k = if buf.vel[i].norm2() >= buf.vel[j].norm2() {
+                let k = if buf.vel(i).norm2() >= buf.vel(j).norm2() {
                     i
                 } else {
                     j

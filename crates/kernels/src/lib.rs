@@ -46,6 +46,23 @@ pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Carve `data` into disjoint consecutive mutable sub-slices with the
+/// lengths of `ranges` (contiguous from 0, as produced by
+/// [`chunk_ranges`]). Multi-lane SoA kernels call this once per scalar
+/// lane to hand each worker chunk a set of parallel `&mut [f64]`
+/// slices without unsafe code.
+pub fn carve_mut<'a, T>(ranges: &[Range<usize>], data: &'a mut [T]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "ranges must cover the whole slice");
+    out
+}
+
 /// Deterministically fork an independent RNG stream for a worker
 /// chunk. Distinct `(base, lane)` pairs give well-separated streams;
 /// the same pair always gives the same stream, so chunked kernels
@@ -272,6 +289,24 @@ mod tests {
                     assert!(max - min <= 1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn carve_mut_partitions_parallel_lanes_identically() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let ranges = chunk_ranges(100, 7);
+        let ca = carve_mut(&ranges, &mut a);
+        let cb = carve_mut(&ranges, &mut b);
+        assert_eq!(ca.len(), ranges.len());
+        assert_eq!(ca.iter().map(|s| s.len()).sum::<usize>(), 100);
+        for (sa, sb) in ca.iter().zip(&cb) {
+            assert_eq!(sa.len(), sb.len(), "lanes must chunk in lockstep");
+        }
+        // first element of each chunk matches its range start
+        for (s, r) in ca.iter().zip(&ranges) {
+            assert_eq!(s[0] as usize, r.start);
         }
     }
 

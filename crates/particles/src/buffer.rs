@@ -1,8 +1,13 @@
 //! Structure-of-arrays particle storage.
 //!
-//! Hot loops (move, collide, deposit) stream over one field at a
-//! time, so SoA layout is the right call for cache behaviour (and it
-//! keeps the per-particle wire format explicit — see [`crate::pack`]).
+//! Hot loops (move, collide, deposit, push) stream over one *scalar*
+//! field at a time: positions and velocities are stored as six
+//! independent `Vec<f64>` lanes (`px/py/pz`, `vx/vy/vz`), not as
+//! `Vec<Vec3>`. Interleaving x/y/z at stride 3 defeats
+//! autovectorization; with scalar lanes a sweep like
+//! `px[i] += vx[i] * dt` compiles to packed SIMD adds. The [`Particle`]
+//! value type remains the API boundary (and it keeps the per-particle
+//! wire format explicit — see [`crate::pack`]).
 
 use mesh::Vec3;
 
@@ -20,11 +25,15 @@ pub struct Particle {
     pub id: u64,
 }
 
-/// SoA particle container.
+/// SoA particle container with scalar position/velocity lanes.
 #[derive(Debug, Clone, Default)]
 pub struct ParticleBuffer {
-    pub pos: Vec<Vec3>,
-    pub vel: Vec<Vec3>,
+    pub px: Vec<f64>,
+    pub py: Vec<f64>,
+    pub pz: Vec<f64>,
+    pub vx: Vec<f64>,
+    pub vy: Vec<f64>,
+    pub vz: Vec<f64>,
     pub cell: Vec<u32>,
     pub species: Vec<u8>,
     pub id: Vec<u64>,
@@ -37,8 +46,12 @@ pub struct ParticleBuffer {
 #[derive(Debug, Clone, Default)]
 pub struct SortScratch {
     offsets: Vec<usize>,
-    pos: Vec<Vec3>,
-    vel: Vec<Vec3>,
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
     cell: Vec<u32>,
     species: Vec<u8>,
     id: Vec<u64>,
@@ -51,8 +64,12 @@ impl ParticleBuffer {
 
     pub fn with_capacity(n: usize) -> Self {
         ParticleBuffer {
-            pos: Vec::with_capacity(n),
-            vel: Vec::with_capacity(n),
+            px: Vec::with_capacity(n),
+            py: Vec::with_capacity(n),
+            pz: Vec::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+            vz: Vec::with_capacity(n),
             cell: Vec::with_capacity(n),
             species: Vec::with_capacity(n),
             id: Vec::with_capacity(n),
@@ -62,19 +79,51 @@ impl ParticleBuffer {
     /// Number of particles stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pos.len()
+        self.px.len()
     }
 
     /// Whether the buffer is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.px.is_empty()
+    }
+
+    /// Position of particle `i` as a vector.
+    #[inline]
+    pub fn pos(&self, i: usize) -> Vec3 {
+        Vec3::new(self.px[i], self.py[i], self.pz[i])
+    }
+
+    /// Velocity of particle `i` as a vector.
+    #[inline]
+    pub fn vel(&self, i: usize) -> Vec3 {
+        Vec3::new(self.vx[i], self.vy[i], self.vz[i])
+    }
+
+    /// Overwrite the position of particle `i`.
+    #[inline]
+    pub fn set_pos(&mut self, i: usize, p: Vec3) {
+        self.px[i] = p.x;
+        self.py[i] = p.y;
+        self.pz[i] = p.z;
+    }
+
+    /// Overwrite the velocity of particle `i`.
+    #[inline]
+    pub fn set_vel(&mut self, i: usize, v: Vec3) {
+        self.vx[i] = v.x;
+        self.vy[i] = v.y;
+        self.vz[i] = v.z;
     }
 
     /// Append one particle.
     pub fn push(&mut self, p: Particle) {
-        self.pos.push(p.pos);
-        self.vel.push(p.vel);
+        self.px.push(p.pos.x);
+        self.py.push(p.pos.y);
+        self.pz.push(p.pos.z);
+        self.vx.push(p.vel.x);
+        self.vy.push(p.vel.y);
+        self.vz.push(p.vel.z);
         self.cell.push(p.cell);
         self.species.push(p.species);
         self.id.push(p.id);
@@ -84,8 +133,8 @@ impl ParticleBuffer {
     #[inline]
     pub fn get(&self, i: usize) -> Particle {
         Particle {
-            pos: self.pos[i],
-            vel: self.vel[i],
+            pos: self.pos(i),
+            vel: self.vel(i),
             cell: self.cell[i],
             species: self.species[i],
             id: self.id[i],
@@ -94,8 +143,8 @@ impl ParticleBuffer {
 
     /// Overwrite particle `i`.
     pub fn set(&mut self, i: usize, p: Particle) {
-        self.pos[i] = p.pos;
-        self.vel[i] = p.vel;
+        self.set_pos(i, p.pos);
+        self.set_vel(i, p.vel);
         self.cell[i] = p.cell;
         self.species[i] = p.species;
         self.id[i] = p.id;
@@ -104,8 +153,16 @@ impl ParticleBuffer {
     /// O(1) removal by swapping with the last particle.
     pub fn swap_remove(&mut self, i: usize) -> Particle {
         Particle {
-            pos: self.pos.swap_remove(i),
-            vel: self.vel.swap_remove(i),
+            pos: Vec3::new(
+                self.px.swap_remove(i),
+                self.py.swap_remove(i),
+                self.pz.swap_remove(i),
+            ),
+            vel: Vec3::new(
+                self.vx.swap_remove(i),
+                self.vy.swap_remove(i),
+                self.vz.swap_remove(i),
+            ),
             cell: self.cell.swap_remove(i),
             species: self.species.swap_remove(i),
             id: self.id.swap_remove(i),
@@ -120,8 +177,12 @@ impl ParticleBuffer {
         for (r, &kept) in keep.iter().enumerate() {
             if kept {
                 if w != r {
-                    self.pos[w] = self.pos[r];
-                    self.vel[w] = self.vel[r];
+                    self.px[w] = self.px[r];
+                    self.py[w] = self.py[r];
+                    self.pz[w] = self.pz[r];
+                    self.vx[w] = self.vx[r];
+                    self.vy[w] = self.vy[r];
+                    self.vz[w] = self.vz[r];
                     self.cell[w] = self.cell[r];
                     self.species[w] = self.species[r];
                     self.id[w] = self.id[r];
@@ -134,8 +195,12 @@ impl ParticleBuffer {
 
     /// Drop all particles after index `n`.
     pub fn truncate(&mut self, n: usize) {
-        self.pos.truncate(n);
-        self.vel.truncate(n);
+        self.px.truncate(n);
+        self.py.truncate(n);
+        self.pz.truncate(n);
+        self.vx.truncate(n);
+        self.vy.truncate(n);
+        self.vz.truncate(n);
         self.cell.truncate(n);
         self.species.truncate(n);
         self.id.truncate(n);
@@ -148,8 +213,12 @@ impl ParticleBuffer {
 
     /// Move every particle of `other` into `self` (draining `other`).
     pub fn append(&mut self, other: &mut ParticleBuffer) {
-        self.pos.append(&mut other.pos);
-        self.vel.append(&mut other.vel);
+        self.px.append(&mut other.px);
+        self.py.append(&mut other.py);
+        self.pz.append(&mut other.pz);
+        self.vx.append(&mut other.vx);
+        self.vy.append(&mut other.vy);
+        self.vz.append(&mut other.vz);
         self.cell.append(&mut other.cell);
         self.species.append(&mut other.species);
         self.id.append(&mut other.id);
@@ -158,6 +227,21 @@ impl ParticleBuffer {
     /// Iterate particles as values.
     pub fn iter(&self) -> impl Iterator<Item = Particle> + '_ {
         (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Whether all nine lanes hold the same number of entries. Every
+    /// public mutation preserves this; the property tests assert it
+    /// after sorting, packing and compaction.
+    pub fn lanes_consistent(&self) -> bool {
+        let n = self.px.len();
+        self.py.len() == n
+            && self.pz.len() == n
+            && self.vx.len() == n
+            && self.vy.len() == n
+            && self.vz.len() == n
+            && self.cell.len() == n
+            && self.species.len() == n
+            && self.id.len() == n
     }
 
     /// Count particles per coarse cell into `counts` (indexed by
@@ -184,8 +268,12 @@ impl ParticleBuffer {
         for i in 0..num_cells {
             scratch.offsets[i + 1] += scratch.offsets[i];
         }
-        scratch.pos.resize(n, Vec3::ZERO);
-        scratch.vel.resize(n, Vec3::ZERO);
+        scratch.px.resize(n, 0.0);
+        scratch.py.resize(n, 0.0);
+        scratch.pz.resize(n, 0.0);
+        scratch.vx.resize(n, 0.0);
+        scratch.vy.resize(n, 0.0);
+        scratch.vz.resize(n, 0.0);
         scratch.cell.resize(n, 0);
         scratch.species.resize(n, 0);
         scratch.id.resize(n, 0);
@@ -193,14 +281,22 @@ impl ParticleBuffer {
             let c = self.cell[i] as usize;
             let dst = scratch.offsets[c];
             scratch.offsets[c] += 1;
-            scratch.pos[dst] = self.pos[i];
-            scratch.vel[dst] = self.vel[i];
+            scratch.px[dst] = self.px[i];
+            scratch.py[dst] = self.py[i];
+            scratch.pz[dst] = self.pz[i];
+            scratch.vx[dst] = self.vx[i];
+            scratch.vy[dst] = self.vy[i];
+            scratch.vz[dst] = self.vz[i];
             scratch.cell[dst] = self.cell[i];
             scratch.species[dst] = self.species[i];
             scratch.id[dst] = self.id[i];
         }
-        std::mem::swap(&mut self.pos, &mut scratch.pos);
-        std::mem::swap(&mut self.vel, &mut scratch.vel);
+        std::mem::swap(&mut self.px, &mut scratch.px);
+        std::mem::swap(&mut self.py, &mut scratch.py);
+        std::mem::swap(&mut self.pz, &mut scratch.pz);
+        std::mem::swap(&mut self.vx, &mut scratch.vx);
+        std::mem::swap(&mut self.vy, &mut scratch.vy);
+        std::mem::swap(&mut self.vz, &mut scratch.vz);
         std::mem::swap(&mut self.cell, &mut scratch.cell);
         std::mem::swap(&mut self.species, &mut scratch.species);
         std::mem::swap(&mut self.id, &mut scratch.id);
@@ -242,6 +338,26 @@ mod tests {
         for i in 0..5 {
             assert_eq!(b.get(i as usize), p(i));
         }
+        assert!(b.lanes_consistent());
+    }
+
+    #[test]
+    fn pos_vel_accessors_match_get() {
+        let mut b = ParticleBuffer::new();
+        let q = Particle {
+            pos: Vec3::new(1.5, -2.25, 3.0),
+            vel: Vec3::new(-4.0, 5.5, -6.75),
+            cell: 9,
+            species: 1,
+            id: 42,
+        };
+        b.push(q);
+        assert_eq!(b.pos(0), q.pos);
+        assert_eq!(b.vel(0), q.vel);
+        b.set_pos(0, Vec3::new(7.0, 8.0, 9.0));
+        b.set_vel(0, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(b.get(0).pos, Vec3::new(7.0, 8.0, 9.0));
+        assert_eq!(b.get(0).vel, Vec3::new(-1.0, -2.0, -3.0));
     }
 
     #[test]
@@ -255,6 +371,7 @@ mod tests {
         assert_eq!(b.len(), 3);
         let ids: Vec<u64> = b.iter().map(|q| q.id).collect();
         assert_eq!(ids, vec![0, 3, 2]);
+        assert!(b.lanes_consistent());
     }
 
     #[test]
@@ -266,6 +383,7 @@ mod tests {
         b.compact(&[true, false, true, false, false, true]);
         let ids: Vec<u64> = b.iter().map(|q| q.id).collect();
         assert_eq!(ids, vec![0, 2, 5]);
+        assert!(b.lanes_consistent());
     }
 
     #[test]
@@ -278,6 +396,7 @@ mod tests {
         a.append(&mut b);
         assert_eq!(a.len(), 3);
         assert!(b.is_empty());
+        assert!(a.lanes_consistent() && b.lanes_consistent());
     }
 
     #[test]
@@ -306,6 +425,13 @@ mod tests {
         // stable: within a cell, original order (by id) preserved
         let ids: Vec<u64> = b.id.clone();
         assert_eq!(ids, vec![3, 7, 1, 5, 4, 0, 2, 6]);
+        // position/velocity lanes travelled with their particles
+        for i in 0..b.len() {
+            let q = b.get(i);
+            assert_eq!(q.pos.x, q.id as f64);
+            assert_eq!(q.vel.y, q.id as f64);
+        }
+        assert!(b.lanes_consistent());
         // second sort on already-sorted data is a no-op
         let before: Vec<u64> = b.id.clone();
         b.sort_by_cell(4, &mut scratch);

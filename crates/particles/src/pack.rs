@@ -73,8 +73,9 @@ pub fn pack_selected_into(src: &ParticleBuffer, indices: &[usize], buf: &mut Vec
 #[inline]
 pub fn pack_index(src: &ParticleBuffer, i: usize, buf: &mut Vec<u8>) {
     buf.reserve(PACKED_SIZE);
-    let (p, v) = (src.pos[i], src.vel[i]);
-    for c in [p.x, p.y, p.z, v.x, v.y, v.z] {
+    for c in [
+        src.px[i], src.py[i], src.pz[i], src.vx[i], src.vy[i], src.vz[i],
+    ] {
         buf.extend_from_slice(&c.to_le_bytes());
     }
     buf.extend_from_slice(&src.cell[i].to_le_bytes());

@@ -27,6 +27,63 @@ pub fn fine_cell_of(nm: &NestedMesh, coarse_cell: usize, pos: mesh::Vec3) -> usi
     best
 }
 
+/// As [`fine_cell_of`], but also returning the winning barycentric
+/// weights: the search evaluates `bary` for every child anyway, so
+/// keeping the winner's weights spares the caller a second full
+/// evaluation (`bary` is pure, so the saved weights are bitwise the
+/// ones a recompute would produce).
+pub fn fine_cell_with_bary(
+    nm: &NestedMesh,
+    coarse_cell: usize,
+    pos: mesh::Vec3,
+) -> (usize, [f64; 4]) {
+    fine_cell_with_bary_in(&nm.fine, &nm.children[coarse_cell], pos)
+}
+
+/// [`fine_cell_with_bary`] over an already-fetched child list — the
+/// cell-blocked deposit hoists `nm.children[coarse]` once per block.
+fn fine_cell_with_bary_in(
+    fine: &mesh::TetMesh,
+    children: &[u32],
+    pos: mesh::Vec3,
+) -> (usize, [f64; 4]) {
+    let mut best = children[0] as usize;
+    let mut best_min = f64::NEG_INFINITY;
+    let mut best_w: Option<[f64; 4]> = None;
+    for &f in children {
+        let w = fine.bary(f as usize, pos);
+        let wmin = w.iter().copied().fold(f64::INFINITY, f64::min);
+        if wmin > best_min {
+            best_min = wmin;
+            best = f as usize;
+            best_w = Some(w);
+        }
+    }
+    // all-NaN weights never update best_w; mirror the old two-call
+    // behavior (bary of children[0]) in that degenerate case
+    let w = best_w.unwrap_or_else(|| fine.bary(best, pos));
+    (best, w)
+}
+
+/// Per-species deposit tables indexed by species id: `charged[s]` and
+/// the deposited macro-charge `q[s] = charge·weight` — hoists the
+/// per-particle `species.get()` lookup and `is_charged` branch out of
+/// the deposit loop.
+fn charge_tables(species: &SpeciesTable) -> (Vec<bool>, Vec<f64>) {
+    let mut charged = Vec::new();
+    let mut qw = Vec::new();
+    for (id, sp) in species.iter() {
+        let id = id as usize;
+        if charged.len() <= id {
+            charged.resize(id + 1, false);
+            qw.resize(id + 1, 0.0);
+        }
+        charged[id] = sp.is_charged();
+        qw[id] = sp.charge * sp.weight;
+    }
+    (charged, qw)
+}
+
 /// Deposit all charged particles of `buf` onto the fine-grid nodes.
 /// Returns the accumulated node charge (Coulombs of *real* charge per
 /// node), suitable as the FEM right-hand side after division by ε₀.
@@ -39,6 +96,12 @@ pub fn deposit_charge(nm: &NestedMesh, buf: &ParticleBuffer, species: &SpeciesTa
 /// As [`deposit_charge`] but accumulating into an existing array
 /// (callers zero it when appropriate; ranks accumulate their local
 /// particles and then sum boundary nodes across ranks).
+///
+/// Cache-blocked: particles are walked in runs of equal coarse cell
+/// (the engine's counting sort makes these runs long) with the child
+/// list hoisted once per run. Accumulation stays in particle order,
+/// so the result is bitwise identical to the naive loop — unsorted
+/// buffers just degrade to runs of length 1.
 pub fn deposit_charge_into(
     nm: &NestedMesh,
     buf: &ParticleBuffer,
@@ -46,18 +109,46 @@ pub fn deposit_charge_into(
     node_charge: &mut [f64],
 ) {
     assert_eq!(node_charge.len(), nm.fine.num_nodes());
-    for i in 0..buf.len() {
-        let sp = species.get(buf.species[i]);
-        if !sp.is_charged() {
-            continue;
+    let (charged, qw) = charge_tables(species);
+    deposit_run(nm, buf, &charged, &qw, 0..buf.len(), &mut |node, dq| {
+        node_charge[node as usize] += dq;
+    });
+}
+
+/// Walk the particles of `range` cell-major and feed every
+/// `(node, Δq)` contribution to `emit` in particle order. Shared core
+/// of the serial deposit (which accumulates directly) and the pooled
+/// one (which logs for ordered replay).
+fn deposit_run(
+    nm: &NestedMesh,
+    buf: &ParticleBuffer,
+    charged: &[bool],
+    qw: &[f64],
+    range: std::ops::Range<usize>,
+    emit: &mut impl FnMut(u32, f64),
+) {
+    let mut i = range.start;
+    while i < range.end {
+        let coarse = buf.cell[i] as usize;
+        // extend the run of particles sharing this coarse cell
+        let mut j = i + 1;
+        while j < range.end && buf.cell[j] as usize == coarse {
+            j += 1;
         }
-        let q = sp.charge * sp.weight;
-        let fc = fine_cell_of(nm, buf.cell[i] as usize, buf.pos[i]);
-        let w = nm.fine.bary(fc, buf.pos[i]);
-        let tet = nm.fine.tets[fc];
-        for k in 0..4 {
-            node_charge[tet[k] as usize] += q * w[k];
+        let children = &nm.children[coarse];
+        for k in i..j {
+            let s = buf.species[k] as usize;
+            if !charged[s] {
+                continue;
+            }
+            let q = qw[s];
+            let (fc, w) = fine_cell_with_bary_in(&nm.fine, children, buf.pos(k));
+            let tet = nm.fine.tets[fc];
+            for m in 0..4 {
+                emit(tet[m], q * w[m]);
+            }
         }
+        i = j;
     }
 }
 
@@ -79,22 +170,14 @@ pub fn deposit_charge_pooled(
     if pool.is_serial() || buf.len() < 2 {
         return deposit_charge_into(nm, buf, species, node_charge);
     }
+    let (charged, qw) = charge_tables(species);
+    let (charged, qw) = (&charged, &qw);
     let ranges = kernels::chunk_ranges(buf.len(), pool.workers());
     let logs: Vec<Vec<(u32, f64)>> = pool.run_parts(ranges, |_, rg| {
         let mut log: Vec<(u32, f64)> = Vec::with_capacity(rg.len() * 4);
-        for i in rg {
-            let sp = species.get(buf.species[i]);
-            if !sp.is_charged() {
-                continue;
-            }
-            let q = sp.charge * sp.weight;
-            let fc = fine_cell_of(nm, buf.cell[i] as usize, buf.pos[i]);
-            let w = nm.fine.bary(fc, buf.pos[i]);
-            let tet = nm.fine.tets[fc];
-            for k in 0..4 {
-                log.push((tet[k], q * w[k]));
-            }
-        }
+        deposit_run(nm, buf, charged, qw, rg, &mut |node, dq| {
+            log.push((node, dq));
+        });
         log
     });
     // replay in particle order (chunks are contiguous and in order)

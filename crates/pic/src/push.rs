@@ -3,11 +3,92 @@
 //! cell tracking, walls and outflow) is shared with DSMC via
 //! `dsmc::move_particles_filtered`.
 
-use crate::boris::boris_push;
+use crate::boris::{kick_lanes_electrostatic, kick_lanes_magnetized};
 use crate::field::ElectricField;
 use kernels::Pool;
 use mesh::{NestedMesh, Vec3};
 use particles::{ParticleBuffer, SpeciesTable};
+
+/// Per-species push tables: `charged[s]` and the Boris half-kick
+/// factor `(q/m)·Δt/2`, indexed by species id — hoists the
+/// per-particle `species.get()` lookup and `is_charged` branch out of
+/// the hot loop. The factor is built with the exact expression the
+/// scalar pusher evaluated (`(charge/mass) * dt * 0.5`).
+fn kick_tables(species: &SpeciesTable, dt: f64) -> (Vec<bool>, Vec<f64>) {
+    let mut charged = Vec::new();
+    let mut half = Vec::new();
+    for (id, sp) in species.iter() {
+        let id = id as usize;
+        if charged.len() <= id {
+            charged.resize(id + 1, false);
+            half.resize(id + 1, 0.0);
+        }
+        charged[id] = sp.is_charged();
+        half[id] = sp.charge / sp.mass * dt * 0.5;
+    }
+    (charged, half)
+}
+
+/// Gather the charged particles of `idx_range` into dense lanes,
+/// run the branch-free Boris sweep, scatter the results back.
+/// `vx/vy/vz` are the velocity lanes being updated (chunk or whole
+/// buffer), indexed chunk-locally; shared lanes are indexed globally
+/// via `off`. Returns the number of particles kicked.
+#[allow(clippy::too_many_arguments)]
+fn kick_chunk(
+    nm: &NestedMesh,
+    efield: &ElectricField,
+    b: Vec3,
+    charged: &[bool],
+    half: &[f64],
+    off: usize,
+    vx: &mut [f64],
+    vy: &mut [f64],
+    vz: &mut [f64],
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    cell: &[u32],
+    spec: &[u8],
+) -> usize {
+    let n = vx.len();
+    let mut idx: Vec<u32> = Vec::new();
+    let (mut gvx, mut gvy, mut gvz) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut hx, mut hy, mut hz) = (Vec::new(), Vec::new(), Vec::new());
+    let mut f: Vec<f64> = Vec::new();
+    for k in 0..n {
+        let gi = off + k;
+        let s = spec[gi] as usize;
+        if !charged[s] {
+            continue;
+        }
+        // field gather stays scalar: it searches the nested mesh
+        let e = efield.at(nm, cell[gi] as usize, Vec3::new(px[gi], py[gi], pz[gi]));
+        let fs = half[s];
+        idx.push(k as u32);
+        gvx.push(vx[k]);
+        gvy.push(vy[k]);
+        gvz.push(vz[k]);
+        hx.push(e.x * fs);
+        hy.push(e.y * fs);
+        hz.push(e.z * fs);
+        f.push(fs);
+    }
+    // `b` is uniform, so the zero test is hoisted out of the loop;
+    // neutrals were never gathered, so they stay bit-for-bit untouched
+    if b.norm2() == 0.0 {
+        kick_lanes_electrostatic([&mut gvx, &mut gvy, &mut gvz], [&hx, &hy, &hz]);
+    } else {
+        kick_lanes_magnetized(&mut gvx, &mut gvy, &mut gvz, &hx, &hy, &hz, &f, b);
+    }
+    for (j, &k) in idx.iter().enumerate() {
+        let k = k as usize;
+        vx[k] = gvx[j];
+        vy[k] = gvy[j];
+        vz[k] = gvz[j];
+    }
+    idx.len()
+}
 
 /// Apply one Boris velocity update to every charged particle using
 /// the per-fine-cell field `efield` and uniform magnetic field `b`.
@@ -20,24 +101,31 @@ pub fn accelerate_charged(
     b: Vec3,
     dt: f64,
 ) -> usize {
-    let mut kicked = 0usize;
-    for i in 0..buf.len() {
-        let sp = species.get(buf.species[i]);
-        if !sp.is_charged() {
-            continue;
-        }
-        let e = efield.at(nm, buf.cell[i] as usize, buf.pos[i]);
-        let qm = sp.charge / sp.mass;
-        buf.vel[i] = boris_push(buf.vel[i], e, b, qm, dt);
-        kicked += 1;
-    }
-    kicked
+    let (charged, half) = kick_tables(species, dt);
+    let ParticleBuffer {
+        px,
+        py,
+        pz,
+        vx,
+        vy,
+        vz,
+        cell,
+        species: spec,
+        ..
+    } = buf;
+    kick_chunk(
+        nm, efield, b, &charged, &half, 0, vx, vy, vz, px, py, pz, cell, spec,
+    )
 }
 
-/// Pooled Boris kick: the velocity array is split into one contiguous
-/// chunk per worker (field gather + push is pure per-particle work),
-/// so the result is bitwise identical to [`accelerate_charged`] for
-/// every worker count.
+/// One worker's share of the velocity lanes: the chunk's global
+/// offset plus its `vx`/`vy`/`vz` slices.
+type VelChunk<'a> = (usize, &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+
+/// Pooled Boris kick: the velocity lanes are split into one
+/// contiguous chunk per worker (field gather + push is pure
+/// per-particle work), so the result is bitwise identical to
+/// [`accelerate_charged`] for every worker count.
 pub fn accelerate_charged_pooled(
     nm: &NestedMesh,
     buf: &mut ParticleBuffer,
@@ -50,21 +138,25 @@ pub fn accelerate_charged_pooled(
     if pool.is_serial() || buf.len() < 2 {
         return accelerate_charged(nm, buf, species, efield, b, dt);
     }
-    let (pos, cell, spec) = (&buf.pos, &buf.cell, &buf.species);
-    pool.par_chunks_mut(&mut buf.vel, |_, off, vels| {
-        let mut kicked = 0usize;
-        for (k, v) in vels.iter_mut().enumerate() {
-            let i = off + k;
-            let sp = species.get(spec[i]);
-            if !sp.is_charged() {
-                continue;
-            }
-            let e = efield.at(nm, cell[i] as usize, pos[i]);
-            let qm = sp.charge / sp.mass;
-            *v = boris_push(*v, e, b, qm, dt);
-            kicked += 1;
-        }
-        kicked
+    let (charged, half) = kick_tables(species, dt);
+    let ranges = kernels::chunk_ranges(buf.len(), pool.workers());
+    let vxc = kernels::carve_mut(&ranges, &mut buf.vx);
+    let vyc = kernels::carve_mut(&ranges, &mut buf.vy);
+    let vzc = kernels::carve_mut(&ranges, &mut buf.vz);
+    let (px, py, pz) = (&buf.px, &buf.py, &buf.pz);
+    let (cell, spec) = (&buf.cell, &buf.species);
+    let mut parts: Vec<VelChunk> = Vec::with_capacity(ranges.len());
+    let mut off = 0usize;
+    for ((cvx, cvy), cvz) in vxc.into_iter().zip(vyc).zip(vzc) {
+        let len = cvx.len();
+        parts.push((off, cvx, cvy, cvz));
+        off += len;
+    }
+    let (charged, half) = (&charged, &half);
+    pool.run_parts(parts, |_, (off, vx, vy, vz)| {
+        kick_chunk(
+            nm, efield, b, charged, half, off, vx, vy, vz, px, py, pz, cell, spec,
+        )
     })
     .into_iter()
     .sum()
@@ -105,9 +197,9 @@ mod tests {
         let ef = ElectricField::from_potential(&nm.fine, &phi);
         let kicked = accelerate_charged(&nm, &mut buf, &table, &ef, Vec3::ZERO, 1e-7);
         assert_eq!(kicked, 2);
-        assert_eq!(buf.vel[0], Vec3::ZERO, "neutral must not feel E");
-        assert!(buf.vel[1].z > 0.0, "ion accelerated along E");
-        assert_eq!(buf.vel[1], buf.vel[2]);
+        assert_eq!(buf.vel(0), Vec3::ZERO, "neutral must not feel E");
+        assert!(buf.vel(1).z > 0.0, "ion accelerated along E");
+        assert_eq!(buf.vel(1), buf.vel(2));
     }
 
     #[test]
@@ -150,8 +242,8 @@ mod tests {
                 &kernels::Pool::new(workers),
             );
             assert_eq!(kicked, kicked_serial);
-            for (a, b2) in serial.vel.iter().zip(&par.vel) {
-                assert_eq!(a, b2, "workers={workers}");
+            for i in 0..serial.len() {
+                assert_eq!(serial.vel(i), par.vel(i), "workers={workers}");
             }
         }
     }
@@ -171,6 +263,6 @@ mod tests {
         });
         let ef = ElectricField::zeros(&nm.fine);
         accelerate_charged(&nm, &mut buf, &table, &ef, Vec3::ZERO, 1e-7);
-        assert_eq!(buf.vel[0], v0);
+        assert_eq!(buf.vel(0), v0);
     }
 }

@@ -17,6 +17,10 @@ cargo test --workspace -q
 echo "== chaos gate (seeded fault plans must reproduce clean hashes) =="
 cargo test -q --test chaos_guard
 
+echo "== bench smoke (quick snapshot must emit every kernel row) =="
+BENCH_QUICK=1 BENCH_OUT=target/bench_smoke.json \
+    cargo run --release -q -p bench --bin bench_snapshot
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -74,7 +74,7 @@ fn plume_advances_downstream_over_time() {
     for step in 1..=30 {
         st.dsmc_step();
         if step % 10 == 0 {
-            let front = st.particles.pos.iter().map(|p| p.z).fold(0.0f64, f64::max);
+            let front = st.particles.pz.iter().copied().fold(0.0f64, f64::max);
             front_at.push(front);
         }
     }

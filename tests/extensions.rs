@@ -95,10 +95,10 @@ fn magnetic_field_preserves_ion_speed_in_pure_rotation() {
     });
     let ef = pic::ElectricField::zeros(&nm.fine);
     let b = Vec3::new(0.0, 0.0, 0.3);
-    let v0 = buf.vel[0].norm();
+    let v0 = buf.vel(0).norm();
     pic::accelerate_charged(&nm, &mut buf, &table, &ef, b, 1e-8);
-    assert!((buf.vel[0].norm() - v0).abs() < 1e-9 * v0);
-    assert!(buf.vel[0].y.abs() > 0.0, "rotation must occur");
+    assert!((buf.vel(0).norm() - v0).abs() < 1e-9 * v0);
+    assert!(buf.vel(0).y.abs() > 0.0, "rotation must occur");
 }
 
 #[test]

@@ -7,7 +7,8 @@
 
 use mesh::geom::{barycentric, tet_contains, tet_volume, tet_volume_signed, Vec3};
 use particles::{
-    pack_particle, unpack_particle, Particle, ParticleBuffer, SortScratch, PACKED_SIZE,
+    pack_particle, pack_selected, unpack_all, unpack_particle, Particle, ParticleBuffer,
+    SortScratch, PACKED_SIZE,
 };
 use proptest::prelude::*;
 use sparse::{cg, solve_dense, CooBuilder, KrylovOptions};
@@ -72,6 +73,82 @@ proptest! {
         pack_particle(&p, &mut buf);
         prop_assert_eq!(buf.len(), PACKED_SIZE);
         prop_assert_eq!(unpack_particle(&buf, 0), p);
+    }
+
+    #[test]
+    fn particle_roundtrips_bitwise_through_scalar_lanes(
+        px in -1e3f64..1e3, py in -1e3f64..1e3, pz in -1e3f64..1e3,
+        vx in -1e6f64..1e6, vy in -1e6f64..1e6, vz in -1e6f64..1e6,
+        cell in 0u32..u32::MAX, species in 0u8..255, id in 0u64..u64::MAX,
+    ) {
+        let p = Particle {
+            pos: Vec3::new(px, py, pz),
+            vel: Vec3::new(vx, vy, vz),
+            cell, species, id,
+        };
+        let mut buf = ParticleBuffer::new();
+        buf.push(p);
+        // push scatters into the six scalar lanes bit-exactly
+        prop_assert_eq!(buf.px[0].to_bits(), px.to_bits());
+        prop_assert_eq!(buf.py[0].to_bits(), py.to_bits());
+        prop_assert_eq!(buf.pz[0].to_bits(), pz.to_bits());
+        prop_assert_eq!(buf.vx[0].to_bits(), vx.to_bits());
+        prop_assert_eq!(buf.vy[0].to_bits(), vy.to_bits());
+        prop_assert_eq!(buf.vz[0].to_bits(), vz.to_bits());
+        // get() regathers the identical Particle value
+        prop_assert_eq!(buf.get(0), p);
+        // pack_selected reads the lanes directly and must agree
+        // byte-for-byte with the Particle-value packer
+        let mut via_value = Vec::new();
+        pack_particle(&p, &mut via_value);
+        let via_lanes = pack_selected(&buf, &[0]);
+        prop_assert_eq!(&via_value, &via_lanes);
+        // unpacking lands the same bits back in the lanes
+        let mut back = ParticleBuffer::new();
+        unpack_all(&via_lanes, &mut back);
+        prop_assert_eq!(back.px[0].to_bits(), px.to_bits());
+        prop_assert_eq!(back.vz[0].to_bits(), vz.to_bits());
+        prop_assert_eq!(back.id[0], id);
+        prop_assert!(back.lanes_consistent());
+    }
+
+    #[test]
+    fn lanes_stay_consistent_through_sort_and_emigrant_packing(
+        cells in proptest::collection::vec(0u32..13, 0..120),
+        emigrant_stride in 2usize..5,
+    ) {
+        let num_cells = 13usize;
+        let mut buf = ParticleBuffer::new();
+        for (k, &c) in cells.iter().enumerate() {
+            let k = k as u64;
+            buf.push(Particle {
+                pos: Vec3::new(k as f64, 2.0 * k as f64, -(k as f64)),
+                vel: Vec3::new(0.5, k as f64, 1.5),
+                cell: c,
+                species: (k % 2) as u8,
+                id: k,
+            });
+        }
+        prop_assert!(buf.lanes_consistent());
+        let mut scratch = SortScratch::default();
+        buf.sort_by_cell(num_cells, &mut scratch);
+        prop_assert!(buf.lanes_consistent());
+        // emigrant packing: every `emigrant_stride`-th particle leaves
+        let emigrants: Vec<usize> = (0..buf.len()).step_by(emigrant_stride).collect();
+        let packed = pack_selected(&buf, &emigrants);
+        prop_assert_eq!(packed.len(), emigrants.len() * PACKED_SIZE);
+        let mut keep = vec![true; buf.len()];
+        for &e in &emigrants {
+            keep[e] = false;
+        }
+        let total = buf.len();
+        buf.compact(&keep);
+        prop_assert!(buf.lanes_consistent());
+        prop_assert_eq!(buf.len(), total - emigrants.len());
+        // immigrants arriving re-extend every lane in lockstep
+        unpack_all(&packed, &mut buf);
+        prop_assert!(buf.lanes_consistent());
+        prop_assert_eq!(buf.len(), total);
     }
 
     #[test]
