@@ -19,7 +19,12 @@ const EXPERIMENTS: [&str; 11] = [
     "fig13_sweep_threshold",
 ];
 
-const EXPERIMENTS_EXTRA: [&str; 3] = ["fig14_placement", "fig15_portability", "ablation_autotune"];
+const EXPERIMENTS_EXTRA: [&str; 4] = [
+    "fig14_placement",
+    "fig15_portability",
+    "fig_hier_crossover",
+    "ablation_autotune",
+];
 
 fn main() {
     let exe = std::env::current_exe().expect("current exe");

@@ -7,11 +7,14 @@
 //! `per_particle` section with ns/particle for the four particle
 //! kernels — and a speedup table on stdout.
 //!
-//! Also benchmarks the three wire-exchange protocols (CC, DC, Sparse)
-//! on the threaded backend at 4 and 8 ranks with a quiet (2 nonzero
-//! pairs) and a dense (all pairs) migration matrix, recording the
-//! measured transaction count and the nonzero-pair fraction per case
-//! in a dedicated `exchange` JSON section.
+//! Also benchmarks the four wire-exchange protocols (CC, DC, Sparse,
+//! Hier) on the threaded backend at 4 and 8 ranks with a quiet (2
+//! nonzero pairs) and a dense (all pairs) migration matrix, recording
+//! the measured transaction count, the nonzero-pair fraction, and the
+//! active node-pair count per case in a dedicated `exchange` JSON
+//! section. The 8-rank quiet case doubles as a gate: Hier must move
+//! strictly fewer messages than Sparse's 2·nnz payload sends — the
+//! node-aggregation win the paper's hierarchical variant is built on.
 //!
 //! The host's visible CPU count is recorded in the JSON: speedups are
 //! only meaningful when the host exposes at least as many CPUs as the
@@ -286,6 +289,7 @@ fn main() {
         transactions: u64,
         nonzero_pairs: u64,
         nonzero_fraction: f64,
+        node_pairs: u64,
     }
     let mut exch_cases: Vec<ExchCase> = Vec::new();
     let rank_counts: &[usize] = if quick { &[] } else { &[4, 8] };
@@ -316,9 +320,35 @@ fn main() {
                     transactions: measure_transactions(strategy, &m),
                     nonzero_pairs: model.nonzero_pairs,
                     nonzero_fraction: model.nonzero_pairs as f64 / slots,
+                    node_pairs: model.node_pairs,
                 });
             }
         }
+    }
+
+    // Aggregation gate (doc comment above): on the 8-rank quiet matrix
+    // the hierarchical exchange must beat Sparse's 2 sends per nonzero
+    // pair — otherwise trunk aggregation regressed to per-pair wires.
+    if !quick {
+        let find = |strategy: &str| {
+            exch_cases
+                .iter()
+                .find(|e| e.strategy == strategy && e.ranks == 8 && e.kind == "quiet")
+                .expect("quiet 8-rank exchange case present")
+        };
+        let (hier, sparse) = (find("Hier"), find("Sparse"));
+        let sparse_payload_sends = 2 * sparse.nonzero_pairs;
+        if hier.transactions >= sparse_payload_sends {
+            eprintln!(
+                "[exchange] Hier quiet-8 sent {} messages, expected < Sparse's 2·nnz = {}",
+                hier.transactions, sparse_payload_sends
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[exchange] quiet-8 gate: Hier tx {} < Sparse 2·nnz {} ({} active node pair(s))",
+            hier.transactions, sparse_payload_sends, hier.node_pairs
+        );
     }
 
     // ---- report ----------------------------------------------------
@@ -381,8 +411,14 @@ fn main() {
             format!(
                 "    {{\"strategy\": \"{}\", \"ranks\": {}, \"matrix\": \"{}\", \
                  \"transactions\": {}, \"nonzero_pairs\": {}, \"nonzero_fraction\": {:.4}, \
-                 \"ns_per_op\": {t:.1}}}",
-                e.strategy, e.ranks, e.kind, e.transactions, e.nonzero_pairs, e.nonzero_fraction
+                 \"node_pairs\": {}, \"ns_per_op\": {t:.1}}}",
+                e.strategy,
+                e.ranks,
+                e.kind,
+                e.transactions,
+                e.nonzero_pairs,
+                e.nonzero_fraction,
+                e.node_pairs
             )
         })
         .collect();

@@ -49,9 +49,9 @@ fn main() {
                 format!("{exchange:.4}"),
                 rep.strategy_uses.map(|u| u.to_string()).join("|"),
             ]);
-            let [cc, dc, sp] = rep.strategy_uses;
+            let [cc, dc, sp, hier] = rep.strategy_uses;
             eprintln!(
-                "  {} @ {ranks}: total={:.1}s exchange={exchange:.2}s uses(CC/DC/Sparse)={cc}/{dc}/{sp}",
+                "  {} @ {ranks}: total={:.1}s exchange={exchange:.2}s uses(CC/DC/Sparse/Hier)={cc}/{dc}/{sp}/{hier}",
                 strat_name(strategy),
                 rep.total_time
             );
@@ -81,7 +81,7 @@ fn main() {
             "ranks",
             "total_s",
             "exchange_s",
-            "uses_cc_dc_sparse",
+            "uses_cc_dc_sparse_hier",
         ],
         &csv_rows,
     );

@@ -158,6 +158,7 @@ pub fn strat_name(s: Strategy) -> &'static str {
         Strategy::Distributed => "DC",
         Strategy::Centralized => "CC",
         Strategy::Sparse => "Sparse",
+        Strategy::Hier => "Hier",
         Strategy::Auto => "Auto",
     }
 }

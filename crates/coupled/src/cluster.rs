@@ -56,7 +56,7 @@ pub struct ModelledBackend {
     /// the dataset `scale` shrinks).
     grid_boost: f64,
     /// Exchanges carried per concrete strategy (CONCRETE order).
-    strategy_uses: [u64; 3],
+    strategy_uses: [u64; 4],
     rebalance_migrated: u64,
     /// Modelled per-rank phase times of the step in flight.
     per_rank: Vec<Breakdown>,
@@ -69,7 +69,7 @@ pub struct ModelledBackend {
     /// Accumulated per-step traffic = run totals for the report.
     total_tx: u64,
     total_bytes: u64,
-    uses_mark: [u64; 3],
+    uses_mark: [u64; 4],
 }
 
 impl ModelledBackend {
@@ -94,7 +94,7 @@ impl ModelledBackend {
                 .paper_cells
                 .map(|pc| (pc as f64 / (8.0 * ncoarse as f64)).max(1.0))
                 .unwrap_or(1.0),
-            strategy_uses: [0; 3],
+            strategy_uses: [0; 4],
             rebalance_migrated: 0,
             per_rank: Vec::new(),
             pending_exchange: None,
@@ -102,7 +102,7 @@ impl ModelledBackend {
             step_bytes: 0,
             total_tx: 0,
             total_bytes: 0,
-            uses_mark: [0; 3],
+            uses_mark: [0; 4],
         }
     }
 
@@ -134,7 +134,20 @@ impl ModelledBackend {
             transactions: tf.transactions,
             bytes: tf.total_bytes,
             max_rank_msgs: tf.max_rank_msgs,
+            node_pairs: tf.node_pairs,
+            aggregated_bytes: tf.aggregated_bytes,
         });
+    }
+
+    /// Protocol traffic for `s` over matrix `m`. Hier aggregates over
+    /// the machine's node map (ranks grouped by `cores_per_node`), the
+    /// same grouping [`CostModel::pick_strategy`] evaluated.
+    fn traffic_for(&self, s: Strategy, m: &[Vec<u64>]) -> TrafficSummary {
+        if s == Strategy::Hier {
+            vmpi::traffic_hier(&self.cost.node_map_for(self.ranks), m)
+        } else {
+            traffic(s, m)
+        }
     }
 
     /// Migration byte matrix from `(old_cell, new_cell)` transitions.
@@ -212,7 +225,7 @@ impl Backend for ModelledBackend {
                 };
                 let m = self.migration_matrix(tr);
                 let (s, idx) = self.resolve(&m);
-                let tf = traffic(s, &m);
+                let tf = self.traffic_for(s, &m);
                 let t = self.cost.exchange_time(s, &tf);
                 for bd in self.per_rank.iter_mut() {
                     bd[phase] += t;
@@ -291,7 +304,7 @@ impl Backend for ModelledBackend {
         let bytes = std::mem::take(&mut self.step_bytes);
         self.total_tx += tx;
         self.total_bytes += bytes;
-        let mut uses = [0u64; 3];
+        let mut uses = [0u64; 4];
         for (u, (&cur, &mark)) in uses
             .iter_mut()
             .zip(self.strategy_uses.iter().zip(&self.uses_mark))
@@ -369,7 +382,7 @@ impl Backend for ModelledBackend {
                     }
                     let cells_eff = (self.owner.len() as f64 * self.grid_boost) as usize;
                     let (s, idx) = self.resolve(&m);
-                    let tf = traffic(s, &m);
+                    let tf = self.traffic_for(s, &m);
                     let t_reb = self.cost.rebalance_time(cells_eff, &tf, s, use_km);
                     for bd in self.per_rank.iter_mut() {
                         bd[Phase::Rebalance] += t_reb;
@@ -607,9 +620,10 @@ mod tests {
             MachineProfile::tianhe2(),
         );
         let report = cs.run(10);
-        let [cc, dc, sparse] = report.strategy_uses;
+        let [cc, dc, sparse, hier] = report.strategy_uses;
         assert_eq!(cc, 0);
         assert_eq!(sparse, 0);
+        assert_eq!(hier, 0);
         // one DSMC exchange plus one per PIC substep, every step
         assert!(dc >= 20, "expected >= 2 exchanges/step, got {dc}");
     }

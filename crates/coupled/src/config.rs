@@ -267,6 +267,20 @@ pub struct RunConfig {
     pub rebalance: Option<RebalanceConfig>,
     /// Number of (virtual or threaded) ranks.
     pub ranks: usize,
+    /// Ranks per node for [`Strategy::Hier`]'s two-level aggregation
+    /// (consecutive ranks share a node). 0 = auto: split the world
+    /// into two equal halves ([`vmpi::NodeMap::default_for`]). Like
+    /// the strategy itself, the grouping only changes the message
+    /// schedule, never the delivered buffers.
+    pub ranks_per_node: usize,
+    /// Overlap the hierarchical exchange with interior work: after
+    /// the phase-1 sends are in flight, the rank compacts its
+    /// particle buffer and pre-buckets the survivors for the collide
+    /// phase before draining receives. Only RNG-free work is
+    /// overlapped, so outputs stay bitwise identical to the
+    /// non-overlapped path. Takes effect only under
+    /// [`Strategy::Hier`].
+    pub overlap: bool,
     /// DSMC steps to run.
     pub steps: usize,
     /// Cost-model particle work boost (see [`Dataset::work_boost`]).
@@ -344,6 +358,8 @@ impl Default for RunConfigBuilder {
                 strategy: Strategy::Distributed,
                 rebalance: Some(RebalanceConfig::default()),
                 ranks: 1,
+                ranks_per_node: 0,
+                overlap: false,
                 steps: 100,
                 work_boost: 1.0,
                 paper_cells: None,
@@ -402,6 +418,21 @@ impl RunConfigBuilder {
     /// DSMC steps to run.
     pub fn steps(mut self, steps: usize) -> Self {
         self.run.steps = steps;
+        self
+    }
+
+    /// Ranks per node for the hierarchical exchange (0 = auto, two
+    /// equal halves).
+    pub fn ranks_per_node(mut self, rpn: usize) -> Self {
+        self.run.ranks_per_node = rpn;
+        self
+    }
+
+    /// Overlap the hierarchical exchange with RNG-free interior work
+    /// (compaction + collision pre-bucketing). Bitwise-neutral; only
+    /// effective under [`Strategy::Hier`].
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.run.overlap = overlap;
         self
     }
 
@@ -577,6 +608,23 @@ mod tests {
         assert_eq!(plain.checkpoint_every, 0);
         assert_eq!(plain.on_fault, FaultPolicy::Abort);
         assert!(plain.fault_plan.is_none());
+    }
+
+    #[test]
+    fn builder_carries_hier_settings() {
+        let run = RunConfig::builder()
+            .strategy(Strategy::Hier)
+            .ranks(4)
+            .ranks_per_node(2)
+            .overlap(true)
+            .build()
+            .unwrap();
+        assert_eq!(run.ranks_per_node, 2);
+        assert!(run.overlap);
+        // defaults: auto node map, no overlap
+        let plain = RunConfig::builder().build().unwrap();
+        assert_eq!(plain.ranks_per_node, 0);
+        assert!(!plain.overlap);
     }
 
     #[test]

@@ -454,6 +454,11 @@ pub struct ExchangeInfo {
     pub bytes: u64,
     /// Worst per-rank message count (0 when unknown).
     pub max_rank_msgs: u64,
+    /// Ordered node pairs carrying an aggregated trunk frame (Hier
+    /// only; 0 for the flat strategies).
+    pub node_pairs: u64,
+    /// Bytes of the aggregated leader-to-leader frames (Hier only).
+    pub aggregated_bytes: u64,
 }
 
 /// Communication carried during one step, as attributed by the
@@ -468,15 +473,15 @@ pub struct StepComm {
     pub bytes: u64,
     /// Exchanges carried this step per concrete strategy
     /// ([`vmpi::Strategy::CONCRETE`] order).
-    pub strategy_uses: [u64; 3],
+    pub strategy_uses: [u64; 4],
 }
 
 /// Cumulative backend-side counters a driver folds into its report.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BackendStats {
     /// Exchanges carried per concrete strategy
-    /// ([`vmpi::Strategy::CONCRETE`] order: CC, DC, Sparse).
-    pub strategy_uses: [u64; 3],
+    /// ([`vmpi::Strategy::CONCRETE`] order: CC, DC, Sparse, Hier).
+    pub strategy_uses: [u64; 4],
     /// Re-decompositions performed.
     pub rebalances: usize,
     /// Total particles migrated by rebalancing.
@@ -629,6 +634,8 @@ impl StepPipeline {
                 transactions: info.transactions,
                 bytes: info.bytes,
                 max_rank_msgs: info.max_rank_msgs,
+                node_pairs: info.node_pairs,
+                aggregated_bytes: info.aggregated_bytes,
             });
         }
     }
@@ -900,6 +907,6 @@ mod tests {
         let (_, trace, _) = StepPipeline::default().run_step(&mut eng, &mut be, &mut NoProbe, 0);
         assert_eq!(trace.transactions, 0);
         assert_eq!(trace.bytes, 0);
-        assert_eq!(trace.strategy_uses, [0; 3]);
+        assert_eq!(trace.strategy_uses, [0; 4]);
     }
 }

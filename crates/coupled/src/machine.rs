@@ -16,7 +16,7 @@
 //!   reproducing the paper's non-scaling `Poisson_Solve` (Table IV).
 
 use serde::{Deserialize, Serialize};
-use vmpi::{Strategy, TrafficSummary};
+use vmpi::{NodeMap, Strategy, TrafficSummary};
 
 /// Per-core processing rates and network parameters of one platform.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -171,6 +171,13 @@ impl CostModel {
     /// the busiest rank's nonzero pairs pay per-operation latency
     /// (one count message + one payload message per partner) — the
     /// latency bill scales with actual migration, not with N².
+    ///
+    /// Hier: four log-depth fences (three phases plus the trailing
+    /// one) and the busiest rank — a node leader — pays per-operation
+    /// latency for its funnel fan-in, trunk frames and scatter fan-out
+    /// plus its aggregated bytes. The leader drains members in strict
+    /// rank order, so skew accumulates exactly like the flat ordered
+    /// protocols and the contended `per_op` applies.
     pub fn exchange_time(&self, strategy: Strategy, t: &TrafficSummary) -> f64 {
         let n = self.ranks as f64;
         let a = self.alpha();
@@ -197,6 +204,13 @@ impl CostModel {
                 let fences = 2.0 * n.log2().max(1.0) * a;
                 fences + t.max_rank_msgs as f64 * per_op + t.max_rank_bytes as f64 / b
             }
+            Strategy::Hier => {
+                // three phase fences + the trailing fence, then the
+                // leader's serialized frame operations and its share of
+                // the aggregated inter-node bytes
+                let fences = 8.0 * n.log2().max(1.0) * a;
+                fences + t.max_rank_msgs as f64 * per_op + t.max_rank_bytes as f64 / b
+            }
             Strategy::Auto => panic!(
                 "Strategy::Auto has no cost of its own — resolve it with \
                  CostModel::pick_strategy first"
@@ -204,14 +218,27 @@ impl CostModel {
         }
     }
 
+    /// The rank → node grouping this machine implies for the
+    /// hierarchical strategy: contiguous blocks of `cores_per_node`
+    /// ranks per node, the way schedulers hand out rank ranges.
+    pub fn node_map_for(&self, ranks: usize) -> NodeMap {
+        NodeMap::grouped(ranks, self.profile.cores_per_node)
+    }
+
     /// Modelled wall time of one exchange of the migration byte matrix
-    /// `m` under `strategy` (traffic prediction + α–β charge).
+    /// `m` under `strategy` (traffic prediction + α–β charge). The
+    /// hierarchical strategy is priced with this machine's
+    /// [`CostModel::node_map_for`] grouping, not the two-node default.
     pub fn exchange_time_for(&self, strategy: Strategy, m: &[Vec<u64>]) -> f64 {
-        self.exchange_time(strategy, &vmpi::traffic(strategy, m))
+        let t = match strategy {
+            Strategy::Hier => vmpi::traffic_hier(&self.node_map_for(m.len()), m),
+            _ => vmpi::traffic(strategy, m),
+        };
+        self.exchange_time(strategy, &t)
     }
 
     /// The per-step Auto decision rule (§IV-B addendum): score the
-    /// three concrete strategies on the rank-0-reduced migration byte
+    /// concrete strategies on the rank-0-reduced migration byte
     /// matrix with this machine's α/β parameters and return the
     /// cheapest. Ties break toward the earlier entry of
     /// [`Strategy::CONCRETE`], so the rule is deterministic.
@@ -364,6 +391,31 @@ mod tests {
         let many = CostModel::new(MachineProfile::bscc(), 768);
         let trickle = uniform_matrix(768, 20);
         assert_eq!(many.pick_strategy(&trickle), Strategy::Centralized);
+    }
+
+    #[test]
+    fn hier_wins_dense_heavy_traffic_at_scale() {
+        // 1536 ranks, every pair migrating ~1 KB: the centralized
+        // root chokes on 2M bytes through one link, the all-pairs
+        // schedules choke on per-rank message latency — only the
+        // node-aggregated strategy keeps both bills bounded by the
+        // node fan-in. This is the crossover the fig-style experiment
+        // records.
+        let cm = CostModel::new(MachineProfile::tianhe3(), 1536);
+        let dense = uniform_matrix(1536, 1_000);
+        let hier = cm.exchange_time_for(Strategy::Hier, &dense);
+        let cc = cm.exchange_time_for(Strategy::Centralized, &dense);
+        let dc = cm.exchange_time_for(Strategy::Distributed, &dense);
+        let sp = cm.exchange_time_for(Strategy::Sparse, &dense);
+        assert!(hier < cc, "hier {hier} cc {cc}");
+        assert!(hier < dc, "hier {hier} dc {dc}");
+        assert!(hier < sp, "hier {hier} sparse {sp}");
+        assert_eq!(cm.pick_strategy(&dense), Strategy::Hier);
+
+        // but on a quiet step that crosses nodes, the three-hop relay
+        // and the four fences make it lose to Sparse
+        let quiet = pair_matrix(1536, &[(3, 1000, 4_000)]);
+        assert_eq!(cm.pick_strategy(&quiet), Strategy::Sparse);
     }
 
     #[test]

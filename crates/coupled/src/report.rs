@@ -39,10 +39,10 @@ pub struct RunReport {
     /// Total particles migrated by rebalancing.
     pub rebalance_migrated: u64,
     /// Exchanges carried per concrete strategy, indexed by
-    /// [`vmpi::Strategy::CONCRETE`] order (CC, DC, Sparse). Under
-    /// [`vmpi::Strategy::Auto`] the per-exchange decision rule fills
-    /// whichever buckets it picks; a fixed strategy fills one.
-    pub strategy_uses: [u64; 3],
+    /// [`vmpi::Strategy::CONCRETE`] order (CC, DC, Sparse, Hier).
+    /// Under [`vmpi::Strategy::Auto`] the per-exchange decision rule
+    /// fills whichever buckets it picks; a fixed strategy fills one.
+    pub strategy_uses: [u64; 4],
     /// Times the run restored from a checkpoint and replayed after a
     /// detected rank death
     /// ([`crate::config::FaultPolicy::RestartFromCheckpoint`]); 0 on a
@@ -231,7 +231,7 @@ mod tests {
             population: 123,
             transactions: 45,
             bytes: 6789,
-            strategy_uses: [1, 2, 3],
+            strategy_uses: [1, 2, 3, 4],
             density_h: vec![0.5, 1.5],
             ..RunReport::default()
         };

@@ -81,7 +81,7 @@ pub struct StrategyPoint {
     /// Modelled total time of the pilot run (s).
     pub total_time: f64,
     /// Exchanges tallied per concrete strategy during the pilot.
-    pub strategy_uses: [u64; 3],
+    pub strategy_uses: [u64; 4],
 }
 
 /// Result of a strategy sweep: every concrete strategy plus Auto,
@@ -102,7 +102,7 @@ pub fn tune_strategy(
     pilot_steps: usize,
 ) -> StrategyTuneReport {
     let candidates = Strategy::CONCRETE.into_iter().chain([Strategy::Auto]);
-    let mut points = Vec::with_capacity(4);
+    let mut points = Vec::with_capacity(Strategy::CONCRETE.len() + 1);
     for strategy in candidates {
         let mut pilot = run.clone();
         pilot.strategy = strategy;
@@ -152,7 +152,7 @@ mod tests {
             .build()
             .unwrap();
         let report = tune_strategy(&run, MachineProfile::tianhe2(), 8);
-        assert_eq!(report.points.len(), 4);
+        assert_eq!(report.points.len(), 5);
         for p in &report.points {
             assert!(p.total_time > 0.0, "{:?}", p.strategy);
             assert!(report.best.total_time <= p.total_time);

@@ -6,8 +6,8 @@ use crate::phase::Phase;
 
 /// Names of the concrete exchange strategies, in the same order as
 /// `vmpi::Strategy::CONCRETE` (and every `strategy_uses` array):
-/// centralized, distributed, sparse.
-pub const STRATEGY_NAMES: [&str; 3] = ["CC", "DC", "Sparse"];
+/// centralized, distributed, sparse, hierarchical.
+pub const STRATEGY_NAMES: [&str; 4] = ["CC", "DC", "Sparse", "Hier"];
 
 /// Per-step scalar history of a run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -29,7 +29,7 @@ pub struct StepTrace {
     pub bytes: u64,
     /// Exchanges carried this step per concrete strategy, in
     /// [`STRATEGY_NAMES`] order.
-    pub strategy_uses: [u64; 3],
+    pub strategy_uses: [u64; 4],
 }
 
 impl StepTrace {
@@ -77,6 +77,12 @@ pub struct ExchangeEvent {
     /// Worst per-rank message count (protocol prediction; 0 when
     /// unknown, i.e. on the threaded backend).
     pub max_rank_msgs: u64,
+    /// Ordered node pairs carrying an aggregated trunk frame (Hier
+    /// only; 0 for the flat strategies and the threaded backend).
+    pub node_pairs: u64,
+    /// Bytes of the aggregated leader-to-leader frames (same
+    /// provenance as `node_pairs`).
+    pub aggregated_bytes: u64,
 }
 
 impl ExchangeEvent {
@@ -88,11 +94,13 @@ impl ExchangeEvent {
             ("sub", Json::U64(self.sub as u64)),
             (
                 "strategy",
-                Json::Str(STRATEGY_NAMES[self.strategy.min(2)].into()),
+                Json::Str(STRATEGY_NAMES[self.strategy.min(STRATEGY_NAMES.len() - 1)].into()),
             ),
             ("transactions", Json::U64(self.transactions)),
             ("bytes", Json::U64(self.bytes)),
             ("max_rank_msgs", Json::U64(self.max_rank_msgs)),
+            ("node_pairs", Json::U64(self.node_pairs)),
+            ("aggregated_bytes", Json::U64(self.aggregated_bytes)),
         ])
     }
 }
@@ -137,7 +145,7 @@ mod tests {
             rebalanced: true,
             transactions: 12,
             bytes: 3456,
-            strategy_uses: [0, 10, 2],
+            strategy_uses: [0, 10, 2, 0],
         };
         let v = parse(&t.to_json(7).to_string()).unwrap();
         assert_eq!(v.get("type").unwrap().as_str(), Some("step"));
@@ -157,9 +165,30 @@ mod tests {
             transactions: 4,
             bytes: 64,
             max_rank_msgs: 2,
+            node_pairs: 0,
+            aggregated_bytes: 0,
         };
         let v = parse(&e.to_json().to_string()).unwrap();
         assert_eq!(v.get("strategy").unwrap().as_str(), Some("Sparse"));
         assert_eq!(v.get("phase").unwrap().as_str(), Some("PIC_Exchange"));
+    }
+
+    #[test]
+    fn exchange_event_names_hier_and_carries_aggregation() {
+        let e = ExchangeEvent {
+            step: 2,
+            phase: Phase::DsmcExchange,
+            sub: 0,
+            strategy: 3,
+            transactions: 3,
+            bytes: 600,
+            max_rank_msgs: 2,
+            node_pairs: 1,
+            aggregated_bytes: 139,
+        };
+        let v = parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(v.get("strategy").unwrap().as_str(), Some("Hier"));
+        assert_eq!(v.get("node_pairs").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("aggregated_bytes").unwrap().as_u64(), Some(139));
     }
 }

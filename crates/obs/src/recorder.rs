@@ -17,10 +17,12 @@ use crate::sink::{NullSink, TraceEvent, TraceSink};
 #[derive(Debug)]
 struct Taps {
     phase_time: [TimeHist; Phase::ALL.len()],
-    exchange_count: [Counter; 3],
-    exchange_tx: [Counter; 3],
-    exchange_bytes: [Counter; 3],
-    exchange_max_rank_msgs: [Gauge; 3],
+    exchange_count: [Counter; STRATEGY_NAMES.len()],
+    exchange_tx: [Counter; STRATEGY_NAMES.len()],
+    exchange_bytes: [Counter; STRATEGY_NAMES.len()],
+    exchange_max_rank_msgs: [Gauge; STRATEGY_NAMES.len()],
+    exchange_node_pairs: Gauge,
+    exchange_aggregated_bytes: Counter,
     steps: Counter,
     step_time: TimeHist,
     lii: Gauge,
@@ -54,6 +56,8 @@ impl Taps {
                     STRATEGY_NAMES[s]
                 ))
             }),
+            exchange_node_pairs: reg.gauge("vmpi.exchange.Hier.node_pairs"),
+            exchange_aggregated_bytes: reg.counter("vmpi.exchange.Hier.aggregated_bytes"),
             steps: reg.counter("engine.steps"),
             step_time: reg.time_hist("engine.step.seconds"),
             lii: reg.gauge("balance.lii"),
@@ -145,13 +149,17 @@ impl Observer for Recorder {
 
     fn exchange(&mut self, ev: &ExchangeEvent) {
         if let Some(taps) = &self.taps {
-            let s = ev.strategy.min(2);
+            let s = ev.strategy.min(STRATEGY_NAMES.len() - 1);
             taps.exchange_count[s].inc();
             taps.exchange_tx[s].add(ev.transactions);
             taps.exchange_bytes[s].add(ev.bytes);
             if ev.max_rank_msgs > 0 {
                 taps.exchange_max_rank_msgs[s].set(ev.max_rank_msgs as f64);
             }
+            if ev.node_pairs > 0 {
+                taps.exchange_node_pairs.set(ev.node_pairs as f64);
+            }
+            taps.exchange_aggregated_bytes.add(ev.aggregated_bytes);
         }
         self.sink.emit(&TraceEvent::Exchange(*ev));
     }
@@ -198,6 +206,8 @@ mod tests {
             transactions: 6,
             bytes: 640,
             max_rank_msgs: 2,
+            node_pairs: 0,
+            aggregated_bytes: 0,
         });
         rec.rebalance(&RebalanceEvent {
             step: 0,

@@ -451,6 +451,17 @@ impl<C: Comm> Comm for ChaosComm<C> {
     fn stats(&self) -> &CommStats {
         self.inner.stats()
     }
+
+    fn pushback(&self, from: usize, msg: Vec<u8>) {
+        // a pushback un-receives a frame already past the fault layer:
+        // it is a local queue operation, never a new wire send, so no
+        // fault decision applies
+        self.inner.pushback(from, msg)
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.inner.next_epoch()
+    }
 }
 
 #[cfg(test)]

@@ -127,26 +127,70 @@ pub fn allreduce_max_f64<C: Comm>(comm: &C, mine: f64) -> CommResult<f64> {
     take_f64(&mut out.as_slice(), "allreduce_max_f64 result")
 }
 
+/// Wire magic stamped on every [`alltoall_u64`] value frame, so a
+/// fence-and-drain receiver can tell the round's frames from anything
+/// a faster peer posted for a *later* protocol phase.
+const ALLTOALL_MAGIC: u8 = 0xA2;
+
+/// Probe one queued frame from `src` and keep it only if `accept`
+/// likes its header bytes. A frame that fails the predicate is
+/// returned to the front of `src`'s queue with [`Comm::pushback`] —
+/// it belongs to a later round or phase and must be seen again by
+/// that round's drain. `Ok(None)` means "nothing acceptable queued",
+/// which fence-and-drain protocols read as "this source posted
+/// nothing this round".
+///
+/// Shared by the sparse counts round ([`alltoall_u64`]) and the
+/// hierarchical exchange's per-phase drains
+/// ([`crate::Strategy::Hier`]): every fence-and-drain in the crate
+/// funnels through this one helper.
+pub(crate) fn drain_tagged<C: Comm>(
+    comm: &C,
+    src: usize,
+    accept: impl Fn(&[u8]) -> bool,
+) -> CommResult<Option<Vec<u8>>> {
+    match comm.try_recv(src)? {
+        Some(frame) if accept(&frame) => Ok(Some(frame)),
+        Some(frame) => {
+            comm.pushback(src, frame);
+            Ok(None)
+        }
+        None => Ok(None),
+    }
+}
+
 /// Sparse all-to-all of one `u64` per destination: rank `d` receives
 /// `mine[d]` of every source, as `out[src]` (the column of the
 /// world-wide matrix addressed to it). **Zero entries cost no
-/// message**: senders post only the nonzero values, a barrier fences
-/// the round, and receivers drain queued messages with
-/// [`Comm::try_recv`] — absence of a message *is* the zero. A second
-/// barrier keeps the next round's messages from interleaving into the
-/// drain. This is the counts-first round of the sparse exchange
-/// (§IV-B): on a quiet step its transaction count is proportional to
-/// the nonzero pairs, not to `N²`.
+/// message**: senders post only the nonzero values as nonblocking
+/// sends tagged `[magic][epoch][value]`, one barrier fences the
+/// round, and receivers drain queued frames with the tagged drain —
+/// absence of an acceptable frame *is* the zero. The per-endpoint
+/// [`Comm::next_epoch`] stamp replaces the old trailing barrier: a
+/// peer that races into the next round posts frames carrying the next
+/// epoch, which the drain pushes back unread instead of mistaking for
+/// this round's value. This is the counts-first round of the sparse
+/// exchange (§IV-B): on a quiet step its transaction count is
+/// proportional to the nonzero pairs, not to `N²`.
 pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> CommResult<Vec<u64>> {
     let me = comm.rank();
     let n = comm.size();
     assert_eq!(mine.len(), n);
+    let epoch = comm.next_epoch();
+    let mut pending = Vec::new();
     for (d, &v) in mine.iter().enumerate() {
         if d != me && v != 0 {
-            comm.send(d, v.to_le_bytes().to_vec())?;
+            let mut frame = Vec::with_capacity(17);
+            frame.push(ALLTOALL_MAGIC);
+            frame.extend_from_slice(&epoch.to_le_bytes());
+            frame.extend_from_slice(&v.to_le_bytes());
+            pending.push(comm.isend(d, frame)?);
         }
     }
-    // Fence 1: after this, every message of the round is queued.
+    for h in pending {
+        comm.wait_send(h)?;
+    }
+    // The only fence: after it, every frame of this round is queued.
     comm.barrier()?;
     let mut out = vec![0u64; n];
     out[me] = mine[me];
@@ -154,13 +198,15 @@ pub fn alltoall_u64<C: Comm>(comm: &C, mine: &[u64]) -> CommResult<Vec<u64>> {
         if s == me {
             continue;
         }
-        // at most one message per source this round
-        if let Some(m) = comm.try_recv(s)? {
-            *slot = take_u64(&mut m.as_slice(), "alltoall_u64 value")?;
+        // at most one acceptable frame per source this round; per-pair
+        // FIFO puts it ahead of anything the source posted afterwards
+        let mine_this_round = |hdr: &[u8]| {
+            hdr.len() == 17 && hdr[0] == ALLTOALL_MAGIC && hdr[1..9] == epoch.to_le_bytes()
+        };
+        if let Some(frame) = drain_tagged(comm, s, mine_this_round)? {
+            *slot = take_u64(&mut &frame[9..], "alltoall_u64 value")?;
         }
     }
-    // Fence 2: nobody starts the next round until everyone drained.
-    comm.barrier()?;
     Ok(out)
 }
 

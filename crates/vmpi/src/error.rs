@@ -28,6 +28,12 @@ pub enum CommError {
     Timeout {
         /// The source rank the receive was matched against.
         from: usize,
+        /// Sequence number (per-pair delivery ordinal) of the message
+        /// the receive was waiting for: for the raw transport, the
+        /// count of messages already delivered from `from`; for the
+        /// reliable layer, the expected retransmission sequence. Lets
+        /// operators see *which* message in the stream stalled.
+        seq: u64,
     },
     /// A shared communication structure (channel or world state) was
     /// poisoned by a panic on another rank thread.
@@ -47,8 +53,8 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::PeerDead { peer } => write!(f, "peer rank {peer} is dead"),
             CommError::Killed { rank } => write!(f, "rank {rank} was killed"),
-            CommError::Timeout { from } => {
-                write!(f, "receive from rank {from} timed out")
+            CommError::Timeout { from, seq } => {
+                write!(f, "receive from rank {from} timed out (pending seq {seq})")
             }
             CommError::Poisoned => write!(f, "communication state poisoned by a panic"),
             CommError::Malformed { what } => write!(f, "malformed wire frame: {what}"),
@@ -93,9 +99,9 @@ mod tests {
     fn display_names_every_variant() {
         assert!(CommError::PeerDead { peer: 3 }.to_string().contains("3"));
         assert!(CommError::Killed { rank: 1 }.to_string().contains("killed"));
-        assert!(CommError::Timeout { from: 2 }
-            .to_string()
-            .contains("timed out"));
+        let timeout = CommError::Timeout { from: 2, seq: 17 }.to_string();
+        assert!(timeout.contains("timed out"));
+        assert!(timeout.contains("seq 17"), "pending seq must surface");
         assert!(CommError::Poisoned.to_string().contains("poisoned"));
         assert!(CommError::Malformed { what: "seq header" }
             .to_string()

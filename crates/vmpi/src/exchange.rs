@@ -20,6 +20,16 @@
 //!   step (particles mostly staying put or crossing into neighbouring
 //!   subdomains) costs `O(nonzero pairs)` messages instead of
 //!   `N(N−1)`.
+//! * [`Strategy::Hier`]: two-level, node-aware. Ranks are grouped
+//!   into nodes by a [`NodeMap`]; intra-node migrants travel the
+//!   cheap direct path while inter-node migrants are funneled to the
+//!   node leader, aggregated into **one packed message per active
+//!   node pair**, trunked leader-to-leader, and scattered to their
+//!   destination ranks. Message count scales with node pairs instead
+//!   of rank pairs, which is the two-level aggregation of Bogdanov et
+//!   al. The phase-1 sends are nonblocking, so
+//!   [`exchange_hier_overlapped`] can run caller-supplied interior
+//!   work between posting the sends and draining the receives.
 //! * [`Strategy::Auto`]: a marker resolved per step by the caller
 //!   (`coupled::machine::CostModel::pick_strategy`) from the measured
 //!   migration byte matrix — it never reaches the wire itself
@@ -40,7 +50,7 @@
 //! [`CommError`] instead of a panic, so the coupled driver can tear
 //! the world down and restart from a checkpoint.
 
-use crate::collectives::alltoall_u64;
+use crate::collectives::{alltoall_u64, drain_tagged};
 use crate::comm::Comm;
 use crate::error::{take_u32, take_u64, CommError, CommResult};
 use serde::{Deserialize, Serialize};
@@ -54,20 +64,112 @@ pub enum Strategy {
     Distributed,
     /// Counts-first, then point-to-point only between nonzero pairs.
     Sparse,
-    /// Pick Centralized/Distributed/Sparse per step from the migration
-    /// matrix and the machine model. Must be resolved to a concrete
-    /// strategy before the exchange itself runs.
+    /// Two-level node-aware: direct intra-node delivery, inter-node
+    /// migrants aggregated into one message per active node pair and
+    /// routed through the node leaders.
+    Hier,
+    /// Pick a concrete strategy per step from the migration matrix and
+    /// the machine model. Must be resolved before the exchange itself
+    /// runs.
     Auto,
 }
 
 impl Strategy {
     /// The strategies that actually move bytes (everything but
     /// [`Strategy::Auto`]), in the order the auto-selector scores them.
-    pub const CONCRETE: [Strategy; 3] = [
+    pub const CONCRETE: [Strategy; 4] = [
         Strategy::Centralized,
         Strategy::Distributed,
         Strategy::Sparse,
+        Strategy::Hier,
     ];
+}
+
+/// Grouping of the world's ranks into nodes for [`Strategy::Hier`].
+///
+/// The node of rank `r` is `node_of(r)`; the *leader* of a node is its
+/// lowest-numbered member and carries that node's share of the
+/// aggregated inter-node traffic. Mirrors the machine placement in
+/// `coupled::machine`: ranks on one node talk over the cheap
+/// inner-frame tier, node pairs over the expensive inter-rack tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMap {
+    node_of: Vec<usize>,
+    nodes: usize,
+}
+
+impl NodeMap {
+    /// Build from an explicit rank → node assignment. Node ids must be
+    /// dense (`0..nodes`, every node nonempty); panics otherwise —
+    /// that is caller misconfiguration, not a communication fault.
+    pub fn new(node_of: Vec<usize>) -> Self {
+        assert!(!node_of.is_empty(), "a node map needs at least one rank");
+        let nodes = node_of.iter().max().copied().unwrap_or(0) + 1;
+        for node in 0..nodes {
+            assert!(
+                node_of.contains(&node),
+                "node {node} has no ranks (node ids must be dense)"
+            );
+        }
+        NodeMap { node_of, nodes }
+    }
+
+    /// Consecutive blocks of `ranks_per_node` ranks (the last node may
+    /// be short), matching how schedulers hand out contiguous rank
+    /// ranges per host.
+    pub fn grouped(n_ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Self::new((0..n_ranks).map(|r| r / ranks_per_node).collect())
+    }
+
+    /// Default grouping when the caller gave none: two equal halves —
+    /// the smallest shape that exercises both tiers of the protocol.
+    pub fn default_for(n_ranks: usize) -> Self {
+        Self::grouped(n_ranks, n_ranks.div_ceil(2).max(1))
+    }
+
+    /// Number of ranks mapped.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Whether the map covers zero ranks (never true for a
+    /// constructed map; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node rank `r` lives on.
+    pub fn node_of(&self, r: usize) -> usize {
+        self.node_of[r]
+    }
+
+    /// The leader (lowest member rank) of `node`.
+    pub fn leader(&self, node: usize) -> usize {
+        self.node_of
+            .iter()
+            .position(|&x| x == node)
+            .expect("dense node ids: every node has a member")
+    }
+
+    /// Whether `r` is its node's leader.
+    pub fn is_leader(&self, r: usize) -> bool {
+        self.leader(self.node_of[r]) == r
+    }
+
+    /// The member ranks of `node`, ascending.
+    pub fn members(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &x)| x == node)
+            .map(|(r, _)| r)
+    }
 }
 
 /// Exchange `outgoing[dest]` buffers between all ranks; returns
@@ -106,8 +208,271 @@ pub fn exchange_into<C: Comm>(
         Strategy::Centralized => exchange_centralized_into(comm, outgoing, incoming),
         Strategy::Distributed => exchange_distributed_into(comm, outgoing, incoming),
         Strategy::Sparse => exchange_sparse_into(comm, outgoing, incoming),
+        Strategy::Hier => {
+            exchange_hier_core(comm, &NodeMap::default_for(n), outgoing, incoming, || ())
+        }
         Strategy::Auto => Err(CommError::AutoUnresolved),
     }
+}
+
+/// Hierarchical exchange with an explicit node map. Same contract as
+/// [`exchange_into`] restricted to [`Strategy::Hier`]: fills
+/// `incoming[src]` in place, borrows `outgoing`.
+pub fn exchange_hier_into<C: Comm>(
+    comm: &C,
+    nodes: &NodeMap,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut Vec<Vec<u8>>,
+) -> CommResult<()> {
+    exchange_hier_overlapped(comm, nodes, outgoing, incoming, || ())
+}
+
+/// Hierarchical exchange overlapping `work` with the communication:
+/// `work` runs after the phase-1 nonblocking sends are posted and
+/// before the first fence-and-drain, i.e. inside the window where the
+/// paper's overlapped variant advances interior cells. `work` must not
+/// touch `outgoing`/`incoming` (the borrow checker enforces it) and
+/// must not communicate on `comm`.
+pub fn exchange_hier_overlapped<C: Comm>(
+    comm: &C,
+    nodes: &NodeMap,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut Vec<Vec<u8>>,
+    work: impl FnOnce(),
+) -> CommResult<()> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(outgoing.len(), n);
+    incoming.resize_with(n, Vec::new);
+    for buf in incoming.iter_mut() {
+        buf.clear();
+    }
+    incoming[me].extend_from_slice(&outgoing[me]);
+    exchange_hier_core(comm, nodes, outgoing, incoming, work)
+}
+
+/// Wire magics for the three hierarchical phases. Distinct per phase
+/// so a fence-and-drain that probes a frame posted early for a later
+/// phase can push it back instead of misparsing it.
+const HIER_INTRA: u8 = 0xE1;
+const HIER_TRUNK: u8 = 0xE2;
+const HIER_SCATTER: u8 = 0xE3;
+
+/// Walk `(src u32, dst u32, len u64, payload)` groups packed
+/// back-to-back in `cur`.
+fn for_each_group<'a>(
+    mut cur: &'a [u8],
+    n: usize,
+    mut f: impl FnMut(usize, usize, &'a [u8]) -> CommResult<()>,
+) -> CommResult<()> {
+    while !cur.is_empty() {
+        let src = take_u32(&mut cur, "hier group src")? as usize;
+        let dst = take_u32(&mut cur, "hier group dst")? as usize;
+        let len = take_u64(&mut cur, "hier group length")? as usize;
+        if src >= n || dst >= n || cur.len() < len {
+            return Err(CommError::Malformed {
+                what: "hier group body",
+            });
+        }
+        let (payload, rest) = cur.split_at(len);
+        cur = rest;
+        f(src, dst, payload)?;
+    }
+    Ok(())
+}
+
+/// The three-phase hierarchical protocol (assumes the caller already
+/// prepared `incoming` and delivered the self slot):
+///
+/// 1. **Intra + funnel** (`0xE1`): each rank sends every same-node
+///    peer its direct payload, and appends to the *leader's* frame the
+///    `(src, dst, len, payload)` groups of all its inter-node
+///    emigrants. Empty frames are skipped.
+/// 2. **Trunk** (`0xE2`): each leader packs everything its node sends
+///    to node `b` into **one** frame for `b`'s leader — the
+///    per-node-pair aggregation.
+/// 3. **Scatter** (`0xE3`): the destination leader regroups arrived
+///    groups by destination rank and forwards `(src, len, payload)`
+///    bundles to its members; its own groups are delivered locally.
+///
+/// Every phase is sends → barrier → single-try tagged drain from
+/// the known source set (same fence-and-drain as the sparse counts
+/// round, so [`crate::ReliableComm`]'s journal truth applies and the
+/// protocol survives chaos). A trailing barrier keeps a fast rank's
+/// post-exchange traffic out of a slow peer's final drain.
+fn exchange_hier_core<C: Comm>(
+    comm: &C,
+    nodes: &NodeMap,
+    outgoing: &[Vec<u8>],
+    incoming: &mut [Vec<u8>],
+    work: impl FnOnce(),
+) -> CommResult<()> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(nodes.len(), n, "node map sized for another world");
+    let my_node = nodes.node_of(me);
+    let my_leader = nodes.leader(my_node);
+
+    // --- phase 1: intra-node payloads, inter-node funnel ------------
+    let mut funnel = Vec::new();
+    for (dst, payload) in outgoing.iter().enumerate() {
+        if dst != me && nodes.node_of(dst) != my_node && !payload.is_empty() {
+            funnel.extend_from_slice(&(me as u32).to_le_bytes());
+            funnel.extend_from_slice(&(dst as u32).to_le_bytes());
+            funnel.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            funnel.extend_from_slice(payload);
+        }
+    }
+    let mut pending = Vec::new();
+    for q in nodes.members(my_node) {
+        if q == me {
+            continue;
+        }
+        let intra = &outgoing[q];
+        let tail: &[u8] = if q == my_leader { &funnel } else { &[] };
+        if intra.is_empty() && tail.is_empty() {
+            continue;
+        }
+        let mut frame = Vec::with_capacity(9 + intra.len() + tail.len());
+        frame.push(HIER_INTRA);
+        frame.extend_from_slice(&(intra.len() as u64).to_le_bytes());
+        frame.extend_from_slice(intra);
+        frame.extend_from_slice(tail);
+        pending.push(comm.isend(q, frame)?);
+    }
+    // the overlap window: sends are in flight, receives not yet fenced
+    work();
+    for h in pending {
+        comm.wait_send(h)?;
+    }
+    comm.barrier()?;
+
+    // drain phase 1: everyone collects intra payloads; leaders also
+    // bucket the funneled groups by destination node
+    let mut trunk: Vec<Vec<u8>> = vec![Vec::new(); nodes.nodes()];
+    let bucket = |groups: &[u8], trunk: &mut Vec<Vec<u8>>| {
+        for_each_group(groups, n, |src, dst, payload| {
+            let to = nodes.node_of(dst);
+            if to == my_node {
+                return Err(CommError::Malformed {
+                    what: "hier funnel group already intra-node",
+                });
+            }
+            let t = &mut trunk[to];
+            t.extend_from_slice(&(src as u32).to_le_bytes());
+            t.extend_from_slice(&(dst as u32).to_le_bytes());
+            t.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            t.extend_from_slice(payload);
+            Ok(())
+        })
+    };
+    if me == my_leader && !funnel.is_empty() {
+        bucket(&funnel, &mut trunk)?;
+    }
+    for q in nodes.members(my_node) {
+        if q == me {
+            continue;
+        }
+        if let Some(frame) = drain_tagged(comm, q, |h| h.first() == Some(&HIER_INTRA))? {
+            let mut cur = &frame[1..];
+            let intra_len = take_u64(&mut cur, "hier intra length")? as usize;
+            if cur.len() < intra_len {
+                return Err(CommError::Malformed {
+                    what: "hier intra payload",
+                });
+            }
+            let (intra, groups) = cur.split_at(intra_len);
+            incoming[q].extend_from_slice(intra);
+            if me == my_leader && !groups.is_empty() {
+                bucket(groups, &mut trunk)?;
+            }
+        }
+    }
+
+    // --- phase 2: one aggregated frame per active node pair ---------
+    if me == my_leader {
+        let mut pending = Vec::new();
+        for (b, groups) in trunk.iter().enumerate() {
+            if b == my_node || groups.is_empty() {
+                continue;
+            }
+            let mut frame = Vec::with_capacity(1 + groups.len());
+            frame.push(HIER_TRUNK);
+            frame.extend_from_slice(groups);
+            pending.push(comm.isend(nodes.leader(b), frame)?);
+        }
+        for h in pending {
+            comm.wait_send(h)?;
+        }
+    }
+    comm.barrier()?;
+
+    // drain phase 2 and post phase 3 (leaders only): regroup arrived
+    // groups by destination member; own groups deliver locally
+    if me == my_leader {
+        let mut scatter: Vec<Vec<u8>> = vec![Vec::new(); n];
+        for b in 0..nodes.nodes() {
+            if b == my_node {
+                continue;
+            }
+            let lb = nodes.leader(b);
+            if let Some(frame) = drain_tagged(comm, lb, |h| h.first() == Some(&HIER_TRUNK))? {
+                for_each_group(&frame[1..], n, |src, dst, payload| {
+                    if nodes.node_of(dst) != my_node {
+                        return Err(CommError::Malformed {
+                            what: "hier trunk group for another node",
+                        });
+                    }
+                    if dst == me {
+                        incoming[src].extend_from_slice(payload);
+                    } else {
+                        let s = &mut scatter[dst];
+                        s.extend_from_slice(&(src as u32).to_le_bytes());
+                        s.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                        s.extend_from_slice(payload);
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+        let mut pending = Vec::new();
+        for (q, bundles) in scatter.iter().enumerate() {
+            if bundles.is_empty() {
+                continue;
+            }
+            let mut frame = Vec::with_capacity(1 + bundles.len());
+            frame.push(HIER_SCATTER);
+            frame.extend_from_slice(bundles);
+            pending.push(comm.isend(q, frame)?);
+        }
+        for h in pending {
+            comm.wait_send(h)?;
+        }
+    }
+    comm.barrier()?;
+
+    // drain phase 3 (non-leader members)
+    if me != my_leader {
+        if let Some(frame) = drain_tagged(comm, my_leader, |h| h.first() == Some(&HIER_SCATTER))? {
+            let mut cur = &frame[1..];
+            while !cur.is_empty() {
+                let src = take_u32(&mut cur, "hier scatter src")? as usize;
+                let len = take_u64(&mut cur, "hier scatter length")? as usize;
+                if src >= n || cur.len() < len {
+                    return Err(CommError::Malformed {
+                        what: "hier scatter body",
+                    });
+                }
+                let (payload, rest) = cur.split_at(len);
+                cur = rest;
+                incoming[src].extend_from_slice(payload);
+            }
+        }
+    }
+    // trailing fence: a fast rank's post-exchange traffic must not
+    // land in a slow peer's still-pending scatter drain
+    comm.barrier()?;
+    Ok(())
 }
 
 /// Distributed strategy: all-pairs, two rounds, paper ordering.
@@ -293,6 +658,13 @@ pub struct TrafficSummary {
     /// Worst per-rank count of point-to-point operations (sends +
     /// receives) — the serialized-latency bound of the protocol.
     pub max_rank_msgs: u64,
+    /// Ordered node pairs carrying an aggregated trunk frame — the
+    /// hierarchical strategy's message-count currency (zero for the
+    /// flat strategies).
+    pub node_pairs: u64,
+    /// Bytes of the aggregated leader-to-leader trunk frames, headers
+    /// included (zero for the flat strategies).
+    pub aggregated_bytes: u64,
 }
 
 /// Predict the traffic of one exchange under `strategy`.
@@ -332,6 +704,8 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
                 max_rank_bytes: max_rank,
                 nonzero_pairs,
                 max_rank_msgs: 2 * (n as u64 - 1),
+                node_pairs: 0,
+                aggregated_bytes: 0,
             }
         }
         Strategy::Centralized => {
@@ -357,14 +731,17 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
                 max_rank_bytes: root_bytes,
                 nonzero_pairs,
                 max_rank_msgs: 2 * (n as u64 - 1),
+                node_pairs: 0,
+                aggregated_bytes: 0,
             }
         }
         Strategy::Sparse => {
-            // per nonzero pair: one 8-byte count message (the sparse
-            // alltoall — zero entries cost no message) + one payload
-            // message; barriers are synchronization, not transactions.
+            // per nonzero pair: one 17-byte tagged count frame (the
+            // sparse alltoall — zero entries cost no message) + one
+            // payload message; barriers are synchronization, not
+            // transactions.
             let max_rank = (0..n)
-                .map(|r| sent[r] + recvd[r] + 8 * (nz_sent[r] + nz_recvd[r]))
+                .map(|r| sent[r] + recvd[r] + 17 * (nz_sent[r] + nz_recvd[r]))
                 .max()
                 .unwrap_or(0);
             let max_msgs = (0..n)
@@ -373,16 +750,113 @@ pub fn traffic(strategy: Strategy, matrix: &[Vec<u64>]) -> TrafficSummary {
                 .unwrap_or(0);
             TrafficSummary {
                 transactions: 2 * nonzero_pairs,
-                total_bytes: off_diag + 8 * nonzero_pairs,
+                total_bytes: off_diag + 17 * nonzero_pairs,
                 max_rank_bytes: max_rank,
                 nonzero_pairs,
                 max_rank_msgs: max_msgs,
+                node_pairs: 0,
+                aggregated_bytes: 0,
             }
         }
+        Strategy::Hier => traffic_hier(&NodeMap::default_for(n), matrix),
         Strategy::Auto => panic!(
             "Strategy::Auto has no traffic of its own — resolve it to a concrete \
              strategy first (CostModel::pick_strategy)"
         ),
+    }
+}
+
+/// Predict the traffic of one hierarchical exchange under an explicit
+/// node map, mirroring the wire protocol byte for byte: phase-1
+/// frames are `1 + 8 + intra` plus, toward the leader, `16 + payload`
+/// per funneled group; phase-2 trunk frames are `1` plus the
+/// aggregated groups of the node pair; phase-3 scatter frames are `1`
+/// plus `12 + payload` per bundle. Barriers are synchronization, not
+/// transactions.
+pub fn traffic_hier(nodes: &NodeMap, matrix: &[Vec<u64>]) -> TrafficSummary {
+    let n = matrix.len();
+    assert_eq!(nodes.len(), n, "node map sized for another matrix");
+    let mut sent_b = vec![0u64; n];
+    let mut recvd_b = vec![0u64; n];
+    let mut sent_m = vec![0u64; n];
+    let mut recvd_m = vec![0u64; n];
+    let mut transactions = 0u64;
+    let mut total_bytes = 0u64;
+    let mut nonzero_pairs = 0u64;
+    let mut frame = |from: usize, to: usize, bytes: u64| {
+        transactions += 1;
+        total_bytes += bytes;
+        sent_b[from] += bytes;
+        recvd_b[to] += bytes;
+        sent_m[from] += 1;
+        recvd_m[to] += 1;
+    };
+    // trunk[a][b]: aggregated group bytes node a sends node b
+    let mut trunk = vec![vec![0u64; nodes.nodes()]; nodes.nodes()];
+    // scatter[q]: bundle bytes q's leader forwards to member q
+    let mut scatter = vec![0u64; n];
+    for (s, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), n);
+        let node = nodes.node_of(s);
+        let leader = nodes.leader(node);
+        let mut funnel = 0u64;
+        for (d, &b) in row.iter().enumerate() {
+            if s == d || b == 0 {
+                continue;
+            }
+            nonzero_pairs += 1;
+            let to = nodes.node_of(d);
+            if to != node {
+                funnel += 16 + b;
+                trunk[node][to] += 16 + b;
+                if d != nodes.leader(to) {
+                    scatter[d] += 12 + b;
+                }
+            }
+        }
+        // phase 1: one frame per same-node peer with anything to carry
+        for q in nodes.members(node) {
+            if q == s {
+                continue;
+            }
+            let intra = row[q];
+            let tail = if q == leader { funnel } else { 0 };
+            if intra == 0 && tail == 0 {
+                continue;
+            }
+            frame(s, q, 9 + intra + tail);
+        }
+        // a leader's own funnel stays local: no phase-1 self-frame
+    }
+    // phase 2: one frame per active ordered node pair
+    let mut node_pairs = 0u64;
+    let mut aggregated_bytes = 0u64;
+    for (a, row) in trunk.iter().enumerate() {
+        for (b, &groups) in row.iter().enumerate() {
+            if a == b || groups == 0 {
+                continue;
+            }
+            node_pairs += 1;
+            aggregated_bytes += 1 + groups;
+            frame(nodes.leader(a), nodes.leader(b), 1 + groups);
+        }
+    }
+    // phase 3: one frame per member with inbound inter-node bundles
+    for (q, &bundles) in scatter.iter().enumerate() {
+        if bundles > 0 {
+            frame(nodes.leader(nodes.node_of(q)), q, 1 + bundles);
+        }
+    }
+    let max_rank_bytes = (0..n).map(|r| sent_b[r] + recvd_b[r]).max().unwrap_or(0);
+    let max_rank_msgs = (0..n).map(|r| sent_m[r] + recvd_m[r]).max().unwrap_or(0);
+    TrafficSummary {
+        transactions,
+        total_bytes,
+        max_rank_bytes,
+        nonzero_pairs,
+        max_rank_msgs,
+        node_pairs,
+        aggregated_bytes,
     }
 }
 
@@ -428,6 +902,152 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8] {
             check_all_to_all(Strategy::Sparse, n);
         }
+    }
+
+    #[test]
+    fn hier_delivers_everything() {
+        for n in [1usize, 2, 3, 5, 8] {
+            check_all_to_all(Strategy::Hier, n);
+        }
+    }
+
+    #[test]
+    fn hier_delivers_under_every_node_shape() {
+        // same dense traffic, every grouping of 6 ranks: single node
+        // (pure intra), one rank per node (pure trunk), and the mixed
+        // shapes in between
+        for rpn in [1usize, 2, 3, 4, 6] {
+            let results = run_world(6, move |c| {
+                let nodes = NodeMap::grouped(c.size(), rpn);
+                let mut outgoing: Vec<Vec<u8>> =
+                    (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
+                let mut incoming = Vec::new();
+                exchange_hier_into(&c, &nodes, &mut outgoing, &mut incoming).unwrap();
+                incoming
+            });
+            for (dst, incoming) in results.iter().enumerate() {
+                for (src, buf) in incoming.iter().enumerate() {
+                    assert_eq!(buf, &payload(src, dst), "rpn={rpn} {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    /// ISSUE acceptance shape: on the 8-rank quiet matrix the
+    /// hierarchical strategy must send strictly fewer messages than
+    /// Sparse's 2·nnz — aggregation means the cross-node pair costs
+    /// funnel + trunk, not counts + payload per rank pair.
+    #[test]
+    fn hier_quiet_step_beats_sparse_transactions() {
+        let n = 8usize;
+        let measure = |strategy: Strategy| {
+            run_world(n, move |c| {
+                c.stats().reset();
+                c.barrier().unwrap();
+                // nodes {0..3} and {4..7}: 1→3 is intra-node, 6→0
+                // crosses nodes into the destination leader
+                let mut outgoing = vec![Vec::new(); c.size()];
+                match c.rank() {
+                    1 => outgoing[3] = vec![7u8; 61],
+                    6 => outgoing[0] = vec![9u8; 122],
+                    _ => {}
+                }
+                let inc = exchange(&c, strategy, outgoing).unwrap();
+                c.barrier().unwrap();
+                (c.stats().transactions(), inc)
+            })
+        };
+        let hier = measure(Strategy::Hier);
+        let sparse = measure(Strategy::Sparse);
+        let (tx_hier, _) = hier[0];
+        let (tx_sparse, _) = sparse[0];
+        assert_eq!(tx_hier, 3, "intra + funnel + trunk");
+        assert_eq!(tx_sparse, 4, "counts + payload per nonzero pair");
+        assert!(tx_hier < tx_sparse);
+        // identical deliveries
+        for (rank, ((_, a), (_, b))) in hier.iter().zip(&sparse).enumerate() {
+            assert_eq!(a, b, "rank {rank} incoming differs");
+        }
+    }
+
+    /// `traffic_hier` must agree with what CommStats measures on the
+    /// threaded backend for the same migration matrix and node map.
+    #[test]
+    fn hier_traffic_model_matches_measurement() {
+        let n = 6usize;
+        let rpn = 2usize; // nodes {0,1} {2,3} {4,5}
+        let mut m = vec![vec![0u64; n]; n];
+        m[0][1] = 40; // intra
+        m[0][3] = 100; // cross, from a leader, to a non-leader
+        m[3][0] = 50; // cross, from a non-leader, to a leader
+        m[2][5] = 7; // cross
+        m[4][1] = 1; // cross, from a leader
+        m[5][4] = 9; // intra toward the leader
+        let nodes = NodeMap::grouped(n, rpn);
+        let model = traffic_hier(&nodes, &m);
+        let m2 = m.clone();
+        let (tx, bytes) = {
+            let out = run_world(n, move |c| {
+                c.stats().reset();
+                c.barrier().unwrap();
+                let nodes = NodeMap::grouped(c.size(), rpn);
+                let mut outgoing: Vec<Vec<u8>> = (0..c.size())
+                    .map(|d| vec![0xBBu8; m2[c.rank()][d] as usize])
+                    .collect();
+                let mut incoming = Vec::new();
+                exchange_hier_into(&c, &nodes, &mut outgoing, &mut incoming).unwrap();
+                // deliveries must match the matrix
+                for (src, buf) in incoming.iter().enumerate() {
+                    assert_eq!(buf.len() as u64, m2[src][c.rank()], "{src}->{}", c.rank());
+                }
+                c.barrier().unwrap();
+                (c.stats().transactions(), c.stats().bytes())
+            });
+            out[0]
+        };
+        assert_eq!(model.transactions, tx, "transactions");
+        assert_eq!(model.total_bytes, bytes, "frame bytes");
+        assert_eq!(model.nonzero_pairs, 6);
+        assert!(model.node_pairs > 0 && model.aggregated_bytes > 0);
+    }
+
+    #[test]
+    fn hier_overlap_work_runs_inside_the_exchange() {
+        let results = run_world(4, |c| {
+            let nodes = NodeMap::grouped(c.size(), 2);
+            let mut outgoing: Vec<Vec<u8>> =
+                (0..c.size()).map(|dst| payload(c.rank(), dst)).collect();
+            let mut incoming = Vec::new();
+            let mut ran = false;
+            exchange_hier_overlapped(&c, &nodes, &mut outgoing, &mut incoming, || {
+                ran = true;
+            })
+            .unwrap();
+            assert!(ran, "overlap work must run exactly once");
+            incoming
+        });
+        for (dst, incoming) in results.iter().enumerate() {
+            for (src, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf, &payload(src, dst), "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_map_shapes() {
+        let m = NodeMap::grouped(8, 3); // {0,1,2} {3,4,5} {6,7}
+        assert_eq!(m.nodes(), 3);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.node_of(5), 1);
+        assert_eq!(m.leader(2), 6);
+        assert!(m.is_leader(3));
+        assert!(!m.is_leader(4));
+        assert_eq!(m.members(1).collect::<Vec<_>>(), vec![3, 4, 5]);
+        let d = NodeMap::default_for(7); // {0..3} {4..6}
+        assert_eq!(d.nodes(), 2);
+        assert_eq!(d.node_of(3), 0);
+        assert_eq!(d.node_of(4), 1);
+        assert_eq!(NodeMap::default_for(1).nodes(), 1);
     }
 
     #[test]
@@ -622,7 +1242,7 @@ mod tests {
             out[0]
         };
         assert_eq!(model.transactions, tx, "transactions");
-        assert_eq!(model.total_bytes, bytes, "bytes (payload + 8-byte counts)");
+        assert_eq!(model.total_bytes, bytes, "bytes (payload + tagged counts)");
         assert_eq!(model.nonzero_pairs, 5);
     }
 
@@ -658,7 +1278,7 @@ mod tests {
         quiet[1][3] = 1000;
         let tq = traffic(Strategy::Sparse, &quiet);
         assert_eq!(tq.transactions, 2);
-        assert_eq!(tq.total_bytes, 1000 + 8);
+        assert_eq!(tq.total_bytes, 1000 + 17);
         assert_eq!(tq.max_rank_msgs, 2);
         // dense: every pair — sparse pays the counts overhead on top
         let dense: Vec<Vec<u64>> = (0..n)

@@ -137,6 +137,10 @@ pub struct ReliableComm<C: Comm> {
     expect_seq: Vec<Cell<u64>>,
     /// Out-of-order frames parked until their turn, per source.
     reorder: Vec<RefCell<BTreeMap<u64, Vec<u8>>>>,
+    /// Decoded payloads returned by [`Comm::pushback`], per source,
+    /// redelivered ahead of the wire. These already passed the seq
+    /// machinery once, so redelivery must not re-enter it.
+    unreceived: Vec<RefCell<VecDeque<Vec<u8>>>>,
     /// How long to poll the wire before consulting the journal.
     patience: Duration,
     /// Bounded retry budget for one receive.
@@ -158,6 +162,7 @@ impl<C: Comm> ReliableComm<C> {
             send_seq: (0..n).map(|_| Cell::new(0)).collect(),
             expect_seq: (0..n).map(|_| Cell::new(0)).collect(),
             reorder: (0..n).map(|_| RefCell::new(BTreeMap::new())).collect(),
+            unreceived: (0..n).map(|_| RefCell::new(VecDeque::new())).collect(),
             patience: Duration::from_millis(1),
             max_retries: 20,
         }
@@ -245,6 +250,9 @@ impl<C: Comm> Comm for ReliableComm<C> {
     }
 
     fn recv(&self, from: usize) -> CommResult<Vec<u8>> {
+        if let Some(m) = self.unreceived[from].borrow_mut().pop_front() {
+            return Ok(m);
+        }
         if let Some(m) = self.take_parked(from) {
             return Ok(m);
         }
@@ -267,7 +275,10 @@ impl<C: Comm> Comm for ReliableComm<C> {
                         }
                         attempt += 1;
                         if attempt > self.max_retries {
-                            return Err(CommError::Timeout { from });
+                            return Err(CommError::Timeout {
+                                from,
+                                seq: self.expect_seq[from].get(),
+                            });
                         }
                         // exponential backoff, bounded per attempt
                         patience = (patience * 2).min(Duration::from_millis(100));
@@ -280,6 +291,9 @@ impl<C: Comm> Comm for ReliableComm<C> {
     }
 
     fn try_recv(&self, from: usize) -> CommResult<Option<Vec<u8>>> {
+        if let Some(m) = self.unreceived[from].borrow_mut().pop_front() {
+            return Ok(Some(m));
+        }
         if let Some(m) = self.take_parked(from) {
             return Ok(Some(m));
         }
@@ -312,6 +326,17 @@ impl<C: Comm> Comm for ReliableComm<C> {
 
     fn stats(&self) -> &CommStats {
         self.inner.stats()
+    }
+
+    fn pushback(&self, from: usize, msg: Vec<u8>) {
+        // `msg` is a decoded payload that already consumed its seq;
+        // park it locally instead of delegating, or the inner layer
+        // would try to re-parse a seq header that is no longer there
+        self.unreceived[from].borrow_mut().push_front(msg);
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.inner.next_epoch()
     }
 }
 
@@ -447,7 +472,7 @@ mod tests {
                 Ok(Vec::new())
             }
         });
-        assert_eq!(out[1], Err(CommError::Timeout { from: 0 }));
+        assert_eq!(out[1], Err(CommError::Timeout { from: 0, seq: 0 }));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use crate::comm::{Comm, CommStats};
 use crate::error::{CommError, CommResult};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -132,6 +134,17 @@ pub struct ThreadComm {
     control: Arc<WorldControl>,
     stats: Arc<CommStats>,
     recv_timeout: Duration,
+    /// Per-source unexpected-message queue ([`Comm::pushback`]):
+    /// consulted *before* the channel, so a parked frame is re-matched
+    /// first (front = oldest). Endpoint-local, hence `RefCell`.
+    parked: Vec<RefCell<VecDeque<Vec<u8>>>>,
+    /// Messages delivered per source so far — the per-pair sequence
+    /// ordinal a stalled receive reports in [`CommError::Timeout`].
+    recvd: Vec<Cell<u64>>,
+    /// Collective-epoch counter ([`Comm::next_epoch`]). Endpoint
+    /// state, *not* [`CommStats`]: the stats block is shared by the
+    /// whole world, while epochs advance per rank.
+    epoch: Cell<u64>,
 }
 
 impl ThreadComm {
@@ -150,6 +163,21 @@ impl ThreadComm {
             return Err(CommError::PeerDead { peer });
         }
         Ok(())
+    }
+
+    /// Pop the oldest parked (pushed-back) message from `from`, if any,
+    /// bumping the delivery ordinal.
+    fn take_parked(&self, from: usize) -> Option<Vec<u8>> {
+        let msg = self.parked[from].borrow_mut().pop_front();
+        if msg.is_some() {
+            self.recvd[from].set(self.recvd[from].get() + 1);
+        }
+        msg
+    }
+
+    /// Record a channel delivery from `from`.
+    fn note_delivery(&self, from: usize) {
+        self.recvd[from].set(self.recvd[from].get() + 1);
     }
 }
 
@@ -171,21 +199,33 @@ impl Comm for ThreadComm {
     }
 
     fn recv(&self, from: usize) -> CommResult<Vec<u8>> {
+        if let Some(m) = self.take_parked(from) {
+            return Ok(m);
+        }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             // a queued message wins even over a freshly-dead peer: it
             // was sent while the peer was alive
             match self.from[from].try_recv() {
-                Ok(m) => return Ok(m),
+                Ok(m) => {
+                    self.note_delivery(from);
+                    return Ok(m);
+                }
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => return Err(CommError::PeerDead { peer: from }),
             }
             self.check_alive(from)?;
             if Instant::now() >= deadline {
-                return Err(CommError::Timeout { from });
+                return Err(CommError::Timeout {
+                    from,
+                    seq: self.recvd[from].get(),
+                });
             }
             match self.from[from].recv_timeout(POLL_SLICE) {
-                Ok(m) => return Ok(m),
+                Ok(m) => {
+                    self.note_delivery(from);
+                    return Ok(m);
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::PeerDead { peer: from })
@@ -195,8 +235,14 @@ impl Comm for ThreadComm {
     }
 
     fn try_recv(&self, from: usize) -> CommResult<Option<Vec<u8>>> {
+        if let Some(m) = self.take_parked(from) {
+            return Ok(Some(m));
+        }
         match self.from[from].try_recv() {
-            Ok(m) => Ok(Some(m)),
+            Ok(m) => {
+                self.note_delivery(from);
+                Ok(Some(m))
+            }
             Err(TryRecvError::Empty) => {
                 if self.control.is_dead(from) {
                     Err(CommError::PeerDead { peer: from })
@@ -214,6 +260,20 @@ impl Comm for ThreadComm {
                 }
             }
         }
+    }
+
+    fn pushback(&self, from: usize, msg: Vec<u8>) {
+        // the message goes back to the *front* of the matched queue,
+        // and its delivery is retracted from the ordinal
+        self.parked[from].borrow_mut().push_front(msg);
+        let n = self.recvd[from].get();
+        self.recvd[from].set(n.saturating_sub(1));
+    }
+
+    fn next_epoch(&self) -> u64 {
+        let e = self.epoch.get();
+        self.epoch.set(e.wrapping_add(1));
+        e
     }
 
     fn barrier(&self) -> CommResult<()> {
@@ -276,6 +336,9 @@ where
             control: control.clone(),
             stats: stats.clone(),
             recv_timeout: DEFAULT_RECV_TIMEOUT,
+            parked: (0..n).map(|_| RefCell::new(VecDeque::new())).collect(),
+            recvd: (0..n).map(|_| Cell::new(0)).collect(),
+            epoch: Cell::new(0),
         });
     }
 
@@ -404,7 +467,81 @@ mod tests {
                 Ok(Vec::new())
             }
         });
-        assert_eq!(got[1], Err(CommError::Timeout { from: 0 }));
+        assert_eq!(got[1], Err(CommError::Timeout { from: 0, seq: 0 }));
+    }
+
+    #[test]
+    fn timeout_reports_the_pending_sequence() {
+        // two messages delivered, then a stall: the timeout must name
+        // the *third* (seq 2) as pending
+        let got = run_world(2, |mut c| {
+            c.set_recv_timeout(Duration::from_millis(10));
+            if c.rank() == 1 {
+                let a = c.recv(0);
+                let b = c.recv(0);
+                let stalled = c.recv(0);
+                c.barrier().unwrap();
+                (a.is_ok() && b.is_ok(), stalled)
+            } else {
+                c.send(1, vec![1]).unwrap();
+                c.send(1, vec![2]).unwrap();
+                c.barrier().unwrap();
+                (true, Ok(Vec::new()))
+            }
+        });
+        assert!(got[1].0);
+        assert_eq!(got[1].1, Err(CommError::Timeout { from: 0, seq: 2 }));
+    }
+
+    #[test]
+    fn isend_irecv_roundtrip_with_poll_and_wait() {
+        let got = run_world(2, |c| {
+            if c.rank() == 0 {
+                let h1 = c.isend(1, vec![10]).unwrap();
+                let h2 = c.isend(1, vec![20]).unwrap();
+                c.wait_send(h1).unwrap();
+                c.wait_send(h2).unwrap();
+                (0, 0)
+            } else {
+                // poll the first, block on the second
+                let mut h1 = c.irecv(0);
+                while !c.test_recv(&mut h1).unwrap() {
+                    std::thread::yield_now();
+                }
+                assert!(h1.ready());
+                let a = c.wait_recv(h1).unwrap();
+                let b = c.wait_recv(c.irecv(0)).unwrap();
+                (a[0], b[0])
+            }
+        });
+        assert_eq!(got[1], (10, 20));
+    }
+
+    #[test]
+    fn pushback_requeues_at_the_front() {
+        let got = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![1]).unwrap();
+                c.send(1, vec![2]).unwrap();
+                Vec::new()
+            } else {
+                let first = c.recv(0).unwrap();
+                c.pushback(0, first); // unreceive
+                                      // both recv and try_recv must see the parked frame first
+                let again = c.try_recv(0).unwrap().unwrap();
+                let second = c.recv(0).unwrap();
+                vec![again[0], second[0]]
+            }
+        });
+        assert_eq!(got[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn epochs_advance_per_endpoint() {
+        let epochs = run_world(2, |c| (c.next_epoch(), c.next_epoch(), c.next_epoch()));
+        for e in epochs {
+            assert_eq!(e, (0, 1, 2));
+        }
     }
 
     #[test]

@@ -25,14 +25,14 @@ fn main() {
         "measured on {ranks} rank-threads, {} DSMC steps:\n",
         base.steps
     );
-    println!("  strategy    | transactions |      bytes | population | uses CC/DC/Sparse");
+    println!("  strategy    | transactions |      bytes | population | uses CC/DC/Sparse/Hier");
     for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::Auto]) {
         let mut run = base.clone();
         run.strategy = strategy;
         let res = run_threaded(&run);
-        let [cc, dc, sp] = res.strategy_uses;
+        let [cc, dc, sp, hier] = res.strategy_uses;
         println!(
-            "  {:11} | {:>12} | {:>10} | {:>10} | {cc}/{dc}/{sp}",
+            "  {:11} | {:>12} | {:>10} | {:>10} | {cc}/{dc}/{sp}/{hier}",
             format!("{strategy:?}"),
             res.transactions,
             res.bytes,

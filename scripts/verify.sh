@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "== chaos gate (seeded fault plans must reproduce clean hashes) =="
 cargo test -q --test chaos_guard
 
+echo "== overlap gate (Hier + overlap + threads_per_rank=2 must match DC bitwise) =="
+cargo test -q --test engine_guard hier_overlapped_matches_distributed_bitwise
+
 echo "== bench smoke (quick snapshot must emit every kernel row) =="
 BENCH_QUICK=1 BENCH_OUT=target/bench_smoke.json \
     cargo run --release -q -p bench --bin bench_snapshot

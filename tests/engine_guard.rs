@@ -45,6 +45,50 @@ fn threaded_density_is_bitwise_pinned() {
     );
 }
 
+/// The overlapped hierarchical exchange (DESIGN.md §14) must be a pure
+/// transport change: Hier with node grouping, RNG-free overlap enabled
+/// and pooled intra-rank workers has to reproduce the plain distributed
+/// run bit for bit. Any RNG draw or particle reorder smuggled into the
+/// overlap window shows up here.
+#[test]
+fn hier_overlapped_matches_distributed_bitwise() {
+    use vmpi::Strategy;
+    let base = RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(4)
+        .seed(4242)
+        .steps(12)
+        .threads_per_rank(2)
+        .rebalance(None);
+    let dc = run_threaded(
+        &base
+            .clone()
+            .strategy(Strategy::Distributed)
+            .build()
+            .expect("valid DC guard config"),
+    );
+    let hier = run_threaded(
+        &base
+            .strategy(Strategy::Hier)
+            .ranks_per_node(2)
+            .overlap(true)
+            .build()
+            .expect("valid Hier guard config"),
+    );
+    assert_eq!(hier.population, dc.population, "population diverged");
+    assert_eq!(
+        fnv1a(&hier.density_h),
+        fnv1a(&dc.density_h),
+        "overlapped Hier density_h is not bitwise identical to DC"
+    );
+    let [_, dc_uses, _, _] = dc.strategy_uses;
+    let [_, _, _, hier_uses] = hier.strategy_uses;
+    assert!(
+        dc_uses > 0 && hier_uses > 0,
+        "guards ran the wrong protocol"
+    );
+}
+
 #[test]
 fn serial_density_is_bitwise_pinned() {
     let r = run_serial(&guard_config());

@@ -262,13 +262,25 @@ proptest! {
         // busiest rank bounded by total traffic
         prop_assert!(dc.max_rank_bytes <= 2 * dc.total_bytes);
         prop_assert!(cc.max_rank_bytes <= cc.total_bytes);
-        // sparse: 2 messages per nonzero ordered pair, payload plus an
-        // 8-byte count message each; never more pairs than DC slots
+        // sparse: 2 messages per nonzero ordered pair, payload plus a
+        // 17-byte tagged count frame each (magic + epoch + value);
+        // never more pairs than DC slots
         prop_assert_eq!(sp.nonzero_pairs, dc.nonzero_pairs);
         prop_assert_eq!(sp.transactions, 2 * sp.nonzero_pairs);
-        prop_assert_eq!(sp.total_bytes, dc.total_bytes + 8 * sp.nonzero_pairs);
+        prop_assert_eq!(sp.total_bytes, dc.total_bytes + 17 * sp.nonzero_pairs);
         prop_assert!(sp.transactions <= 2 * dc.transactions);
         prop_assert!(sp.max_rank_msgs <= 2 * dc.max_rank_msgs);
+        // hierarchical: a nonzero pair costs at most 3 frames (funnel,
+        // trunk, scatter; intra-node pairs cost at most 1), every
+        // migrated byte moves at least once, and only Hier reports
+        // node-pair aggregation
+        let hi = traffic(CommStrategy::Hier, &m);
+        prop_assert_eq!(hi.nonzero_pairs, dc.nonzero_pairs);
+        prop_assert!(hi.transactions <= 3 * hi.nonzero_pairs);
+        prop_assert!(hi.total_bytes >= dc.total_bytes);
+        prop_assert!(hi.node_pairs <= hi.nonzero_pairs);
+        prop_assert_eq!(dc.node_pairs, 0);
+        prop_assert_eq!(sp.aggregated_bytes, 0);
     }
 
     #[test]
