@@ -19,11 +19,12 @@ const EXPERIMENTS: [&str; 11] = [
     "fig13_sweep_threshold",
 ];
 
-const EXPERIMENTS_EXTRA: [&str; 4] = [
+const EXPERIMENTS_EXTRA: [&str; 5] = [
     "fig14_placement",
     "fig15_portability",
     "fig_hier_crossover",
     "ablation_autotune",
+    "fig_balance_modes",
 ];
 
 fn main() {

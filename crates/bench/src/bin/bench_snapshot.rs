@@ -34,6 +34,8 @@
 //! non-zero if any expected kernel row is missing — the smoke run in
 //! `scripts/verify.sh`/CI relies on this self-check.
 
+use balance::CostSourceKind;
+use coupled::Decomposition;
 use criterion::{black_box, Criterion};
 use kernels::Pool;
 use mesh::{NestedMesh, NozzleSpec, Vec3};
@@ -326,6 +328,57 @@ fn main() {
         }
     }
 
+    // ---- balance modes (modelled, tiny — runs in quick mode too) ---
+    // One small ClusterSim per balancing mode of DESIGN.md §15; the
+    // self-check below requires all three rows, so a mode that stops
+    // producing a trace fails the smoke run.
+    struct BalanceCase {
+        mode: &'static str,
+        final_lii: f64,
+        rebalances: usize,
+    }
+    let balance_cases: Vec<BalanceCase> = [
+        (
+            "paper_wlm",
+            CostSourceKind::PaperWlm,
+            Decomposition::Unified,
+        ),
+        (
+            "timer_augmented",
+            CostSourceKind::TimerAugmented,
+            Decomposition::Unified,
+        ),
+        ("eullag", CostSourceKind::PaperWlm, Decomposition::EulLag),
+    ]
+    .into_iter()
+    .map(|(mode, cost_source, decomposition)| {
+        let run = coupled::RunConfig::builder()
+            .paper(coupled::Dataset::D1, 0.02)
+            .ranks(3)
+            .rebalance(Some(balance::RebalanceConfig {
+                t_interval: 3,
+                threshold: 1.2,
+                cost_source,
+                ..balance::RebalanceConfig::default()
+            }))
+            .decomposition(decomposition)
+            .build()
+            .expect("balance smoke config");
+        let rep = coupled::ClusterSim::new(&run, coupled::MachineProfile::tianhe2()).run(8);
+        BalanceCase {
+            mode,
+            final_lii: rep.trace.last().map(|t| t.lii).unwrap_or(f64::NAN),
+            rebalances: rep.rebalances,
+        }
+    })
+    .collect();
+    for case in &balance_cases {
+        println!(
+            "[balance] {}: final lii {:.3}, {} rebalance(s)",
+            case.mode, case.final_lii, case.rebalances
+        );
+    }
+
     // Aggregation gate (doc comment above): on the 8-rank quiet matrix
     // the hierarchical exchange must beat Sparse's 2 sends per nonzero
     // pair — otherwise trunk aggregation regressed to per-pair wires.
@@ -424,6 +477,18 @@ fn main() {
         .collect();
     json.push_str(&exch_rows.join(",\n"));
     json.push_str("\n  ],\n");
+    json.push_str("  \"balance\": [\n");
+    let balance_rows: Vec<String> = balance_cases
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{\"mode\": \"{}\", \"final_lii\": {:.4}, \"rebalances\": {}}}",
+                b.mode, b.final_lii, b.rebalances
+            )
+        })
+        .collect();
+    json.push_str(&balance_rows.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"results\": [\n");
     let rows: Vec<String> = c
         .results
@@ -478,6 +543,18 @@ fn main() {
     for kernel in ["move", "collide", "deposit", "push", "spmv"] {
         if !has("results", kernel) {
             missing.push(format!("results/{kernel}"));
+        }
+    }
+    for mode in ["paper_wlm", "timer_augmented", "eullag"] {
+        let present = doc
+            .get("balance")
+            .and_then(|s| s.as_array())
+            .is_some_and(|rows| {
+                rows.iter()
+                    .any(|r| r.get("mode").and_then(|m| m.as_str()) == Some(mode))
+            });
+        if !present {
+            missing.push(format!("balance/{mode}"));
         }
     }
     for kernel in PARTICLE_KERNELS {

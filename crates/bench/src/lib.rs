@@ -11,8 +11,10 @@
 //! * `REPRO_TRACE` / `--trace-out <path>` — structured JSONL trace of
 //!   the designated run (see [`trace_spec`] and DESIGN.md §11).
 
-use balance::RebalanceConfig;
-use coupled::{ClusterReport, ClusterSim, Dataset, MachineProfile, Placement, RunConfig};
+use balance::{CostSourceKind, RebalanceConfig};
+use coupled::{
+    ClusterReport, ClusterSim, Dataset, Decomposition, MachineProfile, Placement, RunConfig,
+};
 use obs::{MetricsSnapshot, TraceSpec};
 use std::path::PathBuf;
 use vmpi::Strategy;
@@ -98,6 +100,14 @@ pub struct Experiment {
     pub t_interval: usize,
     pub threshold: f64,
     pub w_cell: i64,
+    /// Where the balancer's partition weights come from (analytic
+    /// paper WLM or the timer-augmented measured-cost source).
+    pub cost_source: CostSourceKind,
+    /// Unified particle/field ownership or the Eulerian/Lagrangian
+    /// split decomposition.
+    pub decomposition: Decomposition,
+    /// Steps to run; `None` uses the global [`steps`] knob.
+    pub steps: Option<usize>,
     pub profile: fn() -> MachineProfile,
     pub placement: Placement,
 }
@@ -113,6 +123,9 @@ impl Default for Experiment {
             t_interval: 20,
             threshold: 2.0,
             w_cell: 1,
+            cost_source: CostSourceKind::PaperWlm,
+            decomposition: Decomposition::Unified,
+            steps: None,
             profile: MachineProfile::tianhe2,
             placement: Placement::InnerFrame,
         }
@@ -140,15 +153,17 @@ impl Experiment {
                     r: 2,
                     w_cell: self.w_cell,
                 },
+                cost_source: self.cost_source,
                 ..RebalanceConfig::default()
             }))
+            .decomposition(self.decomposition)
             .trace(trace);
         if let Some(reg) = metrics {
             builder = builder.metrics(reg);
         }
         let run = builder.build().expect("valid experiment config");
         let mut sim = ClusterSim::new(&run, (self.profile)()).with_placement(self.placement);
-        sim.run(steps())
+        sim.run(self.steps.unwrap_or_else(steps))
     }
 }
 

@@ -22,9 +22,10 @@ use crate::machine::{CostModel, MachineProfile, Placement};
 use crate::report::{ReportBuilder, RunReport};
 use crate::state::{CoupledState, StepRecord};
 use crate::timers::{Breakdown, Phase};
-use balance::{load_imbalance_indicator, RebalanceOutcome, Rebalancer};
+use balance::{load_imbalance_indicator, CostSample, RebalanceOutcome, Rebalancer};
 use dsmc::EXITED;
 use particles::PACKED_SIZE;
+use partition::Decomposition;
 use partition::{part_graph_kway, Graph, KwayOptions};
 use vmpi::{traffic, Strategy, TrafficSummary};
 
@@ -43,6 +44,10 @@ pub struct ModelledBackend {
     owner: Vec<u32>,
     strategy: Strategy,
     cost: CostModel,
+    /// Unified particle/field ownership (default) or the split
+    /// Eulerian/Lagrangian mode (statically block-partitioned field
+    /// grid, gather/scatter charge halo priced in the Poisson lap).
+    decomp: Decomposition,
     rebalancer: Option<Rebalancer>,
     xadj: Vec<u32>,
     adjncy: Vec<u32>,
@@ -85,7 +90,16 @@ impl ModelledBackend {
             owner,
             strategy: run.strategy,
             cost: CostModel::new(profile, run.ranks),
-            rebalancer: run.rebalance.map(Rebalancer::new),
+            decomp: run.decomposition,
+            rebalancer: run.rebalance.map(|mut rc| {
+                if run.decomposition == Decomposition::EulLag {
+                    // the field grid is statically block-partitioned
+                    // under the split mode, so the balancer weighs
+                    // particle work only
+                    rc.wlm.w_cell = 0;
+                }
+                Rebalancer::new(rc)
+            }),
             xadj,
             adjncy,
             ranks: run.ranks,
@@ -269,7 +283,13 @@ impl Backend for ModelledBackend {
                 let nnz = (eng.poisson.matrix.nnz() as f64 * gb) as usize;
                 let nodes = (eng.poisson.num_nodes() as f64 * gb) as usize;
                 let iters = (rec.poisson_iters[sub] as f64 * gb.cbrt()).ceil() as usize;
-                let t = self.cost.poisson_time(iters, nnz, nodes);
+                let mut t = self.cost.poisson_time(iters, nnz, nodes);
+                if self.decomp == Decomposition::EulLag {
+                    // split mode: the charge reduction preceding the
+                    // solve is the gather/scatter halo over the static
+                    // field blocks, not the flat allreduce
+                    t += self.cost.eullag_halo_time(nodes);
+                }
                 for bd in self.per_rank.iter_mut() {
                     bd[Phase::PoissonSolve] += t;
                 }
@@ -355,6 +375,23 @@ impl Backend for ModelledBackend {
         if let Some(rb) = self.rebalancer.as_mut() {
             let use_km = rb.config.use_km;
             let (neutral, charged) = eng.counts_per_cell();
+            if rb.wants_samples() {
+                // feed the modelled kernel seconds (deterministic, so
+                // the timer-augmented source stays reproducible here)
+                // and the global work units they covered
+                let sum = |p: Phase| self.per_rank.iter().map(|bd| bd[p]).sum::<f64>();
+                rb.observe(&CostSample {
+                    dsmc_move_seconds: sum(Phase::DsmcMove),
+                    colli_react_seconds: sum(Phase::ColliReact),
+                    pic_move_seconds: sum(Phase::PicMove),
+                    neutral_total: neutral.iter().sum(),
+                    pair_total: neutral.iter().map(|&n| n * n.saturating_sub(1)).sum(),
+                    charged_total: charged.iter().sum(),
+                });
+            }
+            outcome.cost_source = rb.cost_source_name();
+            outcome.decomposition = self.decomp.name();
+            outcome.cost_rates = rb.cost_rates();
             match rb.step(
                 lii,
                 &self.xadj,

@@ -6,9 +6,10 @@
 //! shrinks mesh resolution and particle counts *uniformly across all
 //! configurations of an experiment*, preserving relative comparisons.
 
-use balance::RebalanceConfig;
+use balance::{CostSourceKind, RebalanceConfig};
 use mesh::NozzleSpec;
 use obs::{Registry, TraceSpec};
+use partition::Decomposition;
 use serde::{Deserialize, Serialize};
 use vmpi::{FaultPlan, Strategy};
 
@@ -237,6 +238,12 @@ pub enum ConfigError {
     ZeroRanks,
     /// `threads_per_rank` was 0 — kernel pools need at least one lane.
     ZeroThreads,
+    /// The rebalance cadence (`t_interval`) was 0 — Algorithm 1 checks
+    /// at most once per step, so the interval must be >= 1.
+    ZeroRebalanceInterval,
+    /// The rebalance lii threshold was NaN or negative; `lii >= 1` by
+    /// construction, so any finite value >= 0 is accepted.
+    InvalidRebalanceThreshold,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -244,6 +251,12 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroRanks => write!(f, "ranks must be >= 1"),
             ConfigError::ZeroThreads => write!(f, "threads_per_rank must be >= 1"),
+            ConfigError::ZeroRebalanceInterval => {
+                write!(f, "rebalance t_interval must be >= 1")
+            }
+            ConfigError::InvalidRebalanceThreshold => {
+                write!(f, "rebalance threshold must be finite and >= 0")
+            }
         }
     }
 }
@@ -263,8 +276,17 @@ pub struct RunConfig {
     /// strategy delivers identical buffers in identical source order,
     /// so outputs are bitwise independent of this field.
     pub strategy: Strategy,
-    /// Dynamic load balancing on/off + parameters.
+    /// Dynamic load balancing on/off + parameters (trigger cadence,
+    /// lii threshold, cost source, remap options).
     pub rebalance: Option<RebalanceConfig>,
+    /// How the run splits work across ranks: one unified
+    /// particle+field partition (paper default) or the
+    /// Eulerian/Lagrangian split with a statically block-partitioned
+    /// field grid. Under the split, the charge-density reduction runs
+    /// as a gather/scatter through the field owners (rank-ordered
+    /// sums, so results stay bitwise identical to the unified
+    /// reduction) and the balancer weighs particles only.
+    pub decomposition: Decomposition,
     /// Number of (virtual or threaded) ranks.
     pub ranks: usize,
     /// Ranks per node for [`Strategy::Hier`]'s two-level aggregation
@@ -357,6 +379,7 @@ impl Default for RunConfigBuilder {
                 sim: SimConfig::default(),
                 strategy: Strategy::Distributed,
                 rebalance: Some(RebalanceConfig::default()),
+                decomposition: Decomposition::default(),
                 ranks: 1,
                 ranks_per_node: 0,
                 overlap: false,
@@ -406,6 +429,47 @@ impl RunConfigBuilder {
     /// Dynamic load balancing settings (`None` disables).
     pub fn rebalance(mut self, rebalance: Option<RebalanceConfig>) -> Self {
         self.run.rebalance = rebalance;
+        self
+    }
+
+    /// Rebalance trigger cadence: check at most every `t` DSMC steps
+    /// (Algorithm 1's `T`). Enables balancing with defaults if it was
+    /// disabled. Validated at [`build`](Self::build): `t` must be
+    /// >= 1.
+    pub fn rebalance_every(mut self, t: usize) -> Self {
+        self.run
+            .rebalance
+            .get_or_insert_with(Default::default)
+            .t_interval = t;
+        self
+    }
+
+    /// Rebalance trigger threshold on the measured lii. Enables
+    /// balancing with defaults if it was disabled. Validated at
+    /// [`build`](Self::build): must be finite and >= 0.
+    pub fn rebalance_threshold(mut self, threshold: f64) -> Self {
+        self.run
+            .rebalance
+            .get_or_insert_with(Default::default)
+            .threshold = threshold;
+        self
+    }
+
+    /// Cost source feeding the balancer's partition weights (analytic
+    /// paper wlm or EWMA-smoothed measured timers). Enables balancing
+    /// with defaults if it was disabled.
+    pub fn cost_source(mut self, kind: CostSourceKind) -> Self {
+        self.run
+            .rebalance
+            .get_or_insert_with(Default::default)
+            .cost_source = kind;
+        self
+    }
+
+    /// Decomposition mode: unified particle+field partition (default)
+    /// or the Eulerian/Lagrangian split.
+    pub fn decomposition(mut self, decomposition: Decomposition) -> Self {
+        self.run.decomposition = decomposition;
         self
     }
 
@@ -503,6 +567,14 @@ impl RunConfigBuilder {
         }
         if self.run.threads_per_rank == 0 {
             return Err(ConfigError::ZeroThreads);
+        }
+        if let Some(rb) = &self.run.rebalance {
+            if rb.t_interval == 0 {
+                return Err(ConfigError::ZeroRebalanceInterval);
+            }
+            if !rb.threshold.is_finite() || rb.threshold < 0.0 {
+                return Err(ConfigError::InvalidRebalanceThreshold);
+            }
         }
         Ok(self.run)
     }
@@ -625,6 +697,83 @@ mod tests {
         let plain = RunConfig::builder().build().unwrap();
         assert_eq!(plain.ranks_per_node, 0);
         assert!(!plain.overlap);
+    }
+
+    #[test]
+    fn builder_validates_rebalance_trigger() {
+        assert_eq!(
+            RunConfig::builder().rebalance_every(0).build().unwrap_err(),
+            ConfigError::ZeroRebalanceInterval
+        );
+        assert_eq!(
+            RunConfig::builder()
+                .rebalance_threshold(f64::NAN)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidRebalanceThreshold
+        );
+        assert_eq!(
+            RunConfig::builder()
+                .rebalance_threshold(-1.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidRebalanceThreshold
+        );
+        assert_eq!(
+            RunConfig::builder()
+                .rebalance_threshold(f64::INFINITY)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidRebalanceThreshold
+        );
+        assert!(ConfigError::ZeroRebalanceInterval
+            .to_string()
+            .contains("t_interval"));
+        assert!(ConfigError::InvalidRebalanceThreshold
+            .to_string()
+            .contains("threshold"));
+        // a zeroed trigger is fine when balancing is off entirely
+        let mut rc = RebalanceConfig {
+            t_interval: 0,
+            ..RebalanceConfig::default()
+        };
+        rc.threshold = f64::NAN;
+        let off = RunConfig::builder()
+            .rebalance_every(0)
+            .rebalance(None)
+            .build();
+        assert!(off.is_ok());
+        assert!(RunConfig::builder().rebalance(Some(rc)).build().is_err());
+    }
+
+    #[test]
+    fn builder_carries_rebalance_trigger_and_modes() {
+        let run = RunConfig::builder()
+            .rebalance_every(5)
+            .rebalance_threshold(1.3)
+            .cost_source(CostSourceKind::TimerAugmented)
+            .decomposition(Decomposition::EulLag)
+            .build()
+            .unwrap();
+        let rb = run.rebalance.expect("balancing enabled");
+        assert_eq!(rb.t_interval, 5);
+        assert_eq!(rb.threshold, 1.3);
+        assert_eq!(rb.cost_source, CostSourceKind::TimerAugmented);
+        assert_eq!(run.decomposition, Decomposition::EulLag);
+        // the trigger setters enable balancing even after .rebalance(None)
+        let revived = RunConfig::builder()
+            .rebalance(None)
+            .rebalance_every(7)
+            .build()
+            .unwrap();
+        assert_eq!(revived.rebalance.unwrap().t_interval, 7);
+        // defaults: paper wlm + unified, paper trigger values
+        let plain = RunConfig::builder().build().unwrap();
+        let prb = plain.rebalance.unwrap();
+        assert_eq!(prb.cost_source, CostSourceKind::PaperWlm);
+        assert_eq!(prb.t_interval, 20);
+        assert_eq!(prb.threshold, 2.0);
+        assert_eq!(plain.decomposition, Decomposition::Unified);
     }
 
     #[test]

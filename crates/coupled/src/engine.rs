@@ -437,6 +437,15 @@ pub struct StepOutcome {
     /// migration) — measured for real backends, modelled for the
     /// cluster; 0 when no rebalance happened.
     pub remap_seconds: f64,
+    /// Stable name of the cost source that produced the partition
+    /// weights (`""` when balancing is off).
+    pub cost_source: &'static str,
+    /// Stable name of the active decomposition mode.
+    pub decomposition: &'static str,
+    /// Smoothed per-unit cost rates of the active cost source
+    /// (seconds per neutral move / collision pair / charged move);
+    /// zeros for analytic sources.
+    pub cost_rates: [f64; 3],
 }
 
 /// Traffic attribution of one particle exchange, reported by a
@@ -703,6 +712,9 @@ impl StepPipeline {
                 lii: outcome.lii,
                 migrated: outcome.migrated,
                 remap_seconds: outcome.remap_seconds,
+                cost_source: outcome.cost_source,
+                decomposition: outcome.decomposition,
+                cost_rates: outcome.cost_rates,
             });
         }
 

@@ -41,12 +41,15 @@ pub mod prelude {
     pub use crate::machine::MachineProfile;
     pub use crate::report::{ReportBuilder, RunReport, StepTrace};
     pub use crate::threadrun::{run_serial, run_threaded, run_threaded_result, RunError};
+    pub use balance::CostSourceKind;
     pub use obs::{
         MemorySink, MetricsSnapshot, Observer, Registry, TraceEvent, TraceSpec, SCHEMA_VERSION,
     };
+    pub use partition::Decomposition;
     pub use vmpi::{FaultAction, FaultPlan, Strategy};
 }
 
+pub use balance::{CostSample, CostSource, CostSourceKind};
 pub use checkpoint::{checkpoint, checkpoint_rank, restore, restore_rank, CheckpointError};
 pub use cluster::{ClusterReport, ClusterSim, ModelledBackend};
 pub use config::{
@@ -57,6 +60,7 @@ pub use engine::{
     SerialBackend, StepComm, StepOutcome, StepPipeline, WallClock,
 };
 pub use machine::{CostModel, MachineProfile, Placement};
+pub use partition::Decomposition;
 pub use report::{ReportBuilder, RunReport, StepTrace};
 pub use state::{CoupledState, StepRecord};
 pub use threadrun::{

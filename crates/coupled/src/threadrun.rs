@@ -52,11 +52,12 @@ use crate::machine::{CostModel, MachineProfile};
 use crate::report::{ReportBuilder, RunReport};
 use crate::state::StepRecord;
 use crate::timers::{Breakdown, Phase};
-use balance::{load_imbalance_indicator, RankTimes, RebalanceOutcome, Rebalancer};
+use balance::{load_imbalance_indicator, CostSample, RankTimes, RebalanceOutcome, Rebalancer};
 use dsmc::Injector;
 use mesh::NestedMesh;
 use obs::{Recorder, Tee};
 use particles::{pack_index, unpack_all, ParticleBuffer, SpeciesTable};
+use partition::{block_ranges, Decomposition};
 use std::sync::{Arc, Mutex};
 use vmpi::collectives::{
     allgather_f64, allgather_u64, allreduce_sum_f64, allreduce_sum_u64, broadcast, gather,
@@ -463,6 +464,11 @@ pub struct ThreadedBackend<'a, C: Comm> {
     owner: Vec<u32>,
     xadj: &'a [u32],
     adjncy: &'a [u32],
+    /// Unified particle/field ownership (default) or the split
+    /// Eulerian/Lagrangian mode: the field grid stays statically
+    /// block-partitioned and the charge reduction becomes a per-owner
+    /// gather/scatter (see [`Backend::reduce_charge`]).
+    decomp: Decomposition,
     rebalancer: Option<Rebalancer>,
     clock: WallClock,
     strategy_uses: [u64; 4],
@@ -506,7 +512,16 @@ impl<'a, C: Comm> ThreadedBackend<'a, C> {
             owner: owner0.to_vec(),
             xadj,
             adjncy,
-            rebalancer: run.rebalance.map(Rebalancer::new),
+            decomp: run.decomposition,
+            rebalancer: run.rebalance.map(|mut rc| {
+                if run.decomposition == Decomposition::EulLag {
+                    // the field grid is statically block-partitioned
+                    // under the split mode, so the balancer weighs
+                    // particle work only
+                    rc.wlm.w_cell = 0;
+                }
+                Rebalancer::new(rc)
+            }),
             clock: WallClock::start(),
             strategy_uses: [0; 4],
             rebalance_migrated: 0,
@@ -636,8 +651,17 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             return node_charge;
         }
         // sum boundary/node charge across ranks (paper §IV-C
-        // reduction); every rank then solves the replicated system
-        match allreduce_sum_f64(self.comm, &node_charge) {
+        // reduction); every rank then solves the replicated system.
+        // Under the Eulerian/Lagrangian split each static field owner
+        // reduces its own block and scatters it back — the additions
+        // happen in the same rank order, so the result is bitwise
+        // identical to the allreduce.
+        let reduced = if self.decomp == Decomposition::EulLag {
+            eullag_reduce_charge(self.comm, &node_charge)
+        } else {
+            allreduce_sum_f64(self.comm, &node_charge)
+        };
+        match reduced {
             Ok(summed) => summed,
             Err(e) => {
                 self.latch(e);
@@ -671,8 +695,28 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
         if self.fault.is_some() {
             return StepOutcome::default();
         }
-        // share measured times: (total, migration, poisson) triples
-        let mine = [bd.total(), bd.migration(), bd.poisson()];
+        // share measured times: (total, migration, poisson) triples —
+        // extended with the per-phase kernel times when the
+        // timer-augmented cost source wants samples (the wire layout
+        // stays the 3-float triple otherwise, so the default path's
+        // message stream is untouched)
+        let sampling = self
+            .rebalancer
+            .as_ref()
+            .is_some_and(|rb| rb.wants_samples());
+        let mine: Vec<f64> = if sampling {
+            vec![
+                bd.total(),
+                bd.migration(),
+                bd.poisson(),
+                bd[Phase::DsmcMove],
+                bd[Phase::ColliReact],
+                bd[Phase::PicMove],
+            ]
+        } else {
+            vec![bd.total(), bd.migration(), bd.poisson()]
+        };
+        let width = mine.len();
         let all = match allgather_f64(self.comm, &mine) {
             Ok(all) => all,
             Err(e) => {
@@ -681,13 +725,25 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             }
         };
         let times: Vec<RankTimes> = all
-            .chunks_exact(3)
+            .chunks_exact(width)
             .map(|c| RankTimes {
                 total: c[0],
                 migration: c[1],
                 poisson: c[2],
             })
             .collect();
+        // world-wide kernel seconds, summed in rank order
+        let phase_secs: [f64; 3] = if sampling {
+            let mut s = [0.0; 3];
+            for c in all.chunks_exact(width) {
+                s[0] += c[3];
+                s[1] += c[4];
+                s[2] += c[5];
+            }
+            s
+        } else {
+            [0.0; 3]
+        };
         let lii = load_imbalance_indicator(&times);
         let mut outcome = StepOutcome {
             lii,
@@ -717,6 +773,24 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             // every rank runs the (deterministic) algorithm on the
             // same inputs => identical new ownership everywhere
             let rb = self.rebalancer.as_mut().expect("checked above");
+            if sampling {
+                // feed the measured kernel seconds and the global work
+                // units they covered to the timer-augmented source
+                let neutral_total: u64 = neutral.iter().sum();
+                let charged_total: u64 = charged.iter().sum();
+                let pair_total: u64 = neutral.iter().map(|&n| n * n.saturating_sub(1)).sum();
+                rb.observe(&CostSample {
+                    dsmc_move_seconds: phase_secs[0],
+                    colli_react_seconds: phase_secs[1],
+                    pic_move_seconds: phase_secs[2],
+                    neutral_total,
+                    pair_total,
+                    charged_total,
+                });
+            }
+            outcome.cost_source = rb.cost_source_name();
+            outcome.decomposition = self.decomp.name();
+            outcome.cost_rates = rb.cost_rates();
             let remap_started = std::time::Instant::now();
             if let RebalanceOutcome::Remapped {
                 new_owner,
@@ -761,6 +835,61 @@ impl<C: Comm> Backend for ThreadedBackend<'_, C> {
             bytes: self.total_bytes,
         }
     }
+}
+
+/// Gather/scatter charge reduction of the Eulerian/Lagrangian split
+/// (DESIGN.md §15): the field grid is statically block-partitioned
+/// over ranks, each owner gathers every rank's contribution to its
+/// block, reduces them in rank order, and broadcasts the reduced
+/// block back so every rank can run the replicated Poisson solve.
+/// Summing per element in rank order makes the result bitwise
+/// identical to [`allreduce_sum_f64`] over the same inputs.
+fn eullag_reduce_charge<C: Comm>(comm: &C, node_charge: &[f64]) -> CommResult<Vec<f64>> {
+    let me = comm.rank();
+    let ranges = block_ranges(node_charge.len(), comm.size());
+    // phase 1: each owner gathers and reduces its block
+    let mut owned: Vec<f64> = Vec::new();
+    for (root, range) in ranges.iter().enumerate() {
+        let bytes: Vec<u8> = node_charge[range.clone()]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        if let Some(parts) = gather(comm, root, bytes)? {
+            let mut acc = vec![0.0f64; range.len()];
+            for part in &parts {
+                if part.len() != range.len() * 8 {
+                    return Err(CommError::Malformed {
+                        what: "eullag charge block",
+                    });
+                }
+                for (a, chunk) in acc.iter_mut().zip(part.chunks_exact(8)) {
+                    *a += f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                }
+            }
+            owned = acc;
+        }
+    }
+    // phase 2: owners scatter the reduced blocks; every rank
+    // reassembles the full vector
+    let mut out = vec![0.0f64; node_charge.len()];
+    for (root, range) in ranges.iter().enumerate() {
+        let mine = (me == root).then(|| {
+            owned
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<u8>>()
+        });
+        let block = broadcast(comm, root, mine)?;
+        if block.len() != range.len() * 8 {
+            return Err(CommError::Malformed {
+                what: "eullag reduced block",
+            });
+        }
+        for (slot, chunk) in out[range.clone()].iter_mut().zip(block.chunks_exact(8)) {
+            *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+    }
+    Ok(out)
 }
 
 /// Read a checkpoint-store slot, surviving a poisoned lock (a rank

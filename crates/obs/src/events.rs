@@ -117,6 +117,16 @@ pub struct RebalanceEvent {
     /// Wall seconds spent in the balancer (WLM + partition + KM
     /// remap), as measured around the decision.
     pub remap_seconds: f64,
+    /// Stable name of the cost source that produced the partition
+    /// weights (`"paper_wlm"`, `"timer_augmented"`).
+    pub cost_source: &'static str,
+    /// Stable name of the decomposition mode (`"unified"`,
+    /// `"eullag"`).
+    pub decomposition: &'static str,
+    /// Smoothed per-unit cost rates of the cost source at decision
+    /// time: seconds per neutral move, per collision pair, per
+    /// charged move. Zeros for analytic sources.
+    pub cost_rates: [f64; 3],
 }
 
 impl RebalanceEvent {
@@ -127,6 +137,12 @@ impl RebalanceEvent {
             ("lii", Json::Num(self.lii)),
             ("migrated", Json::U64(self.migrated)),
             ("remap_seconds", Json::Num(self.remap_seconds)),
+            ("cost_source", Json::Str(self.cost_source.into())),
+            ("decomposition", Json::Str(self.decomposition.into())),
+            (
+                "cost_rates",
+                Json::Arr(self.cost_rates.iter().map(|&r| Json::Num(r)).collect()),
+            ),
         ])
     }
 }
@@ -153,6 +169,29 @@ mod tests {
         assert_eq!(v.get("transactions").unwrap().as_u64(), Some(12));
         assert_eq!(v.get("bytes").unwrap().as_u64(), Some(3456));
         assert_eq!(v.get("share").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rebalance_event_json_carries_modes_and_rates() {
+        let e = RebalanceEvent {
+            step: 21,
+            lii: 2.4,
+            migrated: 120,
+            remap_seconds: 0.003,
+            cost_source: "timer_augmented",
+            decomposition: "eullag",
+            cost_rates: [1e-7, 2e-9, 3e-7],
+        };
+        let v = parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("rebalance"));
+        assert_eq!(
+            v.get("cost_source").unwrap().as_str(),
+            Some("timer_augmented")
+        );
+        assert_eq!(v.get("decomposition").unwrap().as_str(), Some("eullag"));
+        let rates = v.get("cost_rates").unwrap().as_array().unwrap();
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[1].as_f64(), Some(2e-9));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Decomposition modes for the coupled solver.
+//!
+//! The paper's runs use one *unified* decomposition: the coarse-grid
+//! partition owns both the particles resident in a cell and the field
+//! nodes under it, so rebalancing moves field work together with
+//! particle work. Sauget & Latu's Eulerian/Lagrangian split instead
+//! pins the field grid (Eulerian side: deposit reduction, solve,
+//! push gather) to a static block partition and lets the particle
+//! (Lagrangian) partition chase the density skew alone — at the price
+//! of a gather/scatter halo exchange between the two maps.
+//!
+//! This module holds the mode selector and the static Eulerian block
+//! partition; the halo exchange itself rides the `Comm` surface in
+//! the coupled drivers.
+
+use std::ops::Range;
+
+/// How a coupled run splits work across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decomposition {
+    /// One partition owns particles and field alike (paper default).
+    #[default]
+    Unified,
+    /// Eulerian/Lagrangian split: static block-partitioned field
+    /// grid, dynamically rebalanced particle cells.
+    EulLag,
+}
+
+impl Decomposition {
+    /// Stable short name, used in trace events and report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Decomposition::Unified => "unified",
+            Decomposition::EulLag => "eullag",
+        }
+    }
+}
+
+/// Static Eulerian partition: split `n_items` contiguous indices into
+/// `k` near-equal blocks (the first `n_items % k` blocks get one
+/// extra). Deterministic and independent of any particle state, so
+/// every rank derives the identical field map locally.
+pub fn block_ranges(n_items: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(k >= 1);
+    let base = n_items / k;
+    let extra = n_items % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for r in 0..k {
+        let len = base + usize::from(r < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Owner of index `idx` under [`block_ranges`]`(n_items, k)` without
+/// materialising the ranges.
+pub fn block_owner(n_items: usize, k: usize, idx: usize) -> usize {
+    assert!(idx < n_items);
+    let base = n_items / k;
+    let extra = n_items % k;
+    let fat = extra * (base + 1);
+    if idx < fat {
+        idx / (base + 1)
+    } else {
+        extra + (idx - fat) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_exactly_once_in_order() {
+        for (n, k) in [(10, 3), (12, 4), (7, 7), (5, 8), (0, 2), (1, 1)] {
+            let ranges = block_ranges(n, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "ragged blocks for ({n},{k}): {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn owner_agrees_with_ranges() {
+        for (n, k) in [(10usize, 3usize), (12, 4), (7, 7), (100, 6)] {
+            let ranges = block_ranges(n, k);
+            for idx in 0..n {
+                let by_scan = ranges.iter().position(|r| r.contains(&idx)).unwrap();
+                assert_eq!(block_owner(n, k, idx), by_scan, "idx {idx} of ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Decomposition::Unified.name(), "unified");
+        assert_eq!(Decomposition::EulLag.name(), "eullag");
+        assert_eq!(Decomposition::default(), Decomposition::Unified);
+    }
+}

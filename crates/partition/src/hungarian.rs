@@ -211,3 +211,61 @@ mod tests {
         assert_eq!(total, -2);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Square cost/weight matrices up to 8x8 with entry magnitudes
+    /// covering the migration-volume range the remap layer feeds in.
+    /// (The vendored proptest has no flat-map, so draw a max-size
+    /// flat buffer plus a dimension and slice the matrix out.)
+    fn matrix() -> impl Strategy<Value = Vec<Vec<i64>>> {
+        (
+            1usize..9,
+            proptest::collection::vec(0i64..10_000, 64usize..65),
+        )
+            .prop_map(|(n, flat)| (0..n).map(|i| flat[i * n..(i + 1) * n].to_vec()).collect())
+    }
+
+    fn is_permutation(a: &[usize]) -> bool {
+        let mut seen = vec![false; a.len()];
+        a.iter()
+            .all(|&j| j < seen.len() && !std::mem::replace(&mut seen[j], true))
+    }
+
+    proptest! {
+        #[test]
+        fn min_cost_is_a_permutation_no_costlier_than_identity(c in matrix()) {
+            let n = c.len();
+            let (a, total) = min_cost_assignment(&c);
+            prop_assert!(is_permutation(&a), "not a permutation: {a:?}");
+            let selected: i64 = (0..n).map(|i| c[i][a[i]]).sum();
+            prop_assert_eq!(total, selected);
+            // the remap invariant: never migrate more than keeping the
+            // identity part->rank mapping would
+            let identity: i64 = (0..n).map(|i| c[i][i]).sum();
+            prop_assert!(total <= identity, "cost {} > identity {}", total, identity);
+        }
+
+        #[test]
+        fn max_weight_is_a_permutation_no_lighter_than_identity(w in matrix()) {
+            let n = w.len();
+            let (a, total) = max_weight_assignment(&w);
+            prop_assert!(is_permutation(&a), "not a permutation: {a:?}");
+            let identity: i64 = (0..n).map(|i| w[i][i]).sum();
+            prop_assert!(total >= identity, "kept weight {} < identity {}", total, identity);
+        }
+
+        #[test]
+        fn min_and_max_agree_under_negation(c in matrix()) {
+            let neg: Vec<Vec<i64>> = c.iter()
+                .map(|row| row.iter().map(|&v| -v).collect())
+                .collect();
+            let (_, min_total) = min_cost_assignment(&c);
+            let (_, max_total) = max_weight_assignment(&neg);
+            prop_assert_eq!(min_total, -max_total);
+        }
+    }
+}

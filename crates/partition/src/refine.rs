@@ -103,7 +103,10 @@ pub fn force_balance(g: &Graph, part: &mut [u32], k: usize) {
             break;
         };
         // boundary vertex of hp with a neighbour in the lightest
-        // adjacent part
+        // adjacent part; the move must strictly improve the pair
+        // (dest + v lighter than hp is now), otherwise a single
+        // over-cap vertex bounces between parts and can leave its
+        // source part empty
         let mut best: Option<(usize, usize)> = None;
         for v in 0..n {
             if part[v] as usize != hp {
@@ -111,7 +114,7 @@ pub fn force_balance(g: &Graph, part: &mut [u32], k: usize) {
             }
             for (u, _) in g.edges(v) {
                 let pu = part[u as usize] as usize;
-                if pu != hp {
+                if pu != hp && part_wgt[pu] + g.vwgt[v] < part_wgt[hp] {
                     let better = best.is_none_or(|(_, bp)| part_wgt[pu] < part_wgt[bp]);
                     if better {
                         best = Some((v, pu));
@@ -182,5 +185,22 @@ mod tests {
         // max part weight is allowed up to ceil(50 * 1.05) = 53, i.e.
         // an imbalance of 1.06 on this integer-weighted graph.
         assert!(imbalance(&g, &part, 2) <= 1.06 + 1e-9);
+    }
+
+    #[test]
+    fn force_balance_never_empties_a_part_on_giant_vertex() {
+        // one vertex carries nearly all weight — heavier than the
+        // balance cap. The old unconditional shed moved it out of its
+        // part and stranded the partition with an empty part.
+        let g = {
+            let edges: Vec<(u32, u32)> = (0..11u32).map(|v| (v, v + 1)).collect();
+            let mut vwgt = vec![2i64; 12];
+            vwgt[0] = 1_000_000;
+            Graph::from_edges(12, &edges, vwgt)
+        };
+        let mut part: Vec<u32> = (0..12).map(|v| (v / 6) as u32).collect();
+        force_balance(&g, &mut part, 2);
+        assert!(part.contains(&0), "part 0 emptied: {part:?}");
+        assert!(part.contains(&1), "part 1 emptied: {part:?}");
     }
 }

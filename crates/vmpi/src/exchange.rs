@@ -1051,6 +1051,56 @@ mod tests {
     }
 
     #[test]
+    fn grouped_handles_ragged_last_node() {
+        // 10 ranks in nodes of 4: the last node holds only 2 ranks
+        let m = NodeMap::grouped(10, 4);
+        assert_eq!(m.nodes(), 3);
+        assert_eq!(m.members(2).collect::<Vec<_>>(), vec![8, 9]);
+        assert_eq!(m.leader(2), 8);
+        assert!(m.is_leader(8) && !m.is_leader(9));
+        // every rank lands on exactly one node, in contiguous blocks
+        for r in 0..10 {
+            assert_eq!(m.node_of(r), r / 4);
+        }
+    }
+
+    #[test]
+    fn grouped_single_node_and_one_rank_per_node() {
+        // node size >= world: everything on one node, rank 0 leads
+        let one = NodeMap::grouped(6, 8);
+        assert_eq!(one.nodes(), 1);
+        assert!(one.is_leader(0));
+        assert_eq!((0..6).filter(|&r| one.is_leader(r)).count(), 1);
+        assert_eq!(one.members(0).count(), 6);
+
+        // node size 1: every rank is its own node and its own leader
+        let solo = NodeMap::grouped(5, 1);
+        assert_eq!(solo.nodes(), 5);
+        for r in 0..5 {
+            assert_eq!(solo.node_of(r), r);
+            assert_eq!(solo.leader(r), r);
+            assert!(solo.is_leader(r));
+        }
+    }
+
+    #[test]
+    fn default_for_tiny_worlds() {
+        // div_ceil keeps the first half no smaller than the second
+        let two = NodeMap::default_for(2); // {0} {1}
+        assert_eq!(two.nodes(), 2);
+        assert_eq!(two.node_of(0), 0);
+        assert_eq!(two.node_of(1), 1);
+        let three = NodeMap::default_for(3); // {0,1} {2}
+        assert_eq!(three.nodes(), 2);
+        assert_eq!(three.members(0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(three.members(1).collect::<Vec<_>>(), vec![2]);
+        // a lone rank maps to a single one-rank node
+        let lone = NodeMap::default_for(1);
+        assert_eq!(lone.len(), 1);
+        assert!(lone.is_leader(0));
+    }
+
+    #[test]
     fn unresolved_auto_is_an_error_not_a_panic() {
         let out = run_world(2, |c| {
             let outgoing = vec![Vec::new(); c.size()];

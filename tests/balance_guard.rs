@@ -1,0 +1,127 @@
+//! Regression guard for the pluggable balancing pipeline
+//! (DESIGN.md §15).
+//!
+//! The default mode (paper WLM + unified decomposition) is pinned by
+//! `engine_guard`; these tests pin the two alternative modes. The
+//! modelled driver is fully deterministic — kernel "timings" are cost
+//! model evaluations — so the timer-augmented source and the
+//! Eulerian/Lagrangian split each get a bitwise-pinned lii
+//! trajectory. On the threaded driver the Eul/Lag gather/scatter
+//! charge reduction must be a pure transport change: with the
+//! balancer off it has to reproduce the unified run's pinned density
+//! bit for bit.
+
+use balance::{CostSourceKind, RebalanceConfig};
+use coupled::{run_threaded, ClusterSim, Dataset, Decomposition, MachineProfile, RunConfig};
+
+/// FNV-1a over the little-endian bytes of a float series.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn modelled_config(cost_source: CostSourceKind, decomposition: Decomposition) -> RunConfig {
+    RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(3)
+        .seed(4242)
+        .steps(12)
+        .rebalance(Some(RebalanceConfig {
+            t_interval: 3,
+            threshold: 1.2,
+            cost_source,
+            ..RebalanceConfig::default()
+        }))
+        .decomposition(decomposition)
+        .build()
+        .expect("valid guard config")
+}
+
+/// Modelled run → (lii-trajectory hash, rebalance count).
+fn modelled_lii(cost_source: CostSourceKind, decomposition: Decomposition) -> (u64, usize) {
+    let run = modelled_config(cost_source, decomposition);
+    let rep = ClusterSim::new(&run, MachineProfile::tianhe2()).run(12);
+    let lii: Vec<f64> = rep.trace.iter().map(|t| t.lii).collect();
+    assert_eq!(lii.len(), 12);
+    (fnv1a(&lii), rep.rebalances)
+}
+
+#[test]
+fn timer_augmented_modelled_is_pinned() {
+    let (h1, reb1) = modelled_lii(CostSourceKind::TimerAugmented, Decomposition::Unified);
+    let (h2, _) = modelled_lii(CostSourceKind::TimerAugmented, Decomposition::Unified);
+    assert_eq!(h1, h2, "timer-augmented modelled run is nondeterministic");
+    assert!(reb1 > 0, "guard config never rebalanced");
+    assert_eq!(
+        h1, 0x00be_e894_96b9_27cb,
+        "timer-augmented lii trajectory drifted from the pinned baseline"
+    );
+}
+
+#[test]
+fn eullag_modelled_is_pinned() {
+    let (h1, reb1) = modelled_lii(CostSourceKind::PaperWlm, Decomposition::EulLag);
+    let (h2, _) = modelled_lii(CostSourceKind::PaperWlm, Decomposition::EulLag);
+    assert_eq!(h1, h2, "eullag modelled run is nondeterministic");
+    assert!(reb1 > 0, "guard config never rebalanced");
+    assert_eq!(
+        h1, 0xa870_696b_4179_946f,
+        "eullag lii trajectory drifted from the pinned baseline"
+    );
+}
+
+/// With the balancer off, the Eul/Lag split only changes *how* the
+/// node charge is reduced (per-owner gather/scatter instead of the
+/// flat allreduce). The additions happen in the same rank order, so
+/// the physics must stay bitwise identical to `engine_guard`'s pinned
+/// unified run.
+#[test]
+fn eullag_threaded_matches_unified_pinned_density() {
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(3)
+        .seed(4242)
+        .steps(12)
+        .rebalance(None)
+        .decomposition(Decomposition::EulLag)
+        .build()
+        .expect("valid guard config");
+    let r = run_threaded(&run);
+    assert_eq!(r.population, 389, "population drifted");
+    assert_eq!(r.density_h.len(), 432);
+    assert_eq!(
+        fnv1a(&r.density_h),
+        0x8e483db2789e1ad2,
+        "eullag charge reduction is not bitwise identical to the unified allreduce"
+    );
+}
+
+/// The timer-augmented source on the threaded driver feeds measured
+/// wall-clock kernel times, so its trajectory is not pinnable — but
+/// the run must complete, rebalance, and report the mode it ran.
+#[test]
+fn timer_augmented_threaded_fires_and_completes() {
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(3)
+        .seed(4242)
+        .steps(12)
+        .rebalance(Some(RebalanceConfig {
+            t_interval: 3,
+            threshold: 0.0,
+            cost_source: CostSourceKind::TimerAugmented,
+            ..RebalanceConfig::default()
+        }))
+        .build()
+        .expect("valid guard config");
+    let r = run_threaded(&run);
+    assert_eq!(r.trace.len(), 12);
+    assert!(r.population > 0);
+    assert!(r.rebalances > 0, "threshold 0 must trigger the balancer");
+}
