@@ -8,10 +8,11 @@
 
 use balance::{CostSourceKind, RebalanceConfig};
 use mesh::NozzleSpec;
+use obs::json::{obj, Json};
 use obs::{Registry, TraceSpec};
 use partition::Decomposition;
 use serde::{Deserialize, Serialize};
-use vmpi::{FaultPlan, Strategy};
+use vmpi::{FaultAction, FaultPlan, Strategy};
 
 /// Physics and numerics of one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -337,11 +338,234 @@ pub struct RunConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+/// Version tag of the canonical config serialization (independent of
+/// the report/trace [`obs::SCHEMA_VERSION`]). Bump whenever the set
+/// of serialized fields or their encoding changes — the tag is hashed
+/// along with the fields, so configs canonicalized under different
+/// schema versions can never collide in the result cache.
+pub const CONFIG_SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a over a byte string — the same hash the guard tests use for
+/// density fields, here over the canonical config text.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Stable lowercase name of an exchange strategy for the canonical
+/// serialization (enum `Debug` output is not a schema).
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Centralized => "centralized",
+        Strategy::Distributed => "distributed",
+        Strategy::Sparse => "sparse",
+        Strategy::Hier => "hier",
+        Strategy::Auto => "auto",
+    }
+}
+
+fn fault_action_json(a: FaultAction) -> Json {
+    match a {
+        FaultAction::Deliver => Json::Str("deliver".to_string()),
+        FaultAction::Drop => Json::Str("drop".to_string()),
+        FaultAction::Duplicate => Json::Str("duplicate".to_string()),
+        FaultAction::Delay(span) => obj(vec![("delay", Json::U64(span as u64))]),
+    }
+}
+
 impl RunConfig {
     /// Validating builder — the preferred way to assemble a run:
     /// `RunConfig::builder().ranks(8).strategy(Strategy::Auto).build()?`.
     pub fn builder() -> RunConfigBuilder {
         RunConfigBuilder::default()
+    }
+
+    /// The canonical serialization of this configuration: every field
+    /// that can influence the run's *output* (physics, seeds, parallel
+    /// shape, exchange strategy, balancing, fault plan and recovery
+    /// settings), tagged with [`CONFIG_SCHEMA_VERSION`] and with
+    /// object keys sorted at every level, so the serialized text — and
+    /// hence [`RunConfig::config_hash`] — is independent of field
+    /// declaration order.
+    ///
+    /// The [`ObsConfig`] is deliberately **excluded**: observability
+    /// is bitwise-neutral by contract (the obs guard suite pins
+    /// observed runs to unobserved hashes), so two runs differing only
+    /// in metrics/trace wiring are the same cache entry.
+    pub fn canonical_json(&self) -> Json {
+        let sim = &self.sim;
+        let nozzle = obj(vec![
+            ("radius", Json::Num(sim.nozzle.radius)),
+            ("length", Json::Num(sim.nozzle.length)),
+            ("inlet_radius", Json::Num(sim.nozzle.inlet_radius)),
+            ("nd", Json::U64(sim.nozzle.nd as u64)),
+            ("nz", Json::U64(sim.nozzle.nz as u64)),
+        ]);
+        let sim_json = obj(vec![
+            ("nozzle", nozzle),
+            ("density_h", Json::Num(sim.density_h)),
+            ("density_hplus", Json::Num(sim.density_hplus)),
+            ("weight_h", Json::Num(sim.weight_h)),
+            ("weight_hplus", Json::Num(sim.weight_hplus)),
+            ("v_drift", Json::Num(sim.v_drift)),
+            ("t_inject", Json::Num(sim.t_inject)),
+            ("t_wall", Json::Num(sim.t_wall)),
+            ("dt_dsmc", Json::Num(sim.dt_dsmc)),
+            ("pic_per_dsmc", Json::U64(sim.pic_per_dsmc as u64)),
+            (
+                "b_field",
+                obj(vec![
+                    ("x", Json::Num(sim.b_field.x)),
+                    ("y", Json::Num(sim.b_field.y)),
+                    ("z", Json::Num(sim.b_field.z)),
+                ]),
+            ),
+            ("cross_collisions", Json::Bool(sim.cross_collisions)),
+            ("seed", Json::U64(sim.seed)),
+        ]);
+        let rebalance = match &self.rebalance {
+            None => Json::Null,
+            Some(rb) => obj(vec![
+                ("t_interval", Json::U64(rb.t_interval as u64)),
+                ("threshold", Json::Num(rb.threshold)),
+                (
+                    "wlm",
+                    obj(vec![
+                        ("r", Json::Num(rb.wlm.r as f64)),
+                        ("w_cell", Json::Num(rb.wlm.w_cell as f64)),
+                    ]),
+                ),
+                ("use_km", Json::Bool(rb.use_km)),
+                (
+                    "kway",
+                    obj(vec![
+                        ("coarsen_to", Json::U64(rb.kway.coarsen_to as u64)),
+                        ("refine_passes", Json::U64(rb.kway.refine_passes as u64)),
+                        ("seed", Json::U64(rb.kway.seed)),
+                    ]),
+                ),
+                ("cost_source", Json::Str(rb.cost_source.name().to_string())),
+            ]),
+        };
+        let fault_plan = match &self.fault_plan {
+            None => Json::Null,
+            Some(plan) => obj(vec![
+                ("seed", Json::U64(plan.seed)),
+                ("drop_per_mille", Json::U64(plan.drop_per_mille as u64)),
+                ("dup_per_mille", Json::U64(plan.dup_per_mille as u64)),
+                ("delay_per_mille", Json::U64(plan.delay_per_mille as u64)),
+                ("max_delay_span", Json::U64(plan.max_delay_span as u64)),
+                (
+                    "explicit",
+                    Json::Arr(
+                        plan.explicit
+                            .iter()
+                            .map(|&(src, dst, idx, action)| {
+                                obj(vec![
+                                    ("src", Json::U64(src as u64)),
+                                    ("dst", Json::U64(dst as u64)),
+                                    ("index", Json::U64(idx)),
+                                    ("action", fault_action_json(action)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "stalls",
+                    Json::Arr(
+                        plan.stalls
+                            .iter()
+                            .map(|s| {
+                                obj(vec![
+                                    ("rank", Json::U64(s.rank as u64)),
+                                    ("step", Json::U64(s.step as u64)),
+                                    ("millis", Json::U64(s.millis)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "kills",
+                    Json::Arr(
+                        plan.kills
+                            .iter()
+                            .map(|k| {
+                                obj(vec![
+                                    ("rank", Json::U64(k.rank as u64)),
+                                    ("step", Json::U64(k.step as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        let doc = obj(vec![
+            ("config_schema", Json::U64(CONFIG_SCHEMA_VERSION as u64)),
+            ("sim", sim_json),
+            (
+                "strategy",
+                Json::Str(strategy_name(self.strategy).to_string()),
+            ),
+            ("rebalance", rebalance),
+            (
+                "decomposition",
+                Json::Str(self.decomposition.name().to_string()),
+            ),
+            ("ranks", Json::U64(self.ranks as u64)),
+            ("ranks_per_node", Json::U64(self.ranks_per_node as u64)),
+            ("overlap", Json::Bool(self.overlap)),
+            ("steps", Json::U64(self.steps as u64)),
+            ("work_boost", Json::Num(self.work_boost)),
+            (
+                "paper_cells",
+                self.paper_cells.map_or(Json::Null, |c| Json::U64(c as u64)),
+            ),
+            ("threads_per_rank", Json::U64(self.threads_per_rank as u64)),
+            ("sort_every", Json::U64(self.sort_every as u64)),
+            ("checkpoint_every", Json::U64(self.checkpoint_every as u64)),
+            (
+                "on_fault",
+                Json::Str(
+                    match self.on_fault {
+                        FaultPolicy::Abort => "abort",
+                        FaultPolicy::RestartFromCheckpoint => "restart_from_checkpoint",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("fault_plan", fault_plan),
+        ]);
+        obs::json::canonicalize(&doc)
+    }
+
+    /// [`RunConfig::canonical_json`] rendered to its one canonical
+    /// string — what [`RunConfig::config_hash`] hashes, and a stable
+    /// line users can log next to a served report.
+    pub fn canonical_string(&self) -> String {
+        self.canonical_json().to_string()
+    }
+
+    /// Order-independent, version-tagged 64-bit digest of the
+    /// canonical serialization (FNV-1a over
+    /// [`RunConfig::canonical_string`]). Two configs hash equal iff
+    /// they would produce bitwise-identical runs' inputs — the result
+    /// cache in `jobsrv` keys on exactly this value, which is sound
+    /// because the engine is deterministic for a fixed config.
+    pub fn config_hash(&self) -> u64 {
+        fnv1a_bytes(self.canonical_string().as_bytes())
+    }
+
+    /// [`RunConfig::config_hash`] as the 16-digit hex string used in
+    /// report JSON and logs.
+    pub fn config_hash_hex(&self) -> String {
+        format!("{:016x}", self.config_hash())
     }
 
     /// Standard paper-experiment setup: dataset at `scale`, with the
@@ -789,4 +1013,100 @@ mod tests {
         // RunConfig stays Clone with observability attached
         let _copy = run.clone();
     }
+
+    #[test]
+    fn canonical_string_roundtrips_and_is_canonical() {
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(3)
+            .seed(4242)
+            .steps(12)
+            .fault_plan(Some(
+                vmpi::FaultPlan::seeded(7)
+                    .drops(10)
+                    .action(0, 1, 3, vmpi::FaultAction::Delay(2))
+                    .stall(1, 4, 5)
+                    .kill(2, 6),
+            ))
+            .on_fault(FaultPolicy::RestartFromCheckpoint)
+            .build()
+            .unwrap();
+        let s = run.canonical_string();
+        // Parse → canonicalize → re-render reproduces the exact string:
+        // the serialization is already in canonical form.
+        let parsed = obs::json::parse(&s).unwrap();
+        assert_eq!(obs::json::canonicalize(&parsed).to_string(), s);
+        // Version tag and the excluded obs field.
+        assert_eq!(
+            parsed.get("config_schema").unwrap().as_u64(),
+            Some(CONFIG_SCHEMA_VERSION as u64)
+        );
+        assert!(parsed.get("obs").is_none());
+        // Keys at the top level are sorted, so field declaration order
+        // in the struct can never leak into the hash.
+        if let obs::json::Json::Obj(members) = &parsed {
+            let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted);
+        } else {
+            panic!("canonical form must be an object");
+        }
+    }
+
+    #[test]
+    fn config_hash_tracks_semantic_fields_only() {
+        let base = || {
+            RunConfig::builder()
+                .paper(Dataset::D1, 0.02)
+                .ranks(3)
+                .seed(4242)
+                .steps(12)
+        };
+        let a = base().build().unwrap();
+        let b = base().build().unwrap();
+        assert_eq!(a.config_hash(), b.config_hash());
+        assert_eq!(a.config_hash_hex(), format!("{:016x}", a.config_hash()));
+        // Observability is bitwise-neutral and excluded from the hash.
+        let observed = base()
+            .metrics(Registry::new())
+            .trace(TraceSpec::Memory(obs::MemorySink::new()))
+            .build()
+            .unwrap();
+        assert_eq!(observed.config_hash(), a.config_hash());
+        // Every semantic knob moves the hash.
+        let seeded = base().seed(4243).build().unwrap();
+        assert_ne!(seeded.config_hash(), a.config_hash());
+        let wider = base().ranks(4).build().unwrap();
+        assert_ne!(wider.config_hash(), a.config_hash());
+        let strat = base().strategy(Strategy::Sparse).build().unwrap();
+        assert_ne!(strat.config_hash(), a.config_hash());
+        let faulted = base()
+            .fault_plan(Some(vmpi::FaultPlan::seeded(1).kill(0, 2)))
+            .build()
+            .unwrap();
+        assert_ne!(faulted.config_hash(), a.config_hash());
+    }
+
+    #[test]
+    fn config_hash_is_pinned_across_releases() {
+        // The cache key of the engine-guard config. If this moves, the
+        // canonical serialization changed: bump CONFIG_SCHEMA_VERSION
+        // and re-pin deliberately — silent drift would split result
+        // caches across builds.
+        let run = RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(3)
+            .seed(4242)
+            .steps(12)
+            .rebalance(None)
+            .build()
+            .unwrap();
+        assert_eq!(run.config_hash_hex(), run.config_hash_hex());
+        assert_eq!(run.config_hash(), PINNED_GUARD_CONFIG_HASH);
+    }
+
+    /// Pinned canonical hash of the guard config (see
+    /// `config_hash_is_pinned_across_releases`).
+    const PINNED_GUARD_CONFIG_HASH: u64 = 0x09075cccd4b0560e;
 }

@@ -11,6 +11,7 @@ pub mod cluster;
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod job;
 pub mod machine;
 pub mod report;
 pub mod state;
@@ -18,8 +19,8 @@ pub mod threadrun;
 pub mod timers;
 pub mod tune;
 
-/// One-stop imports for configuring runs, driving them, and consuming
-/// their reports and traces:
+/// One-stop imports for configuring runs, driving them (directly or
+/// as jobs), and consuming their reports and traces:
 ///
 /// ```
 /// use coupled::prelude::*;
@@ -30,20 +31,27 @@ pub mod tune;
 ///     .steps(2)
 ///     .build()
 ///     .unwrap();
+/// let key = run.config_hash(); // result-cache identity of this run
 /// let report: RunReport = run_threaded(&run);
 /// assert_eq!(report.trace.len(), 2);
+/// assert_eq!(key, run.config_hash());
 /// ```
 pub mod prelude {
     pub use crate::cluster::ClusterSim;
     pub use crate::config::{
         ConfigError, Dataset, FaultPolicy, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
+        CONFIG_SCHEMA_VERSION,
     };
+    pub use crate::job::{JobId, JobMeta, JobPriority, JobSpec, JobStatus};
     pub use crate::machine::MachineProfile;
     pub use crate::report::{ReportBuilder, RunReport, StepTrace};
-    pub use crate::threadrun::{run_serial, run_threaded, run_threaded_result, RunError};
+    pub use crate::threadrun::{
+        run_serial, run_threaded, run_threaded_result, EngineSession, RunError,
+    };
     pub use balance::CostSourceKind;
     pub use obs::{
-        MemorySink, MetricsSnapshot, Observer, Registry, TraceEvent, TraceSpec, SCHEMA_VERSION,
+        FanoutSink, MemorySink, MetricsSnapshot, Observer, Registry, TraceEvent, TraceSpec,
+        SCHEMA_VERSION,
     };
     pub use partition::Decomposition;
     pub use vmpi::{FaultAction, FaultPlan, Strategy};
@@ -54,17 +62,20 @@ pub use checkpoint::{checkpoint, checkpoint_rank, restore, restore_rank, Checkpo
 pub use cluster::{ClusterReport, ClusterSim, ModelledBackend};
 pub use config::{
     ConfigError, Dataset, FaultPolicy, ObsConfig, RunConfig, RunConfigBuilder, SimConfig,
+    CONFIG_SCHEMA_VERSION,
 };
 pub use engine::{
     Backend, BackendStats, ExchangeInfo, ExchangeScratch, NoProbe, Probe, ProbeAdapter, RankEngine,
     SerialBackend, StepComm, StepOutcome, StepPipeline, WallClock,
 };
+pub use job::{JobId, JobMeta, JobPriority, JobSpec, JobStatus};
 pub use machine::{CostModel, MachineProfile, Placement};
 pub use partition::Decomposition;
 pub use report::{ReportBuilder, RunReport, StepTrace};
 pub use state::{CoupledState, StepRecord};
 pub use threadrun::{
-    run_serial, run_threaded, run_threaded_result, RunError, ThreadedBackend, ThreadedRunResult,
+    run_serial, run_threaded, run_threaded_result, EngineSession, RunError, ThreadedBackend,
+    ThreadedRunResult,
 };
 pub use timers::{Breakdown, BreakdownExt, Phase};
 pub use tune::{

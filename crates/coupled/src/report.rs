@@ -2,6 +2,7 @@
 //! rendering for the experiment binaries (so every bench prints rows
 //! in the same layout the paper's tables use).
 
+use crate::job::JobMeta;
 use crate::timers::{Breakdown, Phase};
 use obs::json::{obj, Json};
 use obs::Observer;
@@ -60,6 +61,12 @@ pub struct RunReport {
     pub faults_injected: u64,
     /// Per-step traces.
     pub trace: Vec<StepTrace>,
+    /// Provenance stamp when the report was served by the job server
+    /// (schema v2 `"job"` key): job id, canonical config hash, cache
+    /// hit, queue/run wall times. `None` for direct engine runs —
+    /// the key is simply absent from the JSON, keeping v2 documents
+    /// readable by v1 consumers.
+    pub job: Option<JobMeta>,
 }
 
 impl RunReport {
@@ -100,6 +107,9 @@ impl RunReport {
                 Json::Arr(self.density_h.iter().map(|&d| Json::Num(d)).collect()),
             ),
         ];
+        if let Some(meta) = &self.job {
+            fields.push(("job", meta.to_json()));
+        }
         if let Some(snap) = metrics {
             fields.push(("metrics", snap.to_json()));
         }
@@ -278,5 +288,61 @@ mod tests {
         assert_eq!(v.get("comm_retries").unwrap().as_u64(), Some(17));
         assert_eq!(v.get("comm_dedup_dropped").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("faults_injected").unwrap().as_u64(), Some(31));
+    }
+
+    #[test]
+    fn schema_v2_adds_job_as_strict_superset_of_v1() {
+        // Every key a v1 document had (frozen list — do not derive it
+        // from the code, the point is catching accidental removals).
+        const V1_KEYS: &[&str] = &[
+            "schema_version",
+            "population",
+            "total_time",
+            "breakdown",
+            "transactions",
+            "bytes",
+            "rebalances",
+            "rebalance_migrated",
+            "strategy_uses",
+            "recoveries",
+            "comm_retries",
+            "comm_dedup_dropped",
+            "faults_injected",
+            "steps",
+            "density_h",
+        ];
+        let plain = RunReport::default();
+        let v = obs::json::parse(&plain.to_json(None).to_string()).unwrap();
+        for key in V1_KEYS {
+            assert!(v.get(key).is_some(), "v1 key {key} missing from v2");
+        }
+        // A direct engine run omits the job key entirely, so a v1
+        // consumer that iterates known keys sees exactly what it did.
+        assert!(v.get("job").is_none());
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(2));
+
+        // A server-stamped report adds the job object on top.
+        let served = RunReport {
+            job: Some(JobMeta {
+                job_id: 7,
+                config_hash: 0x1234,
+                cache_hit: true,
+                queue_seconds: 0.5,
+                run_seconds: 0.0,
+                attempts: 0,
+            }),
+            ..RunReport::default()
+        };
+        let v = obs::json::parse(&served.to_json(None).to_string()).unwrap();
+        for key in V1_KEYS {
+            assert!(v.get(key).is_some(), "v1 key {key} missing from v2");
+        }
+        let job = v.get("job").unwrap();
+        assert_eq!(job.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            job.get("config_hash").unwrap().as_str(),
+            Some("0000000000001234")
+        );
+        assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(true));
     }
 }

@@ -176,52 +176,161 @@ pub fn run_threaded(run: &RunConfig) -> RunReport {
 /// worlds are shared across recovery attempts, so kill events stay
 /// one-shot and the injected/retry counters in the returned report
 /// are cumulative over replays.
+///
+/// This is the one-shot wrapper around [`EngineSession`]: build a
+/// session, attempt until done or the retry policy says stop. Hold an
+/// `EngineSession` directly when the engine's lifecycle must outlive
+/// one call — e.g. the job server re-attempts a crashed job from the
+/// session's checkpoints on another worker.
 pub fn run_threaded_result(run: &RunConfig) -> Result<RunReport, RunError> {
-    let spec = run.sim.nozzle;
-    let coarse = spec.generate();
-    let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
-        spec.classify(c, n)
-    }));
-    let (species, h_id, hp_id) =
-        SpeciesTable::hydrogen_plasma(run.sim.weight_h, run.sim.weight_hplus);
-    let species = Arc::new(species);
-
-    // initial unweighted decomposition, shared by all ranks
-    let (xadj, adjncy) = nm.coarse.cell_graph();
-    let g = partition::Graph::new(xadj.clone(), adjncy.clone(), vec![1; nm.num_coarse()]);
-    let owner0 = Arc::new(partition::part_graph_kway(
-        &g,
-        run.ranks,
-        partition::KwayOptions::default(),
-    ));
-
-    let chaos = run
-        .fault_plan
-        .clone()
-        .map(|plan| ChaosWorld::new(plan, run.ranks));
-    let reliable = run
-        .fault_plan
-        .is_some()
-        .then(|| ReliableWorld::new(run.ranks));
-    let store: CheckpointStore = (0..run.ranks).map(|_| Mutex::new(None)).collect();
-
-    let mut recoveries = 0usize;
+    let mut session = EngineSession::new(run);
     loop {
+        match session.attempt() {
+            Ok(report) => return Ok(report),
+            Err(e) => {
+                if !session.can_retry_after(&e) {
+                    return Err(e);
+                }
+                session.prepare_retry();
+            }
+        }
+    }
+}
+
+/// Engine lifecycle detached from process (and call) lifecycle: mesh,
+/// species, initial decomposition, fault-injection worlds and the
+/// checkpoint store built once, then any number of [`attempt`]s run
+/// against them. Checkpoints and the one-shot fault state live in the
+/// session, so an attempt that dies mid-run (worker crash, fault-plan
+/// kill) can be resumed later — even from a different thread — by
+/// calling [`attempt`] again after [`prepare_retry`].
+///
+/// [`run_threaded_result`] is the simple driver: it owns a session
+/// for exactly one `loop { attempt / prepare_retry }`. The job server
+/// stashes sessions across worker deaths instead.
+///
+/// [`attempt`]: EngineSession::attempt
+/// [`prepare_retry`]: EngineSession::prepare_retry
+pub struct EngineSession {
+    run: RunConfig,
+    nm: Arc<NestedMesh>,
+    species: Arc<SpeciesTable>,
+    h_id: u8,
+    hp_id: u8,
+    owner0: Arc<Vec<u32>>,
+    xadj: Vec<u32>,
+    adjncy: Vec<u32>,
+    chaos: Option<Arc<ChaosWorld>>,
+    reliable: Option<Arc<ReliableWorld>>,
+    store: CheckpointStore,
+    recoveries: usize,
+    attempts: usize,
+}
+
+impl std::fmt::Debug for EngineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSession")
+            .field("ranks", &self.run.ranks)
+            .field("steps", &self.run.steps)
+            .field("attempts", &self.attempts)
+            .field("recoveries", &self.recoveries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineSession {
+    /// Build the immutable world for `run`: mesh hierarchy, species
+    /// table, seed decomposition, fault worlds and empty checkpoint
+    /// slots. No simulation work happens until [`EngineSession::attempt`].
+    pub fn new(run: &RunConfig) -> Self {
+        let spec = run.sim.nozzle;
+        let coarse = spec.generate();
+        let nm = Arc::new(NestedMesh::from_coarse(coarse, move |c, n| {
+            spec.classify(c, n)
+        }));
+        let (species, h_id, hp_id) =
+            SpeciesTable::hydrogen_plasma(run.sim.weight_h, run.sim.weight_hplus);
+        let species = Arc::new(species);
+
+        // initial unweighted decomposition, shared by all ranks
+        let (xadj, adjncy) = nm.coarse.cell_graph();
+        let g = partition::Graph::new(xadj.clone(), adjncy.clone(), vec![1; nm.num_coarse()]);
+        let owner0 = Arc::new(partition::part_graph_kway(
+            &g,
+            run.ranks,
+            partition::KwayOptions::default(),
+        ));
+
+        let chaos = run
+            .fault_plan
+            .clone()
+            .map(|plan| ChaosWorld::new(plan, run.ranks));
+        let reliable = run
+            .fault_plan
+            .is_some()
+            .then(|| ReliableWorld::new(run.ranks));
+        let store: CheckpointStore = (0..run.ranks).map(|_| Mutex::new(None)).collect();
+
+        EngineSession {
+            run: run.clone(),
+            nm,
+            species,
+            h_id,
+            hp_id,
+            owner0,
+            xadj,
+            adjncy,
+            chaos,
+            reliable,
+            store,
+            recoveries: 0,
+            attempts: 0,
+        }
+    }
+
+    /// The configuration this session was built for.
+    pub fn config(&self) -> &RunConfig {
+        &self.run
+    }
+
+    /// Checkpoint restarts performed so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Engine attempts performed so far (1 + recoveries once at least
+    /// one attempt ran).
+    pub fn attempt_count(&self) -> usize {
+        self.attempts
+    }
+
+    /// Run one world pass: every rank resumes from its checkpoint slot
+    /// (step 0 when empty) and steps to completion. On success returns
+    /// rank 0's report; on failure returns the first failing rank's
+    /// error, stamped with the session's recovery count. The session
+    /// stays usable after an error — call [`EngineSession::can_retry_after`]
+    /// and [`EngineSession::prepare_retry`] to replay.
+    pub fn attempt(&mut self) -> Result<RunReport, RunError> {
+        self.attempts += 1;
+        let run = &self.run;
         let ctx = FaultCtx {
-            chaos: chaos.as_ref(),
-            reliable: reliable.as_ref(),
-            recoveries,
-            store: &store,
+            chaos: self.chaos.as_ref(),
+            reliable: self.reliable.as_ref(),
+            recoveries: self.recoveries,
+            store: &self.store,
         };
-        let results = run_world(run.ranks, |comm| match (&chaos, &reliable) {
+        let (nm, species, owner0) = (&self.nm, &self.species, &self.owner0);
+        let (h_id, hp_id) = (self.h_id, self.hp_id);
+        let (xadj, adjncy) = (&self.xadj, &self.adjncy);
+        let results = run_world(run.ranks, |comm| match (&self.chaos, &self.reliable) {
             (Some(cw), Some(rw)) => {
                 let comm = ReliableComm::new(ChaosComm::new(comm, cw.clone()), rw.clone());
                 rank_main(
-                    &comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy, &ctx,
+                    &comm, run, nm, species, h_id, hp_id, owner0, xadj, adjncy, &ctx,
                 )
             }
             _ => rank_main(
-                &comm, run, &nm, &species, h_id, hp_id, &owner0, &xadj, &adjncy, &ctx,
+                &comm, run, nm, species, h_id, hp_id, owner0, xadj, adjncy, &ctx,
             ),
         });
 
@@ -242,26 +351,37 @@ pub fn run_threaded_result(run: &RunConfig) -> Result<RunReport, RunError> {
                 }
             }
         }
-        let Some((rank, step, error)) = failure else {
-            return Ok(rank0.expect("rank 0 report"));
-        };
-        if run.on_fault == FaultPolicy::Abort || recoveries >= MAX_RECOVERIES {
-            return Err(RunError::RankFailure {
+        match failure {
+            None => Ok(rank0.expect("rank 0 report")),
+            Some((rank, step, error)) => Err(RunError::RankFailure {
                 rank,
                 step,
                 error,
-                recoveries,
-            });
+                recoveries: self.recoveries,
+            }),
         }
-        // Restart from the last consistent checkpoint set: flush the
-        // failed attempt's in-flight chaos holds and reliability
-        // journals (counters stay cumulative), then replay. One-shot
-        // kill events have already fired and stay fired.
-        recoveries += 1;
-        if let Some(cw) = &chaos {
+    }
+
+    /// Whether the configured policy permits replaying after `err`:
+    /// a rank failure under [`FaultPolicy::RestartFromCheckpoint`]
+    /// with recovery budget left. Checkpoint-restore errors are never
+    /// retryable.
+    pub fn can_retry_after(&self, err: &RunError) -> bool {
+        matches!(err, RunError::RankFailure { .. })
+            && self.run.on_fault == FaultPolicy::RestartFromCheckpoint
+            && self.recoveries < MAX_RECOVERIES
+    }
+
+    /// Arm the next replay: count the recovery and flush the failed
+    /// attempt's in-flight chaos holds and reliability journals
+    /// (counters stay cumulative). One-shot kill events have already
+    /// fired and stay fired, so the replay runs past the kill step.
+    pub fn prepare_retry(&mut self) {
+        self.recoveries += 1;
+        if let Some(cw) = &self.chaos {
             cw.reset_pairs();
         }
-        if let Some(rw) = &reliable {
+        if let Some(rw) = &self.reliable {
             rw.reset();
         }
     }

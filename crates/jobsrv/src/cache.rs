@@ -1,0 +1,114 @@
+//! Result cache keyed by the canonical config hash
+//! ([`coupled::RunConfig::config_hash`]). Sound because the engine is
+//! bitwise-deterministic for a fixed configuration — two submissions
+//! with equal canonical hashes would produce identical reports, so
+//! serving the stored one is indistinguishable from re-running.
+
+use coupled::RunReport;
+use std::sync::Arc;
+
+/// LRU cache of completed reports. Stored reports are *unstamped*
+/// (`report.job == None`); the server stamps a per-job [`JobMeta`]
+/// onto a clone when serving, so cached bytes never leak one job's
+/// provenance into another's report.
+///
+/// [`JobMeta`]: coupled::JobMeta
+#[derive(Debug)]
+pub struct ResultCache {
+    /// Most-recently-used last.
+    entries: Vec<(u64, Arc<RunReport>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a report by canonical config hash, refreshing its LRU
+    /// position on a hit.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<RunReport>> {
+        match self.entries.iter().position(|(h, _)| *h == hash) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                let report = entry.1.clone();
+                self.entries.push(entry);
+                self.hits += 1;
+                Some(report)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a completed (unstamped) report, evicting the least
+    /// recently used entry when full. Re-inserting an existing hash
+    /// replaces the stored report.
+    pub fn put(&mut self, hash: u64, report: Arc<RunReport>) {
+        debug_assert!(report.job.is_none(), "cache stores unstamped reports");
+        self.entries.retain(|(h, _)| *h != hash);
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((hash, report));
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(population: usize) -> Arc<RunReport> {
+        Arc::new(RunReport {
+            population,
+            ..RunReport::default()
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.put(1, report(1));
+        c.put(2, report(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1).unwrap().population, 1);
+        c.put(3, report(3));
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).unwrap().population, 1);
+        assert_eq!(c.get(3).unwrap().population, 3);
+        assert_eq!(c.len(), 2);
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (3, 1));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_growing() {
+        let mut c = ResultCache::new(2);
+        c.put(1, report(1));
+        c.put(1, report(10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap().population, 10);
+    }
+}

@@ -1,0 +1,644 @@
+//! The job server: worker threads draining a [`FairQueue`] of
+//! [`JobSpec`] submissions under a shared kernel-pool thread budget,
+//! with result caching by canonical config hash, in-flight
+//! coalescing of identical submissions, live trace fan-out to
+//! subscribers, and checkpoint-replay recovery when a worker dies
+//! mid-job (DESIGN.md §16).
+
+use crate::cache::ResultCache;
+use crate::queue::FairQueue;
+use coupled::job::{JobId, JobMeta, JobSpec, JobStatus};
+use coupled::{EngineSession, RunReport};
+use obs::{FanoutSink, Registry, TraceEvent, TraceSpec};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs. The defaults suit tests and demos; scale
+/// `workers`/`thread_budget` to the machine for real service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue — the maximum number of
+    /// simulations in flight at once.
+    pub workers: usize,
+    /// Shared kernel-pool budget in threads. A job costs
+    /// `ranks * threads_per_rank` (clamped to the budget), and jobs
+    /// only start while the sum of running costs fits.
+    pub thread_budget: usize,
+    /// Completed reports kept for cache service (LRU).
+    pub cache_capacity: usize,
+    /// Engine attempts per job before it is failed: 1 clean try plus
+    /// checkpoint replays after worker deaths.
+    pub max_attempts: usize,
+    /// Queue pass-overs before an entry jumps the schedule (see
+    /// [`FairQueue`]).
+    pub starvation_limit: usize,
+    /// Server-side metrics registry. Jobs that bring no registry of
+    /// their own get this one scoped to `"job-<id>."`, so one
+    /// snapshot shows every job's engine counters side by side.
+    pub metrics: Option<Registry>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            thread_budget: 8,
+            cache_capacity: 32,
+            max_attempts: 3,
+            starvation_limit: 4,
+            metrics: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    pub fn thread_budget(mut self, n: usize) -> Self {
+        self.thread_budget = n.max(1);
+        self
+    }
+
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    pub fn max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    pub fn starvation_limit(mut self, n: usize) -> Self {
+        self.starvation_limit = n;
+        self
+    }
+
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+}
+
+/// Why [`JobHandle::wait`] returned without a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError(pub String);
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Counters of everything the server did so far (monotonic except
+/// `queued`/`running`, which are gauges of the current state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub submitted: u64,
+    /// Jobs that reached `Done` (leaders, followers and cache hits).
+    pub completed: u64,
+    pub failed: u64,
+    /// Submissions served straight from the result cache.
+    pub cache_hits: u64,
+    /// Submissions coalesced onto an identical in-flight run.
+    pub coalesced: u64,
+    /// Engine attempts dispatched to workers (replays included).
+    pub attempts: u64,
+    pub queued: usize,
+    pub running: usize,
+}
+
+/// One tracked job.
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+    /// Live trace fan-out: every engine attempt emits through this,
+    /// so subscribers follow the job across checkpoint replays.
+    fanout: FanoutSink,
+    hash: u64,
+    /// The engine lifecycle, detached from any worker: stashed here
+    /// between attempts so checkpoints and one-shot fault state
+    /// survive the death of the thread that ran them.
+    session: Option<EngineSession>,
+    attempts: usize,
+    submitted: Instant,
+    first_started: Option<Instant>,
+    run_seconds: f64,
+    result: Option<Arc<RunReport>>,
+    error: Option<String>,
+    /// Identical submissions coalesced behind this leader.
+    followers: Vec<JobId>,
+}
+
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: FairQueue,
+    cache: ResultCache,
+    /// Canonical hash → leader job currently queued or running.
+    in_flight: HashMap<u64, JobId>,
+    budget_in_use: usize,
+    next_id: u64,
+    shutdown: bool,
+    stats: ServerStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    thread_budget: usize,
+    max_attempts: usize,
+    metrics: Option<Registry>,
+}
+
+/// A clone of the stored report stamped with one job's provenance.
+fn stamp(report: &Arc<RunReport>, meta: JobMeta) -> Arc<RunReport> {
+    let mut r = (**report).clone();
+    r.job = Some(meta);
+    Arc::new(r)
+}
+
+/// Client-side handle to one submitted job: poll its status, stream
+/// its trace, or block for the report. Handles are cheap clones; the
+/// job keeps running if every handle is dropped.
+#[derive(Clone)]
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish()
+    }
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    pub fn status(&self) -> JobStatus {
+        let st = self.shared.state.lock().unwrap();
+        st.jobs[&self.id.0].status.clone()
+    }
+
+    /// Subscribe to the job's live trace stream ([`TraceEvent`]s from
+    /// every engine attempt; a `Meta` event marks each (re)start).
+    /// The channel closes when the job reaches a terminal state.
+    pub fn subscribe(&self) -> mpsc::Receiver<TraceEvent> {
+        let st = self.shared.state.lock().unwrap();
+        st.jobs[&self.id.0].fanout.subscribe()
+    }
+
+    /// The stamped report if the job already finished: `Some(Ok)` when
+    /// done, `Some(Err)` when failed, `None` while queued or running.
+    pub fn try_result(&self) -> Option<Result<Arc<RunReport>, JobError>> {
+        let st = self.shared.state.lock().unwrap();
+        let job = &st.jobs[&self.id.0];
+        match &job.status {
+            JobStatus::Done { .. } => Some(Ok(job.result.clone().expect("done job has report"))),
+            JobStatus::Failed { error } => Some(Err(JobError(error.clone()))),
+            _ => None,
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return its
+    /// stamped report (or failure).
+    pub fn wait(&self) -> Result<Arc<RunReport>, JobError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            let job = &st.jobs[&self.id.0];
+            match &job.status {
+                JobStatus::Done { .. } => {
+                    return Ok(job.result.clone().expect("done job has report"))
+                }
+                JobStatus::Failed { error } => return Err(JobError(error.clone())),
+                _ => st = self.shared.cv.wait(st).unwrap(),
+            }
+        }
+    }
+}
+
+/// The simulation-as-a-service front end. See the module docs; build
+/// with [`JobServer::start`], feed with [`JobServer::submit`].
+pub struct JobServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JobServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobServer")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobServer {
+    /// Start `cfg.workers` worker threads over an empty queue.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: FairQueue::new(cfg.starvation_limit),
+                cache: ResultCache::new(cfg.cache_capacity),
+                in_flight: HashMap::new(),
+                budget_in_use: 0,
+                next_id: 0,
+                shutdown: false,
+                stats: ServerStats::default(),
+            }),
+            cv: Condvar::new(),
+            thread_budget: cfg.thread_budget.max(1),
+            max_attempts: cfg.max_attempts.max(1),
+            metrics: cfg.metrics,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        JobServer { shared, workers }
+    }
+
+    /// Submit a job. Returns immediately with a handle; the report is
+    /// served from the cache (`Done{cache_hit: true}` at once),
+    /// coalesced onto an identical in-flight run, or queued for a
+    /// worker, in that order of preference.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let hash = spec.run.config_hash();
+        let cost = (spec.run.ranks * spec.run.threads_per_rank).clamp(1, self.shared.thread_budget);
+        let mut st = self.shared.state.lock().unwrap();
+        let id = JobId(st.next_id);
+        st.next_id += 1;
+        st.stats.submitted += 1;
+        let mut job = Job {
+            spec,
+            status: JobStatus::Queued,
+            fanout: FanoutSink::new(),
+            hash,
+            session: None,
+            attempts: 0,
+            submitted: Instant::now(),
+            first_started: None,
+            run_seconds: 0.0,
+            result: None,
+            error: None,
+            followers: Vec::new(),
+        };
+        if st.shutdown {
+            job.status = JobStatus::Failed {
+                error: "server shut down".to_string(),
+            };
+            job.fanout.close();
+            st.stats.failed += 1;
+        } else if let Some(cached) = st.cache.get(hash) {
+            st.stats.cache_hits += 1;
+            st.stats.completed += 1;
+            job.result = Some(stamp(
+                &cached,
+                JobMeta {
+                    job_id: id.0,
+                    config_hash: hash,
+                    cache_hit: true,
+                    queue_seconds: 0.0,
+                    run_seconds: 0.0,
+                    attempts: 0,
+                },
+            ));
+            job.status = JobStatus::Done { cache_hit: true };
+            job.fanout.close();
+        } else if let Some(&leader) = st.in_flight.get(&hash) {
+            st.stats.coalesced += 1;
+            st.jobs
+                .get_mut(&leader.0)
+                .expect("in-flight leader is tracked")
+                .followers
+                .push(id);
+        } else {
+            st.in_flight.insert(hash, id);
+            st.queue.push(id, &job.spec.tenant, job.spec.priority, cost);
+        }
+        st.jobs.insert(id.0, job);
+        drop(st);
+        self.shared.cv.notify_all();
+        JobHandle {
+            id,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Handle to an earlier submission (any clone works the same).
+    pub fn handle(&self, id: JobId) -> Option<JobHandle> {
+        let st = self.shared.state.lock().unwrap();
+        st.jobs.contains_key(&id.0).then(|| JobHandle {
+            id,
+            shared: self.shared.clone(),
+        })
+    }
+
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.shared.state.lock().unwrap();
+        st.jobs.get(&id.0).map(|j| j.status.clone())
+    }
+
+    /// Current counters (queue depth and running cost are snapshots).
+    pub fn stats(&self) -> ServerStats {
+        let st = self.shared.state.lock().unwrap();
+        let mut s = st.stats;
+        s.queued = st.queue.len();
+        s.running = st.budget_in_use;
+        s
+    }
+
+    /// Result-cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.state.lock().unwrap().cache.stats()
+    }
+
+    /// Stop accepting work, fail everything still queued, finish the
+    /// attempts currently running, and join the workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            // Fail queued leaders (and their followers) so waiters wake.
+            while let Some(entry) = st.queue.pop(usize::MAX) {
+                fail_job(&mut st, entry.id, "server shut down".to_string());
+            }
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Mark `id` failed with `error`, cascade to its followers, release
+/// its in-flight slot and close its trace stream.
+fn fail_job(st: &mut State, id: JobId, error: String) {
+    let followers = {
+        let job = st.jobs.get_mut(&id.0).expect("failing a tracked job");
+        job.status = JobStatus::Failed {
+            error: error.clone(),
+        };
+        job.error = Some(error.clone());
+        job.fanout.close();
+        std::mem::take(&mut job.followers)
+    };
+    st.stats.failed += 1;
+    st.in_flight.remove(&st.jobs[&id.0].hash);
+    for f in followers {
+        let job = st.jobs.get_mut(&f.0).expect("follower is tracked");
+        job.status = JobStatus::Failed {
+            error: format!("coalesced leader {id} failed: {error}"),
+        };
+        job.fanout.close();
+        st.stats.failed += 1;
+    }
+}
+
+/// One worker: claim the next job that fits the spare budget, run one
+/// engine attempt outside the lock, then complete / requeue / fail.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Claim work and assemble the session under the lock.
+        let (id, session, cost) = {
+            let mut st = shared.state.lock().unwrap();
+            let entry = loop {
+                if st.shutdown {
+                    return;
+                }
+                let spare = shared.thread_budget.saturating_sub(st.budget_in_use);
+                if let Some(e) = st.queue.pop(spare) {
+                    break e;
+                }
+                st = shared.cv.wait(st).unwrap();
+            };
+            let id = entry.id;
+            st.budget_in_use += entry.cost;
+            st.stats.attempts += 1;
+            let job = st.jobs.get_mut(&id.0).expect("queued job is tracked");
+            job.status = JobStatus::Running;
+            job.attempts += 1;
+            job.first_started.get_or_insert_with(Instant::now);
+            let session = job.session.take().map(Ok).unwrap_or_else(|| {
+                // First attempt: rebuild the run config for execution —
+                // the engine traces into the job's fan-out (teeing the
+                // submitter's own sink) and, when the submitter brought
+                // no registry, meters into the server registry scoped
+                // by job id.
+                let mut run = job.spec.run.clone();
+                let user_trace = std::mem::replace(&mut run.obs.trace, TraceSpec::Off);
+                if !user_trace.is_off() {
+                    match user_trace.make_sink() {
+                        Ok(sink) => job.fanout.tee_into(sink),
+                        Err(e) => return Err(format!("trace sink creation failed: {e}")),
+                    }
+                }
+                run.obs.trace = TraceSpec::Fanout(job.fanout.clone());
+                if run.obs.metrics.is_none() {
+                    if let Some(reg) = &shared.metrics {
+                        run.obs.metrics = Some(reg.scoped(&id.to_string()));
+                    }
+                }
+                Ok(EngineSession::new(&run))
+            });
+            (id, session, entry.cost)
+        };
+        let mut session = match session {
+            Ok(s) => s,
+            Err(error) => {
+                let mut guard = shared.state.lock().unwrap();
+                guard.budget_in_use -= cost;
+                fail_job(&mut guard, id, error);
+                drop(guard);
+                shared.cv.notify_all();
+                continue;
+            }
+        };
+
+        // Run the attempt with the lock released so other workers keep
+        // scheduling. A panic here is this worker dying mid-job: the
+        // session (with its checkpoints) is still ours to stash.
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| session.attempt()));
+        let elapsed = t0.elapsed().as_secs_f64();
+
+        let mut guard = shared.state.lock().unwrap();
+        let st = &mut *guard;
+        st.budget_in_use -= cost;
+        let job = st.jobs.get_mut(&id.0).expect("running job is tracked");
+        job.run_seconds += elapsed;
+        match outcome {
+            Ok(Ok(report)) => {
+                let queue_seconds = job
+                    .first_started
+                    .map(|t| t.duration_since(job.submitted).as_secs_f64())
+                    .unwrap_or(0.0);
+                let run_seconds = job.run_seconds;
+                let attempts = job.attempts;
+                let followers = std::mem::take(&mut job.followers);
+                let hash = job.hash;
+                // The cache stores the unstamped report; every served
+                // copy is a stamped clone of it.
+                let cached = Arc::new(report);
+                st.cache.put(hash, cached.clone());
+                let job = st.jobs.get_mut(&id.0).expect("running job is tracked");
+                job.result = Some(stamp(
+                    &cached,
+                    JobMeta {
+                        job_id: id.0,
+                        config_hash: hash,
+                        cache_hit: false,
+                        queue_seconds,
+                        run_seconds,
+                        attempts,
+                    },
+                ));
+                job.status = JobStatus::Done { cache_hit: false };
+                job.fanout.close();
+                st.stats.completed += 1;
+                st.in_flight.remove(&hash);
+                for f in followers {
+                    let now = Instant::now();
+                    let fjob = st.jobs.get_mut(&f.0).expect("follower is tracked");
+                    fjob.result = Some(stamp(
+                        &cached,
+                        JobMeta {
+                            job_id: f.0,
+                            config_hash: hash,
+                            cache_hit: true,
+                            queue_seconds: now.duration_since(fjob.submitted).as_secs_f64(),
+                            run_seconds: 0.0,
+                            attempts: 0,
+                        },
+                    ));
+                    fjob.status = JobStatus::Done { cache_hit: true };
+                    fjob.fanout.close();
+                    st.stats.completed += 1;
+                }
+            }
+            Ok(Err(e)) => {
+                let retry = session.can_retry_after(&e)
+                    && job.attempts < shared.max_attempts
+                    && !st.shutdown;
+                if retry {
+                    session.prepare_retry();
+                    job.session = Some(session);
+                    job.status = JobStatus::Queued;
+                    let (tenant, priority) = (job.spec.tenant.clone(), job.spec.priority);
+                    st.queue.push(id, &tenant, priority, cost);
+                } else {
+                    fail_job(st, id, format!("engine attempt failed: {e}"));
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                fail_job(st, id, format!("worker died: {msg}"));
+            }
+        }
+        drop(guard);
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coupled::prelude::*;
+
+    fn tiny(seed: u64) -> RunConfig {
+        RunConfig::builder()
+            .paper(Dataset::D1, 0.02)
+            .ranks(2)
+            .seed(seed)
+            .steps(2)
+            .rebalance(None)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn second_identical_submission_is_served_without_a_second_run() {
+        let srv = JobServer::start(ServerConfig::default().workers(1));
+        let a = srv.submit(JobSpec::new(tiny(1)));
+        let ra = a.wait().unwrap();
+        // Now cached: the duplicate is Done before any worker touches it.
+        let b = srv.submit(JobSpec::new(tiny(1)));
+        assert_eq!(b.status(), JobStatus::Done { cache_hit: true });
+        let rb = b.wait().unwrap();
+        assert_eq!(ra.density_h, rb.density_h);
+        assert_eq!(ra.population, rb.population);
+        let (ma, mb) = (ra.job.as_ref().unwrap(), rb.job.as_ref().unwrap());
+        assert!(!ma.cache_hit);
+        assert!(mb.cache_hit);
+        assert_eq!(ma.config_hash, mb.config_hash);
+        assert_ne!(ma.job_id, mb.job_id);
+        let stats = srv.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn different_configs_do_not_share_cache_entries() {
+        let srv = JobServer::start(ServerConfig::default());
+        let a = srv.submit(JobSpec::new(tiny(1))).wait().unwrap();
+        let b = srv.submit(JobSpec::new(tiny(2))).wait().unwrap();
+        assert_ne!(
+            a.job.as_ref().unwrap().config_hash,
+            b.job.as_ref().unwrap().config_hash
+        );
+        assert_ne!(a.density_h, b.density_h);
+    }
+
+    #[test]
+    fn subscriber_streams_the_trace_to_completion() {
+        // One worker: while it is busy with the first job, the second
+        // is still queued, so subscribing to it before it starts is
+        // race-free and the stream carries its complete trace.
+        let srv = JobServer::start(ServerConfig::default().workers(1));
+        let _first = srv.submit(JobSpec::new(tiny(3)));
+        let h = srv.submit(JobSpec::new(tiny(30)));
+        let rx = h.subscribe();
+        let report = h.wait().unwrap();
+        let events: Vec<TraceEvent> = rx.iter().collect(); // ends at close()
+        let steps = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Step { .. }))
+            .count();
+        assert_eq!(steps, report.trace.len());
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Meta { .. })));
+    }
+
+    #[test]
+    fn shutdown_fails_pending_jobs_instead_of_hanging_waiters() {
+        let mut srv = JobServer::start(ServerConfig::default().workers(1));
+        srv.shutdown(); // workers exit before any submission
+        let h = srv.submit(JobSpec::new(tiny(4)));
+        assert!(matches!(h.status(), JobStatus::Failed { .. }));
+        assert!(h.wait().is_err());
+        srv.shutdown(); // idempotent
+        assert_eq!(srv.stats().failed, 1);
+    }
+}

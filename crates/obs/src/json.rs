@@ -146,6 +146,28 @@ pub fn obj(members: Vec<(&str, Json)>) -> Json {
     Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
+/// The canonical form of a value: object keys sorted bytewise at
+/// every nesting level (arrays keep their order — element order is
+/// meaningful). Two structurally equal documents that differ only in
+/// member order canonicalize to the same value, and hence to the same
+/// serialized string — the property the config-hash cache key relies
+/// on. Scalars are untouched; the writer already emits the shortest
+/// round-tripping form for floats.
+pub fn canonicalize(v: &Json) -> Json {
+    match v {
+        Json::Arr(items) => Json::Arr(items.iter().map(canonicalize).collect()),
+        Json::Obj(members) => {
+            let mut sorted: Vec<(String, Json)> = members
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(sorted)
+        }
+        scalar => scalar.clone(),
+    }
+}
+
 /// Parse one JSON document; trailing whitespace is allowed, trailing
 /// content is an error.
 pub fn parse(text: &str) -> Result<Json, String> {
@@ -398,6 +420,24 @@ mod tests {
         for bad in ["{", "[1,]", "{\"a\"1}", "tru", "1.2.3", "\"\\x\"", "{} {}"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_at_every_depth() {
+        let a = parse(r#"{"b":1,"a":{"y":[{"q":1,"p":2}],"x":0}}"#).unwrap();
+        let b = parse(r#"{"a":{"x":0,"y":[{"p":2,"q":1}]},"b":1}"#).unwrap();
+        assert_ne!(a.to_string(), b.to_string());
+        assert_eq!(canonicalize(&a).to_string(), canonicalize(&b).to_string());
+        assert_eq!(
+            canonicalize(&a).to_string(),
+            r#"{"a":{"x":0,"y":[{"p":2,"q":1}]},"b":1}"#
+        );
+        // arrays keep element order
+        let arr = parse("[2,1]").unwrap();
+        assert_eq!(canonicalize(&arr).to_string(), "[2,1]");
+        // canonicalizing is idempotent
+        let once = canonicalize(&a);
+        assert_eq!(canonicalize(&once), once);
     }
 
     #[test]

@@ -33,7 +33,13 @@ pub mod span;
 
 /// Version tag stamped into every exported JSON artifact (trace meta
 /// records and run reports). Bump on incompatible schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 introduced the versioned trace/report export; v2 adds
+/// the optional `job` object on run reports (job id, canonical config
+/// hash, cache-hit flag, queue/run wall times). v2 is a strict
+/// superset of v1 — every v1 key is still present with the same
+/// meaning, so v1 readers that look fields up by name keep working.
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub use events::{ExchangeEvent, RebalanceEvent, StepTrace, STRATEGY_NAMES};
 pub use json::Json;
@@ -43,5 +49,5 @@ pub use metrics::{
 pub use observer::{NullObserver, Observer, Tee};
 pub use phase::{Breakdown, Phase};
 pub use recorder::Recorder;
-pub use sink::{JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink, TraceSpec};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink, TraceSpec};
 pub use span::SpanTimer;

@@ -43,14 +43,46 @@ struct Inner {
 }
 
 /// Shared, cheaply cloneable metrics registry.
+///
+/// A registry handle may carry a *scope prefix* (see
+/// [`Registry::scoped`]): every metric registered through the handle
+/// gets the prefix prepended to its name, while the underlying store
+/// stays shared. This is how the job server isolates concurrent runs
+/// on one registry — each job taps `job<id>.`-prefixed names, and one
+/// [`Registry::snapshot`] still sees everything.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     inner: Arc<Inner>,
+    prefix: String,
 }
 
 impl Registry {
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// A handle onto the same store that registers every metric under
+    /// `<prefix>.` (prefixes nest: scoping an already-scoped handle
+    /// concatenates).
+    pub fn scoped(&self, prefix: &str) -> Registry {
+        Registry {
+            inner: self.inner.clone(),
+            prefix: format!("{}{prefix}.", self.prefix),
+        }
+    }
+
+    /// The scope prefix of this handle (empty for the root handle).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// `name` qualified by this handle's scope prefix.
+    fn qualify<'a>(&self, name: &'a str) -> std::borrow::Cow<'a, str> {
+        if self.prefix.is_empty() {
+            std::borrow::Cow::Borrowed(name)
+        } else {
+            std::borrow::Cow::Owned(format!("{}{name}", self.prefix))
+        }
     }
 
     /// Counter handle for `name` (registers on first use; returns the
@@ -59,6 +91,8 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Counter {
+        let name = self.qualify(name);
+        let name = name.as_ref();
         let mut metrics = self.inner.metrics.lock().unwrap();
         if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
             match slot {
@@ -76,6 +110,8 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Gauge {
+        let name = self.qualify(name);
+        let name = name.as_ref();
         let mut metrics = self.inner.metrics.lock().unwrap();
         if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
             match slot {
@@ -93,6 +129,8 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn time_hist(&self, name: &str) -> TimeHist {
+        let name = self.qualify(name);
+        let name = name.as_ref();
         let mut metrics = self.inner.metrics.lock().unwrap();
         if let Some((_, slot)) = metrics.iter().find(|(n, _)| n == name) {
             match slot {
@@ -358,6 +396,23 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn scoped_handles_prefix_names_but_share_the_store() {
+        let root = Registry::new();
+        let job = root.scoped("job7");
+        job.counter("engine.steps").add(3);
+        root.counter("engine.steps").inc();
+        let snap = root.snapshot();
+        assert_eq!(snap.counter("job7.engine.steps"), Some(3));
+        assert_eq!(snap.counter("engine.steps"), Some(1));
+        // prefixes nest
+        let worker = job.scoped("rank0");
+        worker.gauge("busy").set(0.5);
+        assert_eq!(root.snapshot().gauge("job7.rank0.busy"), Some(0.5));
+        assert_eq!(worker.prefix(), "job7.rank0.");
+        assert_eq!(root.prefix(), "");
     }
 
     #[test]

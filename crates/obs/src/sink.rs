@@ -13,7 +13,7 @@
 
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 use crate::events::{ExchangeEvent, RebalanceEvent, StepTrace};
 use crate::json::{obj, Json};
@@ -170,6 +170,84 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Broadcast sink: every emitted event is fanned out to every live
+/// subscriber channel, and optionally teed into one inner sink (so a
+/// run can stream to in-process followers *and* keep its JSONL file).
+///
+/// Clones share the subscriber list, which is how the job server
+/// works: the server keeps one handle per job, hands a clone to the
+/// run via [`TraceSpec::Fanout`], and [`FanoutSink::subscribe`] can
+/// attach followers at any time. Subscribers whose receiver was
+/// dropped are pruned on the next emit; [`FanoutSink::close`] drops
+/// every sender so followers observe a clean end-of-stream.
+#[derive(Clone, Default)]
+pub struct FanoutSink {
+    subscribers: Arc<Mutex<Vec<mpsc::Sender<TraceEvent>>>>,
+    tee: Arc<Mutex<Option<Box<dyn TraceSink>>>>,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("subscribers", &self.subscriber_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FanoutSink {
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Attach a follower: an unbounded receiver of every event
+    /// emitted from now on.
+    pub fn subscribe(&self) -> mpsc::Receiver<TraceEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().unwrap().push(tx);
+        rx
+    }
+
+    /// Also deliver every event into `sink` (e.g. the JSONL sink the
+    /// submitter originally asked for).
+    pub fn tee_into(&self, sink: Box<dyn TraceSink>) {
+        *self.tee.lock().unwrap() = Some(sink);
+    }
+
+    /// Live subscriber channels (dropped receivers are only pruned on
+    /// the next emit).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().unwrap().len()
+    }
+
+    /// Drop every subscriber sender (followers see the channel close)
+    /// and flush + drop the teed sink. The handle stays usable; later
+    /// subscribers start from an empty stream.
+    pub fn close(&self) {
+        self.subscribers.lock().unwrap().clear();
+        if let Some(mut sink) = self.tee.lock().unwrap().take() {
+            sink.flush();
+        }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.subscribers
+            .lock()
+            .unwrap()
+            .retain(|tx| tx.send(ev.clone()).is_ok());
+        if let Some(sink) = self.tee.lock().unwrap().as_mut() {
+            sink.emit(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(sink) = self.tee.lock().unwrap().as_mut() {
+            sink.flush();
+        }
+    }
+}
+
 /// Where a run's trace should go — the cloneable *specification*
 /// carried by the run configuration; the driver materializes the sink
 /// at run start via [`TraceSpec::make_sink`].
@@ -182,6 +260,10 @@ pub enum TraceSpec {
     Jsonl(PathBuf),
     /// Record into this shared buffer.
     Memory(MemorySink),
+    /// Fan every event out to the sink's subscribers (and its teed
+    /// inner sink, if any). This is how the job server streams live
+    /// progress to followers.
+    Fanout(FanoutSink),
 }
 
 impl TraceSpec {
@@ -192,6 +274,7 @@ impl TraceSpec {
             TraceSpec::Off => Box::new(NullSink),
             TraceSpec::Jsonl(path) => Box::new(JsonlSink::create(path)?),
             TraceSpec::Memory(m) => Box::new(m.clone()),
+            TraceSpec::Fanout(f) => Box::new(f.clone()),
         })
     }
 
@@ -255,6 +338,32 @@ mod tests {
         assert_eq!(v.get("retries").unwrap().as_u64(), Some(9));
         assert_eq!(v.get("dedup_dropped").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("injected").unwrap().as_u64(), Some(20));
+    }
+
+    #[test]
+    fn fanout_reaches_every_subscriber_and_tee() {
+        let fan = FanoutSink::new();
+        let keep = MemorySink::new();
+        fan.tee_into(Box::new(keep.clone()));
+        let rx1 = fan.subscribe();
+        let rx2 = fan.subscribe();
+        let mut sink = TraceSpec::Fanout(fan.clone()).make_sink().unwrap();
+        sink.emit(&TraceEvent::Meta { ranks: 2, steps: 5 });
+        for rx in [&rx1, &rx2] {
+            assert!(matches!(
+                rx.try_recv().unwrap(),
+                TraceEvent::Meta { ranks: 2, steps: 5 }
+            ));
+        }
+        assert_eq!(keep.len(), 1, "teed sink saw the event");
+        // a dropped receiver is pruned on the next emit
+        drop(rx1);
+        sink.emit(&TraceEvent::Meta { ranks: 2, steps: 5 });
+        assert_eq!(fan.subscriber_count(), 1);
+        // close ends the stream for followers
+        fan.close();
+        assert!(rx2.try_recv().is_ok(), "buffered event still delivered");
+        assert!(rx2.recv().is_err(), "stream closed after close()");
     }
 
     #[test]

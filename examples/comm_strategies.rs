@@ -13,22 +13,21 @@ use vmpi::traffic;
 
 fn main() {
     let ranks = 6usize;
+    let steps = 25usize;
     let base = RunConfig::builder()
         .paper(Dataset::D1, 0.08)
         .ranks(ranks)
-        .steps(25)
-        .rebalance(None)
-        .build()
-        .expect("valid example config");
+        .steps(steps)
+        .rebalance(None);
 
-    println!(
-        "measured on {ranks} rank-threads, {} DSMC steps:\n",
-        base.steps
-    );
+    println!("measured on {ranks} rank-threads, {steps} DSMC steps:\n");
     println!("  strategy    | transactions |      bytes | population | uses CC/DC/Sparse/Hier");
     for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::Auto]) {
-        let mut run = base.clone();
-        run.strategy = strategy;
+        let run = base
+            .clone()
+            .strategy(strategy)
+            .build()
+            .expect("valid example config");
         let res = run_threaded(&run);
         let [cc, dc, sp, hier] = res.strategy_uses;
         println!(

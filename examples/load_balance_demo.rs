@@ -7,7 +7,6 @@
 //! cargo run --release --example load_balance_demo
 //! ```
 
-use balance::RebalanceConfig;
 use coupled::prelude::*;
 
 fn main() {
@@ -29,11 +28,8 @@ fn main() {
 
     // --- with the dynamic load balancer ------------------------------
     let with_lb = base
-        .rebalance(Some(RebalanceConfig {
-            t_interval: 10,
-            threshold: 1.5,
-            ..RebalanceConfig::default()
-        }))
+        .rebalance_every(10)
+        .rebalance_threshold(1.5)
         .build()
         .expect("valid config");
     let t0 = std::time::Instant::now();

@@ -9,10 +9,15 @@
 //! ```
 
 use coupled::diag::{ascii_contour, rz_slice};
-use coupled::{CoupledState, Dataset};
+use coupled::prelude::*;
+use coupled::CoupledState;
 
 fn main() {
-    let config = Dataset::D1.config(0.1);
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.1)
+        .build()
+        .expect("valid plume config");
+    let config = run.sim;
     let steps = 80usize;
     let mut sim = CoupledState::new(config.clone());
 

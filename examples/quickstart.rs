@@ -5,12 +5,18 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use coupled::{CoupledState, Dataset};
+use coupled::prelude::*;
+use coupled::CoupledState;
 
 fn main() {
     // Dataset 1 is the paper's validation case; scale 0.05 keeps this
-    // example under a second.
-    let config = Dataset::D1.config(0.05);
+    // example under a second. The builder is the canonical entry point
+    // for every configuration — its `sim` field is the physics setup.
+    let run = RunConfig::builder()
+        .paper(Dataset::D1, 0.05)
+        .build()
+        .expect("valid quickstart config");
+    let config = run.sim;
     println!(
         "nozzle: radius {:.1} mm, length {:.1} mm, {} coarse cells",
         config.nozzle.radius * 1e3,

@@ -23,6 +23,9 @@ cargo test -q --test engine_guard hier_overlapped_matches_distributed_bitwise
 echo "== balance gate (alternative cost sources / decompositions stay pinned) =="
 cargo test -q --test balance_guard
 
+echo "== jobsrv gate (served jobs bitwise-match solo runs; kill mid-job recovers) =="
+cargo test -q --test jobsrv_guard
+
 echo "== bench smoke (quick snapshot must emit every kernel row) =="
 BENCH_QUICK=1 BENCH_OUT=target/bench_smoke.json \
     cargo run --release -q -p bench --bin bench_snapshot

@@ -2,6 +2,7 @@
 pub use balance;
 pub use coupled;
 pub use dsmc;
+pub use jobsrv;
 pub use mesh;
 pub use particles;
 pub use partition;

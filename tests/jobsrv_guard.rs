@@ -1,0 +1,172 @@
+//! Regression guard for the job server (DESIGN.md §16).
+//!
+//! Two properties are pinned:
+//!
+//! 1. Serving a run as a job — concurrently with other jobs, through
+//!    the fair-share queue, with trace fan-out attached — is bitwise
+//!    identical to running the engine solo (`engine_guard`'s pinned
+//!    hash), and an identical second submission is served from ONE
+//!    engine run with the cache hit observable in the job metadata.
+//! 2. A job whose worker dies mid-run (fault-plan kill) completes via
+//!    checkpoint replay on a later dispatch and still matches the
+//!    pinned hash (`chaos_guard`'s recovery invariant, now across the
+//!    server's queue instead of inside one call).
+
+use jobsrv::prelude::*;
+use jobsrv::JobPriority;
+
+/// FNV-1a over the little-endian bytes of the density field — the
+/// same digest `engine_guard` pins.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// `engine_guard`'s pinned threaded baseline for `guard_config`.
+const PINNED_3RANK_HASH: u64 = 0x8e483db2789e1ad2;
+
+fn guard_builder() -> RunConfigBuilder {
+    RunConfig::builder()
+        .paper(Dataset::D1, 0.02)
+        .ranks(3)
+        .seed(4242)
+        .steps(12)
+        .rebalance(None)
+}
+
+fn guard_config() -> RunConfig {
+    guard_builder().build().expect("valid guard config")
+}
+
+#[test]
+fn served_jobs_are_bitwise_identical_to_solo_runs_and_cache_deduplicates() {
+    let srv = JobServer::start(ServerConfig::default().workers(2).thread_budget(16));
+
+    // Two tenants submit the identical config; a third job differs.
+    let a = srv.submit(
+        JobSpec::new(guard_config())
+            .tenant("team-a")
+            .priority(JobPriority::High),
+    );
+    let b = srv.submit(JobSpec::new(guard_config()).tenant("team-b"));
+    let c = srv.submit(
+        JobSpec::new(
+            guard_builder()
+                .seed(77)
+                .build()
+                .expect("valid variant config"),
+        )
+        .tenant("team-a"),
+    );
+
+    let ra = a.wait().expect("leader job completes");
+    let rb = b.wait().expect("duplicate job completes");
+    let rc = c.wait().expect("variant job completes");
+
+    // The served report is bitwise the solo engine result.
+    assert_eq!(ra.population, 389, "population drifted through the server");
+    assert_eq!(ra.density_h.len(), 432);
+    assert_eq!(
+        fnv1a(&ra.density_h),
+        PINNED_3RANK_HASH,
+        "served report no longer bitwise identical to the solo engine baseline"
+    );
+
+    // The duplicate was served without a second engine run: bitwise
+    // equal (density AND trace), cache hit visible in the metadata.
+    assert_eq!(ra.density_h, rb.density_h);
+    assert_eq!(ra.trace, rb.trace);
+    assert_eq!(ra.population, rb.population);
+    let (ma, mb) = (
+        ra.job.as_ref().expect("leader is stamped"),
+        rb.job.as_ref().expect("duplicate is stamped"),
+    );
+    assert!(!ma.cache_hit, "the leader ran the engine");
+    assert!(mb.cache_hit, "the duplicate must not run the engine");
+    assert_eq!(ma.config_hash, mb.config_hash);
+    assert_eq!(ma.config_hash, guard_config().config_hash());
+    assert_ne!(ma.job_id, mb.job_id, "each submission keeps its own id");
+
+    // The variant config really ran separately.
+    assert_ne!(fnv1a(&rc.density_h), fnv1a(&ra.density_h));
+    assert_ne!(
+        rc.job.as_ref().unwrap().config_hash,
+        ma.config_hash,
+        "different seed must produce a different canonical hash"
+    );
+
+    // Exactly two engine attempts total: one per distinct config.
+    let stats = srv.stats();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(
+        stats.attempts, 2,
+        "identical submissions must share one run"
+    );
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+
+    // Post-completion resubmission is an immediate cache hit, still
+    // bitwise identical.
+    let d = srv.submit(JobSpec::new(guard_config()).tenant("team-c"));
+    assert_eq!(d.status(), JobStatus::Done { cache_hit: true });
+    let rd = d.wait().expect("cached job serves instantly");
+    assert_eq!(ra.density_h, rd.density_h);
+    assert_eq!(ra.trace, rd.trace);
+    assert!(rd.job.as_ref().unwrap().cache_hit);
+    assert_eq!(srv.stats().attempts, 2, "cache service runs no engine");
+}
+
+#[test]
+fn killed_worker_job_recovers_from_checkpoint_with_the_pinned_hash() {
+    // Rank 2 dies at step 6; checkpoints every 4 steps. The first
+    // engine attempt fails, the job goes back through the queue, and
+    // the second attempt resumes from step 4 — completing with the
+    // exact solo-run density.
+    let run = guard_builder()
+        .checkpoint_every(4)
+        .on_fault(FaultPolicy::RestartFromCheckpoint)
+        .fault_plan(Some(FaultPlan::seeded(2).kill(2, 6)))
+        .build()
+        .expect("valid recovery config");
+
+    let srv = JobServer::start(ServerConfig::default().workers(1).max_attempts(3));
+    let h = srv.submit(JobSpec::new(run).tenant("chaos").label("kill mid-run"));
+    let rx = h.subscribe();
+    let report = h.wait().expect("job must recover and complete");
+
+    assert_eq!(report.recoveries, 1, "exactly one replay after the kill");
+    assert_eq!(report.population, 389, "population drifted under recovery");
+    assert_eq!(
+        fnv1a(&report.density_h),
+        PINNED_3RANK_HASH,
+        "recovered served report no longer matches the pinned baseline"
+    );
+    // The trace holds only the replayed tail: resume at 4, run to 12.
+    assert_eq!(report.trace.len(), 8, "replay must resume from step 4");
+    let meta = report.job.as_ref().expect("served report is stamped");
+    assert_eq!(meta.attempts, 2, "one failed dispatch plus one replay");
+    assert!(!meta.cache_hit);
+
+    // Subscribers followed the job across the worker death: a Meta
+    // event per attempt and every replayed step.
+    let events: Vec<TraceEvent> = rx.iter().collect();
+    let metas = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Meta { .. }))
+        .count();
+    let steps = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Step { .. }))
+        .count();
+    assert!(
+        metas >= 2,
+        "each engine attempt re-announces itself: {metas}"
+    );
+    assert!(steps >= 8, "the full replayed tail is streamed: {steps}");
+}
