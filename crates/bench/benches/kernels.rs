@@ -181,6 +181,7 @@ fn bench_pooled_scaling(c: &mut Criterion) {
                         &pool,
                         |_| true,
                         None,
+                        None,
                     );
                     black_box(st)
                 },

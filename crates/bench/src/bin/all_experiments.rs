@@ -19,12 +19,13 @@ const EXPERIMENTS: [&str; 11] = [
     "fig13_sweep_threshold",
 ];
 
-const EXPERIMENTS_EXTRA: [&str; 5] = [
+const EXPERIMENTS_EXTRA: [&str; 6] = [
     "fig14_placement",
     "fig15_portability",
     "fig_hier_crossover",
     "ablation_autotune",
     "fig_balance_modes",
+    "fig_scenario_imbalance",
 ];
 
 fn main() {

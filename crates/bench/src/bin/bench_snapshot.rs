@@ -218,6 +218,7 @@ fn main() {
                         &pool,
                         |_| true,
                         None,
+                        None,
                     );
                     black_box(st)
                 },
@@ -379,6 +380,40 @@ fn main() {
         );
     }
 
+    // ---- canned scenarios (serial, tiny — runs in quick mode too) --
+    // One quick serial run per scenarios/*.toml; the self-check below
+    // requires a row per canned name, so a scenario that stops
+    // lowering or producing particles fails the smoke run.
+    struct ScenarioCase {
+        name: &'static str,
+        population: usize,
+        steps: usize,
+        density_hash: u64,
+    }
+    let scenario_cases: Vec<ScenarioCase> = coupled::scenario::names()
+        .into_iter()
+        .map(|name| {
+            let sc = coupled::scenario::canned(name).expect("canned scenario lowers");
+            let rep = coupled::run_serial(&sc.run);
+            ScenarioCase {
+                name,
+                population: rep.population,
+                steps: sc.run.steps,
+                density_hash: bench::fnv1a(&rep.density_h),
+            }
+        })
+        .collect();
+    for case in &scenario_cases {
+        println!(
+            "[scenario] {}: {} particles after {} steps (density fnv1a {:#018x})",
+            case.name, case.population, case.steps, case.density_hash
+        );
+        if case.population == 0 {
+            eprintln!("[scenario] {} produced no particles", case.name);
+            std::process::exit(1);
+        }
+    }
+
     // Aggregation gate (doc comment above): on the 8-rank quiet matrix
     // the hierarchical exchange must beat Sparse's 2 sends per nonzero
     // pair — otherwise trunk aggregation regressed to per-pair wires.
@@ -489,6 +524,19 @@ fn main() {
         .collect();
     json.push_str(&balance_rows.join(",\n"));
     json.push_str("\n  ],\n");
+    json.push_str("  \"scenarios\": [\n");
+    let scenario_rows: Vec<String> = scenario_cases
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"population\": {}, \"steps\": {}, \
+                 \"density_fnv1a\": \"{:#018x}\"}}",
+                s.name, s.population, s.steps, s.density_hash
+            )
+        })
+        .collect();
+    json.push_str(&scenario_rows.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"results\": [\n");
     let rows: Vec<String> = c
         .results
@@ -560,6 +608,18 @@ fn main() {
     for kernel in PARTICLE_KERNELS {
         if !has("per_particle", kernel) {
             missing.push(format!("per_particle/{kernel}"));
+        }
+    }
+    for name in coupled::scenario::names() {
+        let present = doc
+            .get("scenarios")
+            .and_then(|s| s.as_array())
+            .is_some_and(|rows| {
+                rows.iter()
+                    .any(|r| r.get("name").and_then(|n| n.as_str()) == Some(name))
+            });
+        if !present {
+            missing.push(format!("scenarios/{name}"));
         }
     }
     if !missing.is_empty() {

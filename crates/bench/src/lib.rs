@@ -22,6 +22,20 @@ use vmpi::Strategy;
 /// The paper's strong-scaling rank ladder (Table II).
 pub const RANK_LADDER: [usize; 7] = [24, 48, 96, 192, 384, 768, 1536];
 
+/// FNV-1a over the little-endian bytes of a float series — the same
+/// digest the guard tests pin, so bench output can be compared
+/// against the golden hashes directly.
+pub fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
 /// Dataset scale for experiments (env `REPRO_SCALE`).
 pub fn scale() -> f64 {
     std::env::var("REPRO_SCALE")

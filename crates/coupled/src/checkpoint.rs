@@ -11,13 +11,19 @@
 //! finishes **bitwise identical** to the uninterrupted run.
 //!
 //! Format (little-endian): magic `DPIC`, version u32, step u64, then
-//! - v3 (current): RNG state 4×u64, injector carry f64, potential
-//!   count u64 + f64s, `sigma_g_max` count u64 + f64s, particle count
+//! - v4 (current): RNG state 4×u64, injector carry f64, potential
+//!   count u64 + f64s, `sigma_g_max` count u64 + f64s, the two
+//!   auxiliary RNG streams (`rng_dsmc` then `rng_pump`, 4×u64 each —
+//!   in the prelude, before the particle count, because the particle
+//!   section must fill the rest of the blob exactly), particle count
 //!   u64, then the particle population **lane-wise** mirroring the
 //!   SoA buffer: all `px` (f64 bits), `py`, `pz`, `vx`, `vy`, `vz`,
 //!   all cells (u32), species (u8), ids (u64) — checkpointing is a
 //!   straight sweep per lane instead of a per-particle gather;
-//! - v2 (still readable): same prelude, but the particle population
+//! - v3 (still readable): same, without the auxiliary RNG streams —
+//!   they are re-seeded deterministically on restore, which is sound
+//!   because no pre-v4 run ever consumed them;
+//! - v2 (still readable): v3 prelude, but the particle population
 //!   as consecutive fixed 61-byte wire records of `particles::pack`;
 //! - v1 (still readable): particle count u64, particle records; the
 //!   RNG is re-seeded deterministically from `(seed, step)`, so the
@@ -26,7 +32,7 @@
 //!
 //! v2 and v3 carry identical information (both total
 //! `61·n` particle-section bytes); v3 only changes the byte order to
-//! match the buffer layout.
+//! match the buffer layout, and v4 adds the two aux streams.
 
 use crate::state::CoupledState;
 use bytes::{Buf, BufMut, BytesMut};
@@ -37,7 +43,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const MAGIC: &[u8; 4] = b"DPIC";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 
 /// Errors from [`restore`].
 #[derive(Debug, PartialEq, Eq)]
@@ -65,13 +71,13 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialize the restartable state of `sim` (v3, lane-wise).
+/// Serialize the restartable state of `sim` (v4, lane-wise).
 pub fn checkpoint(sim: &CoupledState) -> Vec<u8> {
     let n = sim.particles.len();
     let phi = sim.poisson.phi();
     let sigma = sim.collisions.sigma_g_max();
     let mut buf = BytesMut::with_capacity(
-        4 + 4 + 8 + 32 + 8 + 8 + phi.len() * 8 + 8 + sigma.len() * 8 + 8 + n * PACKED_SIZE,
+        4 + 4 + 8 + 32 + 8 + 8 + phi.len() * 8 + 8 + sigma.len() * 8 + 64 + 8 + n * PACKED_SIZE,
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
@@ -92,6 +98,14 @@ pub fn checkpoint(sim: &CoupledState) -> Vec<u8> {
     buf.put_u64_le(sigma.len() as u64);
     for &v in sigma {
         buf.put_u64_le(v.to_bits());
+    }
+    // v4: aux streams in the prelude — the particle section must fill
+    // the remainder of the blob exactly
+    for w in sim.rng_dsmc.state() {
+        buf.put_u64_le(w);
+    }
+    for w in sim.rng_pump.state() {
+        buf.put_u64_le(w);
     }
     buf.put_u64_le(n as u64);
     // lane-wise particle body: one contiguous sweep per SoA lane
@@ -170,7 +184,10 @@ fn read_f64s(buf: &mut &[u8], n: usize) -> Result<Vec<f64>, CheckpointError> {
 /// carry, warm-start potential (reconstructing E) and NTC
 /// `sigma_g_max` table, making the continuation bitwise identical to
 /// the uninterrupted run. Reads all of v1 (record-wise, fresh RNG),
-/// v2 (record-wise) and v3 (lane-wise).
+/// v2 (record-wise), v3 (lane-wise) and v4 (lane-wise plus the
+/// subcycling/pump aux RNG streams; pre-v4 restores re-seed those
+/// streams deterministically, which is exact because no pre-v4 run
+/// ever consumed them).
 pub fn restore(sim: &mut CoupledState, data: &[u8]) -> Result<(), CheckpointError> {
     let mut buf = data;
     if buf.remaining() < 24 {
@@ -212,6 +229,23 @@ pub fn restore(sim: &mut CoupledState, data: &[u8]) -> Result<(), CheckpointErro
         }
         let sigma = read_f64s(&mut buf, n_sigma)?;
         Some((rng_state, carry, phi, sigma))
+    } else {
+        None
+    };
+
+    let aux = if version >= 4 {
+        if buf.remaining() < 64 {
+            return Err(CheckpointError::Truncated);
+        }
+        let read_state = |buf: &mut &[u8]| {
+            [
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+            ]
+        };
+        Some((read_state(&mut buf), read_state(&mut buf)))
     } else {
         None
     };
@@ -277,6 +311,18 @@ pub fn restore(sim: &mut CoupledState, data: &[u8]) -> Result<(), CheckpointErro
             sim.rng = StdRng::seed_from_u64(
                 sim.config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ step as u64,
             );
+        }
+    }
+    match aux {
+        Some((dsmc_state, pump_state)) => {
+            sim.rng_dsmc = StdRng::from_state(dsmc_state);
+            sim.rng_pump = StdRng::from_state(pump_state);
+        }
+        None => {
+            // pre-v4 checkpoints never consumed the aux streams, so a
+            // deterministic re-seed restores the exact stream state
+            sim.rng_dsmc = StdRng::seed_from_u64(crate::engine::dsmc_stream_seed(sim.config.seed));
+            sim.rng_pump = StdRng::seed_from_u64(crate::engine::pump_stream_seed(sim.config.seed));
         }
     }
     Ok(())
@@ -433,6 +479,34 @@ mod tests {
             assert_eq!(a.particles.get(i), b.particles.get(i));
         }
         assert_eq!(a.rng, b.rng, "RNG streams diverged after v2 restore");
+    }
+
+    #[test]
+    fn subcycled_pumped_restore_is_bitwise() {
+        // with k_sub_dsmc > 1 and a partial pump both aux streams are
+        // consumed every step: a v4 restore must carry them so the
+        // continuation stays bitwise identical
+        let mut cfg = Dataset::D1.config(0.02);
+        cfg.seed = 404;
+        cfg.k_sub_dsmc = 2;
+        cfg.pump_prob = Some(0.6);
+        let mut a = CoupledState::new(cfg.clone());
+        for _ in 0..6 {
+            a.dsmc_step();
+        }
+        let blob = checkpoint(&a);
+        let mut b = CoupledState::new(cfg);
+        restore(&mut b, &blob).unwrap();
+        for _ in 0..5 {
+            a.dsmc_step();
+            b.dsmc_step();
+        }
+        assert_eq!(a.particles.len(), b.particles.len());
+        for i in 0..a.particles.len() {
+            assert_eq!(a.particles.get(i), b.particles.get(i));
+        }
+        assert_eq!(a.rng_dsmc, b.rng_dsmc, "dsmc aux stream diverged");
+        assert_eq!(a.rng_pump, b.rng_pump, "pump aux stream diverged");
     }
 
     #[test]

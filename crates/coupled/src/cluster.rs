@@ -24,6 +24,7 @@ use crate::state::{CoupledState, StepRecord};
 use crate::timers::{Breakdown, Phase};
 use balance::{load_imbalance_indicator, CostSample, RebalanceOutcome, Rebalancer};
 use dsmc::EXITED;
+use obs::Observer as _;
 use particles::PACKED_SIZE;
 use partition::Decomposition;
 use partition::{part_graph_kway, Graph, KwayOptions};
@@ -75,6 +76,13 @@ pub struct ModelledBackend {
     total_tx: u64,
     total_bytes: u64,
     uses_mark: [u64; 4],
+    /// Subcycle watermarks: [`StepRecord`] accumulates neutral
+    /// transitions and collision candidates across DSMC subcycles, so
+    /// each lap must charge only the delta since the previous subcycle
+    /// (at `k_sub_dsmc = 1` the marks are always 0 and the laps see
+    /// the whole record, bitwise identical to before).
+    neutral_mark: usize,
+    cand_mark: usize,
 }
 
 impl ModelledBackend {
@@ -117,6 +125,8 @@ impl ModelledBackend {
             total_tx: 0,
             total_bytes: 0,
             uses_mark: [0; 4],
+            neutral_mark: 0,
+            cand_mark: 0,
         }
     }
 
@@ -190,6 +200,8 @@ impl Backend for ModelledBackend {
 
     fn begin_step(&mut self, _eng: &RankEngine) {
         self.per_rank = vec![Breakdown::new(); self.ranks];
+        self.neutral_mark = 0;
+        self.cand_mark = 0;
     }
 
     fn lap(
@@ -220,7 +232,7 @@ impl Backend for ModelledBackend {
             // particle's start-of-step cell.
             Phase::DsmcMove => {
                 let mut moves = vec![0u64; k];
-                for &(oc, _) in &rec.neutral_transitions {
+                for &(oc, _) in &rec.neutral_transitions[self.neutral_mark..] {
                     moves[self.owner[oc as usize] as usize] += 1;
                 }
                 for (bd, &mv) in self.per_rank.iter_mut().zip(&moves) {
@@ -232,8 +244,10 @@ impl Backend for ModelledBackend {
             // charged from the exact byte matrix the protocol would
             // move.
             Phase::DsmcExchange | Phase::PicExchange => {
-                let tr = if phase == Phase::DsmcExchange {
-                    &rec.neutral_transitions
+                let tr: &[(u32, u32)] = if phase == Phase::DsmcExchange {
+                    let mark = self.neutral_mark;
+                    self.neutral_mark = rec.neutral_transitions.len();
+                    &rec.neutral_transitions[mark..]
                 } else {
                     &rec.charged_transitions[sub]
                 };
@@ -258,9 +272,11 @@ impl Backend for ModelledBackend {
                     pairs[self.owner[c] as usize] += w;
                     total_pairs += w;
                 }
+                let cand = rec.collision_candidates - self.cand_mark;
+                self.cand_mark = rec.collision_candidates;
                 if total_pairs > 0.0 {
                     for (bd, &p) in self.per_rank.iter_mut().zip(&pairs) {
-                        let share = p / total_pairs * rec.collision_candidates as f64 * self.boost;
+                        let share = p / total_pairs * cand as f64 * self.boost;
                         bd[Phase::ColliReact] += self.cost.compute(share, prof.collide_rate);
                     }
                 }
@@ -526,13 +542,29 @@ impl ClusterSim {
     pub fn run(&mut self, steps: usize) -> ClusterReport {
         let mut builder = ReportBuilder::new();
         let sink = self.obs.trace.make_sink().expect("open trace sink");
-        let mut rec = obs::Recorder::new(self.obs.metrics.as_ref(), sink);
+        let mut rec = obs::Recorder::new(self.obs.metrics.as_ref(), sink)
+            .with_time_average(self.obs.avg_window);
         rec.meta(self.backend.ranks, steps);
         for _ in 0..steps {
             let idx = self.state.step_count;
-            let mut observer = obs::Tee(&mut builder, &mut rec);
-            self.pipeline
-                .run_step(&mut self.state, &mut self.backend, &mut observer, idx);
+            {
+                let mut observer = obs::Tee(&mut builder, &mut rec);
+                self.pipeline
+                    .run_step(&mut self.state, &mut self.backend, &mut observer, idx);
+            }
+            // read-only diagnostic tap, identical to run_serial's: with
+            // avg_window == 0 no sample is ever computed
+            if self.obs.avg_window > 0 {
+                let (neutral, _) = self.state.counts_per_cell();
+                let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
+                let density = crate::diag::number_density(
+                    &counts,
+                    &self.state.nm.coarse.volumes,
+                    self.state.species.get(self.state.h_id).weight,
+                );
+                rec.field_sample("density_h", &density);
+                rec.field_sample("phi", self.state.poisson.phi());
+            }
         }
         rec.finish();
         let stats = self.backend.stats();
@@ -550,6 +582,10 @@ impl ClusterSim {
             &self.state.nm.coarse.volumes,
             self.state.species.get(self.state.h_id).weight,
         );
+        if let Some(avg) = rec.time_average() {
+            report.density_h_avg = avg.mean("density_h").unwrap_or_default();
+            report.phi_avg = avg.mean("phi").unwrap_or_default();
+        }
         report
     }
 }

@@ -43,6 +43,18 @@ pub struct SimConfig {
     pub b_field: mesh::Vec3,
     /// Enable cross-species MEX/CEX collisions between H and H⁺.
     pub cross_collisions: bool,
+    /// DSMC subcycles per engine step (`k_sub_dsmc` of the scenario
+    /// format): the neutral move/exchange/collide phases run this many
+    /// times per step at `dt_dsmc / k_sub_dsmc` each, while the PIC
+    /// sub-stepping is unchanged. 1 (the default) routes through the
+    /// exact pre-subcycling code path, bit for bit.
+    pub k_sub_dsmc: usize,
+    /// Partial-pump survival probability at wall hits during the
+    /// neutral (DSMC) move: `0 = full pump` (every wall hit absorbs
+    /// the particle), `1 = no pump` (every wall hit diffusely
+    /// reflects, as without pumping). `None` disables the pump
+    /// machinery entirely — the bit-identical legacy path.
+    pub pump_prob: Option<f64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -62,6 +74,8 @@ impl Default for SimConfig {
             pic_per_dsmc: 2,
             b_field: mesh::Vec3::ZERO,
             cross_collisions: false,
+            k_sub_dsmc: 1,
+            pump_prob: None,
             seed: 42,
         }
     }
@@ -213,6 +227,12 @@ pub struct ObsConfig {
     /// Where the structured trace (one event per step, exchange and
     /// rebalance) goes. [`TraceSpec::Off`] by default.
     pub trace: TraceSpec,
+    /// Trailing window (in engine steps) for time-averaged field
+    /// diagnostics (`density_h`, `phi`) kept by the serial and
+    /// modelled drivers' [`obs::Recorder`]. 0 (the default) disables
+    /// sampling entirely; like the rest of `ObsConfig`, the value
+    /// never feeds back into the physics.
+    pub avg_window: usize,
 }
 
 /// What the threaded driver does when a rank dies mid-run (a
@@ -245,6 +265,12 @@ pub enum ConfigError {
     /// The rebalance lii threshold was NaN or negative; `lii >= 1` by
     /// construction, so any finite value >= 0 is accepted.
     InvalidRebalanceThreshold,
+    /// `sim.k_sub_dsmc` was 0 — the DSMC phases run at least once per
+    /// engine step.
+    ZeroDsmcSubcycle,
+    /// `sim.pump_prob` was set outside `[0, 1]` (or non-finite); it is
+    /// a survival probability.
+    InvalidPumpProb,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -257,6 +283,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::InvalidRebalanceThreshold => {
                 write!(f, "rebalance threshold must be finite and >= 0")
+            }
+            ConfigError::ZeroDsmcSubcycle => {
+                write!(f, "k_sub_dsmc must be >= 1")
+            }
+            ConfigError::InvalidPumpProb => {
+                write!(f, "pump_prob must lie in [0, 1]")
             }
         }
     }
@@ -343,7 +375,7 @@ pub struct RunConfig {
 /// of serialized fields or their encoding changes — the tag is hashed
 /// along with the fields, so configs canonicalized under different
 /// schema versions can never collide in the result cache.
-pub const CONFIG_SCHEMA_VERSION: u32 = 1;
+pub const CONFIG_SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a over a byte string — the same hash the guard tests use for
 /// density fields, here over the canonical config text.
@@ -425,6 +457,8 @@ impl RunConfig {
                 ]),
             ),
             ("cross_collisions", Json::Bool(sim.cross_collisions)),
+            ("k_sub_dsmc", Json::U64(sim.k_sub_dsmc as u64)),
+            ("pump_prob", sim.pump_prob.map_or(Json::Null, Json::Num)),
             ("seed", Json::U64(sim.seed)),
         ]);
         let rebalance = match &self.rebalance {
@@ -644,6 +678,22 @@ impl RunConfigBuilder {
         self
     }
 
+    /// DSMC subcycles per engine step (convenience for
+    /// `sim.k_sub_dsmc`). Validated at [`build`](Self::build): must be
+    /// >= 1; 1 is the bit-identical legacy path.
+    pub fn k_sub_dsmc(mut self, k: usize) -> Self {
+        self.run.sim.k_sub_dsmc = k;
+        self
+    }
+
+    /// Partial-pump wall survival probability (convenience for
+    /// `sim.pump_prob`): `0 = full pump, 1 = no pump`. Validated at
+    /// [`build`](Self::build): must lie in `[0, 1]`.
+    pub fn pump_prob(mut self, p: f64) -> Self {
+        self.run.sim.pump_prob = Some(p);
+        self
+    }
+
     /// Exchange strategy for every particle migration.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.run.strategy = strategy;
@@ -765,6 +815,13 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Keep trailing time-averaged field diagnostics over this many
+    /// engine steps (0 = off, the default).
+    pub fn avg_window(mut self, window: usize) -> Self {
+        self.run.obs.avg_window = window;
+        self
+    }
+
     /// In-memory per-rank checkpoint cadence in DSMC steps (0 = off).
     pub fn checkpoint_every(mut self, steps: usize) -> Self {
         self.run.checkpoint_every = steps;
@@ -798,6 +855,14 @@ impl RunConfigBuilder {
             }
             if !rb.threshold.is_finite() || rb.threshold < 0.0 {
                 return Err(ConfigError::InvalidRebalanceThreshold);
+            }
+        }
+        if self.run.sim.k_sub_dsmc == 0 {
+            return Err(ConfigError::ZeroDsmcSubcycle);
+        }
+        if let Some(p) = self.run.sim.pump_prob {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::InvalidPumpProb);
             }
         }
         Ok(self.run)
@@ -1089,6 +1154,57 @@ mod tests {
     }
 
     #[test]
+    fn builder_validates_subcycling_and_pump() {
+        assert_eq!(
+            RunConfig::builder().k_sub_dsmc(0).build().unwrap_err(),
+            ConfigError::ZeroDsmcSubcycle
+        );
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                RunConfig::builder().pump_prob(bad).build().unwrap_err(),
+                ConfigError::InvalidPumpProb,
+                "pump_prob {bad} must be rejected"
+            );
+        }
+        let run = RunConfig::builder()
+            .k_sub_dsmc(3)
+            .pump_prob(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(run.sim.k_sub_dsmc, 3);
+        assert_eq!(run.sim.pump_prob, Some(0.25));
+        // defaults: single subcycle, pump machinery absent
+        let plain = RunConfig::builder().build().unwrap();
+        assert_eq!(plain.sim.k_sub_dsmc, 1);
+        assert!(plain.sim.pump_prob.is_none());
+        // boundary values are legal
+        assert!(RunConfig::builder().pump_prob(0.0).build().is_ok());
+        assert!(RunConfig::builder().pump_prob(1.0).build().is_ok());
+        assert!(ConfigError::ZeroDsmcSubcycle
+            .to_string()
+            .contains("k_sub_dsmc"));
+        assert!(ConfigError::InvalidPumpProb.to_string().contains("pump"));
+        // both knobs move the canonical hash
+        let base = RunConfig::builder().build().unwrap();
+        assert_ne!(
+            RunConfig::builder()
+                .k_sub_dsmc(2)
+                .build()
+                .unwrap()
+                .config_hash(),
+            base.config_hash()
+        );
+        assert_ne!(
+            RunConfig::builder()
+                .pump_prob(1.0)
+                .build()
+                .unwrap()
+                .config_hash(),
+            base.config_hash()
+        );
+    }
+
+    #[test]
     fn config_hash_is_pinned_across_releases() {
         // The cache key of the engine-guard config. If this moves, the
         // canonical serialization changed: bump CONFIG_SCHEMA_VERSION
@@ -1107,6 +1223,8 @@ mod tests {
     }
 
     /// Pinned canonical hash of the guard config (see
-    /// `config_hash_is_pinned_across_releases`).
-    const PINNED_GUARD_CONFIG_HASH: u64 = 0x09075cccd4b0560e;
+    /// `config_hash_is_pinned_across_releases`). Re-pinned with
+    /// CONFIG_SCHEMA_VERSION 2 (`k_sub_dsmc` / `pump_prob` joined the
+    /// canonical serialization).
+    const PINNED_GUARD_CONFIG_HASH: u64 = 0x290ed242c422eff9;
 }

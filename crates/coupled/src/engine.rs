@@ -30,7 +30,7 @@ use crate::state::StepRecord;
 use crate::timers::{Breakdown, Phase};
 use dsmc::{
     move_particles_pooled, ChemistryModel, CollisionEvent, CollisionModel, CrossCollisionModel,
-    Injector, ReactStats,
+    Injector, Pump,
 };
 use kernels::Pool;
 use mesh::NestedMesh;
@@ -78,6 +78,16 @@ pub struct RankEngine {
     pub poisson: PoissonSolver,
     pub efield: ElectricField,
     pub rng: StdRng,
+    /// Dedicated DSMC stream for subcycled runs: when
+    /// `config.k_sub_dsmc > 1` the neutral move/collide/react phases
+    /// draw from this stream instead of `rng`, so changing the
+    /// subcycle count never perturbs the PIC draws on `rng`. At
+    /// `k_sub_dsmc == 1` it is never consumed and the engine keeps
+    /// the legacy single-stream behaviour bit for bit.
+    pub rng_dsmc: StdRng,
+    /// Dedicated stream for partial-pump wall absorption decisions
+    /// (`config.pump_prob`); never consumed when pumping is off.
+    pub rng_pump: StdRng,
     /// DSMC iterations completed.
     pub step_count: usize,
     /// Kernel worker pool for the pooled phase kernels (serial pools
@@ -87,6 +97,20 @@ pub struct RankEngine {
     pub exch: ExchangeScratch,
     sort_scratch: SortScratch,
     events: Vec<CollisionEvent>,
+}
+
+/// Seed of the dedicated DSMC subcycle stream for a rank seeded with
+/// `seed` (splitmix64 golden-ratio offset — decorrelated from both
+/// the main stream and the pump stream). Shared with the checkpoint
+/// module: pre-v4 snapshots re-derive the aux streams from this.
+pub(crate) fn dsmc_stream_seed(seed: u64) -> u64 {
+    seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Seed of the dedicated pump-decision stream (see
+/// [`dsmc_stream_seed`]).
+pub(crate) fn pump_stream_seed(seed: u64) -> u64 {
+    seed.wrapping_add(0x3C6E_F372_FE94_F82A)
 }
 
 impl RankEngine {
@@ -178,6 +202,8 @@ impl RankEngine {
             poisson,
             efield,
             rng: StdRng::seed_from_u64(seed),
+            rng_dsmc: StdRng::seed_from_u64(dsmc_stream_seed(seed)),
+            rng_pump: StdRng::seed_from_u64(pump_stream_seed(seed)),
             step_count: 0,
             pool,
             exch: ExchangeScratch::default(),
@@ -292,40 +318,61 @@ impl RankEngine {
         }
     }
 
-    /// DSMC_Move: advect the neutrals.
-    fn dsmc_move(&mut self, rec: &mut StepRecord, track: bool) {
+    /// DSMC_Move: advect the neutrals for one subcycle of `dt`
+    /// (`dt_dsmc / k_sub_dsmc`; the full `dt_dsmc` when not
+    /// subcycling). Subcycled runs draw from the dedicated
+    /// [`RankEngine::rng_dsmc`] stream; the optional partial pump
+    /// always decides on [`RankEngine::rng_pump`].
+    fn dsmc_move(&mut self, rec: &mut StepRecord, track: bool, dt: f64) {
         let h_id = self.h_id;
+        let pump = self.config.pump_prob.map(|prob| Pump {
+            prob,
+            rng: &mut self.rng_pump,
+        });
+        let rng = if self.config.k_sub_dsmc > 1 {
+            &mut self.rng_dsmc
+        } else {
+            &mut self.rng
+        };
         let stats = move_particles_pooled(
             &self.nm.coarse,
             &mut self.particles,
             &self.species,
-            self.config.dt_dsmc,
+            dt,
             self.config.t_wall,
-            &mut self.rng,
+            rng,
             &self.pool,
             |s| s == h_id,
             track.then_some(&mut rec.neutral_transitions),
+            pump,
         );
         rec.exited += stats.exited;
+        rec.pumped += stats.pumped;
     }
 
     /// Colli_React: NTC collisions, optional cross-species pass,
-    /// chemistry.
-    fn colli_react(&mut self, rec: &mut StepRecord) {
-        let dt = self.config.dt_dsmc;
+    /// chemistry — over one subcycle of `dt`. Record fields
+    /// accumulate so subcycles sum (a single subcycle writes the
+    /// identical totals the pre-subcycling assignment did).
+    fn colli_react(&mut self, rec: &mut StepRecord, dt: f64) {
         self.events.clear();
+        let rng = if self.config.k_sub_dsmc > 1 {
+            &mut self.rng_dsmc
+        } else {
+            &mut self.rng
+        };
         let cstats = self.collisions.collide_pooled(
             &self.nm.coarse,
             &mut self.particles,
             &self.species,
             self.h_id,
             dt,
-            &mut self.rng,
+            rng,
             &mut self.events,
             &self.pool,
         );
-        rec.collision_candidates = cstats.candidates;
-        rec.collisions = cstats.collisions;
+        rec.collision_candidates += cstats.candidates;
+        rec.collisions += cstats.collisions;
         if self.config.cross_collisions {
             let xstats = self.cross.collide(
                 &self.nm.coarse,
@@ -334,7 +381,7 @@ impl RankEngine {
                 self.h_id,
                 self.hp_id,
                 dt,
-                &mut self.rng,
+                rng,
                 &mut self.events,
             );
             rec.collision_candidates += xstats.candidates;
@@ -346,7 +393,7 @@ impl RankEngine {
             self.h_id,
             self.hp_id,
             &self.events,
-            &mut self.rng,
+            rng,
         );
         let r2 = self.chemistry.recombine(
             &self.nm.coarse,
@@ -355,12 +402,10 @@ impl RankEngine {
             self.h_id,
             self.hp_id,
             dt,
-            &mut self.rng,
+            rng,
         );
-        rec.reactions = ReactStats {
-            dissociations: r1.dissociations + r2.dissociations,
-            recombinations: r1.recombinations + r2.recombinations,
-        };
+        rec.reactions.dissociations += r1.dissociations + r2.dissociations;
+        rec.reactions.recombinations += r1.recombinations + r2.recombinations;
     }
 
     /// PIC_Move: kick with the *previous* substep's field, then
@@ -389,6 +434,7 @@ impl RankEngine {
             &self.pool,
             |s| s == hp_id,
             track.then_some(&mut tr),
+            None,
         );
         rec.exited += stats.exited;
         if track {
@@ -672,16 +718,23 @@ impl StepPipeline {
         eng.inject(&mut rec, track);
         be.lap(Phase::Inject, 0, eng, &rec, &mut bd);
 
-        // --- DSMC_Move + DSMC_Exchange --------------------------------
-        eng.dsmc_move(&mut rec, track);
-        be.lap(Phase::DsmcMove, 0, eng, &rec, &mut bd);
-        be.exchange(eng, Phase::DsmcExchange, 0);
-        be.lap(Phase::DsmcExchange, 0, eng, &rec, &mut bd);
-        Self::emit_exchange(be, observer, step_index, Phase::DsmcExchange, 0);
+        // --- k_sub × (DSMC_Move + DSMC_Exchange + Colli_React) --------
+        // One DSMC subcycle at k_sub == 1 reproduces the original
+        // unrolled sequence exactly: `dt_dsmc / 1` is bitwise `dt_dsmc`
+        // and the subcycle index passed as `sub` is 0, so every
+        // existing guard hash is preserved.
+        let k_sub = eng.config.k_sub_dsmc;
+        let dt_sub = eng.config.dt_dsmc / k_sub as f64;
+        for sc in 0..k_sub {
+            eng.dsmc_move(&mut rec, track, dt_sub);
+            be.lap(Phase::DsmcMove, sc, eng, &rec, &mut bd);
+            be.exchange(eng, Phase::DsmcExchange, sc);
+            be.lap(Phase::DsmcExchange, sc, eng, &rec, &mut bd);
+            Self::emit_exchange(be, observer, step_index, Phase::DsmcExchange, sc);
 
-        // --- Colli_React ----------------------------------------------
-        eng.colli_react(&mut rec);
-        be.lap(Phase::ColliReact, 0, eng, &rec, &mut bd);
+            eng.colli_react(&mut rec, dt_sub);
+            be.lap(Phase::ColliReact, sc, eng, &rec, &mut bd);
+        }
 
         // --- R × (PIC_Move + PIC_Exchange + Poisson_Solve) ------------
         for sub in 0..eng.config.pic_per_dsmc {

@@ -82,6 +82,16 @@ impl JobSpec {
         }
     }
 
+    /// A spec for a canned scenario by name (see
+    /// [`crate::scenario::CANNED`]), labelled `scenario:<name>`. The
+    /// cache key is the lowered config's canonical hash, so two
+    /// submissions of the same scenario name — or of TOML text that
+    /// lowers to the same physics — coalesce onto one engine run.
+    pub fn from_scenario(name: &str) -> Result<Self, crate::scenario::ScenarioError> {
+        let sc = crate::scenario::canned(name)?;
+        Ok(JobSpec::new(sc.run).label(format!("scenario:{name}")))
+    }
+
     /// Account the job to this fair-share tenant.
     pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = tenant.into();

@@ -14,6 +14,7 @@ pub mod engine;
 pub mod job;
 pub mod machine;
 pub mod report;
+pub mod scenario;
 pub mod state;
 pub mod threadrun;
 pub mod timers;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use crate::job::{JobId, JobMeta, JobPriority, JobSpec, JobStatus};
     pub use crate::machine::MachineProfile;
     pub use crate::report::{ReportBuilder, RunReport, StepTrace};
+    pub use crate::scenario::{Scenario, ScenarioError};
     pub use crate::threadrun::{
         run_serial, run_threaded, run_threaded_result, EngineSession, RunError,
     };
@@ -72,6 +74,7 @@ pub use job::{JobId, JobMeta, JobPriority, JobSpec, JobStatus};
 pub use machine::{CostModel, MachineProfile, Placement};
 pub use partition::Decomposition;
 pub use report::{ReportBuilder, RunReport, StepTrace};
+pub use scenario::{Scenario, ScenarioError};
 pub use state::{CoupledState, StepRecord};
 pub use threadrun::{
     run_serial, run_threaded, run_threaded_result, EngineSession, RunError, ThreadedBackend,

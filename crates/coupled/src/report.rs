@@ -19,6 +19,14 @@ pub use obs::StepTrace;
 pub struct RunReport {
     /// H number density per coarse cell at the end of the run.
     pub density_h: Vec<f64>,
+    /// Trailing time-averaged H number density per coarse cell
+    /// (empty unless `ObsConfig::avg_window > 0` on a serial or
+    /// modelled run).
+    pub density_h_avg: Vec<f64>,
+    /// Trailing time-averaged electric potential per fine node (same
+    /// opt-in as `density_h_avg`; kept out of the JSON export, which
+    /// only carries coarse-cell fields).
+    pub phi_avg: Vec<f64>,
     /// Final global particle population.
     pub population: usize,
     /// Total wall time attributed to phases (measured or modelled).
@@ -107,6 +115,12 @@ impl RunReport {
                 Json::Arr(self.density_h.iter().map(|&d| Json::Num(d)).collect()),
             ),
         ];
+        if !self.density_h_avg.is_empty() {
+            fields.push((
+                "density_h_avg",
+                Json::Arr(self.density_h_avg.iter().map(|&d| Json::Num(d)).collect()),
+            ));
+        }
         if let Some(meta) = &self.job {
             fields.push(("job", meta.to_json()));
         }

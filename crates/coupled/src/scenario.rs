@@ -1,0 +1,742 @@
+//! Scenario files: a declarative TOML front-end for [`RunConfig`].
+//!
+//! A scenario is a small, hand-editable description of one simulation
+//! setup — domain geometry, species and injection flux, timestepping
+//! (including the DSMC subcycling factor `k_sub_dsmc`), partial-pump
+//! boundaries and run/diagnostic settings — that lowers into the
+//! validating [`RunConfig::builder`]. The parser is a hand-rolled
+//! TOML subset in the spirit of [`obs::json`] (no external
+//! dependency): `[section]` tables, `key = value` scalars (strings,
+//! integers, floats, booleans) and `#` comments. Exactly the subset
+//! the format needs, parsed strictly — unknown sections or keys are
+//! typed errors, not silent no-ops.
+//!
+//! Three canned scenarios ship embedded in the crate (so binaries
+//! resolve them from any working directory) and as editable files
+//! under `scenarios/`:
+//!
+//! | name | file | character |
+//! |------|------|-----------|
+//! | `freestream`  | `scenarios/freestream.toml`  | hypersonic-style uniform inflow |
+//! | `thermal_box` | `scenarios/thermal_box.toml` | quiescent thermalization, weak pump, subcycled |
+//! | `jet`         | `scenarios/jet.toml`         | narrow high-density jet, strong pump, high imbalance |
+//!
+//! Because the lowered config participates in
+//! [`RunConfig::canonical_json`] / [`RunConfig::config_hash`] like
+//! any hand-built one, scenario-submitted jobs hit the job server's
+//! result cache exactly when their lowered physics agrees — key
+//! order, whitespace and comments in the TOML never matter.
+
+use crate::config::{ConfigError, RunConfig, SimConfig};
+use mesh::NozzleSpec;
+use std::collections::BTreeMap;
+
+/// The canned scenarios, embedded at compile time: `(name, TOML)`.
+pub const CANNED: &[(&str, &str)] = &[
+    (
+        "freestream",
+        include_str!("../../../scenarios/freestream.toml"),
+    ),
+    (
+        "thermal_box",
+        include_str!("../../../scenarios/thermal_box.toml"),
+    ),
+    ("jet", include_str!("../../../scenarios/jet.toml")),
+];
+
+/// Names of the canned scenarios, in [`CANNED`] order.
+pub fn names() -> Vec<&'static str> {
+    CANNED.iter().map(|&(n, _)| n).collect()
+}
+
+/// One scalar value of the TOML subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// Why a scenario failed to parse or lower.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Malformed TOML at this 1-based line.
+    Parse { line: usize, msg: String },
+    /// A `[section]` the format does not define.
+    UnknownSection(String),
+    /// A key the section does not define (typo guard).
+    UnknownKey { section: String, key: String },
+    /// A key held a value of the wrong type.
+    Type {
+        section: String,
+        key: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A value was out of its physical range (negative weight,
+    /// degenerate mesh, non-positive timestep, ...).
+    Invalid {
+        section: String,
+        key: String,
+        msg: String,
+    },
+    /// The injection flux would be negative: a species density or the
+    /// drift speed was below zero.
+    NegativeFlux { key: String },
+    /// [`canned`] was asked for a name that is not shipped.
+    UnknownScenario(String),
+    /// The lowered config failed [`RunConfig::builder`] validation
+    /// (`k_sub_dsmc = 0`, pump probability outside `[0, 1]`, zero
+    /// ranks, ...).
+    Config(ConfigError),
+    /// [`from_file`] could not read the path.
+    Io(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            ScenarioError::UnknownSection(s) => write!(f, "unknown section [{s}]"),
+            ScenarioError::UnknownKey { section, key } => {
+                write!(f, "unknown key `{key}` in [{section}]")
+            }
+            ScenarioError::Type {
+                section,
+                key,
+                expected,
+                got,
+            } => write!(f, "[{section}] {key}: expected {expected}, got {got}"),
+            ScenarioError::Invalid { section, key, msg } => {
+                write!(f, "[{section}] {key}: {msg}")
+            }
+            ScenarioError::NegativeFlux { key } => {
+                write!(f, "negative injection flux: `{key}` is below zero")
+            }
+            ScenarioError::UnknownScenario(name) => {
+                write!(
+                    f,
+                    "unknown scenario `{name}` (canned: {})",
+                    names().join(", ")
+                )
+            }
+            ScenarioError::Config(e) => write!(f, "invalid lowered config: {e}"),
+            ScenarioError::Io(msg) => write!(f, "cannot read scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
+/// A parsed and lowered scenario: identity plus the validated run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// `[scenario] name` (empty when absent).
+    pub name: String,
+    /// `[scenario] description` (empty when absent).
+    pub description: String,
+    /// The lowered, builder-validated configuration.
+    pub run: RunConfig,
+}
+
+/// Parse scenario TOML and lower it into a validated [`RunConfig`].
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    lower(&parse_toml(text)?)
+}
+
+/// Load a canned scenario by name (see [`CANNED`]).
+pub fn canned(name: &str) -> Result<Scenario, ScenarioError> {
+    match CANNED.iter().find(|&&(n, _)| n == name) {
+        Some(&(_, text)) => parse(text),
+        None => Err(ScenarioError::UnknownScenario(name.to_string())),
+    }
+}
+
+/// Read and parse a scenario file from disk.
+pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Scenario, ScenarioError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    parse(&text)
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parser (line-oriented, strict)
+// ---------------------------------------------------------------------
+
+type Table = BTreeMap<String, BTreeMap<String, Value>>;
+
+fn is_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Strip a trailing `#` comment, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, line_no: usize) -> Result<Value, ScenarioError> {
+    let err = |msg: String| ScenarioError::Parse { line: line_no, msg };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(err("missing value".to_string()));
+    }
+    if let Some(body) = raw.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = body.chars();
+        loop {
+            match chars.next() {
+                None => return Err(err("unterminated string".to_string())),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(err(format!("bad escape \\{other:?}"))),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        if chars.next().is_some() {
+            return Err(err("trailing characters after string".to_string()));
+        }
+        return Ok(Value::Str(out));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    // number: integer unless it carries a fraction or exponent
+    if raw.contains(['.', 'e', 'E']) {
+        raw.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(format!("not a number: `{raw}`")))
+    } else {
+        raw.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(format!("not a number: `{raw}`")))
+    }
+}
+
+/// Parse the TOML subset into `section -> key -> value` tables.
+/// Duplicate sections or keys are errors, as is a key before the
+/// first section header.
+pub fn parse_toml(text: &str) -> Result<Table, ScenarioError> {
+    let mut table = Table::new();
+    let mut current: Option<String> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |msg: String| ScenarioError::Parse { line: line_no, msg };
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix('[') {
+            let name = body
+                .strip_suffix(']')
+                .ok_or_else(|| err("unclosed section header".to_string()))?
+                .trim();
+            if name.is_empty() || !name.chars().all(is_key_char) {
+                return Err(err(format!("bad section name `{name}`")));
+            }
+            if table.contains_key(name) {
+                return Err(err(format!("duplicate section [{name}]")));
+            }
+            table.insert(name.to_string(), BTreeMap::new());
+            current = Some(name.to_string());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| is_key_char(c) && c != '.') {
+            return Err(err(format!("bad key `{key}`")));
+        }
+        let section = current
+            .as_ref()
+            .ok_or_else(|| err(format!("key `{key}` before any [section]")))?;
+        let value = parse_value(value, line_no)?;
+        let entries = table.get_mut(section).expect("section exists");
+        if entries.insert(key.to_string(), value).is_some() {
+            return Err(err(format!("duplicate key `{key}` in [{section}]")));
+        }
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+/// Typed accessors over one parsed section.
+struct Section<'a> {
+    name: &'a str,
+    map: Option<&'a BTreeMap<String, Value>>,
+}
+
+impl<'a> Section<'a> {
+    fn get(&self, key: &str) -> Option<&'a Value> {
+        self.map.and_then(|m| m.get(key))
+    }
+
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        if let Some(m) = self.map {
+            for key in m.keys() {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(ScenarioError::UnknownKey {
+                        section: self.name.to_string(),
+                        key: key.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn type_err(&self, key: &str, expected: &'static str, got: &Value) -> ScenarioError {
+        ScenarioError::Type {
+            section: self.name.to_string(),
+            key: key.to_string(),
+            expected,
+            got: got.type_name(),
+        }
+    }
+
+    /// Float-valued key; integers coerce (TOML writers often drop the
+    /// decimal point).
+    fn f64_of(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Float(v)) => Ok(Some(*v)),
+            Some(Value::Int(v)) => Ok(Some(*v as f64)),
+            Some(other) => Err(self.type_err(key, "float", other)),
+        }
+    }
+
+    fn usize_of(&self, key: &str) -> Result<Option<usize>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Int(v)) if *v >= 0 => Ok(Some(*v as usize)),
+            Some(other) => Err(self.type_err(key, "non-negative integer", other)),
+        }
+    }
+
+    fn u64_of(&self, key: &str) -> Result<Option<u64>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Int(v)) if *v >= 0 => Ok(Some(*v as u64)),
+            Some(other) => Err(self.type_err(key, "non-negative integer", other)),
+        }
+    }
+
+    fn bool_of(&self, key: &str) -> Result<Option<bool>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Bool(v)) => Ok(Some(*v)),
+            Some(other) => Err(self.type_err(key, "boolean", other)),
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Result<Option<String>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Str(v)) => Ok(Some(v.clone())),
+            Some(other) => Err(self.type_err(key, "string", other)),
+        }
+    }
+
+    /// A float that must be strictly positive when present.
+    fn positive_f64(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.f64_of(key)? {
+            Some(v) if !(v.is_finite() && v > 0.0) => Err(ScenarioError::Invalid {
+                section: self.name.to_string(),
+                key: key.to_string(),
+                msg: format!("must be a positive finite number, got {v}"),
+            }),
+            other => Ok(other),
+        }
+    }
+}
+
+const SECTIONS: &[&str] = &[
+    "scenario",
+    "domain",
+    "species.h",
+    "species.hplus",
+    "injection",
+    "time",
+    "walls",
+    "run",
+    "diagnostics",
+];
+
+/// Lower parsed tables into a [`Scenario`]. Every key is optional —
+/// absent keys keep the [`SimConfig::default`] / builder defaults —
+/// but present keys are validated strictly.
+pub fn lower(table: &Table) -> Result<Scenario, ScenarioError> {
+    for section in table.keys() {
+        if !SECTIONS.contains(&section.as_str()) {
+            return Err(ScenarioError::UnknownSection(section.clone()));
+        }
+    }
+    let section = |name: &'static str| Section {
+        name,
+        map: table.get(name),
+    };
+
+    let meta = section("scenario");
+    meta.check_keys(&["name", "description"])?;
+    let name = meta.str_of("name")?.unwrap_or_default();
+    let description = meta.str_of("description")?.unwrap_or_default();
+
+    let mut sim = SimConfig::default();
+
+    let domain = section("domain");
+    domain.check_keys(&["radius", "length", "inlet_radius", "nd", "nz"])?;
+    let mut nozzle = NozzleSpec::default();
+    if let Some(v) = domain.positive_f64("radius")? {
+        nozzle.radius = v;
+    }
+    if let Some(v) = domain.positive_f64("length")? {
+        nozzle.length = v;
+    }
+    if let Some(v) = domain.positive_f64("inlet_radius")? {
+        nozzle.inlet_radius = v;
+    }
+    if let Some(v) = domain.usize_of("nd")? {
+        nozzle.nd = v;
+    }
+    if let Some(v) = domain.usize_of("nz")? {
+        nozzle.nz = v;
+    }
+    if nozzle.nd < 2 || nozzle.nz < 1 {
+        return Err(ScenarioError::Invalid {
+            section: "domain".to_string(),
+            key: "nd".to_string(),
+            msg: format!(
+                "mesh needs nd >= 2 and nz >= 1, got {}x{}",
+                nozzle.nd, nozzle.nz
+            ),
+        });
+    }
+    if nozzle.inlet_radius > nozzle.radius {
+        return Err(ScenarioError::Invalid {
+            section: "domain".to_string(),
+            key: "inlet_radius".to_string(),
+            msg: format!(
+                "inlet radius {} exceeds the domain radius {}",
+                nozzle.inlet_radius, nozzle.radius
+            ),
+        });
+    }
+    sim.nozzle = nozzle;
+
+    let h = section("species.h");
+    h.check_keys(&["density", "weight"])?;
+    if let Some(v) = h.f64_of("density")? {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(ScenarioError::NegativeFlux {
+                key: "species.h.density".to_string(),
+            });
+        }
+        sim.density_h = v;
+    }
+    if let Some(v) = h.positive_f64("weight")? {
+        sim.weight_h = v;
+    }
+
+    let hp = section("species.hplus");
+    hp.check_keys(&["density", "weight"])?;
+    if let Some(v) = hp.f64_of("density")? {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(ScenarioError::NegativeFlux {
+                key: "species.hplus.density".to_string(),
+            });
+        }
+        sim.density_hplus = v;
+    }
+    if let Some(v) = hp.positive_f64("weight")? {
+        sim.weight_hplus = v;
+    }
+
+    let inj = section("injection");
+    inj.check_keys(&["v_drift", "t_inject"])?;
+    if let Some(v) = inj.f64_of("v_drift")? {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(ScenarioError::NegativeFlux {
+                key: "injection.v_drift".to_string(),
+            });
+        }
+        sim.v_drift = v;
+    }
+    if let Some(v) = inj.positive_f64("t_inject")? {
+        sim.t_inject = v;
+    }
+
+    let time = section("time");
+    time.check_keys(&["dt_dsmc", "pic_per_dsmc", "k_sub_dsmc", "steps"])?;
+    if let Some(v) = time.positive_f64("dt_dsmc")? {
+        sim.dt_dsmc = v;
+    }
+    if let Some(v) = time.usize_of("pic_per_dsmc")? {
+        if v == 0 {
+            return Err(ScenarioError::Invalid {
+                section: "time".to_string(),
+                key: "pic_per_dsmc".to_string(),
+                msg: "must be >= 1".to_string(),
+            });
+        }
+        sim.pic_per_dsmc = v;
+    }
+    if let Some(v) = time.usize_of("k_sub_dsmc")? {
+        // 0 is rejected by the builder (ConfigError::ZeroDsmcSubcycle)
+        sim.k_sub_dsmc = v;
+    }
+    let steps = time.usize_of("steps")?;
+
+    let walls = section("walls");
+    walls.check_keys(&["t_wall", "pump_prob"])?;
+    if let Some(v) = walls.positive_f64("t_wall")? {
+        sim.t_wall = v;
+    }
+    if let Some(v) = walls.f64_of("pump_prob")? {
+        // range check is the builder's (ConfigError::InvalidPumpProb)
+        sim.pump_prob = Some(v);
+    }
+
+    let run_s = section("run");
+    run_s.check_keys(&["seed", "ranks", "cross_collisions", "threads_per_rank"])?;
+    if let Some(v) = run_s.u64_of("seed")? {
+        sim.seed = v;
+    }
+    if let Some(v) = run_s.bool_of("cross_collisions")? {
+        sim.cross_collisions = v;
+    }
+
+    let diag = section("diagnostics");
+    diag.check_keys(&["avg_window"])?;
+    let avg_window = diag.usize_of("avg_window")?;
+
+    let mut builder = RunConfig::builder().sim(sim);
+    if let Some(v) = run_s.usize_of("ranks")? {
+        builder = builder.ranks(v);
+    }
+    if let Some(v) = run_s.usize_of("threads_per_rank")? {
+        builder = builder.threads_per_rank(v);
+    }
+    if let Some(v) = steps {
+        builder = builder.steps(v);
+    }
+    if let Some(w) = avg_window {
+        builder = builder.avg_window(w);
+    }
+    let run = builder.build()?;
+    Ok(Scenario {
+        name,
+        description,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        [scenario]
+        name = "mini"
+        description = "tiny test scenario"
+
+        [domain]
+        nd = 4
+        nz = 6
+
+        [time]
+        steps = 3
+        k_sub_dsmc = 2
+
+        [walls]
+        pump_prob = 0.5  # half of the wall hits survive
+
+        [run]
+        seed = 9
+        ranks = 2
+    "#;
+
+    #[test]
+    fn minimal_scenario_lowers() {
+        let sc = parse(MINIMAL).unwrap();
+        assert_eq!(sc.name, "mini");
+        assert_eq!(sc.run.sim.nozzle.nd, 4);
+        assert_eq!(sc.run.sim.k_sub_dsmc, 2);
+        assert_eq!(sc.run.sim.pump_prob, Some(0.5));
+        assert_eq!(sc.run.sim.seed, 9);
+        assert_eq!(sc.run.ranks, 2);
+        assert_eq!(sc.run.steps, 3);
+    }
+
+    #[test]
+    fn canned_scenarios_all_lower_and_differ() {
+        let mut hashes = Vec::new();
+        for &(name, _) in CANNED {
+            let sc = canned(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(sc.name, name, "embedded name must match the registry");
+            assert!(!sc.description.is_empty(), "{name} needs a description");
+            hashes.push(sc.run.config_hash());
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), CANNED.len(), "scenarios must be distinct");
+        assert!(matches!(
+            canned("no-such"),
+            Err(ScenarioError::UnknownScenario(_))
+        ));
+    }
+
+    #[test]
+    fn comments_whitespace_and_key_order_do_not_matter() {
+        let reordered = r#"
+            [run]
+            ranks = 2
+            seed = 9
+            [walls]
+            pump_prob   =   0.5
+            [time]
+            k_sub_dsmc = 2   # subcycled
+            steps = 3
+            [domain]
+            nz = 6
+            nd = 4
+            [scenario]
+            description = "tiny test scenario"
+            name = "mini"
+        "#;
+        let a = parse(MINIMAL).unwrap();
+        let b = parse(reordered).unwrap();
+        assert_eq!(a.run.canonical_string(), b.run.canonical_string());
+        assert_eq!(a.run.config_hash(), b.run.config_hash());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(matches!(
+            parse_toml("[unclosed\n"),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_toml("key = 1\n"),
+            Err(ScenarioError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_toml("[a]\nx = \"unterminated\n"),
+            Err(ScenarioError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_toml("[a]\nx = 1\nx = 2\n"),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_toml("[a]\n[a]\n"),
+            Err(ScenarioError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_toml("[a]\nx = what\n"),
+            Err(ScenarioError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn typed_errors_surface() {
+        let neg_flux = "[species.h]\ndensity = -1e18\n";
+        assert!(matches!(
+            parse(neg_flux),
+            Err(ScenarioError::NegativeFlux { .. })
+        ));
+        let neg_drift = "[injection]\nv_drift = -10.0\n";
+        assert!(matches!(
+            parse(neg_drift),
+            Err(ScenarioError::NegativeFlux { .. })
+        ));
+        let zero_sub = "[time]\nk_sub_dsmc = 0\n";
+        assert_eq!(
+            parse(zero_sub).unwrap_err(),
+            ScenarioError::Config(ConfigError::ZeroDsmcSubcycle)
+        );
+        let bad_pump = "[walls]\npump_prob = 1.5\n";
+        assert_eq!(
+            parse(bad_pump).unwrap_err(),
+            ScenarioError::Config(ConfigError::InvalidPumpProb)
+        );
+        let unknown_key = "[walls]\nt_wal = 300.0\n";
+        assert!(matches!(
+            parse(unknown_key),
+            Err(ScenarioError::UnknownKey { .. })
+        ));
+        let unknown_section = "[wallz]\nt_wall = 300.0\n";
+        assert!(matches!(
+            parse(unknown_section),
+            Err(ScenarioError::UnknownSection(_))
+        ));
+        let wrong_type = "[run]\nseed = \"nine\"\n";
+        assert!(matches!(parse(wrong_type), Err(ScenarioError::Type { .. })));
+    }
+
+    #[test]
+    fn strings_support_escapes() {
+        let t = parse_toml("[scenario]\nname = \"a \\\"b\\\" \\\\ c\"\n").unwrap();
+        assert_eq!(
+            t["scenario"]["name"],
+            Value::Str("a \"b\" \\ c".to_string())
+        );
+    }
+
+    #[test]
+    fn from_file_reads_the_shipped_scenarios() {
+        // only meaningful when run from the workspace root (cargo test
+        // does); the embedded copy is the fallback everywhere else
+        let path = std::path::Path::new("../../scenarios/freestream.toml");
+        if path.exists() {
+            let sc = from_file(path).unwrap();
+            assert_eq!(sc.name, "freestream");
+            assert_eq!(
+                sc.run.config_hash(),
+                canned("freestream").unwrap().run.config_hash(),
+                "file and embedded copy must agree"
+            );
+        }
+        assert!(matches!(
+            from_file("/nonexistent/path.toml"),
+            Err(ScenarioError::Io(_))
+        ));
+    }
+}

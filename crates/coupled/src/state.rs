@@ -38,6 +38,9 @@ pub struct StepRecord {
     pub poisson_iters: Vec<usize>,
     /// Particles removed at the boundaries this step.
     pub exited: usize,
+    /// Particles absorbed by the partial pump this step (disjoint
+    /// from `exited`; always 0 when `pump_prob` is unset).
+    pub pumped: usize,
     /// Particle population after the step.
     pub population: usize,
 }

@@ -55,7 +55,7 @@ use crate::timers::{Breakdown, Phase};
 use balance::{load_imbalance_indicator, CostSample, RankTimes, RebalanceOutcome, Rebalancer};
 use dsmc::Injector;
 use mesh::NestedMesh;
-use obs::{Recorder, Tee};
+use obs::{Observer as _, Recorder, Tee};
 use particles::{pack_index, unpack_all, ParticleBuffer, SpeciesTable};
 use partition::{block_ranges, Decomposition};
 use std::sync::{Arc, Mutex};
@@ -1178,11 +1178,28 @@ pub fn run_serial(run: &RunConfig) -> RunReport {
     };
     let mut builder = ReportBuilder::new();
     let sink = run.obs.trace.make_sink().expect("open trace sink");
-    let mut rec = Recorder::new(run.obs.metrics.as_ref(), sink);
+    let mut rec =
+        Recorder::new(run.obs.metrics.as_ref(), sink).with_time_average(run.obs.avg_window);
     rec.meta(1, run.steps);
     for step in 0..run.steps {
-        let mut obs = Tee(&mut builder, &mut rec);
-        pipeline.run_step(&mut eng, &mut be, &mut obs, step);
+        {
+            let mut obs = Tee(&mut builder, &mut rec);
+            pipeline.run_step(&mut eng, &mut be, &mut obs, step);
+        }
+        // time-averaged diagnostics are read-only taps: sampling
+        // never perturbs the physics, and with avg_window == 0 the
+        // samples are dropped before they are even computed
+        if run.obs.avg_window > 0 {
+            let (neutral, _) = eng.counts_per_cell();
+            let counts: Vec<f64> = neutral.iter().map(|&c| c as f64).collect();
+            let density = crate::diag::number_density(
+                &counts,
+                &eng.nm.coarse.volumes,
+                eng.species.get(eng.h_id).weight,
+            );
+            rec.field_sample("density_h", &density);
+            rec.field_sample("phi", eng.poisson.phi());
+        }
     }
     rec.finish();
     if let Some(reg) = &run.obs.metrics {
@@ -1200,6 +1217,10 @@ pub fn run_serial(run: &RunConfig) -> RunReport {
         eng.species.get(eng.h_id).weight,
     );
     report.population = eng.particles.len();
+    if let Some(avg) = rec.time_average() {
+        report.density_h_avg = avg.mean("density_h").unwrap_or_default();
+        report.phi_avg = avg.mean("phi").unwrap_or_default();
+    }
     report
 }
 

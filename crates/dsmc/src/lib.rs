@@ -17,6 +17,6 @@ pub use inject::Injector;
 pub use moments::{moments, CellMoments};
 pub use movepush::{
     move_particles, move_particles_filtered, move_particles_pooled, move_particles_tracked,
-    MoveStats, EXITED,
+    MoveStats, Pump, EXITED,
 };
 pub use react::{ChemistryModel, ReactStats};

@@ -11,6 +11,7 @@ use kernels::{fork_rng, Pool};
 use mesh::{first_exit, BoundaryKind, FaceTag, TetMesh, Vec3};
 use particles::sample::{flux_normal_speed, maxwellian};
 use particles::{ParticleBuffer, SpeciesTable};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Statistics of one move pass.
@@ -23,6 +24,22 @@ pub struct MoveStats {
     pub wall_hits: usize,
     /// Total cell-boundary crossings.
     pub crossings: usize,
+    /// Particles absorbed by the partial pump at a wall hit (not
+    /// counted in `exited` or `wall_hits`).
+    pub pumped: usize,
+}
+
+/// Partial-pump absorption at wall hits (scenario `pump_prob`:
+/// `0 = full pump, 1 = no pump`). Each wall hit first decides
+/// survival on the dedicated `rng` stream — a survivor reflects
+/// diffusely exactly as without pumping, an absorbed particle is
+/// removed. Because the decision never touches the mover's main RNG,
+/// `prob == 1.0` is bitwise identical to running with no pump at all.
+pub struct Pump<'a> {
+    /// Survival probability per wall hit, in `[0, 1]`.
+    pub prob: f64,
+    /// Dedicated decision stream (never the mover's main RNG).
+    pub rng: &'a mut StdRng,
 }
 
 /// Fraction of the cell size used to nudge particles off faces after
@@ -57,7 +74,7 @@ pub fn move_particles_filtered<R: Rng, P: Fn(u8) -> bool>(
     rng: &mut R,
     pred: P,
 ) -> MoveStats {
-    move_particles_tracked(mesh, buf, species, dt, wall_temp, rng, pred, None)
+    move_particles_tracked(mesh, buf, species, dt, wall_temp, rng, pred, None, None)
 }
 
 /// Sentinel `new_cell` value in a transition record meaning "left the
@@ -80,6 +97,7 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
     rng: &mut R,
     pred: P,
     mut transitions: Option<&mut Vec<(u32, u32)>>,
+    mut pump: Option<Pump<'_>>,
 ) -> MoveStats {
     let mut stats = MoveStats::default();
     let nudge_len = mesh.mean_cell_size() * NUDGE;
@@ -137,6 +155,7 @@ pub fn move_particles_tracked<R: Rng, P: Fn(u8) -> bool>(
                 old_cell as usize,
                 &mut stats,
                 fx,
+                pump.as_mut(),
             ),
         };
         match outcome {
@@ -188,6 +207,7 @@ fn advance_one<R: Rng>(
     mut cell: usize,
     stats: &mut MoveStats,
     first: (f64, usize),
+    mut pump: Option<&mut Pump<'_>>,
 ) -> Option<(Vec3, Vec3, u32)> {
     let mut remaining = dt;
     let mut first = Some(first);
@@ -217,6 +237,17 @@ fn advance_one<R: Rng>(
                         r += v.normalized() * nudge_len;
                     }
                     FaceTag::Boundary(BoundaryKind::Wall) => {
+                        // Partial pump: the survival decision draws
+                        // from its dedicated stream BEFORE any
+                        // reflection sampling, so the main stream is
+                        // untouched for absorbed particles and
+                        // `prob == 1.0` never diverges from no-pump.
+                        if let Some(p) = pump.as_deref_mut() {
+                            if p.rng.gen::<f64>() >= p.prob {
+                                stats.pumped += 1;
+                                return None;
+                            }
+                        }
                         stats.wall_hits += 1;
                         let (_fc, n) = mesh.face_centroid_normal(cell, face);
                         let inward = -n.normalized();
@@ -263,11 +294,25 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
     pool: &Pool,
     pred: P,
     mut transitions: Option<&mut Vec<(u32, u32)>>,
+    mut pump: Option<Pump<'_>>,
 ) -> MoveStats {
     if pool.is_serial() || buf.len() < 2 {
-        return move_particles_tracked(mesh, buf, species, dt, wall_temp, rng, pred, transitions);
+        return move_particles_tracked(
+            mesh,
+            buf,
+            species,
+            dt,
+            wall_temp,
+            rng,
+            pred,
+            transitions,
+            pump,
+        );
     }
     let base: u64 = rng.gen();
+    // The pump decision stream forks per chunk exactly like the main
+    // stream, off one draw from its own RNG — never from `rng`.
+    let pump_cfg: Option<(f64, u64)> = pump.as_mut().map(|p| (p.prob, p.rng.gen()));
     let nudge_len = mesh.mean_cell_size() * NUDGE;
     let n = buf.len();
     let ranges = kernels::chunk_ranges(n, pool.workers());
@@ -302,6 +347,14 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
     let pred = &pred;
     let results = pool.run_parts(parts, |ci, (off, [px, py, pz, vx, vy, vz], cell)| {
         let mut rng = fork_rng(base, ci as u64);
+        let mut chunk_pump_rng = pump_cfg.map(|(_, pb)| fork_rng(pb, ci as u64));
+        let mut chunk_pump = match (&pump_cfg, &mut chunk_pump_rng) {
+            (Some((prob, _)), Some(r)) => Some(Pump {
+                prob: *prob,
+                rng: r,
+            }),
+            _ => None,
+        };
         let mut stats = MoveStats::default();
         let mut exited: Vec<u32> = Vec::new();
         let mut trans: Vec<(u32, u32)> = Vec::new();
@@ -345,6 +398,7 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
                     old_cell as usize,
                     &mut stats,
                     fx,
+                    chunk_pump.as_mut(),
                 ),
             };
             match outcome {
@@ -374,6 +428,7 @@ pub fn move_particles_pooled<R: Rng, P: Fn(u8) -> bool + Sync>(
         stats.exited += s.exited;
         stats.wall_hits += s.wall_hits;
         stats.crossings += s.crossings;
+        stats.pumped += s.pumped;
         for gi in exited {
             keep[gi as usize] = false;
             any_exit = true;
@@ -539,6 +594,7 @@ mod tests {
                 &kernels::Pool::new(workers),
                 |_| true,
                 None,
+                None,
             );
             assert_eq!(s_serial, s_par);
             assert_eq!(par.len(), serial.len());
@@ -571,6 +627,7 @@ mod tests {
             &mut rng_b,
             &kernels::Pool::serial(),
             |_| true,
+            None,
             None,
         );
         assert_eq!(sa, sb);
@@ -612,6 +669,7 @@ mod tests {
             &kernels::Pool::new(4),
             |_| true,
             Some(&mut transitions),
+            None,
         );
         assert_eq!(stats.exited, 60, "{stats:?}");
         assert_eq!(buf.len(), 60);
@@ -627,6 +685,126 @@ mod tests {
         for p in buf.iter() {
             assert!(m.contains(p.cell as usize, p.pos, 1e-5));
         }
+    }
+
+    #[test]
+    fn full_pump_absorbs_every_wall_hit() {
+        let (m, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pump_rng = StdRng::seed_from_u64(99);
+        let mut buf = ParticleBuffer::new();
+        // radial velocity towards the cylinder wall from mid-domain
+        let cell = mesh::locate::locate_brute(&m, Vec3::new(0.0012, 0.0, 0.01)).unwrap();
+        buf.push(particle_at(&m, cell, Vec3::new(5e4, 0.0, 0.0)));
+        let stats = move_particles_tracked(
+            &m,
+            &mut buf,
+            &sp,
+            2e-7,
+            300.0,
+            &mut rng,
+            |_| true,
+            None,
+            Some(Pump {
+                prob: 0.0,
+                rng: &mut pump_rng,
+            }),
+        );
+        assert_eq!(stats.pumped, 1, "{stats:?}");
+        assert_eq!(stats.wall_hits, 0, "absorbed before reflecting");
+        assert!(buf.is_empty(), "pumped particle must be removed");
+    }
+
+    #[test]
+    fn no_pump_prob_one_is_bitwise_identical_to_disabled() {
+        // prob = 1.0 exercises the pump decision path on its own
+        // stream but must never touch the main stream: positions,
+        // velocities and the caller RNG state match the disabled run
+        // bit for bit, serial and pooled.
+        let (m, sp) = setup();
+        let fill = |buf: &mut ParticleBuffer| {
+            for k in 0..80 {
+                let cell = (k * 23) % m.num_cells();
+                let mut p = particle_at(&m, cell, Vec3::new(4e4, -1e3, 3e3));
+                p.id = k as u64;
+                buf.push(p);
+            }
+        };
+        let run = |pump_on: bool, pool: &kernels::Pool| {
+            let mut buf = ParticleBuffer::new();
+            fill(&mut buf);
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut pump_rng = StdRng::seed_from_u64(77);
+            let pump = pump_on.then_some(Pump {
+                prob: 1.0,
+                rng: &mut pump_rng,
+            });
+            let stats = move_particles_pooled(
+                &m,
+                &mut buf,
+                &sp,
+                2e-7,
+                300.0,
+                &mut rng,
+                pool,
+                |_| true,
+                None,
+                pump,
+            );
+            (buf, stats, rng)
+        };
+        for pool in [kernels::Pool::serial(), kernels::Pool::new(3)] {
+            let (a, sa, rng_a) = run(false, &pool);
+            let (b, sb, rng_b) = run(true, &pool);
+            assert!(sa.wall_hits > 0, "test premise: walls were hit");
+            assert_eq!(sa, sb);
+            assert_eq!(sb.pumped, 0);
+            assert_eq!(rng_a, rng_b, "main stream must be untouched");
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(a.get(i), b.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_pump_is_deterministic_and_between_extremes() {
+        let (m, sp) = setup();
+        let run = |prob: f64, seed: u64| {
+            let mut buf = ParticleBuffer::new();
+            for k in 0..120 {
+                let cell = (k * 23) % m.num_cells();
+                let mut p = particle_at(&m, cell, Vec3::new(5e4, 0.0, 0.0));
+                p.id = k as u64;
+                buf.push(p);
+            }
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut pump_rng = StdRng::seed_from_u64(seed);
+            let stats = move_particles_tracked(
+                &m,
+                &mut buf,
+                &sp,
+                4e-7,
+                300.0,
+                &mut rng,
+                |_| true,
+                None,
+                Some(Pump {
+                    prob,
+                    rng: &mut pump_rng,
+                }),
+            );
+            (buf.len(), stats)
+        };
+        let (n_half_a, s_half) = run(0.5, 5);
+        let (n_half_b, _) = run(0.5, 5);
+        assert_eq!(n_half_a, n_half_b, "seeded pump must be deterministic");
+        assert!(s_half.pumped > 0, "{s_half:?}");
+        let (n_full, s_full) = run(0.0, 5);
+        let (n_none, s_none) = run(1.0, 5);
+        assert_eq!(s_none.pumped, 0);
+        assert!(s_full.pumped >= s_half.pumped);
+        assert!(n_full <= n_half_a && n_half_a <= n_none);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! carries [`SCHEMA_VERSION`] so downstream tooling can detect
 //! incompatible changes.
 
+pub mod avg;
 pub mod events;
 pub mod json;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod span;
 /// meaning, so v1 readers that look fields up by name keep working.
 pub const SCHEMA_VERSION: u32 = 2;
 
+pub use avg::TimeAverage;
 pub use events::{ExchangeEvent, RebalanceEvent, StepTrace, STRATEGY_NAMES};
 pub use json::Json;
 pub use metrics::{

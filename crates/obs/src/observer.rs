@@ -34,6 +34,14 @@ pub trait Observer {
     fn step(&mut self, index: usize, trace: &StepTrace) {
         let _ = (index, trace);
     }
+
+    /// One sample of a named per-cell field (e.g. `"density_h"`,
+    /// `"phi"`), fed once per step by drivers that keep time-averaged
+    /// diagnostics. Purely observational — implementations must not
+    /// feed anything back into the physics.
+    fn field_sample(&mut self, name: &'static str, values: &[f64]) {
+        let _ = (name, values);
+    }
 }
 
 /// The do-nothing observer.
@@ -54,6 +62,9 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     }
     fn step(&mut self, index: usize, trace: &StepTrace) {
         (**self).step(index, trace);
+    }
+    fn field_sample(&mut self, name: &'static str, values: &[f64]) {
+        (**self).field_sample(name, values);
     }
 }
 
@@ -78,6 +89,10 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
         self.0.step(index, trace);
         self.1.step(index, trace);
     }
+    fn field_sample(&mut self, name: &'static str, values: &[f64]) {
+        self.0.field_sample(name, values);
+        self.1.field_sample(name, values);
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +108,9 @@ mod tests {
         fn step(&mut self, _i: usize, _t: &StepTrace) {
             self.0 += 10;
         }
+        fn field_sample(&mut self, _n: &'static str, _v: &[f64]) {
+            self.0 += 100;
+        }
     }
 
     #[test]
@@ -100,8 +118,9 @@ mod tests {
         let mut tee = Tee(Count::default(), Count::default());
         tee.phase(Phase::Inject, 0.1);
         tee.step(0, &StepTrace::default());
-        assert_eq!(tee.0 .0, 11);
-        assert_eq!(tee.1 .0, 11);
+        tee.field_sample("rho", &[1.0]);
+        assert_eq!(tee.0 .0, 111);
+        assert_eq!(tee.1 .0, 111);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Scenario tour: load every canned scenario by name (or a TOML file
+//! passed on the command line), run it through the threaded driver,
+//! and print a one-line summary per run.
+//!
+//! ```bash
+//! cargo run --release --example scenario_tour
+//! cargo run --release --example scenario_tour -- scenarios/jet.toml
+//! ```
+
+use coupled::prelude::*;
+use coupled::scenario;
+
+fn main() {
+    let runs: Vec<Scenario> = match std::env::args().nth(1) {
+        // a path argument runs just that file
+        Some(path) => vec![scenario::from_file(&path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })],
+        // no argument: tour the embedded canned set
+        None => scenario::names()
+            .into_iter()
+            .map(|name| scenario::canned(name).expect("canned scenario lowers"))
+            .collect(),
+    };
+
+    println!(
+        "{:<12} {:>5} {:>5} {:>6} {:>6} {:>9} {:>10}",
+        "scenario", "ranks", "steps", "k_sub", "pump", "particles", "avg cells"
+    );
+    for sc in runs {
+        let report = run_threaded(&sc.run);
+        // the averaged field only fills on serial/modelled drivers, so
+        // re-run serially when the scenario asked for diagnostics
+        let avg_cells = if sc.run.obs.avg_window > 0 {
+            run_serial(&sc.run).density_h_avg.len()
+        } else {
+            0
+        };
+        println!(
+            "{:<12} {:>5} {:>5} {:>6} {:>6} {:>9} {:>10}   # {}",
+            sc.name,
+            sc.run.ranks,
+            sc.run.steps,
+            sc.run.sim.k_sub_dsmc,
+            sc.run
+                .sim
+                .pump_prob
+                .map_or("-".to_string(), |p| format!("{p:.2}")),
+            report.population,
+            avg_cells,
+            sc.description,
+        );
+    }
+}

@@ -23,6 +23,9 @@ cargo test -q --test engine_guard hier_overlapped_matches_distributed_bitwise
 echo "== balance gate (alternative cost sources / decompositions stay pinned) =="
 cargo test -q --test balance_guard
 
+echo "== scenario gate (canned scenarios stay golden; subcycle/pump are strict opt-ins) =="
+cargo test -q --test scenario_guard
+
 echo "== jobsrv gate (served jobs bitwise-match solo runs; kill mid-job recovers) =="
 cargo test -q --test jobsrv_guard
 

@@ -76,6 +76,38 @@ fn eullag_modelled_is_pinned() {
     );
 }
 
+/// A scenario-lowered config drives the balancer exactly like a
+/// hand-built one: the high-imbalance jet scenario under the
+/// timer-augmented source on the modelled driver gets its own pinned
+/// lii trajectory, and the freestream scenario must rebalance too.
+#[test]
+fn freestream_scenario_timer_augmented_modelled_is_pinned() {
+    let lii_of = |name: &str| {
+        let mut run = coupled::scenario::canned(name)
+            .expect("canned scenario lowers")
+            .run;
+        run.rebalance = Some(RebalanceConfig {
+            t_interval: 3,
+            threshold: 1.2,
+            cost_source: CostSourceKind::TimerAugmented,
+            ..RebalanceConfig::default()
+        });
+        let steps = run.steps;
+        let rep = ClusterSim::new(&run, MachineProfile::tianhe2()).run(steps);
+        let lii: Vec<f64> = rep.trace.iter().map(|t| t.lii).collect();
+        assert_eq!(lii.len(), steps);
+        (fnv1a(&lii), rep.rebalances)
+    };
+    let (h1, reb1) = lii_of("freestream");
+    let (h2, _) = lii_of("freestream");
+    assert_eq!(h1, h2, "scenario modelled run is nondeterministic");
+    assert!(reb1 > 0, "freestream scenario never rebalanced");
+    assert_eq!(
+        h1, 0x9f61362858d48efb,
+        "freestream timer-augmented lii trajectory drifted from the pinned baseline"
+    );
+}
+
 /// With the balancer off, the Eul/Lag split only changes *how* the
 /// node charge is reduced (per-owner gather/scatter instead of the
 /// flat allreduce). The additions happen in the same rank order, so

@@ -136,6 +136,30 @@ fn rank_kill_restarts_from_checkpoint_and_matches_the_pinned_hash() {
     assert!(r.comm_retries > 0);
 }
 
+/// Scenario-lowered configs recover exactly like hand-built ones: the
+/// freestream scenario, killed mid-run over a lossy transport, must
+/// replay from its checkpoint to the same digest `scenario_guard`
+/// pins for the clean threaded run.
+#[test]
+fn freestream_scenario_kill_recovers_to_the_golden_hash() {
+    /// `scenario_guard`'s pinned 3-rank threaded freestream digest.
+    const GOLDEN_FREESTREAM_3RANK: u64 = 0x71708dc81019711a;
+    let mut run = coupled::scenario::canned("freestream")
+        .expect("canned scenario lowers")
+        .run;
+    run.checkpoint_every = 4;
+    run.on_fault = FaultPolicy::RestartFromCheckpoint;
+    run.fault_plan = Some(lossy_plan(0xF2EE).kill(2, 6));
+    let r = run_threaded_result(&run).expect("recovery must complete the run");
+    assert_eq!(r.recoveries, 1, "exactly one replay after the kill");
+    assert_eq!(
+        fnv1a(&r.density_h),
+        GOLDEN_FREESTREAM_3RANK,
+        "recovered freestream run diverged from the scenario golden hash"
+    );
+    assert!(r.faults_injected > 0);
+}
+
 #[test]
 fn kill_without_checkpoints_replays_from_scratch() {
     // no cadence: the store stays empty, so recovery restarts the

@@ -170,3 +170,46 @@ fn killed_worker_job_recovers_from_checkpoint_with_the_pinned_hash() {
     );
     assert!(steps >= 8, "the full replayed tail is streamed: {steps}");
 }
+
+/// Submitting by scenario name goes through the same canonical-hash
+/// cache as hand-built configs: the second submission of the same
+/// name never runs the engine, and the served density matches the
+/// `scenario_guard` golden digest for the jet scenario.
+#[test]
+fn scenario_name_submissions_share_one_engine_run() {
+    /// `scenario_guard`'s pinned 3-rank threaded jet digest.
+    const GOLDEN_JET_3RANK: u64 = 0xc47aa5e2c2986cc3;
+    let srv = JobServer::start(ServerConfig::default().workers(2));
+
+    let spec = |tenant: &str| {
+        JobSpec::from_scenario("jet")
+            .expect("canned scenario lowers")
+            .tenant(tenant)
+    };
+    assert_eq!(spec("team-a").label, "scenario:jet");
+    let a = srv.submit(spec("team-a"));
+    let b = srv.submit(spec("team-b"));
+    let ra = a.wait().expect("leader scenario job completes");
+    let rb = b.wait().expect("duplicate scenario job completes");
+
+    assert_eq!(
+        fnv1a(&ra.density_h),
+        GOLDEN_JET_3RANK,
+        "served jet report diverged from the scenario golden hash"
+    );
+    assert_eq!(ra.density_h, rb.density_h);
+    assert!(!ra.job.as_ref().unwrap().cache_hit, "the leader ran");
+    assert!(
+        rb.job.as_ref().unwrap().cache_hit,
+        "same scenario name must be served from the leader's run"
+    );
+    assert_eq!(
+        ra.job.as_ref().unwrap().config_hash,
+        coupled::scenario::canned("jet").unwrap().run.config_hash(),
+        "the cache key is the lowered config's canonical hash"
+    );
+    assert_eq!(srv.stats().attempts, 1, "one engine run for both jobs");
+
+    // an unknown name is a typed error, not a panic
+    assert!(JobSpec::from_scenario("warp-core").is_err());
+}
